@@ -1,0 +1,32 @@
+"""F1 — spanning-tree proof size vs n across graph families.
+
+Paper claim: Θ(log n) bits.  The regenerated series reports measured
+bits and the per-family best-fit curve, which must be logarithmic.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_f1_st_scaling
+from repro.util.rng import make_rng
+
+
+def test_fig1_st_scaling(benchmark, report):
+    result = benchmark.pedantic(
+        experiment_f1_st_scaling,
+        kwargs=dict(sizes=(8, 16, 32, 64, 128, 256), rng=make_rng(3)),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    # Every family gains a positive, modest number of bits per doubling
+    # of n — the finite-range signature of Theta(log n).
+    import re
+
+    slopes = [
+        float(re.search(r"\+ ?([0-9.]+) \* log2", note).group(1))
+        for note in result.notes
+    ]
+    assert all(0.4 <= s <= 12 for s in slopes)
+    # bits / log2 n stays within a narrow band across two orders of n.
+    ratios = [row[3] for row in result.rows]
+    assert max(ratios) < 4 * min(ratios)

@@ -1,0 +1,27 @@
+"""F2 — MST proof size vs n, and Borůvka phase counts.
+
+Paper claims: O(log² n)-bit certificates built from at most
+⌈log₂ n⌉ phases of parallel Borůvka.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_f2_mst_scaling
+from repro.util.rng import make_rng
+
+
+def test_fig2_mst_scaling(benchmark, report):
+    result = benchmark.pedantic(
+        experiment_f2_mst_scaling,
+        kwargs=dict(sizes=(8, 16, 32, 64, 128), rng=make_rng(4)),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    for row in result.rows:
+        n, bits, ratio, phases, bound = row
+        assert phases <= bound
+    # Super-logarithmic but polylog: bits/log² n bounded, bits/log n grows.
+    first, last = result.rows[0], result.rows[-1]
+    assert last[2] < 4 * first[2]
+    assert not any("VIOLATION" in note for note in result.notes)

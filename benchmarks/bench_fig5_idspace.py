@@ -1,0 +1,33 @@
+"""F5 — proof size vs value domain and identifier universe.
+
+Paper claim: agreement certificates carry the value (Θ(s) bits for a
+2^s-value domain); tree certificates carry a root identifier (Θ(log N)
+bits for ids from [1, N]).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_f5_idspace
+from repro.util.rng import make_rng
+
+
+def test_fig5_idspace(benchmark, report):
+    result = benchmark.pedantic(
+        experiment_f5_idspace,
+        kwargs=dict(
+            n=32,
+            domains=(2, 2**4, 2**8, 2**16, 2**32),
+            universes=(64, 2**10, 2**20, 2**40),
+            rng=make_rng(7),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    agreement = [r for r in result.rows if r[0].startswith("agreement")]
+    trees = [r for r in result.rows if r[0] == "spanning-tree-ptr"]
+    # Proof sizes are monotone in the domain/universe and grow by tens of
+    # bits, not factors of n.
+    assert agreement[0][3] < agreement[-1][3]
+    assert trees[0][3] < trees[-1][3]
+    assert trees[-1][3] < 200

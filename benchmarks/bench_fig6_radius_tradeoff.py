@@ -1,0 +1,26 @@
+"""F6 — the space–radius tradeoff (extension experiment).
+
+The paper verifies at radius 1; allowing radius-t verification trades
+communication locality for certificate bits.  On acyclicity, coarse
+⌊depth/t⌋ counters stay sound (pointer cycles still force an infinite
+descent every t hops) while shrinking as log(n/t).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_f6_radius_tradeoff
+from repro.util.rng import make_rng
+
+
+def test_fig6_radius_tradeoff(benchmark, report):
+    result = benchmark.pedantic(
+        experiment_f6_radius_tradeoff,
+        kwargs=dict(n=256, radii=(1, 2, 4, 8, 16), rng=make_rng(8)),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    bits = [row[1] for row in result.rows]
+    assert bits == sorted(bits, reverse=True)  # monotone shrink
+    assert bits[-1] < bits[0]
+    assert all(row[3] is False for row in result.rows)  # never fooled

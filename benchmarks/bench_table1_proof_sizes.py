@@ -1,0 +1,28 @@
+"""T1 — the results summary table: proof size per scheme per n.
+
+Paper claims: Θ(log n) for leader/acyclic/spanning tree/BFS tree,
+O(log² n) for MST, Θ(s)/O(1) for the locally checkable predicates.
+The regenerated table reports measured bits plus the best-fit shape.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_t1_proof_sizes
+from repro.util.rng import make_rng
+
+
+def test_table1_proof_sizes(benchmark, report):
+    result = benchmark.pedantic(
+        experiment_t1_proof_sizes,
+        kwargs=dict(sizes=(16, 32, 64, 128), rng=make_rng(1)),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    from repro.schemes import ALL_SCHEME_FACTORIES
+
+    assert len(result.rows) == len(ALL_SCHEME_FACTORIES) * 4
+    # Shape check: spanning-tree bits grow sub-linearly (doubling n far
+    # less than doubles the certificate).
+    st_rows = [r for r in result.rows if r[0] == "spanning-tree-ptr"]
+    assert st_rows[-1][3] < 2 * st_rows[0][3]

@@ -1,0 +1,26 @@
+"""T2 — completeness and attacked soundness for every scheme.
+
+Paper claims: honest certificates convince every node on legal
+configurations; on illegal configurations every certificate assignment
+leaves at least one rejecting node.  The budgeted adversary (random +
+greedy + replay pool) must never reach zero rejections.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_t2_soundness
+from repro.util.rng import make_rng
+
+
+def test_table2_soundness(benchmark, report):
+    result = benchmark.pedantic(
+        experiment_t2_soundness,
+        kwargs=dict(n=12, corruption_levels=(1, 2, 4), trials=40, rng=make_rng(2)),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    fooled = [row[3] for row in result.rows if row[3] != "-"]
+    assert fooled and all(f is False for f in fooled)
+    complete = [row[1] for row in result.rows]
+    assert all(complete)

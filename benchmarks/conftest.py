@@ -1,0 +1,43 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures via
+:mod:`repro.analysis.experiments`.  The ``report`` fixture collects the
+rendered tables; they are written under ``benchmarks/results/`` and
+echoed into the terminal summary, so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` captures both the timings and
+the regenerated tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_COLLECTED: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def report():
+    """Record an ExperimentResult for the terminal summary and disk."""
+
+    def _record(result):
+        table = result.to_table()
+        name = result.experiment.split(":")[0].strip().lower().replace(" ", "_")
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+        _COLLECTED.append((result.experiment, table))
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _COLLECTED:
+        return
+    terminalreporter.section("regenerated paper tables/figures")
+    for _, table in _COLLECTED:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Distributed MST construction with O(log² n) certification.
+
+The paper's central compact scheme, exercised end to end *in-network*:
+
+1. a weighted network is built (distinct weights, so the MST is unique);
+2. every node runs the LOCAL-model marker: full-information gathering,
+   then a local Borůvka computation that yields its own pointer and its
+   own certificate (fragment trees + minimum outgoing edges, one layer
+   per Borůvka phase);
+3. verification runs as an actual one-round message exchange, with the
+   traffic measured in bits;
+4. the tree is then damaged and the detection is shown.
+
+Run: ``python examples/certified_mst.py``
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import MstScheme, Network, connected_gnp, make_rng, weighted_copy
+from repro.algorithms import mst_marker
+from repro.local.verification_round import distributed_verification
+
+
+def main() -> None:
+    rng = make_rng(7)
+    graph = weighted_copy(connected_gnp(20, 0.2, rng), rng)
+    network = Network(graph)
+    scheme = MstScheme()
+    print(f"weighted network: {graph!r}")
+
+    # 1-2. construct and certify the MST inside the network.
+    marker = mst_marker(network)
+    print(f"marker ran {marker.rounds} rounds, "
+          f"{marker.message_count} messages, {marker.message_bits} bits")
+    config = marker.configuration(network)
+    assert scheme.language.is_member(config), "marker built a non-MST!"
+
+    cert_bits = max(
+        scheme.certificate_bits(c) for c in marker.certificates.values()
+    )
+    log2n = math.log2(graph.n)
+    print(f"certificate size: {cert_bits} bits "
+          f"(log2^2 n = {log2n ** 2:.0f}; ratio {cert_bits / log2n ** 2:.1f})")
+
+    # 3. verification as a real message exchange.
+    verdict, run = distributed_verification(scheme, config, marker.certificates)
+    print(f"verification: {run.rounds} round, {run.message_bits} bits total, "
+          f"all accept = {verdict.all_accept}")
+
+    # 4. damage the tree: re-point one node at a non-tree neighbor.
+    bad = scheme.language.corrupted_configuration(graph, corruptions=1, rng=rng)
+    stale_verdict, _ = distributed_verification(
+        scheme, bad, marker.certificates
+    )
+    print(f"after 1 corrupted pointer: {stale_verdict.reject_count} "
+          f"node(s) reject in one round")
+    assert not stale_verdict.all_accept
+
+
+if __name__ == "__main__":
+    main()

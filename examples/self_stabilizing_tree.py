@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Self-stabilizing spanning tree with proof-labeling detection.
+
+The paper's motivating application.  A max-root BFS protocol builds a
+spanning tree and goes silent; its registers double as proof-labeling
+certificates, so a one-round verifier can watch over the silent system
+forever.  The demo:
+
+1. stabilizes the protocol from adversarial garbage;
+2. shows the silent state passes verification at every node;
+3. injects transient faults and shows detection in a single sweep;
+4. recovers with guarded local correction and compares the work against
+   the global-reset baseline.
+
+Run: ``python examples/self_stabilizing_tree.py``
+"""
+
+from __future__ import annotations
+
+from repro import Network, SpanningTreePointerScheme, connected_gnp, make_rng
+from repro.selfstab import (
+    MaxRootBfsProtocol,
+    PlsDetector,
+    inject_faults,
+    run_guarded,
+    run_until_silent,
+    run_with_global_reset,
+)
+
+
+def main() -> None:
+    rng = make_rng(11)
+    graph = connected_gnp(30, 0.12, rng)
+    network = Network(graph)
+    protocol = MaxRootBfsProtocol()
+    detector = PlsDetector(SpanningTreePointerScheme(), protocol)
+    print(f"network: {graph!r}, protocol: {protocol.name}")
+
+    # 1. stabilize from adversarial initial registers.
+    contexts = network.contexts()
+    chaos = {v: protocol.random_state(contexts[v], rng) for v in graph.nodes}
+    trace = run_until_silent(network, protocol, chaos)
+    print(f"stabilized from garbage in {trace.rounds} rounds")
+
+    # 2. certified silence.
+    report = detector.sweep(network, trace.states)
+    print(f"silent state: legitimate = {report.legitimate}, "
+          f"alarms = {report.verdict.reject_count}")
+
+    # 3-4. transient faults, detection, recovery.
+    for k in (1, 3, 6):
+        faulted = inject_faults(network, protocol, trace.states, k, rng)
+        sweep = detector.sweep(network, faulted)
+        if sweep.legitimate:
+            print(f"k={k}: faults happened to stay legal; skipping")
+            continue
+        print(f"k={k}: detected immediately by {sweep.verdict.reject_count} "
+              f"node(s)")
+        guarded = run_guarded(network, protocol, detector, faulted)
+        global_reset = run_with_global_reset(network, protocol, detector, faulted)
+        print(f"   guarded local correction: {guarded.rounds} rounds, "
+              f"{guarded.total_moves} moves"
+              f"{' (escalated)' if guarded.escalated else ''}")
+        print(f"   global reset baseline:    {global_reset.rounds} rounds, "
+              f"{global_reset.total_moves} moves")
+
+
+if __name__ == "__main__":
+    main()

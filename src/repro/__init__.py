@@ -1,0 +1,117 @@
+"""``repro`` — a reproduction of *Proof Labeling Schemes* (PODC 2005).
+
+The package implements the proof-labeling-scheme framework (prover /
+one-round verifier pairs for distributed languages), the classic schemes
+(spanning tree, MST, leader, agreement, and the locally checkable
+predicates), the universal scheme, executable lower-bound adversaries,
+and the self-stabilization application — all over a dependency-free
+graph substrate and a synchronous LOCAL-model simulator.
+
+Quickstart::
+
+    from repro import (
+        Configuration, SpanningTreePointerScheme, connected_gnp, make_rng,
+    )
+
+    rng = make_rng(1)
+    graph = connected_gnp(32, 0.2, rng)
+    scheme = SpanningTreePointerScheme()
+    config = scheme.language.member_configuration(graph, rng=rng)
+    assert scheme.run(config).all_accept           # completeness
+    bad = scheme.language.corrupted_configuration(graph, 2, rng=rng)
+    assert not scheme.run(bad).all_accept          # detection
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    CertificateAssignment,
+    Configuration,
+    ConjunctionScheme,
+    DistributedLanguage,
+    IntersectionLanguage,
+    Labeling,
+    LocalView,
+    NeighborGlimpse,
+    ProofLabelingScheme,
+    UniversalScheme,
+    Verdict,
+    Visibility,
+)
+from repro.graphs import (
+    Graph,
+    binary_tree,
+    complete_graph,
+    connected_gnp,
+    cycle_graph,
+    grid_graph,
+    hypercube,
+    path_graph,
+    random_regular,
+    random_tree,
+    star_graph,
+    weighted_copy,
+)
+from repro.local import Network, run_synchronous
+from repro.schemes import (
+    ALL_SCHEME_FACTORIES,
+    AcyclicScheme,
+    AgreementScheme,
+    BfsTreeScheme,
+    BipartiteScheme,
+    ColoringEchoScheme,
+    DominatingSetScheme,
+    IndependentSetScheme,
+    LeaderScheme,
+    MatchingScheme,
+    MstScheme,
+    SpanningTreeListScheme,
+    SpanningTreePointerScheme,
+)
+from repro.util.rng import make_rng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SCHEME_FACTORIES",
+    "AcyclicScheme",
+    "AgreementScheme",
+    "BfsTreeScheme",
+    "BipartiteScheme",
+    "CertificateAssignment",
+    "ColoringEchoScheme",
+    "Configuration",
+    "ConjunctionScheme",
+    "DistributedLanguage",
+    "DominatingSetScheme",
+    "Graph",
+    "IndependentSetScheme",
+    "IntersectionLanguage",
+    "Labeling",
+    "LeaderScheme",
+    "LocalView",
+    "MatchingScheme",
+    "MstScheme",
+    "NeighborGlimpse",
+    "Network",
+    "ProofLabelingScheme",
+    "SpanningTreeListScheme",
+    "SpanningTreePointerScheme",
+    "UniversalScheme",
+    "Verdict",
+    "Visibility",
+    "binary_tree",
+    "complete_graph",
+    "connected_gnp",
+    "cycle_graph",
+    "grid_graph",
+    "hypercube",
+    "make_rng",
+    "path_graph",
+    "random_regular",
+    "random_tree",
+    "run_synchronous",
+    "star_graph",
+    "weighted_copy",
+]

@@ -1,0 +1,30 @@
+"""Distributed constructions in the LOCAL model: flooding, election,
+BFS waves, and certified markers."""
+
+from repro.algorithms.bfs import BfsOutput, DistributedBfs
+from repro.algorithms.fullinfo import (
+    FullInfoGather,
+    configuration_from_knowledge,
+    gather_configurations,
+)
+from repro.algorithms.leader_election import FloodMaxLeaderElection, LeaderOutput
+from repro.algorithms.markers import (
+    MarkerResult,
+    leader_marker,
+    mst_marker,
+    spanning_tree_marker,
+)
+
+__all__ = [
+    "BfsOutput",
+    "DistributedBfs",
+    "FloodMaxLeaderElection",
+    "FullInfoGather",
+    "LeaderOutput",
+    "MarkerResult",
+    "configuration_from_knowledge",
+    "gather_configurations",
+    "leader_marker",
+    "mst_marker",
+    "spanning_tree_marker",
+]

@@ -1,0 +1,113 @@
+"""Full-information gathering in the LOCAL model.
+
+The LOCAL model places no bound on message size, so the canonical
+technique for global problems is to flood everything: each round every
+node sends its entire current knowledge of the network (tagged with its
+uid) to all neighbors.  After ``diameter`` rounds every node knows the
+whole labeled weighted graph; the simulator runs ``n`` rounds (nodes
+know ``n``), which always suffices.
+
+The gathered knowledge is returned as a
+:class:`~repro.core.labeling.Configuration` re-indexed by sorted uid, so
+a node can run any *centralised* routine (membership tests, provers) on
+it — this is how the distributed MST marker computes its certificates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.labeling import Configuration, Labeling
+from repro.graphs.graph import Graph
+from repro.local.algorithm import Halted, NodeContext, SynchronousAlgorithm
+from repro.local.network import Network
+from repro.local.runner import RunResult, run_synchronous
+
+__all__ = ["FullInfoGather", "configuration_from_knowledge", "gather_configurations"]
+
+
+class FullInfoGather(SynchronousAlgorithm):
+    """Flood (nodes, edges, inputs, weights) knowledge for ``n`` rounds.
+
+    Knowledge is a pair of frozensets: node facts ``(uid, input)`` and
+    edge facts ``(uid_a, uid_b, weight_or_None)`` with ``uid_a < uid_b``.
+    Messages are ``(sender_uid, knowledge)`` — the uid tag is how a
+    receiver learns the edge behind each port.
+    """
+
+    name = "full-info-gather"
+
+    def init_state(self, ctx: NodeContext) -> Any:
+        node_facts = frozenset({(ctx.uid, self._freeze(ctx.input))})
+        return (node_facts, frozenset())
+
+    def send(self, ctx: NodeContext, state: Any, round_index: int) -> Mapping[int, Any]:
+        return {port: (ctx.uid, state) for port in range(ctx.degree)}
+
+    def receive(
+        self,
+        ctx: NodeContext,
+        state: Any,
+        inbox: Mapping[int, Any],
+        round_index: int,
+    ) -> Any:
+        node_facts, edge_facts = state
+        new_nodes = set(node_facts)
+        new_edges = set(edge_facts)
+        for port, (sender_uid, payload) in inbox.items():
+            their_nodes, their_edges = payload
+            new_nodes |= their_nodes
+            new_edges |= their_edges
+            weight = (
+                ctx.port_weights[port] if ctx.port_weights is not None else None
+            )
+            a, b = sorted((ctx.uid, sender_uid))
+            new_edges.add((a, b, weight))
+        next_state = (frozenset(new_nodes), frozenset(new_edges))
+        if round_index >= ctx.n - 1:
+            return Halted(next_state)
+        return next_state
+
+    @staticmethod
+    def _freeze(value: Any) -> Any:
+        if isinstance(value, (set, frozenset)):
+            return frozenset(value)
+        return value
+
+
+def configuration_from_knowledge(knowledge: Any) -> tuple[Configuration, dict[int, int]]:
+    """Decode gathered knowledge into a configuration.
+
+    Returns the configuration (nodes re-indexed by sorted uid) and the
+    uid -> new-node-index mapping.
+    """
+    node_facts, edge_facts = knowledge
+    uids = sorted(uid for uid, _ in node_facts)
+    index = {uid: i for i, uid in enumerate(uids)}
+    inputs = {index[uid]: value for uid, value in node_facts}
+    weighted = any(w is not None for _, _, w in edge_facts)
+    edges = [(index[a], index[b]) for a, b, _ in edge_facts]
+    weights = (
+        {(index[a], index[b]): w for a, b, w in edge_facts} if weighted else None
+    )
+    graph = Graph(len(uids), edges, weights)
+    config = Configuration(
+        graph=graph,
+        labeling=Labeling(inputs),
+        ids={index[uid]: uid for uid in uids},
+    )
+    return config, index
+
+
+def gather_configurations(network: Network) -> tuple[dict[int, Configuration], RunResult]:
+    """Run the gather; return each node's reconstructed configuration.
+
+    On a connected network every node reconstructs the *same*
+    configuration (up to the shared re-indexing), which the distributed
+    markers rely on for determinism.
+    """
+    result = run_synchronous(network, FullInfoGather())
+    configs: dict[int, Configuration] = {}
+    for node, knowledge in result.outputs.items():
+        configs[node], _ = configuration_from_knowledge(knowledge)
+    return configs, result

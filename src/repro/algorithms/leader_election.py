@@ -1,0 +1,70 @@
+"""Flood-max leader election in the LOCAL model.
+
+Every node tracks the maximum uid it has heard of and forwards it only
+when its claim improves (so the message count stays near-linear on most
+graphs instead of ``n`` messages per edge per round).  After ``n - 1``
+rounds the maximum has reached everyone.  Because claims travel one hop
+per round, the hop count on first adoption is the node's BFS distance
+from the leader, and the adopting port is a BFS parent — so the election
+output already contains the spanning tree toward the leader that the
+leader certificates need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.local.algorithm import Halted, NodeContext, SynchronousAlgorithm
+
+__all__ = ["FloodMaxLeaderElection", "LeaderOutput"]
+
+
+@dataclass(frozen=True)
+class LeaderOutput:
+    """What each node knows when the election halts."""
+
+    is_leader: bool
+    leader_uid: int
+    dist: int
+    parent_port: int | None
+
+
+class FloodMaxLeaderElection(SynchronousAlgorithm):
+    """State ``(best_uid, dist, parent_port, dirty)``; halts after n rounds."""
+
+    name = "flood-max"
+
+    def init_state(self, ctx: NodeContext) -> Any:
+        return (ctx.uid, 0, None, True)
+
+    def send(self, ctx: NodeContext, state: Any, round_index: int) -> Mapping[int, Any]:
+        best, dist, _parent, dirty = state
+        if not dirty:
+            return {}
+        return {port: (best, dist) for port in range(ctx.degree)}
+
+    def receive(
+        self,
+        ctx: NodeContext,
+        state: Any,
+        inbox: Mapping[int, Any],
+        round_index: int,
+    ) -> Any:
+        best, dist, parent, _ = state
+        improved = False
+        for port in sorted(inbox):
+            their_best, their_dist = inbox[port]
+            if their_best > best or (their_best == best and their_dist + 1 < dist):
+                best, dist, parent = their_best, their_dist + 1, port
+                improved = True
+        if round_index >= ctx.n - 1:
+            return Halted(
+                LeaderOutput(
+                    is_leader=(best == ctx.uid),
+                    leader_uid=best,
+                    dist=dist,
+                    parent_port=parent,
+                )
+            )
+        return (best, dist, parent, improved)

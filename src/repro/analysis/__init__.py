@@ -1,0 +1,30 @@
+"""Experiment harness: one function per table/figure, plain-text reports."""
+
+from repro.analysis.experiments import (
+    experiment_f1_st_scaling,
+    experiment_f2_mst_scaling,
+    experiment_f3_lower_bound,
+    experiment_f4_selfstab,
+    experiment_f5_idspace,
+    experiment_f6_radius_tradeoff,
+    experiment_t1_proof_sizes,
+    experiment_t2_soundness,
+    experiment_t3_universal,
+    experiment_t4_verification_cost,
+)
+from repro.analysis.tables import ExperimentResult, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "experiment_f1_st_scaling",
+    "experiment_f2_mst_scaling",
+    "experiment_f3_lower_bound",
+    "experiment_f4_selfstab",
+    "experiment_f5_idspace",
+    "experiment_f6_radius_tradeoff",
+    "experiment_t1_proof_sizes",
+    "experiment_t2_soundness",
+    "experiment_t3_universal",
+    "experiment_t4_verification_cost",
+    "format_table",
+]

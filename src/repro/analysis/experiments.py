@@ -1,0 +1,493 @@
+"""The paper's experiment suite.
+
+One function per experiment id in DESIGN.md §4.  Each takes modest size
+parameters (so the benchmark harness can scale them), runs the relevant
+machinery, and returns an :class:`~repro.analysis.tables.ExperimentResult`
+whose rows regenerate the table/figure and whose notes state the
+shape-level conclusions that must match the paper.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Sequence
+
+from repro.analysis.tables import ExperimentResult
+from repro.core.measure import CURVES, best_curve, fit_affine, proof_size_sweep
+from repro.core.soundness import attack, completeness_holds
+from repro.core.universal import UniversalScheme
+from repro.core.verifier import Visibility
+from repro.graphs.generators import (
+    connected_gnp,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+)
+from repro.graphs.mst import boruvka_trace
+from repro.graphs.weighted import weighted_copy
+from repro.local.network import Network
+from repro.local.verification_round import distributed_verification
+from repro.lowerbounds.crossing import (
+    completeness_failure_depth,
+    minimum_surviving_budget,
+    pointer_cycle_attack,
+    two_root_path_attack,
+)
+from repro.schemes import (
+    ALL_SCHEME_FACTORIES,
+    AgreementLanguage,
+    AgreementScheme,
+    LeaderScheme,
+    MstScheme,
+    SpanningTreePointerScheme,
+)
+from repro.schemes.regular import RegularSubgraphLanguage
+from repro.selfstab import (
+    MaxRootBfsProtocol,
+    PlsDetector,
+    inject_faults,
+    run_guarded,
+    run_until_silent,
+    run_with_global_reset,
+)
+from repro.util.idspace import random_ids
+from repro.util.rng import make_rng, spawn
+
+__all__ = [
+    "experiment_f1_st_scaling",
+    "experiment_f2_mst_scaling",
+    "experiment_f3_lower_bound",
+    "experiment_f4_selfstab",
+    "experiment_f5_idspace",
+    "experiment_f6_radius_tradeoff",
+    "experiment_t1_proof_sizes",
+    "experiment_t2_soundness",
+    "experiment_t3_universal",
+    "experiment_t4_verification_cost",
+]
+
+
+def _suitable_graph(scheme_name: str, n: int, rng: random.Random):
+    """A connected test graph the scheme's language supports."""
+    if scheme_name == "bipartite":
+        side = max(1, int(math.isqrt(n)))
+        return grid_graph(side, max(1, n // side))
+    return connected_gnp(n, min(0.6, 3.0 / max(3, n)), rng)
+
+
+# ---------------------------------------------------------------------------
+# T1 — the results summary table.
+# ---------------------------------------------------------------------------
+
+
+def experiment_t1_proof_sizes(
+    sizes: Sequence[int] = (16, 32, 64, 128),
+    rng: random.Random | None = None,
+) -> ExperimentResult:
+    """Measured proof size per scheme per n, with the claimed bound."""
+    rng = rng or make_rng(101)
+    result = ExperimentResult(
+        experiment="T1: proof sizes",
+        headers=("scheme", "bound", "n", "proof bits", "bits/log2(n)"),
+    )
+    for name, factory in ALL_SCHEME_FACTORIES.items():
+        scheme = factory()
+        points = []
+        for n in sizes:
+            graph = _suitable_graph(name, n, spawn(rng, n))
+            if scheme.language.weighted:
+                graph = weighted_copy(graph, spawn(rng, n + 1))
+            config = scheme.language.member_configuration(graph, rng=spawn(rng, n + 2))
+            bits = scheme.proof_size_bits(config)
+            points.append((graph.n, float(bits)))
+            result.add(
+                scheme.name,
+                scheme.size_bound,
+                graph.n,
+                bits,
+                bits / math.log2(max(2, graph.n)),
+            )
+        curve, scale, rmse = best_curve(points)
+        result.note(f"{scheme.name}: best-fit shape ~ {scale:.1f} * {curve} (rmse {rmse:.2f})")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# T2 — machine-checked completeness and attacked soundness.
+# ---------------------------------------------------------------------------
+
+
+def experiment_t2_soundness(
+    n: int = 12,
+    corruption_levels: Sequence[int] = (1, 2, 4),
+    trials: int = 60,
+    rng: random.Random | None = None,
+) -> ExperimentResult:
+    """Completeness on members; adversarial attacks on corrupted configs."""
+    rng = rng or make_rng(202)
+    result = ExperimentResult(
+        experiment="T2: completeness and soundness",
+        headers=("scheme", "complete", "corruptions", "fooled", "min rejects", "evals"),
+    )
+    sound_everywhere = True
+    for name, factory in ALL_SCHEME_FACTORIES.items():
+        scheme = factory()
+        graph = _suitable_graph(name, n, spawn(rng, 1))
+        if scheme.language.weighted:
+            graph = weighted_copy(graph, spawn(rng, 2))
+        member = scheme.language.member_configuration(graph, rng=spawn(rng, 3))
+        complete = completeness_holds(scheme, member)
+        for k in corruption_levels:
+            try:
+                bad = scheme.language.corrupted_configuration(
+                    graph, corruptions=k, rng=spawn(rng, 10 + k)
+                )
+            except Exception:
+                result.add(scheme.name, complete, k, "-", "-", 0)
+                continue
+            outcome = attack(
+                scheme, bad, rng=spawn(rng, 100 + k),
+                trials=trials, related=[member],
+            )
+            sound_everywhere &= not outcome.fooled
+            result.add(
+                scheme.name, complete, k, outcome.fooled,
+                outcome.min_rejects, outcome.evaluations,
+            )
+    result.note(
+        "paper claim: completeness always, >=1 rejecting node on every "
+        f"illegal instance — soundness violations found: {not sound_everywhere}"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F1 / F2 — size scaling of the flagship schemes.
+# ---------------------------------------------------------------------------
+
+
+def experiment_f1_st_scaling(
+    sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
+    rng: random.Random | None = None,
+) -> ExperimentResult:
+    """Spanning-tree proof size ~ c log n across graph families."""
+    rng = rng or make_rng(303)
+    scheme = SpanningTreePointerScheme()
+    families = {
+        "path": lambda n, r: path_graph(n),
+        "cycle": lambda n, r: cycle_graph(max(3, n)),
+        "random_tree": random_tree,
+        "gnp": lambda n, r: connected_gnp(n, 3.0 / max(3, n), r),
+    }
+    result = ExperimentResult(
+        experiment="F1: spanning-tree proof-size scaling",
+        headers=("family", "n", "proof bits", "bits/log2(n)"),
+    )
+    for fname, factory in families.items():
+        rows = proof_size_sweep(scheme, fname, factory, sizes, rng=spawn(rng, hash(fname) & 0xFFFF))
+        points = [(r.n, float(r.proof_bits)) for r in rows]
+        for r in rows:
+            result.add(r.family, r.n, r.proof_bits, r.proof_bits / math.log2(max(2, r.n)))
+        # Affine log fit: the slope reads as bits per doubling of n,
+        # which is the honest finite-range face of the Theta(log n) claim
+        # (a pure proportional fit is masked by constant framing bits).
+        offset, slope, rmse = fit_affine(points, CURVES["log n"])
+        result.note(
+            f"{fname}: ~ {offset:.0f} + {slope:.1f} * log2(n) bits "
+            f"(+{slope:.1f} bits per doubling, rmse {rmse:.2f})"
+        )
+    return result
+
+
+def experiment_f2_mst_scaling(
+    sizes: Sequence[int] = (8, 16, 32, 64, 128),
+    rng: random.Random | None = None,
+) -> ExperimentResult:
+    """MST proof size ~ c log² n; Borůvka phases <= ceil(log2 n)."""
+    rng = rng or make_rng(404)
+    scheme = MstScheme()
+    result = ExperimentResult(
+        experiment="F2: MST proof-size scaling",
+        headers=("n", "proof bits", "bits/log2^2(n)", "phases", "ceil(log2 n)"),
+    )
+    points = []
+    for n in sizes:
+        graph = weighted_copy(connected_gnp(n, 3.0 / max(3, n), spawn(rng, n)), spawn(rng, n + 1))
+        config = scheme.language.member_configuration(graph, rng=spawn(rng, n + 2))
+        bits = scheme.proof_size_bits(config)
+        trace = boruvka_trace(graph)
+        bound = max(1, math.ceil(math.log2(max(2, graph.n))))
+        points.append((graph.n, float(bits)))
+        result.add(
+            graph.n, bits,
+            bits / (math.log2(max(2, graph.n)) ** 2),
+            trace.phase_count, bound,
+        )
+        if trace.phase_count > bound:
+            result.note(f"PHASE BOUND VIOLATION at n={graph.n}")
+    curve, scale, rmse = best_curve(points)
+    result.note(f"best fit ~ {scale:.1f} * {curve} (rmse {rmse:.2f}); paper bound O(log^2 n)")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F3 — the lower-bound mechanism.
+# ---------------------------------------------------------------------------
+
+
+def experiment_f3_lower_bound(
+    sizes: Sequence[int] = (8, 16, 32, 64, 128),
+) -> ExperimentResult:
+    """Cut-and-plug attacks vs certificate budget."""
+    result = ExperimentResult(
+        experiment="F3: lower-bound (cut-and-plug)",
+        headers=(
+            "n", "cycle attack max fooled b", "path attack max fooled b",
+            "min surviving b", "log2 id-universe",
+        ),
+    )
+    for n in sizes:
+        cycle_max = 0
+        for b in range(1, 20):
+            if n % (1 << b) != 0:
+                break
+            if pointer_cycle_attack(n, b).fooled:
+                cycle_max = b
+        path_max = 0
+        for b in range(1, 40):
+            try:
+                if two_root_path_attack(n, b).fooled:
+                    path_max = b
+                else:
+                    break
+            except Exception:
+                break
+        surviving = minimum_surviving_budget(n)
+        result.add(n, cycle_max, path_max, surviving, round(math.log2(n * n), 1))
+    depth_rows = [
+        (b, completeness_failure_depth(b, max_n=600)) for b in (1, 2, 3, 4, 5)
+    ]
+    for b, depth in depth_rows:
+        result.note(
+            f"strict truncation to {b} bits loses completeness at path length "
+            f"{depth} (theory: 2^{b}+1 = {2 ** b + 1})"
+        )
+    result.note(
+        "surviving budget tracks log2 of the identifier universe: "
+        "certificates must name the root — the Omega(log n) bound"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# T3 — universal scheme.
+# ---------------------------------------------------------------------------
+
+
+def experiment_t3_universal(
+    sizes: Sequence[int] = (6, 10, 14, 20, 28),
+    rng: random.Random | None = None,
+) -> ExperimentResult:
+    """Universal certificates are Θ(n²)-shaped and decide any language."""
+    rng = rng or make_rng(505)
+    language = RegularSubgraphLanguage()
+    scheme = UniversalScheme(language)
+    result = ExperimentResult(
+        experiment="T3: universal scheme",
+        headers=("n", "proof bits", "bits/n^2", "member accepted", "corrupted rejected"),
+    )
+    points = []
+    for n in sizes:
+        graph = connected_gnp(n, 0.35, spawn(rng, n))
+        member = language.member_configuration(graph, rng=spawn(rng, n + 1))
+        bits = scheme.proof_size_bits(member)
+        accepted = scheme.run(member).all_accept
+        bad = language.corrupted_configuration(graph, corruptions=1, rng=spawn(rng, n + 2))
+        rejected = not scheme.run(bad).all_accept
+        points.append((n, float(bits)))
+        result.add(n, bits, bits / (n * n), accepted, rejected)
+    curve, scale, rmse = best_curve(points)
+    result.note(f"best fit ~ {scale:.1f} * {curve} (rmse {rmse:.2f}); paper bound O(n^2 + n s)")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F4 — self-stabilization.
+# ---------------------------------------------------------------------------
+
+
+def experiment_f4_selfstab(
+    n: int = 32,
+    fault_counts: Sequence[int] = (1, 2, 4, 8),
+    seeds: Iterable[int] = range(5),
+    rng: random.Random | None = None,
+) -> ExperimentResult:
+    """Detection latency and recovery cost under transient faults."""
+    protocol = MaxRootBfsProtocol()
+    detector_scheme = SpanningTreePointerScheme()
+    result = ExperimentResult(
+        experiment="F4: self-stabilization with PLS detection",
+        headers=(
+            "k faults", "runs", "detect latency", "mean rejects",
+            "guarded rounds", "guarded moves", "escalated",
+            "global rounds", "global moves",
+        ),
+    )
+    for k in fault_counts:
+        latencies: list[int] = []
+        rejects: list[int] = []
+        g_rounds: list[int] = []
+        g_moves: list[int] = []
+        esc = 0
+        r_rounds: list[int] = []
+        r_moves: list[int] = []
+        runs = 0
+        for seed in seeds:
+            seed_rng = make_rng(9000 + seed)
+            graph = connected_gnp(n, 3.0 / n, seed_rng)
+            network = Network(graph)
+            detector = PlsDetector(detector_scheme, protocol)
+            legit = run_until_silent(network, protocol).states
+            faulted = inject_faults(network, protocol, legit, k, seed_rng)
+            report = detector.sweep(network, faulted)
+            if report.legitimate:
+                continue  # the faults happened to stay legal; skip
+            runs += 1
+            latencies.append(0 if report.alarmed else 1)
+            rejects.append(report.verdict.reject_count)
+            guarded = run_guarded(network, protocol, detector, faulted)
+            g_rounds.append(guarded.rounds)
+            g_moves.append(guarded.total_moves)
+            esc += guarded.escalated
+            global_reset = run_with_global_reset(network, protocol, detector, faulted)
+            r_rounds.append(global_reset.rounds)
+            r_moves.append(global_reset.total_moves)
+        if not runs:
+            continue
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731 - tiny local helper
+        result.add(
+            k, runs, mean(latencies), mean(rejects),
+            mean(g_rounds), mean(g_moves), esc,
+            mean(r_rounds), mean(r_moves),
+        )
+    result.note("detect latency 0 = alarm raised by the very first sweep (one round)")
+    result.note("guarded work scales with fault size; global reset pays Theta(n) always")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F6 — space–radius tradeoff (extension).
+# ---------------------------------------------------------------------------
+
+
+def experiment_f6_radius_tradeoff(
+    n: int = 256,
+    radii: Sequence[int] = (1, 2, 4, 8, 16),
+    rng: random.Random | None = None,
+) -> ExperimentResult:
+    """Acyclicity certificates shrink with the verification radius.
+
+    A deep pointer path of length ``n`` is certified by coarse counters
+    ``⌊depth/t⌋``; doubling the radius removes roughly one bit per level
+    of the counter.  Soundness is re-attacked at each radius on a
+    pointer cycle.
+    """
+    from repro.core.labeling import Configuration
+    from repro.core.soundness import attack as run_attack
+    from repro.schemes.radius_acyclic import CoarseAcyclicScheme
+
+    rng = rng or make_rng(808)
+    result = ExperimentResult(
+        experiment="F6: space-radius tradeoff (acyclicity)",
+        headers=("radius t", "proof bits", "log2(n/t)", "cycle attack fooled"),
+    )
+    graph = path_graph(n)
+    states = {0: None, **{i: graph.port(i, i - 1) for i in range(1, n)}}
+    deep = Configuration.build(graph, states)
+    cycle = cycle_graph(n - 1)
+    looped = Configuration.build(
+        cycle, {i: cycle.port(i, (i + 1) % (n - 1)) for i in range(n - 1)}
+    )
+    for t in radii:
+        scheme = CoarseAcyclicScheme(t)
+        assert scheme.run(deep).all_accept  # completeness at depth n
+        bits = scheme.proof_size_bits(deep)
+        outcome = run_attack(scheme, looped, rng=spawn(rng, t), trials=20)
+        result.add(t, bits, round(math.log2(max(2, n // t)), 1), outcome.fooled)
+    result.note(
+        "doubling the verification radius shaves ~2 bits off the "
+        "(gamma-coded) coarse counter; soundness attacks keep failing"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# T4 — verification cost through the message simulator.
+# ---------------------------------------------------------------------------
+
+
+def experiment_t4_verification_cost(
+    n: int = 24,
+    rng: random.Random | None = None,
+) -> ExperimentResult:
+    """One round; message bits per edge ≈ the two endpoint certificates."""
+    rng = rng or make_rng(606)
+    result = ExperimentResult(
+        experiment="T4: verification communication cost",
+        headers=("scheme", "rounds", "messages", "total bits", "bits/edge", "proof bits"),
+    )
+    for name, factory in ALL_SCHEME_FACTORIES.items():
+        scheme = factory()
+        graph = _suitable_graph(name, n, spawn(rng, 1))
+        if scheme.language.weighted:
+            graph = weighted_copy(graph, spawn(rng, 2))
+        config = scheme.language.member_configuration(graph, rng=spawn(rng, 3))
+        verdict, run = distributed_verification(scheme, config)
+        assert verdict.all_accept
+        result.add(
+            scheme.name,
+            run.rounds,
+            run.message_count,
+            run.message_bits,
+            run.message_bits / max(1, graph.num_edges),
+            scheme.proof_size_bits(config),
+        )
+    result.note("verification is a single round for every scheme (the paper's model)")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# F5 — identifier/value domains.
+# ---------------------------------------------------------------------------
+
+
+def experiment_f5_idspace(
+    n: int = 32,
+    domains: Sequence[int] = (2, 2**4, 2**8, 2**16, 2**32),
+    universes: Sequence[int] = (64, 2**10, 2**20, 2**40),
+    rng: random.Random | None = None,
+) -> ExperimentResult:
+    """Agreement tracks the value domain; tree schemes track the id universe."""
+    rng = rng or make_rng(707)
+    result = ExperimentResult(
+        experiment="F5: domain/universe dependence",
+        headers=("scheme", "domain/universe", "log2", "proof bits"),
+    )
+    graph = connected_gnp(n, 3.0 / n, spawn(rng, 1))
+    for domain in domains:
+        language = AgreementLanguage(domain=domain)
+        scheme = AgreementScheme(language)
+        config = scheme.language.member_configuration(graph, rng=spawn(rng, domain % 1009))
+        result.add(scheme.name, domain, round(math.log2(domain), 1), scheme.proof_size_bits(config))
+    for universe in universes:
+        scheme_st = SpanningTreePointerScheme()
+        ids = random_ids(list(graph.nodes), universe, spawn(rng, universe % 2011))
+        config = scheme_st.language.member_configuration(graph, ids=ids, rng=spawn(rng, 5))
+        result.add(scheme_st.name, universe, round(math.log2(universe), 1), scheme_st.proof_size_bits(config))
+        scheme_ld = LeaderScheme()
+        config = scheme_ld.language.member_configuration(graph, ids=ids, rng=spawn(rng, 6))
+        result.add(scheme_ld.name, universe, round(math.log2(universe), 1), scheme_ld.proof_size_bits(config))
+    result.note("agreement proof size ~ value bits; tree schemes ~ log(universe) for the root id")
+    return result

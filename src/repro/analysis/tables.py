@@ -1,0 +1,61 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Monospace table with per-column widths."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths)).rstrip()
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """A reproducible experiment's structured output.
+
+    ``rows`` hold the data; ``notes`` hold the shape conclusions the
+    experiment draws (fit curves, thresholds, pass/fail claims).
+    """
+
+    experiment: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        self.rows.append(tuple(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def to_table(self) -> str:
+        body = format_table(self.headers, self.rows)
+        if not self.notes:
+            return f"== {self.experiment} ==\n{body}"
+        notes = "\n".join(f"* {n}" for n in self.notes)
+        return f"== {self.experiment} ==\n{body}\n{notes}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_table()

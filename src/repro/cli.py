@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users one-line access to the library's main entry
+points without writing Python:
+
+* ``list-schemes`` — the scheme registry with bounds and visibility;
+* ``certify`` — build a legal configuration on a chosen family, prove
+  it, verify it, report the proof size;
+* ``attack`` — corrupt a configuration and run the budgeted adversary;
+* ``experiment`` — run one experiment id (or ``all``) and print its
+  regenerated table;
+* ``report`` — rewrite EXPERIMENTS.md from fresh runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.analysis import experiments as _experiments
+from repro.core.soundness import attack as run_attack
+from repro.graphs.generators import FAMILIES
+from repro.graphs.weighted import weighted_copy
+from repro.schemes import ALL_SCHEME_FACTORIES
+from repro.util.rng import make_rng
+
+__all__ = ["build_parser", "main"]
+
+_EXPERIMENTS: dict[str, Callable] = {
+    "t1": _experiments.experiment_t1_proof_sizes,
+    "t2": _experiments.experiment_t2_soundness,
+    "t3": _experiments.experiment_t3_universal,
+    "t4": _experiments.experiment_t4_verification_cost,
+    "f1": _experiments.experiment_f1_st_scaling,
+    "f2": _experiments.experiment_f2_mst_scaling,
+    "f3": _experiments.experiment_f3_lower_bound,
+    "f4": _experiments.experiment_f4_selfstab,
+    "f5": _experiments.experiment_f5_idspace,
+    "f6": _experiments.experiment_f6_radius_tradeoff,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Proof labeling schemes (PODC 2005) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-schemes", help="list the scheme registry")
+
+    certify = sub.add_parser("certify", help="prove + verify a legal instance")
+    certify.add_argument("scheme", choices=sorted(ALL_SCHEME_FACTORIES))
+    certify.add_argument("--family", choices=sorted(FAMILIES), default="gnp_sparse")
+    certify.add_argument("--n", type=int, default=32)
+    certify.add_argument("--seed", type=int, default=0)
+
+    attack = sub.add_parser("attack", help="corrupt an instance and attack it")
+    attack.add_argument("scheme", choices=sorted(ALL_SCHEME_FACTORIES))
+    attack.add_argument("--family", choices=sorted(FAMILIES), default="gnp_sparse")
+    attack.add_argument("--n", type=int, default=24)
+    attack.add_argument("--corruptions", type=int, default=2)
+    attack.add_argument("--trials", type=int, default=100)
+    attack.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser("experiment", help="run one experiment id")
+    experiment.add_argument("which", choices=sorted(_EXPERIMENTS) + ["all"])
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+
+    return parser
+
+
+def _make_instance(args) -> tuple:
+    rng = make_rng(args.seed)
+    scheme = ALL_SCHEME_FACTORIES[args.scheme]()
+    graph = FAMILIES[args.family](args.n, rng)
+    if scheme.language.weighted:
+        graph = weighted_copy(graph, rng)
+    if not scheme.language.supports_graph(graph):
+        raise SystemExit(
+            f"{scheme.language.name} is not constructible on this graph; "
+            f"try another --family"
+        )
+    return rng, scheme, graph
+
+
+def _cmd_list_schemes(args) -> int:
+    width = max(len(name) for name in ALL_SCHEME_FACTORIES)
+    for name in sorted(ALL_SCHEME_FACTORIES):
+        scheme = ALL_SCHEME_FACTORIES[name]()
+        print(
+            f"{name:<{width}}  language={scheme.language.name:<24} "
+            f"bound={scheme.size_bound:<28} visibility={scheme.visibility.value}"
+        )
+    return 0
+
+
+def _cmd_certify(args) -> int:
+    rng, scheme, graph = _make_instance(args)
+    config = scheme.language.member_configuration(graph, rng=rng)
+    assignment = scheme.assignment(config)
+    verdict = scheme.run(config)
+    print(f"graph: {graph!r}")
+    print(f"scheme: {scheme.name} ({scheme.size_bound})")
+    print(f"proof size: {assignment.max_bits} bits (mean "
+          f"{assignment.total_bits / max(1, graph.n):.1f})")
+    print(f"verification: all accept = {verdict.all_accept}")
+    return 0 if verdict.all_accept else 1
+
+
+def _cmd_attack(args) -> int:
+    rng, scheme, graph = _make_instance(args)
+    member = scheme.language.member_configuration(graph, rng=rng)
+    try:
+        bad = scheme.language.corrupted_configuration(
+            graph, corruptions=args.corruptions, rng=rng
+        )
+    except Exception as error:
+        raise SystemExit(f"could not corrupt: {error}")
+    result = run_attack(
+        scheme, bad, rng=rng, trials=args.trials, related=[member]
+    )
+    print(f"graph: {graph!r}, corruptions: {args.corruptions}")
+    print(f"adversary evaluations: {result.evaluations}")
+    print(f"fooled: {result.fooled}; minimum rejecting nodes reached: "
+          f"{result.min_rejects}")
+    return 1 if result.fooled else 0
+
+
+def _cmd_experiment(args) -> int:
+    names = sorted(_EXPERIMENTS) if args.which == "all" else [args.which]
+    for name in names:
+        result = _EXPERIMENTS[name]()
+        print(result.to_table())
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import main as report_main
+
+    return report_main([args.output])
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-schemes": _cmd_list_schemes,
+        "certify": _cmd_certify,
+        "attack": _cmd_attack,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Composing languages and schemes.
+
+Many certificates in the literature are conjunctions: "these pointers
+form a spanning tree AND the root is marked".  This module provides the
+intersection of languages over a shared state space and the matching
+product scheme, whose certificate at each node is the tuple of component
+certificates — proof size is the sum of the parts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Any, Sequence
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView, Visibility
+from repro.errors import LanguageError, SchemeError
+from repro.graphs.graph import Graph
+
+__all__ = ["ConjunctionScheme", "IntersectionLanguage"]
+
+
+class IntersectionLanguage(DistributedLanguage):
+    """Configurations legal for *every* component language.
+
+    The components must interpret the same states (the intersection of
+    predicates over one labeling, not a product of labelings).  The
+    canonical labeling comes from the first component and is validated
+    against the rest — constructibility of the intersection is the
+    caller's responsibility.
+    """
+
+    def __init__(self, components: Sequence[DistributedLanguage]) -> None:
+        if not components:
+            raise LanguageError("intersection of zero languages")
+        self.components = tuple(components)
+        self.name = " & ".join(lang.name for lang in self.components)
+        self.weighted = any(lang.weighted for lang in self.components)
+
+    def is_member(self, config: Configuration) -> bool:
+        return all(lang.is_member(config) for lang in self.components)
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        labeling = self.components[0].canonical_labeling(graph, ids=ids, rng=rng)
+        candidate = Configuration.build(graph, labeling, ids=ids)
+        for lang in self.components[1:]:
+            if not lang.is_member(candidate):
+                raise LanguageError(
+                    f"canonical labeling of {self.components[0].name} is not "
+                    f"legal for {lang.name}; intersection not constructible here"
+                )
+        return labeling
+
+
+class ConjunctionScheme(ProofLabelingScheme):
+    """Product of schemes certifying one shared labeling.
+
+    The certificate is the tuple of component certificates; a node
+    accepts iff every component verifier accepts its slice of the view.
+    """
+
+    def __init__(self, schemes: Sequence[ProofLabelingScheme]) -> None:
+        if not schemes:
+            raise SchemeError("conjunction of zero schemes")
+        self.schemes = tuple(schemes)
+        language = IntersectionLanguage([s.language for s in self.schemes])
+        super().__init__(language)
+        self.name = " & ".join(s.name for s in self.schemes)
+        self.visibility = (
+            Visibility.FULL
+            if any(s.visibility is Visibility.FULL for s in self.schemes)
+            else Visibility.KKP
+        )
+        self.radius = max(s.radius for s in self.schemes)
+        self.size_bound = " + ".join(s.size_bound for s in self.schemes)
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        parts = [scheme.prove(config) for scheme in self.schemes]
+        return {
+            node: tuple(part[node] for part in parts)
+            for node in config.graph.nodes
+        }
+
+    def verify(self, view: LocalView) -> bool:
+        cert = view.certificate
+        if not isinstance(cert, tuple) or len(cert) != len(self.schemes):
+            return False
+        for index, scheme in enumerate(self.schemes):
+            if not scheme.verify(self._slice_view(view, index)):
+                return False
+        return True
+
+    def _slice_view(self, view: LocalView, index: int) -> LocalView:
+        """The view as the ``index``-th component scheme would see it."""
+
+        def component(cert: Any) -> Any:
+            if isinstance(cert, tuple) and len(cert) == len(self.schemes):
+                return cert[index]
+            return None  # malformed neighbor certificate: pass raw None
+
+        neighbors = tuple(
+            replace(glimpse, certificate=component(glimpse.certificate))
+            for glimpse in view.neighbors
+        )
+        return replace(
+            view, certificate=component(view.certificate), neighbors=neighbors
+        )
+
+    def certificate_bits(self, certificate: Any) -> int:
+        if isinstance(certificate, tuple) and len(certificate) == len(self.schemes):
+            return sum(
+                scheme.certificate_bits(part)
+                for scheme, part in zip(self.schemes, certificate)
+            )
+        return super().certificate_bits(certificate)

@@ -1,0 +1,141 @@
+"""Proof-labeling schemes: the prover/verifier pair.
+
+A scheme for a language ``L`` bundles:
+
+* a **prover** (the paper's *marker*): on a configuration in ``L`` it
+  produces certificates that make every node accept (completeness);
+* a **verifier** (the paper's *decoder*): a one-round local decision at
+  each node over its :class:`~repro.core.verifier.LocalView`;
+* a certificate **codec** for honest bit-size accounting (the default is
+  the canonical generic codec; schemes can override with a tighter one).
+
+Soundness — on configurations outside ``L`` *every* certificate
+assignment leaves at least one rejecting node — is a property of the
+pair, exercised experimentally by :mod:`repro.core.soundness`.
+
+Provers here are *total*: on an illegal configuration they return
+best-effort certificates instead of raising, because the corruption
+experiments want to run verifiers on whatever an honest-but-stale prover
+would have produced.  Schemes document their best-effort behaviour.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator, Mapping
+
+from repro.core.labeling import Configuration
+from repro.core.language import DistributedLanguage
+from repro.core.verifier import LocalView, Verdict, Visibility, decide
+from repro.errors import SchemeError
+from repro.util.bits import obj_bit_size
+
+__all__ = ["CertificateAssignment", "ProofLabelingScheme"]
+
+
+class CertificateAssignment(Mapping[int, Any]):
+    """Certificates for every node, with bit-size accounting.
+
+    Sizes are computed through the owning scheme's codec, so
+    ``assignment.max_bits`` is the *proof size* of this particular
+    assignment.
+    """
+
+    def __init__(self, certificates: Mapping[int, Any], scheme: "ProofLabelingScheme") -> None:
+        self._certs = dict(certificates)
+        self._scheme = scheme
+
+    def __getitem__(self, node: int) -> Any:
+        return self._certs[node]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._certs)
+
+    def __len__(self) -> int:
+        return len(self._certs)
+
+    def bits(self, node: int) -> int:
+        return self._scheme.certificate_bits(self._certs[node])
+
+    @property
+    def max_bits(self) -> int:
+        return max((self.bits(v) for v in self._certs), default=0)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.bits(v) for v in self._certs)
+
+    def replaced(self, node: int, certificate: Any) -> "CertificateAssignment":
+        certs = dict(self._certs)
+        certs[node] = certificate
+        return CertificateAssignment(certs, self._scheme)
+
+    def __repr__(self) -> str:
+        return f"CertificateAssignment({len(self._certs)} nodes, max {self.max_bits} bits)"
+
+
+class ProofLabelingScheme(ABC):
+    """Base class for all schemes.
+
+    Subclasses set :attr:`language`, :attr:`name`, optionally
+    :attr:`visibility` and :attr:`radius`, and implement :meth:`prove`
+    and :meth:`verify`.
+    """
+
+    name: str = "scheme"
+    visibility: Visibility = Visibility.KKP
+    radius: int = 1
+    #: Human-readable statement of the theoretical proof-size bound,
+    #: e.g. ``"Theta(log n)"`` — used by the reporting tables.
+    size_bound: str = "?"
+
+    def __init__(self, language: DistributedLanguage) -> None:
+        self.language = language
+
+    # -- the pair -----------------------------------------------------------
+
+    @abstractmethod
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        """Certificates for every node (total, best-effort off-language)."""
+
+    @abstractmethod
+    def verify(self, view: LocalView) -> bool:
+        """One-round decision at a node; ``True`` accepts."""
+
+    # -- codec --------------------------------------------------------------
+
+    def certificate_bits(self, certificate: Any) -> int:
+        """Size of one certificate in bits (canonical codec by default)."""
+        return obj_bit_size(certificate)
+
+    # -- running ------------------------------------------------------------
+
+    def assignment(self, config: Configuration) -> CertificateAssignment:
+        certs = self.prove(config)
+        missing = [v for v in config.graph.nodes if v not in certs]
+        if missing:
+            raise SchemeError(f"{self.name}: prover skipped nodes {missing[:5]}")
+        return CertificateAssignment(certs, self)
+
+    def run(
+        self,
+        config: Configuration,
+        certificates: Mapping[int, Any] | None = None,
+    ) -> Verdict:
+        """Verify ``config`` under the given (default: honest) certificates."""
+        if certificates is None:
+            certificates = self.prove(config)
+        return decide(
+            self.verify,
+            config,
+            certificates,
+            visibility=self.visibility,
+            radius=self.radius,
+        )
+
+    def proof_size_bits(self, config: Configuration) -> int:
+        """Proof size (max certificate bits) of the honest assignment."""
+        return self.assignment(config).max_bits
+
+    def __repr__(self) -> str:
+        return f"<scheme {self.name} for {self.language.name}>"

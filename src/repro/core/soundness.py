@@ -1,0 +1,300 @@
+"""Experimental soundness testing: adversarial certificate search.
+
+Soundness says that on an illegal configuration *every* certificate
+assignment leaves at least one rejecting node.  That universal statement
+cannot be tested by running the honest prover; it must be *attacked*.
+This module implements the adversaries used by the test-suite and the
+benchmarks:
+
+* :func:`random_attack` — sample assignments from a pool of plausible
+  certificates (honest certificates of the instance, of related legal
+  instances, and structural mutations thereof);
+* :func:`greedy_attack` — local search: start from the honest best-effort
+  assignment and repeatedly re-certify nodes around rejecting nodes,
+  keeping changes that reduce the number of rejections;
+* :func:`exhaustive_attack` — full product search over per-node candidate
+  sets, for small instances;
+* :func:`attack` — the combined budgeted adversary.
+
+An attack *fools* the scheme when it finds an assignment with zero
+rejections on an illegal configuration — i.e. a soundness violation.  For
+correct schemes the experiments report the *minimum number of rejecting
+nodes* the adversary could reach (1 is the paper's bound).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.labeling import Configuration
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import Verdict
+from repro.errors import SchemeError
+from repro.util.bits import encode_obj
+from repro.util.rng import make_rng
+
+__all__ = [
+    "AttackResult",
+    "attack",
+    "completeness_holds",
+    "exhaustive_attack",
+    "greedy_attack",
+    "harvest_pool",
+    "mutate_certificate",
+    "random_attack",
+]
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of an adversarial search against one configuration."""
+
+    fooled: bool
+    min_rejects: int
+    best_certificates: dict[int, Any]
+    evaluations: int
+
+    def merge(self, other: "AttackResult") -> "AttackResult":
+        best = self if self.min_rejects <= other.min_rejects else other
+        return AttackResult(
+            fooled=self.fooled or other.fooled,
+            min_rejects=best.min_rejects,
+            best_certificates=best.best_certificates,
+            evaluations=self.evaluations + other.evaluations,
+        )
+
+
+def completeness_holds(scheme: ProofLabelingScheme, config: Configuration) -> bool:
+    """Honest prover on a member configuration convinces every node."""
+    if not scheme.language.is_member(config):
+        raise SchemeError("completeness is only defined on member configurations")
+    return scheme.run(config).all_accept
+
+
+def harvest_pool(
+    scheme: ProofLabelingScheme,
+    configs: Iterable[Configuration],
+    rng: random.Random | None = None,
+    mutations_per_cert: int = 2,
+) -> list[Any]:
+    """Plausible certificates: honest ones from ``configs`` + mutations.
+
+    Deduplicated by canonical encoding, order-stable.
+    """
+    rng = rng or make_rng()
+    pool: list[Any] = []
+    seen: set[str] = set()
+
+    def add(cert: Any) -> None:
+        try:
+            key = encode_obj(cert)
+        except Exception:
+            key = repr(cert)
+        if key not in seen:
+            seen.add(key)
+            pool.append(cert)
+
+    for config in configs:
+        for cert in scheme.prove(config).values():
+            add(cert)
+            for _ in range(mutations_per_cert):
+                add(mutate_certificate(cert, rng))
+    return pool
+
+
+def mutate_certificate(cert: Any, rng: random.Random) -> Any:
+    """A small structural mutation of a certificate.
+
+    Recursively picks one atom and perturbs it: ints are nudged, booleans
+    flipped, ``None`` stays (nothing to mutate inside).  Container shape
+    is preserved, so mutants remain well-formed for format checks while
+    being semantically wrong.
+    """
+    if isinstance(cert, bool):
+        return not cert
+    if isinstance(cert, int):
+        delta = rng.choice([-2, -1, 1, 2])
+        return max(0, cert + delta) if cert >= 0 else cert + delta
+    if isinstance(cert, float):
+        return cert + rng.choice([-1.0, 1.0])
+    if isinstance(cert, str):
+        return cert + "x"
+    if isinstance(cert, tuple) and cert:
+        index = rng.randrange(len(cert))
+        mutated = list(cert)
+        mutated[index] = mutate_certificate(cert[index], rng)
+        return tuple(mutated)
+    if isinstance(cert, list) and cert:
+        index = rng.randrange(len(cert))
+        mutated = list(cert)
+        mutated[index] = mutate_certificate(cert[index], rng)
+        return mutated
+    if isinstance(cert, frozenset) and cert:
+        items = sorted(cert, key=repr)
+        index = rng.randrange(len(items))
+        items[index] = mutate_certificate(items[index], rng)
+        return frozenset(items)
+    if isinstance(cert, dict) and cert:
+        key = rng.choice(sorted(cert, key=repr))
+        mutated = dict(cert)
+        mutated[key] = mutate_certificate(cert[key], rng)
+        return mutated
+    return cert
+
+
+def _evaluate(
+    scheme: ProofLabelingScheme,
+    config: Configuration,
+    certs: Mapping[int, Any],
+) -> Verdict:
+    return scheme.run(config, certificates=certs)
+
+
+def random_attack(
+    scheme: ProofLabelingScheme,
+    config: Configuration,
+    rng: random.Random | None = None,
+    trials: int = 100,
+    pool: Sequence[Any] | None = None,
+) -> AttackResult:
+    """Randomised assignment search.
+
+    Each trial perturbs the current best assignment on a random subset of
+    nodes with certificates drawn from the pool; improvements are kept
+    (a simple stochastic hill-climb).
+    """
+    rng = rng or make_rng()
+    if pool is None:
+        pool = harvest_pool(scheme, [config], rng)
+    if not pool:
+        pool = [None]
+    nodes = list(config.graph.nodes)
+    best = dict(scheme.prove(config))
+    best_verdict = _evaluate(scheme, config, best)
+    evaluations = 1
+    for _ in range(trials):
+        if best_verdict.all_accept:
+            break
+        candidate = dict(best)
+        for node in rng.sample(nodes, k=max(1, rng.randrange(1, max(2, len(nodes) // 2)))):
+            candidate[node] = rng.choice(pool)
+        verdict = _evaluate(scheme, config, candidate)
+        evaluations += 1
+        if verdict.reject_count < best_verdict.reject_count:
+            best, best_verdict = candidate, verdict
+    return AttackResult(
+        fooled=best_verdict.all_accept,
+        min_rejects=best_verdict.reject_count,
+        best_certificates=best,
+        evaluations=evaluations,
+    )
+
+
+def greedy_attack(
+    scheme: ProofLabelingScheme,
+    config: Configuration,
+    rng: random.Random | None = None,
+    pool: Sequence[Any] | None = None,
+    max_passes: int = 4,
+) -> AttackResult:
+    """Local search focused on the neighborhoods of rejecting nodes."""
+    rng = rng or make_rng()
+    if pool is None:
+        pool = harvest_pool(scheme, [config], rng)
+    if not pool:
+        pool = [None]
+    graph = config.graph
+    best = dict(scheme.prove(config))
+    best_verdict = _evaluate(scheme, config, best)
+    evaluations = 1
+    for _ in range(max_passes):
+        if best_verdict.all_accept:
+            break
+        improved = False
+        frontier: set[int] = set()
+        for rejecting in best_verdict.rejects:
+            frontier.add(rejecting)
+            frontier.update(graph.neighbors(rejecting))
+        for node in sorted(frontier):
+            for cert in pool:
+                if cert == best.get(node):
+                    continue
+                candidate = dict(best)
+                candidate[node] = cert
+                verdict = _evaluate(scheme, config, candidate)
+                evaluations += 1
+                if verdict.reject_count < best_verdict.reject_count:
+                    best, best_verdict = candidate, verdict
+                    improved = True
+                    break
+        if not improved:
+            break
+    return AttackResult(
+        fooled=best_verdict.all_accept,
+        min_rejects=best_verdict.reject_count,
+        best_certificates=best,
+        evaluations=evaluations,
+    )
+
+
+def exhaustive_attack(
+    scheme: ProofLabelingScheme,
+    config: Configuration,
+    candidates: Mapping[int, Sequence[Any]],
+    limit: int = 250_000,
+) -> AttackResult:
+    """Try every assignment from per-node candidate sets (small cases).
+
+    Raises :class:`~repro.errors.SchemeError` if the product space
+    exceeds ``limit`` — exhaustive search must be deliberate.
+    """
+    nodes = sorted(config.graph.nodes)
+    space = 1
+    for node in nodes:
+        space *= max(1, len(candidates[node]))
+        if space > limit:
+            raise SchemeError(
+                f"exhaustive space {space}+ exceeds limit {limit}"
+            )
+    best: dict[int, Any] | None = None
+    best_verdict: Verdict | None = None
+    evaluations = 0
+    for combo in itertools.product(*(candidates[node] for node in nodes)):
+        assignment = dict(zip(nodes, combo))
+        verdict = _evaluate(scheme, config, assignment)
+        evaluations += 1
+        if best_verdict is None or verdict.reject_count < best_verdict.reject_count:
+            best, best_verdict = assignment, verdict
+            if best_verdict.all_accept:
+                break
+    assert best is not None and best_verdict is not None
+    return AttackResult(
+        fooled=best_verdict.all_accept,
+        min_rejects=best_verdict.reject_count,
+        best_certificates=best,
+        evaluations=evaluations,
+    )
+
+
+def attack(
+    scheme: ProofLabelingScheme,
+    config: Configuration,
+    rng: random.Random | None = None,
+    trials: int = 100,
+    related: Iterable[Configuration] = (),
+) -> AttackResult:
+    """The combined budgeted adversary (random then greedy).
+
+    ``related`` supplies extra legal configurations whose honest
+    certificates enrich the pool — the classic way to fool weak schemes
+    is to replay certificates from *other* accepted instances.
+    """
+    rng = rng or make_rng()
+    pool = harvest_pool(scheme, [config, *related], rng)
+    result = random_attack(scheme, config, rng, trials=trials, pool=pool)
+    if not result.fooled:
+        result = result.merge(greedy_attack(scheme, config, rng, pool=pool))
+    return result

@@ -1,0 +1,173 @@
+"""The universal proof-labeling scheme.
+
+The paper's existence result: *every* decidable, constructible
+distributed language has a proof-labeling scheme — with certificates of
+size ``O(n² + n·s)`` bits (``s`` the state size).  The prover gives every
+node the same global map ``(uids, adjacency matrix, states[, weights])``;
+each node checks that (a) it agrees with all neighbors on the map, (b)
+the map is locally truthful — its own uid, state, incident edges and
+weights appear correctly — and (c) the configuration the map describes is
+in the language, decided locally by running the centralised membership
+test.
+
+On a connected graph, (a) forces one global map, (b) at every node forces
+the map to equal the actual configuration, and then (c) decides
+membership — which is the soundness argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView
+from repro.graphs.graph import Graph
+
+__all__ = ["UniversalScheme"]
+
+_MAGIC = "universal-map"
+
+
+class UniversalScheme(ProofLabelingScheme):
+    """Works for any language; certificates are the whole configuration."""
+
+    name = "universal"
+    size_bound = "O(n^2 + n*s)"
+
+    def __init__(self, language: DistributedLanguage) -> None:
+        super().__init__(language)
+        self.name = f"universal[{language.name}]"
+
+    # -- prover ---------------------------------------------------------------
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        graph = config.graph
+        order = sorted(graph.nodes, key=config.uid)
+        index = {node: i for i, node in enumerate(order)}
+        uids = tuple(config.uid(node) for node in order)
+        rows = []
+        for node in order:
+            mask = 0
+            for nb in graph.neighbors(node):
+                mask |= 1 << index[nb]
+            rows.append(mask)
+        states = tuple(config.state(node) for node in order)
+        weights: tuple[tuple[int, int, float], ...] | None = None
+        if graph.is_weighted:
+            weights = tuple(
+                (index[u], index[v], graph.weight(u, v)) for u, v in graph.edges()
+            )
+        certificate = (_MAGIC, uids, tuple(rows), states, weights)
+        return {node: certificate for node in graph.nodes}
+
+    # -- verifier -------------------------------------------------------------
+
+    def verify(self, view: LocalView) -> bool:
+        cert = view.certificate
+        if not self._well_formed(cert):
+            return False
+        _, uids, rows, states, weights = cert
+        # (a) agreement with all neighbors on the global map.
+        for glimpse in view.neighbors:
+            if glimpse.certificate != cert:
+                return False
+        # (b) local truthfulness.
+        if uids.count(view.uid) != 1:
+            return False
+        me = uids.index(view.uid)
+        claimed_neighbors = {
+            uids[j] for j in range(len(uids)) if rows[me] >> j & 1
+        }
+        if claimed_neighbors != view.neighbor_uids():
+            return False
+        if states[me] != view.state:
+            return False
+        if not self._weights_locally_truthful(view, uids, me, weights):
+            return False
+        # (c) the described configuration is in the language.
+        described = self._decode(uids, rows, states, weights)
+        if described is None:
+            return False
+        return self.language.is_member(described)
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _well_formed(cert: Any) -> bool:
+        if not (isinstance(cert, tuple) and len(cert) == 5 and cert[0] == _MAGIC):
+            return False
+        _, uids, rows, states, weights = cert
+        if not (isinstance(uids, tuple) and isinstance(rows, tuple) and isinstance(states, tuple)):
+            return False
+        if not (len(uids) == len(rows) == len(states)):
+            return False
+        if len(set(uids)) != len(uids):
+            return False
+        if weights is not None and not isinstance(weights, tuple):
+            return False
+        return True
+
+    @staticmethod
+    def _weights_locally_truthful(
+        view: LocalView,
+        uids: tuple[int, ...],
+        me: int,
+        weights: tuple[tuple[int, int, float], ...] | None,
+    ) -> bool:
+        """Claimed weights of my incident edges match ground truth."""
+        if weights is None:
+            # Unweighted map: fine iff the actual graph is unweighted,
+            # i.e. no glimpse carries a weight.
+            return all(g.weight is None for g in view.neighbors)
+        claimed: dict[int, float] = {}
+        for i, j, w in weights:
+            if i == me:
+                claimed[j] = w
+            elif j == me:
+                claimed[i] = w
+        for glimpse in view.neighbors:
+            if glimpse.weight is None:
+                return False
+            other = uids.index(glimpse.uid) if glimpse.uid in uids else -1
+            if other < 0 or claimed.get(other) != glimpse.weight:
+                return False
+        return True
+
+    def _decode(
+        self,
+        uids: tuple[int, ...],
+        rows: tuple[int, ...],
+        states: tuple[Any, ...],
+        weights: tuple[tuple[int, int, float], ...] | None,
+    ) -> Configuration | None:
+        n = len(uids)
+        edges = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                bit_ij = rows[i] >> j & 1
+                bit_ji = rows[j] >> i & 1
+                if bit_ij != bit_ji:
+                    return None  # asymmetric matrix: malformed map
+                if bit_ij:
+                    edges.append((i, j))
+        weight_map = None
+        if weights is not None:
+            weight_map = {}
+            for i, j, w in weights:
+                if not (0 <= i < n and 0 <= j < n) or i == j:
+                    return None
+                key = (min(i, j), max(i, j))
+                if key not in set(edges) or key in weight_map:
+                    return None
+                weight_map[key] = w
+            if len(weight_map) != len(edges):
+                return None
+        try:
+            graph = Graph(n, edges, weight_map)
+            labeling = Labeling({i: states[i] for i in range(n)})
+            ids = {i: uids[i] for i in range(n)}
+            return Configuration(graph=graph, labeling=labeling, ids=ids)
+        except Exception:
+            return None

@@ -1,0 +1,243 @@
+"""The one-round verification engine.
+
+This module materialises what a node *sees* during the verification round
+and executes a scheme's verifier at every node.
+
+Visibility models
+-----------------
+The paper's verifier at node ``v`` sees: ``v``'s identity, input state
+and certificate, and the **certificates** of its neighbors (exchanged in
+the single communication round), plus ground truth that the network
+itself provides — neighbor identities and incident edge weights.  It does
+*not* see neighbor input states; a scheme that needs them must echo them
+in certificates (and pay for it in proof size).  That is
+:attr:`Visibility.KKP`.  The relaxed :attr:`Visibility.FULL` model also
+reveals neighbor states; some schemes are cheaper there, and the
+framework supports both so the experiments can compare.
+
+Verification radius
+-------------------
+Radius 1 is the paper's model.  The engine also supports radius ``t > 1``
+(the natural extension studied in follow-up work): the view then carries
+the whole distance-``t`` ball — induced edges, identities, certificates,
+and states when visibility is FULL.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.labeling import Configuration
+from repro.errors import SchemeError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "BallView",
+    "LocalView",
+    "NeighborGlimpse",
+    "Verdict",
+    "Visibility",
+    "build_view",
+    "build_views",
+    "decide",
+]
+
+
+class Visibility(enum.Enum):
+    """What the verification round reveals about neighbors."""
+
+    #: Neighbor certificates only (the paper's model).
+    KKP = "kkp"
+    #: Neighbor certificates and input states.
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class NeighborGlimpse:
+    """What a node learns about one neighbor during verification.
+
+    ``state`` is ``None`` under :attr:`Visibility.KKP` (and
+    indistinguishable from a true ``None`` state — schemes needing states
+    under KKP must echo them in certificates instead).  ``weight`` is the
+    ground-truth weight of the connecting edge, or ``None`` on unweighted
+    graphs.  ``back_port`` is the port through which the *neighbor* sees
+    this edge: the neighbor reports it during the round, and the report
+    is network ground truth (not prover-supplied), so verifiers may rely
+    on it — it is what lets a node interpret port-valued neighbor states
+    under FULL visibility.
+    """
+
+    port: int
+    uid: int
+    certificate: Any
+    state: Any = None
+    weight: float | None = None
+    back_port: int = 0
+
+
+@dataclass(frozen=True)
+class BallView:
+    """Distance-``t`` ball for radius > 1 verification.
+
+    ``members`` maps uid to ``(distance, certificate, state_or_None)``;
+    ``edges`` lists uid pairs of induced edges with their weight (or
+    ``None``); ``ports`` maps each member's uid to the uids of *all* its
+    neighbors in port order — the ground truth needed to interpret
+    port-valued states of ball members (e.g. to follow pointer chains).
+    """
+
+    radius: int
+    members: dict[int, tuple[int, Any, Any]]
+    edges: tuple[tuple[int, int, float | None], ...]
+    ports: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class LocalView:
+    """Everything a node's verifier may base its output on."""
+
+    uid: int
+    degree: int
+    state: Any
+    certificate: Any
+    neighbors: tuple[NeighborGlimpse, ...]
+    ball: BallView | None = None
+
+    def neighbor_at(self, port: int) -> NeighborGlimpse:
+        if not 0 <= port < len(self.neighbors):
+            raise SchemeError(f"no port {port} in view of uid {self.uid}")
+        return self.neighbors[port]
+
+    def neighbor_by_uid(self, uid: int) -> NeighborGlimpse | None:
+        for glimpse in self.neighbors:
+            if glimpse.uid == uid:
+                return glimpse
+        return None
+
+    def neighbor_uids(self) -> frozenset[int]:
+        return frozenset(g.uid for g in self.neighbors)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of running the verifier at every node."""
+
+    accepts: frozenset[int]
+    rejects: frozenset[int]
+
+    @property
+    def all_accept(self) -> bool:
+        return not self.rejects
+
+    @property
+    def reject_count(self) -> int:
+        return len(self.rejects)
+
+    def __repr__(self) -> str:
+        return f"Verdict(accept={len(self.accepts)}, reject={len(self.rejects)})"
+
+
+def _ball_nodes(graph: Graph, center: int, radius: int) -> dict[int, int]:
+    """Nodes within ``radius`` of ``center`` with their distances."""
+    frontier = {center}
+    dist = {center: 0}
+    for d in range(1, radius + 1):
+        nxt: set[int] = set()
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if v not in dist:
+                    dist[v] = d
+                    nxt.add(v)
+        frontier = nxt
+    return dist
+
+
+def build_view(
+    config: Configuration,
+    certificates: Mapping[int, Any],
+    node: int,
+    visibility: Visibility = Visibility.KKP,
+    radius: int = 1,
+) -> LocalView:
+    """Construct the verification-round view of a single node."""
+    graph = config.graph
+    weighted = graph.is_weighted
+    glimpses = []
+    for port, nb in enumerate(graph.neighbors(node)):
+        glimpses.append(
+            NeighborGlimpse(
+                port=port,
+                uid=config.uid(nb),
+                certificate=certificates.get(nb),
+                state=config.state(nb) if visibility is Visibility.FULL else None,
+                weight=graph.weight(node, nb) if weighted else None,
+                back_port=graph.port(nb, node),
+            )
+        )
+    ball = None
+    if radius > 1:
+        dist = _ball_nodes(graph, node, radius)
+        members = {
+            config.uid(v): (
+                d,
+                certificates.get(v),
+                config.state(v) if visibility is Visibility.FULL else None,
+            )
+            for v, d in dist.items()
+        }
+        edges = tuple(
+            (config.uid(u), config.uid(v), graph.weight(u, v) if weighted else None)
+            for u, v in graph.edges()
+            if u in dist and v in dist
+        )
+        ports = {
+            config.uid(v): tuple(config.uid(nb) for nb in graph.neighbors(v))
+            for v in dist
+        }
+        ball = BallView(radius=radius, members=members, edges=edges, ports=ports)
+    return LocalView(
+        uid=config.uid(node),
+        degree=graph.degree(node),
+        state=config.state(node),
+        certificate=certificates.get(node),
+        neighbors=tuple(glimpses),
+        ball=ball,
+    )
+
+
+def build_views(
+    config: Configuration,
+    certificates: Mapping[int, Any],
+    visibility: Visibility = Visibility.KKP,
+    radius: int = 1,
+) -> dict[int, LocalView]:
+    """Views for every node (keys are node indices)."""
+    return {
+        v: build_view(config, certificates, v, visibility, radius)
+        for v in config.graph.nodes
+    }
+
+
+def decide(
+    verify,
+    config: Configuration,
+    certificates: Mapping[int, Any],
+    visibility: Visibility = Visibility.KKP,
+    radius: int = 1,
+) -> Verdict:
+    """Run ``verify(view) -> bool`` at every node and fold the verdict.
+
+    A verifier that raises is treated as rejecting at that node — a
+    malformed certificate must never crash verification into acceptance.
+    """
+    accepts: set[int] = set()
+    rejects: set[int] = set()
+    for node, view in build_views(config, certificates, visibility, radius).items():
+        try:
+            ok = bool(verify(view))
+        except Exception:
+            ok = False
+        (accepts if ok else rejects).add(node)
+    return Verdict(accepts=frozenset(accepts), rejects=frozenset(rejects))

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples: adding a self-loop, referring to a node outside the vertex
+    set, querying the weight of a missing edge.
+    """
+
+
+class EncodingError(ReproError):
+    """Raised when a value cannot be encoded to, or decoded from, bits."""
+
+
+class LabelingError(ReproError):
+    """Raised when a labeling is malformed for the operation at hand.
+
+    A labeling must assign a state to every node of the graph it is paired
+    with; partial or mis-keyed labelings raise this error.
+    """
+
+
+class LanguageError(ReproError):
+    """Raised when a distributed language cannot fulfil a request.
+
+    The most common case is asking for a canonical (legal) labeling of a
+    graph on which the language is not constructible, e.g. asking for a
+    2-coloring witness of an odd cycle.
+    """
+
+
+class SchemeError(ReproError):
+    """Raised when a proof-labeling scheme is used incorrectly.
+
+    Examples: proving a configuration that is not in the scheme's
+    language, verifying with a certificate assignment that misses nodes.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised by the LOCAL-model simulator for protocol violations.
+
+    Examples: an algorithm sending a message on a non-existent port, or a
+    run exceeding its round budget without all nodes halting.
+    """
+
+
+class IdentityError(ReproError):
+    """Raised for invalid identifier assignments (duplicates, domain
+    violations, missing nodes)."""
+
+
+class AttackError(ReproError):
+    """Raised by the lower-bound adversaries when a requested construction
+    is impossible (e.g. a splice length incompatible with the budget)."""

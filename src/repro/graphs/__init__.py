@@ -1,0 +1,62 @@
+"""Graph substrate: graph type, generators, traversal, subgraph encodings,
+and reference MST algorithms."""
+
+from repro.graphs.graph import Edge, Graph, edge_key
+from repro.graphs.generators import (
+    binary_tree,
+    caterpillar,
+    complete_bipartite,
+    complete_graph,
+    connected_gnp,
+    cycle_graph,
+    double_clique,
+    grid_graph,
+    hypercube,
+    lollipop,
+    path_graph,
+    random_regular,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.mst import boruvka_trace, is_mst, kruskal, prim
+from repro.graphs.traversal import (
+    bfs,
+    connected_components,
+    diameter,
+    is_connected,
+    is_spanning_tree_edges,
+)
+from repro.graphs.weighted import distinct_random_weights, weighted_copy
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "edge_key",
+    "bfs",
+    "binary_tree",
+    "boruvka_trace",
+    "caterpillar",
+    "complete_bipartite",
+    "complete_graph",
+    "connected_components",
+    "connected_gnp",
+    "cycle_graph",
+    "diameter",
+    "distinct_random_weights",
+    "double_clique",
+    "grid_graph",
+    "hypercube",
+    "is_connected",
+    "is_mst",
+    "is_spanning_tree_edges",
+    "kruskal",
+    "lollipop",
+    "path_graph",
+    "prim",
+    "random_regular",
+    "random_tree",
+    "star_graph",
+    "torus_graph",
+    "weighted_copy",
+]

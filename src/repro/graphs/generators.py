@@ -1,0 +1,267 @@
+"""Graph family generators used by the experiments.
+
+Every generator returns a connected :class:`~repro.graphs.graph.Graph`
+(the paper assumes connectivity).  Randomised generators take an explicit
+``random.Random``; deterministic families ignore randomness entirely.
+
+The families mirror the workloads used throughout the proof-labeling
+literature: paths and cycles (lower bounds), trees (spanning-tree
+schemes), random and regular graphs (MST and universal-scheme sweeps),
+grids/tori/hypercubes (structured topologies), plus a couple of "glued"
+families (lollipop, double clique) useful for adversarial experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable
+
+from repro.errors import GraphError
+from repro.graphs.graph import Edge, Graph, edge_key
+from repro.util.rng import make_rng
+
+__all__ = [
+    "binary_tree",
+    "caterpillar",
+    "complete_bipartite",
+    "complete_graph",
+    "connected_gnp",
+    "cycle_graph",
+    "double_clique",
+    "grid_graph",
+    "hypercube",
+    "lollipop",
+    "path_graph",
+    "random_regular",
+    "random_tree",
+    "star_graph",
+    "torus_graph",
+    "FAMILIES",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``0 - 1 - ... - n-1``."""
+    _require(n >= 1, "path needs n >= 1")
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n >= 3`` nodes."""
+    _require(n >= 3, "cycle needs n >= 3")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star_graph(n: int) -> Graph:
+    """A star: node 0 is the hub, nodes ``1..n-1`` are leaves."""
+    _require(n >= 1, "star needs n >= 1")
+    return Graph(n, [(0, i) for i in range(1, n)])
+
+
+def complete_graph(n: int) -> Graph:
+    """The clique on ``n`` nodes."""
+    _require(n >= 1, "clique needs n >= 1")
+    return Graph(n, list(itertools.combinations(range(n), 2)))
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """``K_{a,b}``: sides ``0..a-1`` and ``a..a+b-1``."""
+    _require(a >= 1 and b >= 1, "both sides must be non-empty")
+    return Graph(a + b, [(i, a + j) for i in range(a) for j in range(b)])
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid; node ``(r, c)`` is ``r * cols + c``."""
+    _require(rows >= 1 and cols >= 1, "grid needs positive dimensions")
+    edges: list[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph(rows * cols, edges)
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` torus (grid with wrap-around edges)."""
+    _require(rows >= 3 and cols >= 3, "torus needs dimensions >= 3")
+    edges: set[Edge] = set()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            edges.add(edge_key(v, right))
+            edges.add(edge_key(v, down))
+    return Graph(rows * cols, sorted(edges))
+
+
+def hypercube(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube on ``2^dim`` nodes."""
+    _require(dim >= 0, "dimension must be non-negative")
+    n = 1 << dim
+    edges = [
+        (v, v ^ (1 << bit))
+        for v in range(n)
+        for bit in range(dim)
+        if v < v ^ (1 << bit)
+    ]
+    return Graph(n, edges)
+
+
+def binary_tree(n: int) -> Graph:
+    """The first ``n`` nodes of the complete binary heap-shaped tree."""
+    _require(n >= 1, "tree needs n >= 1")
+    return Graph(n, [((i - 1) // 2, i) for i in range(1, n)])
+
+
+def random_tree(n: int, rng: random.Random | None = None) -> Graph:
+    """A uniform random labeled tree via a random Prüfer sequence."""
+    _require(n >= 1, "tree needs n >= 1")
+    rng = rng or make_rng()
+    if n <= 2:
+        return path_graph(n)
+    sequence = [rng.randrange(n) for _ in range(n - 2)]
+    return _tree_from_pruefer(sequence, n)
+
+
+def _tree_from_pruefer(sequence: list[int], n: int) -> Graph:
+    degree = [1] * n
+    for v in sequence:
+        degree[v] += 1
+    edges: list[Edge] = []
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in sequence:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, v))
+        degree[leaf] -= 1
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    w = heapq.heappop(leaves)
+    edges.append((u, w))
+    return Graph(n, edges)
+
+
+def caterpillar(spine: int, legs_per_node: int = 1) -> Graph:
+    """A caterpillar: a path spine with ``legs_per_node`` leaves each."""
+    _require(spine >= 1 and legs_per_node >= 0, "invalid caterpillar shape")
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    next_node = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((s, next_node))
+            next_node += 1
+    return Graph(next_node, edges)
+
+
+def lollipop(clique_size: int, tail: int) -> Graph:
+    """A clique with a path tail attached (classic hard instance shape)."""
+    _require(clique_size >= 1 and tail >= 0, "invalid lollipop shape")
+    edges = list(itertools.combinations(range(clique_size), 2))
+    prev = clique_size - 1
+    for i in range(tail):
+        edges.append((prev, clique_size + i))
+        prev = clique_size + i
+    return Graph(clique_size + tail, edges)
+
+
+def double_clique(size: int) -> Graph:
+    """Two ``size``-cliques joined by a single bridge edge."""
+    _require(size >= 1, "clique size must be positive")
+    left = list(itertools.combinations(range(size), 2))
+    right = [(u + size, v + size) for u, v in left]
+    bridge = [(size - 1, size)]
+    return Graph(2 * size, left + right + bridge)
+
+
+def connected_gnp(n: int, p: float, rng: random.Random | None = None) -> Graph:
+    """An Erdős–Rényi graph conditioned on connectivity.
+
+    A uniform spanning tree backbone is added first, then every remaining
+    pair independently with probability ``p``; this guarantees
+    connectivity for any ``p`` while matching G(n, p) closely for
+    ``p`` above the connectivity threshold.
+    """
+    _require(n >= 1, "graph needs n >= 1")
+    _require(0.0 <= p <= 1.0, "p must be a probability")
+    rng = rng or make_rng()
+    backbone = set(random_tree(n, rng).edges())
+    edges = set(backbone)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if (u, v) not in edges and rng.random() < p:
+                edges.add((u, v))
+    return Graph(n, sorted(edges))
+
+
+def random_regular(n: int, degree: int, rng: random.Random | None = None) -> Graph:
+    """A random ``degree``-regular connected simple graph (pairing model).
+
+    Retries the pairing until it produces a simple connected graph; for
+    the small degrees used in the experiments this terminates quickly.
+    """
+    _require(degree >= 2, "degree must be at least 2 for connectivity")
+    _require(n > degree, "need n > degree")
+    _require(n * degree % 2 == 0, "n * degree must be even")
+    rng = rng or make_rng()
+    for _attempt in range(10_000):
+        graph = _try_pairing(n, degree, rng)
+        if graph is not None and _is_connected(graph):
+            return graph
+    raise GraphError(f"failed to sample a {degree}-regular graph on {n} nodes")
+
+
+def _try_pairing(n: int, degree: int, rng: random.Random) -> Graph | None:
+    stubs = [v for v in range(n) for _ in range(degree)]
+    rng.shuffle(stubs)
+    edges: set[Edge] = set()
+    for i in range(0, len(stubs), 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u == v:
+            return None
+        key = edge_key(u, v)
+        if key in edges:
+            return None
+        edges.add(key)
+    return Graph(n, sorted(edges))
+
+
+def _is_connected(graph: Graph) -> bool:
+    if graph.n == 0:
+        return True
+    seen = {0}
+    stack = [0]
+    while stack:
+        u = stack.pop()
+        for v in graph.neighbors(u):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return len(seen) == graph.n
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise GraphError(message)
+
+
+#: Named graph families for parameter sweeps: ``name -> factory(n, rng)``.
+FAMILIES: dict[str, Callable[[int, random.Random], Graph]] = {
+    "path": lambda n, rng: path_graph(n),
+    "cycle": lambda n, rng: cycle_graph(max(3, n)),
+    "star": lambda n, rng: star_graph(n),
+    "binary_tree": lambda n, rng: binary_tree(n),
+    "random_tree": random_tree,
+    "gnp_sparse": lambda n, rng: connected_gnp(n, min(1.0, 2.0 / max(1, n)), rng),
+    "gnp_dense": lambda n, rng: connected_gnp(n, 0.3, rng),
+    "regular3": lambda n, rng: random_regular(n + (n % 2), 3, rng),
+    "grid": lambda n, rng: grid_graph(max(1, int(n ** 0.5)), max(1, int(n ** 0.5))),
+}

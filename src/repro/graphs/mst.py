@@ -1,0 +1,228 @@
+"""Reference minimum-spanning-tree algorithms with Borůvka phase traces.
+
+Three classic constructions are implemented over
+:class:`~repro.graphs.graph.Graph`:
+
+* :func:`kruskal` — sort edges, union-find;
+* :func:`prim` — grow a tree from a root with a heap;
+* :func:`boruvka_trace` — the *phase-synchronous parallel Borůvka*
+  algorithm the paper's MST proof-labeling scheme certifies: every phase,
+  each fragment selects its minimum-weight outgoing edge, then fragments
+  merge along selected edges.  The full trace (fragment membership and
+  selected edge per fragment, per phase) is returned, because the MST
+  prover encodes exactly that trace into certificates.
+
+Weight ties are broken by the canonical key ``(w, u, v)`` (see
+:meth:`Graph.weight_key`), which makes every weight assignment behave as
+a distinct one and keeps the MST unique — the uniqueness the paper
+assumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graphs.graph import Edge, Graph
+from repro.graphs.traversal import is_connected, is_spanning_tree_edges
+
+__all__ = [
+    "BoruvkaPhase",
+    "BoruvkaTrace",
+    "UnionFind",
+    "boruvka_trace",
+    "is_mst",
+    "kruskal",
+    "mst_weight",
+    "prim",
+]
+
+
+class UnionFind:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self.components = n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the classes of ``a`` and ``b``; False if already merged."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self.components -= 1
+        return True
+
+    def groups(self) -> dict[int, set[int]]:
+        """Mapping from representative to its class."""
+        out: dict[int, set[int]] = {}
+        for x in range(len(self._parent)):
+            out.setdefault(self.find(x), set()).add(x)
+        return out
+
+
+def _require_weighted_connected(graph: Graph) -> None:
+    if not graph.is_weighted:
+        raise GraphError("MST requires a weighted graph")
+    if not is_connected(graph):
+        raise GraphError("MST requires a connected graph")
+
+
+def kruskal(graph: Graph) -> frozenset[Edge]:
+    """The unique MST under canonical tie-breaking, via Kruskal."""
+    _require_weighted_connected(graph)
+    uf = UnionFind(graph.n)
+    tree: set[Edge] = set()
+    for u, v in sorted(graph.edges(), key=lambda e: graph.weight_key(*e)):
+        if uf.union(u, v):
+            tree.add((u, v))
+        if len(tree) == graph.n - 1:
+            break
+    return frozenset(tree)
+
+
+def prim(graph: Graph, root: int = 0) -> frozenset[Edge]:
+    """The unique MST under canonical tie-breaking, via Prim from ``root``."""
+    _require_weighted_connected(graph)
+    if graph.n == 1:
+        return frozenset()
+    in_tree = {root}
+    tree: set[Edge] = set()
+    heap: list[tuple[tuple[float, int, int], int, int]] = []
+    for v in graph.neighbors(root):
+        heapq.heappush(heap, (graph.weight_key(root, v), root, v))
+    while heap and len(in_tree) < graph.n:
+        _, u, v = heapq.heappop(heap)
+        if v in in_tree:
+            continue
+        in_tree.add(v)
+        tree.add((u, v) if u < v else (v, u))
+        for w in graph.neighbors(v):
+            if w not in in_tree:
+                heapq.heappush(heap, (graph.weight_key(v, w), v, w))
+    return frozenset(tree)
+
+
+def mst_weight(graph: Graph, edges: frozenset[Edge] | set[Edge] | None = None) -> float:
+    """Total weight of ``edges`` (defaults to the MST)."""
+    chosen = kruskal(graph) if edges is None else edges
+    return sum(graph.weight(u, v) for u, v in chosen)
+
+
+def is_mst(graph: Graph, edges: set[Edge] | frozenset[Edge]) -> bool:
+    """Is ``edges`` exactly the canonical-tie-break MST of ``graph``?
+
+    With the canonical key the MST is unique, so this is a set equality
+    after a spanning-tree sanity check.
+    """
+    if not is_spanning_tree_edges(graph, edges):
+        return False
+    return frozenset(edges) == kruskal(graph)
+
+
+@dataclass(frozen=True)
+class BoruvkaPhase:
+    """One phase of parallel Borůvka.
+
+    Attributes
+    ----------
+    fragment:
+        Node -> fragment representative (a node index; the minimum index
+        of the fragment, for determinism) *at the start* of the phase.
+    moe:
+        Fragment representative -> the minimum-weight outgoing edge the
+        fragment selects in this phase (canonical edge), for every
+        fragment (each phase runs until the graph has one fragment, so
+        every recorded fragment selects an edge).
+    """
+
+    fragment: dict[int, int]
+    moe: dict[int, Edge]
+
+    def fragments(self) -> dict[int, set[int]]:
+        """Representative -> member set."""
+        members: dict[int, set[int]] = {}
+        for node, rep in self.fragment.items():
+            members.setdefault(rep, set()).add(node)
+        return members
+
+
+@dataclass(frozen=True)
+class BoruvkaTrace:
+    """Full run of phase-synchronous parallel Borůvka.
+
+    ``phases[i]`` describes phase ``i`` (0-based); ``final_fragment`` is
+    the single-fragment membership map after the last merge;
+    ``mst_edges`` is the union of all selected edges — the MST.
+    """
+
+    phases: tuple[BoruvkaPhase, ...]
+    final_fragment: dict[int, int]
+    mst_edges: frozenset[Edge]
+
+    @property
+    def phase_count(self) -> int:
+        return len(self.phases)
+
+
+def boruvka_trace(graph: Graph) -> BoruvkaTrace:
+    """Run parallel Borůvka and record the complete phase trace.
+
+    Each phase: every fragment picks its minimum outgoing edge under the
+    canonical key; all picked edges join the MST; fragments merge along
+    them.  The fragment count at least halves every phase, so there are
+    at most ``ceil(log2 n)`` phases.
+    """
+    _require_weighted_connected(graph)
+    n = graph.n
+    uf = UnionFind(n)
+    mst: set[Edge] = set()
+    phases: list[BoruvkaPhase] = []
+
+    def current_fragments() -> dict[int, int]:
+        # Representative = minimum node index of the class, deterministic
+        # across union orders.
+        rep_of_class: dict[int, int] = {}
+        for node in range(n):
+            root = uf.find(node)
+            rep_of_class[root] = min(rep_of_class.get(root, node), node)
+        return {node: rep_of_class[uf.find(node)] for node in range(n)}
+
+    while uf.components > 1:
+        fragment = current_fragments()
+        best: dict[int, Edge] = {}
+        for u, v in graph.edges():
+            fu, fv = fragment[u], fragment[v]
+            if fu == fv:
+                continue
+            key = graph.weight_key(u, v)
+            for frag in (fu, fv):
+                incumbent = best.get(frag)
+                if incumbent is None or key < graph.weight_key(*incumbent):
+                    best[frag] = (u, v)
+        if len(best) != len(set(fragment.values())):
+            raise GraphError("disconnected fragment found during Boruvka")
+        phases.append(BoruvkaPhase(fragment=fragment, moe=dict(best)))
+        for u, v in best.values():
+            uf.union(u, v)
+            mst.add((u, v))
+
+    return BoruvkaTrace(
+        phases=tuple(phases),
+        final_fragment=current_fragments(),
+        mst_edges=frozenset(mst),
+    )

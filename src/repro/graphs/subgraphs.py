@@ -1,0 +1,186 @@
+"""Local encodings of subgraphs: parent pointers and adjacency lists.
+
+Distributed languages about trees and forests encode a subgraph in the
+nodes' input states.  Two encodings recur throughout the paper and this
+library:
+
+* **pointer encoding** — each node stores either ``None`` (a root) or the
+  *node index* of one neighbor, its parent; the encoded subgraph is the
+  set of (node, parent) edges.  This is the encoding of the classic
+  ``Θ(log n)`` spanning-tree scheme.
+* **list encoding** — each node stores the set of neighbors it considers
+  tree-adjacent; the encoding is *consistent* when ``u ∈ list(v) ⟺
+  v ∈ list(u)``, and the encoded subgraph is the set of mutually listed
+  edges.
+
+This module validates and converts between the two, and answers the
+structural questions (forest? spanning tree?) that language membership
+tests need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import LabelingError
+from repro.graphs.graph import Edge, Graph, edge_key
+from repro.graphs.traversal import bfs, is_forest, is_spanning_tree_edges
+
+__all__ = [
+    "edges_from_lists",
+    "edges_from_pointers",
+    "lists_from_edges",
+    "lists_are_consistent",
+    "pointer_structure",
+    "pointers_from_tree",
+    "pointers_are_well_formed",
+    "pointers_form_spanning_tree",
+    "PointerStructure",
+]
+
+
+# ---------------------------------------------------------------------------
+# Pointer encoding.
+# ---------------------------------------------------------------------------
+
+
+def pointers_are_well_formed(graph: Graph, pointers: Mapping[int, int | None]) -> bool:
+    """Every node maps to ``None`` or to one of its graph neighbors."""
+    for v in graph.nodes:
+        if v not in pointers:
+            return False
+        target = pointers[v]
+        if target is not None and not graph.has_edge(v, target):
+            return False
+    return True
+
+
+def edges_from_pointers(pointers: Mapping[int, int | None]) -> set[Edge]:
+    """The undirected edge set ``{(v, pointers[v])}`` over non-roots."""
+    return {
+        edge_key(v, t) for v, t in pointers.items() if t is not None
+    }
+
+
+class PointerStructure:
+    """Structural summary of a pointer labeling.
+
+    Attributes
+    ----------
+    roots:
+        Nodes with a ``None`` pointer.
+    on_cycle:
+        Nodes lying on a directed pointer cycle.
+    depth:
+        For nodes that reach a root by following pointers, the number of
+        hops to that root; nodes that instead run into a cycle are absent.
+    """
+
+    def __init__(self, pointers: Mapping[int, int | None]) -> None:
+        self.roots: set[int] = {v for v, t in pointers.items() if t is None}
+        self.depth: dict[int, int] = {r: 0 for r in self.roots}
+        self.on_cycle: set[int] = set()
+        for start in pointers:
+            if start in self.depth or start in self.on_cycle:
+                continue
+            path: list[int] = []
+            seen_pos: dict[int, int] = {}
+            v: int | None = start
+            while True:
+                if v is None or v in self.depth:
+                    base = 0 if v is None else self.depth[v]
+                    for i, node in enumerate(reversed(path)):
+                        self.depth[node] = base + i + 1
+                    break
+                if v in self.on_cycle:
+                    # Path feeds into a known cycle: these nodes never
+                    # reach a root; mark the tail as cycle-feeding (they
+                    # are neither rooted nor on the cycle, so just stop).
+                    break
+                if v in seen_pos:
+                    cycle = path[seen_pos[v]:]
+                    self.on_cycle.update(cycle)
+                    break
+                seen_pos[v] = len(path)
+                path.append(v)
+                v = pointers[v]
+
+    @property
+    def is_acyclic(self) -> bool:
+        return not self.on_cycle
+
+
+def pointer_structure(pointers: Mapping[int, int | None]) -> PointerStructure:
+    """Analyse the functional graph of a pointer labeling."""
+    return PointerStructure(pointers)
+
+
+def pointers_form_spanning_tree(graph: Graph, pointers: Mapping[int, int | None]) -> bool:
+    """Do the pointers encode a spanning tree of ``graph``?
+
+    Requires well-formed pointers, exactly one root, no pointer cycles,
+    and — which then follows — that every node reaches the root.
+    """
+    if not pointers_are_well_formed(graph, pointers):
+        return False
+    structure = pointer_structure(pointers)
+    if len(structure.roots) != 1 or structure.on_cycle:
+        return False
+    return len(structure.depth) == graph.n
+
+
+def pointers_from_tree(graph: Graph, tree_edges: Iterable[Edge], root: int) -> dict[int, int | None]:
+    """Orient a spanning tree's edges toward ``root`` as parent pointers."""
+    edges = {edge_key(u, v) for u, v in tree_edges}
+    if not is_spanning_tree_edges(graph, edges):
+        raise LabelingError("edge set is not a spanning tree of the graph")
+    tree = Graph(graph.n, sorted(edges))
+    _, parent = bfs(tree, root)
+    return {v: parent[v] for v in graph.nodes}
+
+
+# ---------------------------------------------------------------------------
+# List encoding.
+# ---------------------------------------------------------------------------
+
+
+def lists_are_consistent(graph: Graph, lists: Mapping[int, frozenset[int] | set[int]]) -> bool:
+    """Well-formed and symmetric: listed nodes are neighbors, mutually."""
+    for v in graph.nodes:
+        if v not in lists:
+            return False
+        for u in lists[v]:
+            if not graph.has_edge(u, v):
+                return False
+            if v not in lists.get(u, ()):  # asymmetric listing
+                return False
+    return True
+
+
+def edges_from_lists(lists: Mapping[int, frozenset[int] | set[int]]) -> set[Edge]:
+    """Edges listed by *both* endpoints."""
+    edges: set[Edge] = set()
+    for v, listed in lists.items():
+        for u in listed:
+            if v in lists.get(u, ()):
+                edges.add(edge_key(u, v))
+    return edges
+
+
+def lists_from_edges(graph: Graph, edges: Iterable[Edge]) -> dict[int, frozenset[int]]:
+    """The list encoding of an edge set (must be edges of the graph)."""
+    listed: dict[int, set[int]] = {v: set() for v in graph.nodes}
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            raise LabelingError(f"({u}, {v}) is not an edge of the graph")
+        listed[u].add(v)
+        listed[v].add(u)
+    return {v: frozenset(s) for v, s in listed.items()}
+
+
+def forest_from_lists(graph: Graph, lists: Mapping[int, frozenset[int]]) -> set[Edge] | None:
+    """The encoded edge set if it is a consistent forest, else ``None``."""
+    if not lists_are_consistent(graph, lists):
+        return None
+    edges = edges_from_lists(lists)
+    return edges if is_forest(graph.n, edges) else None

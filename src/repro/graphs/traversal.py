@@ -1,0 +1,142 @@
+"""Graph traversal and structural queries.
+
+Plain sequential algorithms over :class:`~repro.graphs.graph.Graph`:
+breadth-first search, connectivity, diameter, spanning forests.  These
+are the *centralised* reference routines — provers and language
+membership tests lean on them; their distributed counterparts live in
+:mod:`repro.algorithms`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.errors import GraphError
+from repro.graphs.graph import Edge, Graph, edge_key
+
+__all__ = [
+    "bfs",
+    "bfs_tree_edges",
+    "connected_components",
+    "diameter",
+    "eccentricity",
+    "is_connected",
+    "is_forest",
+    "is_spanning_tree_edges",
+    "spanning_forest",
+    "spanning_tree_parents",
+]
+
+
+def bfs(graph: Graph, root: int) -> tuple[dict[int, int], dict[int, int | None]]:
+    """Breadth-first search from ``root``.
+
+    Returns ``(dist, parent)`` dictionaries covering exactly the nodes
+    reachable from the root; ``parent[root] is None``.
+    """
+    dist: dict[int, int] = {root: 0}
+    parent: dict[int, int | None] = {root: None}
+    queue: deque[int] = deque([root])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                parent[v] = u
+                queue.append(v)
+    return dist, parent
+
+
+def bfs_tree_edges(graph: Graph, root: int) -> set[Edge]:
+    """Edge set of a BFS tree rooted at ``root`` (reachable part)."""
+    _, parent = bfs(graph, root)
+    return {edge_key(v, p) for v, p in parent.items() if p is not None}
+
+
+def connected_components(graph: Graph) -> list[set[int]]:
+    """All connected components, each as a node set, sorted by min node."""
+    seen: set[int] = set()
+    components: list[set[int]] = []
+    for start in graph.nodes:
+        if start in seen:
+            continue
+        dist, _ = bfs(graph, start)
+        component = set(dist)
+        seen |= component
+        components.append(component)
+    components.sort(key=min)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    if graph.n == 0:
+        return True
+    dist, _ = bfs(graph, 0)
+    return len(dist) == graph.n
+
+
+def eccentricity(graph: Graph, node: int) -> int:
+    """Largest BFS distance from ``node``; raises if disconnected."""
+    dist, _ = bfs(graph, node)
+    if len(dist) != graph.n:
+        raise GraphError("eccentricity undefined on a disconnected graph")
+    return max(dist.values())
+
+
+def diameter(graph: Graph) -> int:
+    """Exact diameter by running BFS from every node (fine at this scale)."""
+    if graph.n == 0:
+        return 0
+    return max(eccentricity(graph, v) for v in graph.nodes)
+
+
+def is_forest(n: int, edges: Iterable[Edge]) -> bool:
+    """Is the edge set acyclic over nodes ``0..n-1``?  (Union-find.)"""
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            return False
+        parent[ru] = rv
+    return True
+
+
+def is_spanning_tree_edges(graph: Graph, edges: Iterable[Edge]) -> bool:
+    """Do the edges form a spanning tree of ``graph``?
+
+    Checks that every edge exists in the graph, that there are exactly
+    ``n - 1`` of them, and that they connect all nodes.
+    """
+    edge_set = {edge_key(u, v) for u, v in edges}
+    if any(not graph.has_edge(u, v) for u, v in edge_set):
+        return False
+    if len(edge_set) != graph.n - 1:
+        return False
+    if graph.n <= 1:
+        return True
+    sub = Graph(graph.n, sorted(edge_set))
+    return is_connected(sub)
+
+
+def spanning_forest(graph: Graph) -> set[Edge]:
+    """A BFS spanning forest (one tree per component)."""
+    forest: set[Edge] = set()
+    for component in connected_components(graph):
+        forest |= bfs_tree_edges(graph, min(component))
+    return forest
+
+
+def spanning_tree_parents(graph: Graph, root: int = 0) -> dict[int, int | None]:
+    """Parent map of a BFS spanning tree; raises if disconnected."""
+    dist, parent = bfs(graph, root)
+    if len(dist) != graph.n:
+        raise GraphError("graph is disconnected; no spanning tree exists")
+    return parent

@@ -1,0 +1,67 @@
+"""Edge-weight assignments for MST experiments.
+
+The paper's MST results assume distinct edge weights (so the MST is
+unique).  These helpers produce weight assignments with that property,
+plus deliberately degenerate ones for testing the tie-breaking path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import GraphError
+from repro.graphs.graph import Edge, Graph
+from repro.util.rng import make_rng
+
+__all__ = [
+    "distinct_random_weights",
+    "index_weights",
+    "unit_weights",
+    "weighted_copy",
+]
+
+
+def distinct_random_weights(
+    graph: Graph,
+    rng: random.Random | None = None,
+    low: int = 1,
+    high: int | None = None,
+) -> dict[Edge, int]:
+    """Distinct integer weights sampled uniformly from ``[low, high]``.
+
+    ``high`` defaults to ``low + 10 * m`` so the sample space is always
+    comfortably larger than the number of edges.
+    """
+    rng = rng or make_rng()
+    m = graph.num_edges
+    if high is None:
+        high = low + 10 * max(1, m)
+    if high - low + 1 < m:
+        raise GraphError(f"weight range [{low}, {high}] too small for {m} edges")
+    values = rng.sample(range(low, high + 1), m)
+    return dict(zip(graph.edges(), values))
+
+
+def index_weights(graph: Graph, shuffle: random.Random | None = None) -> dict[Edge, int]:
+    """Weights ``1..m`` in (optionally shuffled) edge order — always distinct."""
+    values = list(range(1, graph.num_edges + 1))
+    if shuffle is not None:
+        shuffle.shuffle(values)
+    return dict(zip(graph.edges(), values))
+
+
+def unit_weights(graph: Graph) -> dict[Edge, int]:
+    """All-ones weights (maximally tied; exercises tie-breaking)."""
+    return {e: 1 for e in graph.edges()}
+
+
+def weighted_copy(
+    graph: Graph,
+    rng: random.Random | None = None,
+    distinct: bool = True,
+) -> Graph:
+    """Convenience: return ``graph`` with fresh random weights attached."""
+    if distinct:
+        return graph.with_weights(distinct_random_weights(graph, rng))
+    rng = rng or make_rng()
+    return graph.with_weights({e: rng.randint(1, 10) for e in graph.edges()})

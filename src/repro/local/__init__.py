@@ -1,0 +1,15 @@
+"""Synchronous LOCAL-model simulator: networks, algorithms, round runner."""
+
+from repro.local.algorithm import Halted, NodeContext, SynchronousAlgorithm, broadcast
+from repro.local.network import Network
+from repro.local.runner import RunResult, run_synchronous
+
+__all__ = [
+    "Halted",
+    "Network",
+    "NodeContext",
+    "RunResult",
+    "SynchronousAlgorithm",
+    "broadcast",
+    "run_synchronous",
+]

@@ -1,0 +1,97 @@
+"""Algorithm interface for the synchronous LOCAL model.
+
+An algorithm runs at every node of a network in synchronous rounds.  In
+each round every active node first *sends* one message per port (or
+nothing), then *receives* the messages its neighbors sent it, and updates
+its state; a node finishes by returning :class:`Halted` with its output.
+
+Nodes know: their unique identifier, their degree, their input state, and
+— the standard assumption the paper makes for markers — the number of
+nodes ``n`` (any polynomial upper bound would do; the simulator passes
+the exact value).  Everything else must be learned through messages.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["Halted", "NodeContext", "SynchronousAlgorithm", "broadcast"]
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """Immutable per-node knowledge available in every round.
+
+    Attributes
+    ----------
+    node:
+        The simulator's node index.  Algorithms must *not* use it for
+        protocol decisions (it is not part of the model); it exists so
+        outputs can be keyed.  Use ``uid`` instead.
+    uid:
+        The node's unique identifier.
+    degree:
+        Number of incident ports (``0..degree-1``).
+    input:
+        The node's input state (its part of the configuration labeling).
+    n:
+        Number of nodes in the network (the "n is known" assumption).
+    port_weights:
+        For weighted networks, the weight of the edge behind each port;
+        ``None`` otherwise.  Edge weights are ground truth in the model.
+    """
+
+    node: int
+    uid: int
+    degree: int
+    input: Any
+    n: int
+    port_weights: tuple[float, ...] | None = None
+
+
+@dataclass(frozen=True)
+class Halted:
+    """Returned from :meth:`SynchronousAlgorithm.receive` to finish."""
+
+    output: Any
+
+
+def broadcast(message: Any, degree: int) -> dict[int, Any]:
+    """Convenience: the same message on every port."""
+    return {port: message for port in range(degree)}
+
+
+class SynchronousAlgorithm(ABC):
+    """A synchronous message-passing algorithm.
+
+    Subclasses implement the three hooks below.  State objects are opaque
+    to the simulator; any value works.  Message *size* is accounted by the
+    runner with the canonical bit codec, so messages should be built from
+    codec-friendly values (ints, strings, tuples, ...).
+    """
+
+    name: str = "algorithm"
+
+    @abstractmethod
+    def init_state(self, ctx: NodeContext) -> Any:
+        """State of a node before round 0."""
+
+    @abstractmethod
+    def send(self, ctx: NodeContext, state: Any, round_index: int) -> Mapping[int, Any]:
+        """Messages to emit this round, keyed by port (omit = silence)."""
+
+    @abstractmethod
+    def receive(
+        self,
+        ctx: NodeContext,
+        state: Any,
+        inbox: Mapping[int, Any],
+        round_index: int,
+    ) -> Any:
+        """Consume this round's inbox; return new state or :class:`Halted`.
+
+        ``inbox`` maps each port to the message received through it this
+        round; silent or halted neighbors are simply absent.
+        """

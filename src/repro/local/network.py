@@ -1,0 +1,70 @@
+"""Network object binding a graph to identities and input states."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph
+from repro.local.algorithm import NodeContext
+from repro.util.idspace import contiguous_ids, validate_ids
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A graph with node identifiers and per-node inputs.
+
+    This is the object the LOCAL simulator executes on.  ``ids`` default
+    to the contiguous assignment; ``inputs`` default to ``None`` at every
+    node.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        ids: Mapping[int, int] | None = None,
+        inputs: Mapping[int, Any] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.ids: dict[int, int] = (
+            dict(ids) if ids is not None else contiguous_ids(list(graph.nodes))
+        )
+        validate_ids(list(graph.nodes), self.ids)
+        if inputs is None:
+            self.inputs: dict[int, Any] = {v: None for v in graph.nodes}
+        else:
+            missing = [v for v in graph.nodes if v not in inputs]
+            if missing:
+                raise SimulationError(f"inputs missing for nodes {missing[:5]}")
+            self.inputs = {v: inputs[v] for v in graph.nodes}
+        self._uid_to_node = {uid: node for node, uid in self.ids.items()}
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def node_of_uid(self, uid: int) -> int:
+        try:
+            return self._uid_to_node[uid]
+        except KeyError:
+            raise SimulationError(f"no node has uid {uid}") from None
+
+    def context(self, node: int) -> NodeContext:
+        """The immutable knowledge handed to the algorithm at ``node``."""
+        weights = None
+        if self.graph.is_weighted:
+            weights = tuple(
+                self.graph.weight(node, nb) for nb in self.graph.neighbors(node)
+            )
+        return NodeContext(
+            node=node,
+            uid=self.ids[node],
+            degree=self.graph.degree(node),
+            input=self.inputs[node],
+            n=self.graph.n,
+            port_weights=weights,
+        )
+
+    def contexts(self) -> dict[int, NodeContext]:
+        return {v: self.context(v) for v in self.graph.nodes}

@@ -1,0 +1,110 @@
+"""Synchronous round executor for the LOCAL model.
+
+Runs a :class:`~repro.local.algorithm.SynchronousAlgorithm` on a
+:class:`~repro.local.network.Network` until every node halts (or a round
+budget runs out, which raises — silent non-termination is a bug, not a
+result).  Message counts and total message *bits* (canonical codec) are
+accounted so experiments can report communication costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.local.algorithm import Halted, SynchronousAlgorithm
+from repro.local.network import Network
+from repro.util.bits import obj_bit_size
+
+__all__ = ["RunResult", "run_synchronous"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a synchronous run.
+
+    ``outputs`` holds each node's :class:`Halted` payload; ``states`` the
+    final (pre-halt) states, useful for debugging; message statistics
+    cover the whole run.
+    """
+
+    outputs: dict[int, Any]
+    rounds: int
+    message_count: int
+    message_bits: int
+    states: dict[int, Any] = field(default_factory=dict)
+
+    def output_by_uid(self, network: Network) -> dict[int, Any]:
+        """Outputs re-keyed by node identifier."""
+        return {network.ids[v]: out for v, out in self.outputs.items()}
+
+
+def run_synchronous(
+    network: Network,
+    algorithm: SynchronousAlgorithm,
+    max_rounds: int = 10_000,
+    count_bits: bool = True,
+) -> RunResult:
+    """Execute ``algorithm`` on ``network`` to completion.
+
+    Semantics of one round: all active nodes produce their messages from
+    the *current* state; messages are delivered simultaneously; all active
+    nodes then update their state from their inbox.  A node that returns
+    :class:`Halted` stops sending and receiving from the next round on.
+
+    Raises :class:`~repro.errors.SimulationError` if any node sends on an
+    invalid port or if the round budget is exceeded.
+    """
+    graph = network.graph
+    contexts = network.contexts()
+    states: dict[int, Any] = {
+        v: algorithm.init_state(contexts[v]) for v in graph.nodes
+    }
+    active: set[int] = set(graph.nodes)
+    outputs: dict[int, Any] = {}
+    message_count = 0
+    message_bits = 0
+
+    rounds = 0
+    while active:
+        if rounds >= max_rounds:
+            raise SimulationError(
+                f"{algorithm.name}: {len(active)} nodes still active after "
+                f"{max_rounds} rounds"
+            )
+        # Send phase.
+        inboxes: dict[int, dict[int, Any]] = {v: {} for v in graph.nodes}
+        for v in active:
+            ctx = contexts[v]
+            outgoing = algorithm.send(ctx, states[v], rounds)
+            for port, message in outgoing.items():
+                if not 0 <= port < ctx.degree:
+                    raise SimulationError(
+                        f"{algorithm.name}: node {v} sent on invalid port {port}"
+                    )
+                if message is None:
+                    continue
+                target = graph.neighbor_at(v, port)
+                back_port = graph.port(target, v)
+                inboxes[target][back_port] = message
+                message_count += 1
+                if count_bits:
+                    message_bits += obj_bit_size(message)
+        # Receive phase.
+        for v in sorted(active):
+            result = algorithm.receive(contexts[v], states[v], inboxes[v], rounds)
+            if isinstance(result, Halted):
+                outputs[v] = result.output
+                active.discard(v)
+            else:
+                states[v] = result
+        rounds += 1
+
+    return RunResult(
+        outputs=outputs,
+        rounds=rounds,
+        message_count=message_count,
+        message_bits=message_bits,
+        states=states,
+    )

@@ -1,0 +1,30 @@
+"""Executable lower-bound machinery: truncated schemes, cut-and-plug
+adversaries, and exhaustive replay checks."""
+
+from repro.lowerbounds.bruteforce import (
+    all_legal_configurations,
+    exhaustive_soundness_check,
+    per_node_candidates,
+)
+from repro.lowerbounds.crossing import (
+    FoolingResult,
+    completeness_failure_depth,
+    minimum_surviving_budget,
+    pointer_cycle_attack,
+    signature_collision_profile,
+    two_root_path_attack,
+)
+from repro.lowerbounds.truncated import TruncatedSpanningTreeScheme
+
+__all__ = [
+    "FoolingResult",
+    "TruncatedSpanningTreeScheme",
+    "all_legal_configurations",
+    "completeness_failure_depth",
+    "exhaustive_soundness_check",
+    "minimum_surviving_budget",
+    "per_node_candidates",
+    "pointer_cycle_attack",
+    "signature_collision_profile",
+    "two_root_path_attack",
+]

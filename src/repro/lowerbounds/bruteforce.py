@@ -1,0 +1,115 @@
+"""Exhaustive soundness verification on tiny instances.
+
+Complementing the constructive adversaries of
+:mod:`repro.lowerbounds.crossing`, this module checks soundness by brute
+force where that is feasible: enumerate, for each node, every certificate
+the scheme ever emits on *any* legal labeling of the same graph (plus a
+few mutants), and try the full product of assignments.  On a 4-cycle
+that is thousands of assignments — cheap — and a scheme that survives it
+has no "replayed certificate" counterexample at that size at all.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable
+
+from repro.core.labeling import Configuration
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.soundness import AttackResult, exhaustive_attack, mutate_certificate
+from repro.graphs.graph import Graph
+from repro.util.bits import encode_obj
+from repro.util.rng import make_rng
+
+__all__ = [
+    "all_legal_configurations",
+    "exhaustive_soundness_check",
+    "per_node_candidates",
+]
+
+
+def all_legal_configurations(
+    language,
+    graph: Graph,
+    ids: dict[int, int] | None = None,
+    state_candidates: Iterable[Any] | None = None,
+    limit: int = 200_000,
+) -> list[Configuration]:
+    """Every legal labeling of ``graph`` over per-node candidate states.
+
+    Candidates default to the states that can syntactically occur for
+    port-pointer languages: ``None`` and each port.  The search space is
+    the full product, so this is for small graphs only (guarded by
+    ``limit``).
+    """
+    import itertools
+
+    nodes = sorted(graph.nodes)
+    if state_candidates is None:
+        per_node = {
+            v: [None] + list(range(graph.degree(v))) for v in nodes
+        }
+    else:
+        fixed = list(state_candidates)
+        per_node = {v: fixed for v in nodes}
+    space = 1
+    for v in nodes:
+        space *= max(1, len(per_node[v]))
+        if space > limit:
+            raise ValueError(f"legal-labeling space exceeds {limit}")
+    members: list[Configuration] = []
+    for combo in itertools.product(*(per_node[v] for v in nodes)):
+        config = Configuration.build(graph, dict(zip(nodes, combo)), ids=ids)
+        if language.is_member(config):
+            members.append(config)
+    return members
+
+
+def per_node_candidates(
+    scheme: ProofLabelingScheme,
+    legal_configs: Iterable[Configuration],
+    rng: random.Random | None = None,
+    mutants_per_cert: int = 1,
+) -> dict[int, list[Any]]:
+    """For each node: every certificate it receives across legal runs.
+
+    This is the candidate universe of the replay adversary — the
+    strongest adversary the counting argument cares about — optionally
+    padded with structural mutants.
+    """
+    rng = rng or make_rng()
+    candidates: dict[int, list[Any]] = {}
+    seen: dict[int, set[str]] = {}
+    for config in legal_configs:
+        certs = scheme.prove(config)
+        for node, cert in certs.items():
+            pool = candidates.setdefault(node, [])
+            keys = seen.setdefault(node, set())
+            variants = [cert] + [
+                mutate_certificate(cert, rng) for _ in range(mutants_per_cert)
+            ]
+            for variant in variants:
+                key = encode_obj(variant)
+                if key not in keys:
+                    keys.add(key)
+                    pool.append(variant)
+    return candidates
+
+
+def exhaustive_soundness_check(
+    scheme: ProofLabelingScheme,
+    illegal_config: Configuration,
+    legal_configs: Iterable[Configuration],
+    rng: random.Random | None = None,
+    limit: int = 250_000,
+) -> AttackResult:
+    """Replay adversary with full product search.
+
+    Returns the attack result; ``result.fooled`` must be ``False`` for a
+    sound scheme, and ``result.min_rejects`` is the tightest rejection
+    count any replayed assignment achieves.
+    """
+    candidates = per_node_candidates(scheme, legal_configs, rng=rng)
+    for node in illegal_config.graph.nodes:
+        candidates.setdefault(node, [None])
+    return exhaustive_attack(scheme, illegal_config, candidates, limit=limit)

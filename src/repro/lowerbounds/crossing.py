@@ -1,0 +1,218 @@
+"""Cut-and-plug adversaries: the paper's lower-bound constructions, run.
+
+The ``Ω(log n)`` lower bound argument for spanning tree (and its
+relatives) is a counting argument: with ``b``-bit certificates there are
+at most ``2^b`` distinct certificates, so on long paths/cycles some cut
+must look identical in two different accepting runs; gluing the runs at
+such cuts yields an *illegal* instance every node of which sees an
+accepting view.  This module makes the construction executable against a
+given scheme:
+
+* :func:`pointer_cycle_attack` — an all-clockwise pointer cycle (no root
+  at all, maximally illegal) with certificates counting down modulo
+  ``2^b``; fools the lax truncated scheme whenever ``2^b`` divides ``n``;
+* :func:`two_root_path_attack` — a path whose halves point away from
+  each other (two roots), certified by splicing the two legal oriented
+  runs; fools any scheme whose root fields collide for the two ends —
+  arranged here by choosing end identifiers congruent modulo ``2^b``;
+* :func:`completeness_failure_depth` — the dual failure of the *strict*
+  truncated scheme: the shallowest legal path it can no longer certify;
+* :func:`minimum_surviving_budget` — the empirical threshold sweep: the
+  smallest budget at which both attacks fail, to be compared against
+  ``log₂ n``;
+* :func:`signature_collision_profile` — the raw counting bound: how many
+  distinct certificates a scheme actually emits across the instance
+  family, versus how many a ``b``-bit budget could express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.soundness import completeness_holds
+from repro.core.verifier import Verdict
+from repro.errors import AttackError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.lowerbounds.truncated import TruncatedSpanningTreeScheme
+from repro.util.bits import encode_obj
+
+__all__ = [
+    "FoolingResult",
+    "completeness_failure_depth",
+    "minimum_surviving_budget",
+    "pointer_cycle_attack",
+    "signature_collision_profile",
+    "two_root_path_attack",
+]
+
+
+@dataclass(frozen=True)
+class FoolingResult:
+    """A constructed adversarial instance and its verdict."""
+
+    config: Configuration
+    certificates: dict[int, Any]
+    verdict: Verdict
+    illegal: bool
+
+    @property
+    def fooled(self) -> bool:
+        """True when an illegal instance was fully accepted."""
+        return self.illegal and self.verdict.all_accept
+
+
+def pointer_cycle_attack(n: int, bits: int) -> FoolingResult:
+    """All-clockwise pointers on ``C_n`` against the lax ``b``-bit scheme.
+
+    The labeling has no root and a full pointer cycle — Hamming distance
+    ``Ω(n)`` from any spanning tree — yet with counters
+    ``dist(i) = (-i) mod 2^b`` every modular decrement check passes, as
+    long as the wrap-around is consistent, i.e. ``2^b`` divides ``n``.
+    Raises :class:`~repro.errors.AttackError` otherwise (the construction
+    genuinely needs the divisibility, which is why budgets ``≥ log₂ n``
+    survive).
+    """
+    scheme = TruncatedSpanningTreeScheme(bits, strict_root=False)
+    m = scheme.modulus
+    if n % m != 0:
+        raise AttackError(
+            f"pointer-cycle splice needs 2^{bits} | n, got n={n}"
+        )
+    graph = cycle_graph(n)
+    # Node i points clockwise to node (i + 1) % n.
+    states = {
+        i: graph.port(i, (i + 1) % n) for i in range(n)
+    }
+    config = Configuration.build(graph, states)
+    certificates = {i: (0, (-i) % m) for i in range(n)}
+    verdict = scheme.run(config, certificates=certificates)
+    illegal = not scheme.language.is_member(config)
+    return FoolingResult(config, certificates, verdict, illegal)
+
+
+def two_root_path_attack(n: int, bits: int, universe: int | None = None) -> FoolingResult:
+    """Two-root path splice against the lax ``b``-bit scheme.
+
+    Take ``P_n`` with the left half pointing left (toward node 0) and the
+    right half pointing right (toward node ``n-1``): two roots, an
+    illegal spanning-tree encoding at Hamming distance ``≈ n/2`` from the
+    language.  Certify each half with the certificates of the
+    corresponding *legal* one-root orientation.  The only cross-half
+    checks are root-field agreement at the middle edge and the root
+    identity pins at the two ends — defeated by choosing end identifiers
+    congruent modulo ``2^b``.  That choice is the pigeonhole step of the
+    paper's argument, and it needs room: the identifiers must fit the
+    universe ``[1, N]`` (default ``N = n²``, the polynomial-id regime).
+    With ``2^b ≥ N`` no colliding pair exists and the attack is
+    impossible — raising :class:`~repro.errors.AttackError` — which is
+    exactly the ``Ω(log N)`` bound.
+    """
+    if n < 4:
+        raise AttackError("need n >= 4 for a two-root path")
+    scheme = TruncatedSpanningTreeScheme(bits, strict_root=False)
+    m = scheme.modulus
+    universe = universe if universe is not None else n * n
+    if 1 + m + n > universe:
+        raise AttackError(
+            f"no colliding identifiers in universe [1, {universe}] "
+            f"for 2^{bits}-bit root fields"
+        )
+    graph = path_graph(n)
+    # Identifiers: ends congruent mod 2^b, everything distinct (interior
+    # ids start above 1 + m so they cannot collide with the ends).
+    ids = {i: m + 2 + i for i in range(n)}
+    ids[0] = 1
+    ids[n - 1] = 1 + m
+    half = n // 2
+    states: dict[int, Any] = {}
+    for i in range(n):
+        if i == 0 or i == n - 1:
+            states[i] = None
+        elif i < half:
+            states[i] = graph.port(i, i - 1)  # point left
+        else:
+            states[i] = graph.port(i, i + 1)  # point right
+    config = Configuration.build(graph, states, ids=ids)
+    # Certificates spliced from the two legal runs: distances to the
+    # respective root, root fields collide by construction.
+    root_field = 1 % m
+    certificates = {
+        i: (root_field, (i if i < half else n - 1 - i) % m) for i in range(n)
+    }
+    verdict = scheme.run(config, certificates=certificates)
+    illegal = not scheme.language.is_member(config)
+    return FoolingResult(config, certificates, verdict, illegal)
+
+
+def completeness_failure_depth(bits: int, max_n: int = 4096) -> int | None:
+    """Smallest path length the *strict* ``b``-bit scheme cannot certify.
+
+    Returns ``None`` when no failure occurs up to ``max_n``.  The
+    theoretical answer is ``2^bits + 1``: the first path (rooted at an
+    end) containing an honest node at depth ``2^bits``, whose truncated
+    counter collides with the root's 0 and trips the reserved-counter
+    rule.
+    """
+    scheme = TruncatedSpanningTreeScheme(bits, strict_root=True)
+    n = 3
+    while n <= max_n:
+        graph = path_graph(n)
+        # Deterministic root at node 0 (a path end) so the deepest honest
+        # counter is exactly n - 1.
+        labeling = scheme.language.canonical_labeling(graph)
+        config = Configuration.build(graph, labeling)
+        if not completeness_holds(scheme, config):
+            return n
+        n += 1
+    return None
+
+
+def minimum_surviving_budget(
+    n: int, universe: int | None = None, max_bits: int = 40
+) -> int:
+    """Smallest budget ``b`` at which both splice attacks fail on size
+    ``n`` with identifiers from ``[1, universe]`` (default ``n²``).
+
+    The lower-bound experiments compare this against ``log₂`` of the
+    identifier universe: certificates must be able to name the root.
+    """
+    universe = universe if universe is not None else n * n
+    for bits in range(1, max_bits + 1):
+        fooled = False
+        modulus = 1 << bits
+        if n % modulus == 0:
+            fooled |= pointer_cycle_attack(n, bits).fooled
+        if not fooled and n >= 4:
+            try:
+                fooled |= two_root_path_attack(n, bits, universe=universe).fooled
+            except AttackError:
+                fooled = False
+        if not fooled:
+            return bits
+    raise AttackError(f"attacks still succeed at {max_bits} bits on n={n}")
+
+
+def signature_collision_profile(
+    scheme,
+    configs,
+) -> dict[int, int]:
+    """Distinct-certificate counts under truncation to each bit width.
+
+    Harvests every honest certificate emitted on ``configs`` and reports,
+    for each width ``b``, how many distinct values survive truncating the
+    canonical encodings to ``b`` bits.  When the count at width ``b`` is
+    below the number of cut positions, the pigeonhole step of the
+    cut-and-plug argument applies — this is the counting bound plotted in
+    the lower-bound figure.
+    """
+    encodings: list[str] = []
+    for config in configs:
+        for cert in scheme.prove(config).values():
+            encodings.append(encode_obj(cert))
+    widths = range(1, max((len(e) for e in encodings), default=1) + 1)
+    profile: dict[int, int] = {}
+    for b in widths:
+        profile[b] = len({e[:b] for e in encodings})
+    return profile

@@ -1,0 +1,101 @@
+"""Budget-truncated spanning-tree schemes.
+
+The paper's ``Ω(log n)`` lower bounds say that *no* scheme with
+``o(log n)``-bit certificates can certify spanning trees (or leader, or
+acyclicity).  A lower bound quantifies over all schemes, so it cannot be
+"run"; what can be run is its *mechanism*: below ``log₂ n`` bits, the
+certificate space is too small to carry distance-to-root counters, and
+the two failure modes predicted by the counting argument materialise:
+
+* keep the classic verifier semantics on truncated counters
+  (:class:`TruncatedSpanningTreeScheme` with ``strict_root=True``) and
+  **completeness breaks** as soon as a legal tree is deeper than ``2^b``
+  (an honest non-root node wraps to counter 0 and trips the
+  "0 is reserved for the root" check);
+* weaken the semantics to modular arithmetic (``strict_root=False``) so
+  completeness survives, and **soundness breaks**: the cut-and-plug
+  adversaries of :mod:`repro.lowerbounds.crossing` construct accepted
+  pointer cycles and two-root paths.
+
+The experiments sweep the budget ``b`` and locate the crossover at
+``b ≈ log₂ n`` — the empirical face of the lower bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.labeling import Configuration
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView
+from repro.graphs.subgraphs import pointer_structure
+from repro.schemes.acyclic import pointers_from_ports
+from repro.schemes.spanning_tree import SpanningTreePointerLanguage
+
+__all__ = ["TruncatedSpanningTreeScheme"]
+
+
+class TruncatedSpanningTreeScheme(ProofLabelingScheme):
+    """The ``(root_uid, dist)`` scheme squeezed into ``2 * bits`` bits.
+
+    Both certificate fields are reduced modulo ``2**bits``.  With
+    ``strict_root=True`` the verifier keeps the full scheme's "counter 0
+    belongs to the root" rule; with ``strict_root=False`` it only checks
+    the modular decrement along pointers (and modular root agreement).
+    """
+
+    size_bound = "2b (truncated)"
+
+    def __init__(self, bits: int, strict_root: bool = True) -> None:
+        super().__init__(SpanningTreePointerLanguage())
+        if bits < 1:
+            raise ValueError("bit budget must be at least 1")
+        self.bits = bits
+        self.modulus = 1 << bits
+        self.strict_root = strict_root
+        flavour = "strict" if strict_root else "lax"
+        self.name = f"spanning-tree-ptr-trunc{bits}-{flavour}"
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        pointers = pointers_from_ports(config)
+        structure = pointer_structure(pointers)
+        roots = sorted(structure.roots)
+        root_uid = config.uid(roots[0]) if roots else config.uid(0)
+        m = self.modulus
+        return {
+            v: (root_uid % m, structure.depth.get(v, 0) % m)
+            for v in config.graph.nodes
+        }
+
+    def verify(self, view: LocalView) -> bool:
+        m = self.modulus
+        cert = view.certificate
+        if not (isinstance(cert, tuple) and len(cert) == 2):
+            return False
+        root_field, dist = cert
+        if not (isinstance(dist, int) and 0 <= dist < m):
+            return False
+        for glimpse in view.neighbors:
+            g_cert = glimpse.certificate
+            if not (isinstance(g_cert, tuple) and len(g_cert) == 2):
+                return False
+            if g_cert[0] != root_field:
+                return False
+        state = view.state
+        if state is None:
+            # Both flavours pin the root's identity (mod m); what the lax
+            # flavour drops is only the "counter 0 is reserved for the
+            # root" rule below.
+            return dist == 0 and view.uid % m == root_field
+        if not (isinstance(state, int) and 0 <= state < view.degree):
+            return False
+        if self.strict_root and dist == 0:
+            return False  # counter 0 reserved for the root
+        parent = view.neighbor_at(state)
+        p_cert = parent.certificate
+        if not (isinstance(p_cert, tuple) and len(p_cert) == 2):
+            return False
+        return p_cert[1] == (dist - 1) % m
+
+    def certificate_bits(self, certificate: Any) -> int:
+        return 2 * self.bits

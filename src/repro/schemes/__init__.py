@@ -1,0 +1,89 @@
+"""Concrete languages and their proof-labeling schemes.
+
+One module per language family; ``ALL_SCHEME_FACTORIES`` enumerates the
+default scheme constructors for sweep-style experiments.
+"""
+
+from typing import Callable
+
+from repro.core.scheme import ProofLabelingScheme
+from repro.schemes.acyclic import AcyclicLanguage, AcyclicScheme
+from repro.schemes.agreement import AgreementLanguage, AgreementScheme
+from repro.schemes.bfs_tree import BfsTreeLanguage, BfsTreeScheme
+from repro.schemes.bipartite import BipartiteLanguage, BipartiteScheme
+from repro.schemes.coloring import (
+    ColoringEchoScheme,
+    ColoringFullScheme,
+    ProperColoringLanguage,
+)
+from repro.schemes.dominating_set import DominatingSetLanguage, DominatingSetScheme
+from repro.schemes.independent_set import IndependentSetLanguage, IndependentSetScheme
+from repro.schemes.leader import LeaderLanguage, LeaderScheme
+from repro.schemes.matching import MatchingLanguage, MatchingScheme
+from repro.schemes.eccentricity import (
+    BoundedEccentricityLanguage,
+    BoundedEccentricityScheme,
+)
+from repro.schemes.mst import MstLanguage, MstScheme
+from repro.schemes.radius_acyclic import CoarseAcyclicScheme
+from repro.schemes.regular import RegularSubgraphLanguage, regular_universal_scheme
+from repro.schemes.spanning_tree import (
+    SpanningTreeListLanguage,
+    SpanningTreeListScheme,
+    SpanningTreePointerLanguage,
+    SpanningTreePointerScheme,
+)
+from repro.schemes.vertex_cover import VertexCoverLanguage, VertexCoverScheme
+
+__all__ = [
+    "ALL_SCHEME_FACTORIES",
+    "AcyclicLanguage",
+    "AcyclicScheme",
+    "AgreementLanguage",
+    "AgreementScheme",
+    "BfsTreeLanguage",
+    "BfsTreeScheme",
+    "BipartiteLanguage",
+    "BipartiteScheme",
+    "BoundedEccentricityLanguage",
+    "BoundedEccentricityScheme",
+    "CoarseAcyclicScheme",
+    "ColoringEchoScheme",
+    "ColoringFullScheme",
+    "DominatingSetLanguage",
+    "DominatingSetScheme",
+    "IndependentSetLanguage",
+    "IndependentSetScheme",
+    "LeaderLanguage",
+    "LeaderScheme",
+    "MatchingLanguage",
+    "MatchingScheme",
+    "MstLanguage",
+    "MstScheme",
+    "ProperColoringLanguage",
+    "RegularSubgraphLanguage",
+    "SpanningTreeListLanguage",
+    "SpanningTreeListScheme",
+    "SpanningTreePointerLanguage",
+    "SpanningTreePointerScheme",
+    "VertexCoverLanguage",
+    "VertexCoverScheme",
+    "regular_universal_scheme",
+]
+
+#: Default scheme constructors for the sweep experiments (T1).
+ALL_SCHEME_FACTORIES: dict[str, Callable[[], ProofLabelingScheme]] = {
+    "agreement": AgreementScheme,
+    "leader": LeaderScheme,
+    "acyclic": AcyclicScheme,
+    "spanning-tree-ptr": SpanningTreePointerScheme,
+    "spanning-tree-list": SpanningTreeListScheme,
+    "bfs-tree": BfsTreeScheme,
+    "mst": MstScheme,
+    "coloring-echo": ColoringEchoScheme,
+    "bipartite": BipartiteScheme,
+    "independent-set": IndependentSetScheme,
+    "dominating-set": DominatingSetScheme,
+    "matching": MatchingScheme,
+    "vertex-cover": VertexCoverScheme,
+}

@@ -1,0 +1,114 @@
+"""Acyclicity of a pointer set.
+
+Each node's state is a port (a claimed "parent" edge) or ``None``; the
+configuration is a member iff following pointers never cycles — the
+pointer edges form a forest of in-trees.  The classic certificate is the
+*hop distance to the root* of one's in-tree: a parent's counter must be
+exactly one less, so any pointer cycle would need an infinite descent of
+non-negative integers, and some node on it rejects.  Proof size
+``Θ(log n)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView
+from repro.graphs.graph import Graph
+from repro.graphs.subgraphs import pointer_structure
+
+__all__ = ["AcyclicLanguage", "AcyclicScheme", "pointers_from_ports"]
+
+
+def pointers_from_ports(config: Configuration) -> dict[int, int | None]:
+    """Decode port-valued states into a node -> parent-node map.
+
+    Ill-formed states (non-``None``, non-valid-port) decode to ``None``
+    pointers; format violations are the verifier's business, not the
+    decoder's.
+    """
+    graph = config.graph
+    pointers: dict[int, int | None] = {}
+    for v in graph.nodes:
+        state = config.state(v)
+        if isinstance(state, int) and 0 <= state < graph.degree(v):
+            pointers[v] = graph.neighbor_at(v, state)
+        else:
+            pointers[v] = None
+    return pointers
+
+
+class AcyclicLanguage(DistributedLanguage):
+    """Member iff the pointer edges contain no directed cycle."""
+
+    name = "acyclic"
+
+    def is_member(self, config: Configuration) -> bool:
+        graph = config.graph
+        for v in graph.nodes:
+            if not self.validate_state(graph, v, config.state(v)):
+                return False
+        return pointer_structure(pointers_from_ports(config)).is_acyclic
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        """A random in-forest: each node points to a lower-index neighbor
+        when one exists (lower-index pointing can never cycle)."""
+        rng = rng or random.Random(0)
+        states: dict[int, Any] = {}
+        for v in graph.nodes:
+            lower = [u for u in graph.neighbors(v) if u < v]
+            if lower and rng.random() < 0.8:
+                states[v] = graph.port(v, rng.choice(lower))
+            else:
+                states[v] = None
+        return Labeling(states)
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        if state is None:
+            return True
+        return isinstance(state, int) and 0 <= state < graph.degree(node)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        choices: list[Any] = [None] + list(range(6))
+        choices = [c for c in choices if c != state]
+        return rng.choice(choices)
+
+
+class AcyclicScheme(ProofLabelingScheme):
+    """Distance-to-root counters; sensitivity to every pointer cycle."""
+
+    name = "acyclic-counters"
+    size_bound = "Theta(log n)"
+
+    def __init__(self, language: AcyclicLanguage | None = None) -> None:
+        super().__init__(language or AcyclicLanguage())
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        structure = pointer_structure(pointers_from_ports(config))
+        # Best effort off-language: nodes with no defined depth (on or
+        # feeding a pointer cycle) get counter 0; their parent check
+        # fails, which is the point.
+        return {
+            v: structure.depth.get(v, 0) for v in config.graph.nodes
+        }
+
+    def verify(self, view: LocalView) -> bool:
+        counter = view.certificate
+        if not (isinstance(counter, int) and counter >= 0):
+            return False
+        state = view.state
+        if state is None:
+            return True  # roots accept any counter; only edges constrain
+        if not (isinstance(state, int) and 0 <= state < view.degree):
+            return False
+        parent = view.neighbor_at(state)
+        return parent.certificate == counter - 1

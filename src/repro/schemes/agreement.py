@@ -1,0 +1,86 @@
+"""Agreement: every node holds the same value.
+
+The paper's canonical example of a predicate that is trivial *globally*
+yet still needs certificates in the KKP model: the verifier cannot see
+neighbor states, so the prover must *echo* each node's value into its
+certificate.  Proof size is therefore the value size — ``Θ(s)`` bits for
+values from a ``2^s``-element domain — and this is optimal (with fewer
+bits, two different globally-constant labelings get identically
+certifiable views somewhere).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView
+from repro.graphs.graph import Graph
+
+__all__ = ["AgreementLanguage", "AgreementScheme"]
+
+
+class AgreementLanguage(DistributedLanguage):
+    """States are integers; member iff all states are equal.
+
+    ``domain`` bounds the legal values (``0..domain-1``); it drives the
+    value-size experiments (F5).
+    """
+
+    def __init__(self, domain: int = 2**16) -> None:
+        if domain < 1:
+            raise ValueError("domain must be positive")
+        self.domain = domain
+        self.name = f"agreement[{domain}]"
+
+    def is_member(self, config: Configuration) -> bool:
+        states = [config.state(v) for v in config.graph.nodes]
+        if not all(self.validate_state(config.graph, v, s)
+                   for v, s in zip(config.graph.nodes, states)):
+            return False
+        return len(set(states)) <= 1
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        value = rng.randrange(self.domain) if rng is not None else 0
+        return Labeling.uniform(graph.nodes, value)
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        return isinstance(state, int) and 0 <= state < self.domain
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        if self.domain == 1:
+            return state
+        candidate = rng.randrange(self.domain - 1)
+        return candidate if candidate < state else candidate + 1
+
+
+class AgreementScheme(ProofLabelingScheme):
+    """Echo scheme: certificate = the node's own value.
+
+    A node accepts iff its certificate truthfully echoes its state and
+    every neighbor's certificate carries the same value.  On a connected
+    graph the echoes then propagate one global value, which every node
+    has pinned against its own state — the soundness argument.
+    """
+
+    name = "agreement-echo"
+    size_bound = "Theta(s)"
+
+    def __init__(self, language: AgreementLanguage | None = None) -> None:
+        super().__init__(language or AgreementLanguage())
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        return {v: config.state(v) for v in config.graph.nodes}
+
+    def verify(self, view: LocalView) -> bool:
+        if view.certificate != view.state:
+            return False
+        return all(g.certificate == view.certificate for g in view.neighbors)

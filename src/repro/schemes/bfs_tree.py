@@ -1,0 +1,140 @@
+"""BFS (shortest-path) tree certification.
+
+The language strengthens spanning tree: pointers must form a spanning
+tree in which every node's hop distance to the root equals its *graph*
+distance.  The ``(root_uid, dist)`` certificate already carries distance
+counters; certifying BFS-ness costs one extra local check and no extra
+bits:
+
+* root: ``dist = 0``; every non-root: parent's counter is ``dist - 1``
+  (so ``dist`` is an upper bound on the true distance — the parent chain
+  is a real path); and
+* for *every* incident edge the counters differ by at most one
+  (1-Lipschitz, so ``dist`` is also a lower bound: a certified distance
+  can drop by at most one per hop from the root's 0).
+
+Equality of upper and lower bound forces ``dist`` to be the exact graph
+distance, and the parent edges to be shortest-path edges.  Still
+``Θ(log n)`` bits — "BFS is certified for free on top of spanning tree".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs
+from repro.schemes.acyclic import pointers_from_ports
+from repro.schemes.spanning_tree import SpanningTreePointerLanguage
+
+__all__ = ["BfsTreeLanguage", "BfsTreeScheme"]
+
+
+class BfsTreeLanguage(DistributedLanguage):
+    """Pointers form a spanning tree whose depths are graph distances."""
+
+    name = "bfs-tree"
+
+    def __init__(self) -> None:
+        self._tree_language = SpanningTreePointerLanguage()
+
+    def is_member(self, config: Configuration) -> bool:
+        if not self._tree_language.is_member(config):
+            return False
+        graph = config.graph
+        pointers = pointers_from_ports(config)
+        root = next(v for v in graph.nodes if pointers[v] is None)
+        true_dist, _ = bfs(graph, root)
+        depth: dict[int, int] = {root: 0}
+
+        def depth_of(v: int) -> int:
+            trail = []
+            while v not in depth:
+                trail.append(v)
+                v = pointers[v]  # type: ignore[assignment]
+            base = depth[v]
+            for i, node in enumerate(reversed(trail)):
+                depth[node] = base + i + 1
+            return depth[trail[0]] if trail else base
+
+        return all(depth_of(v) == true_dist[v] for v in graph.nodes)
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        root = rng.randrange(graph.n) if rng is not None else 0
+        _, parent = bfs(graph, root)
+        return Labeling(
+            {
+                v: None if parent[v] is None else graph.port(v, parent[v])
+                for v in graph.nodes
+            }
+        )
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        return self._tree_language.validate_state(graph, node, state)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        return self._tree_language.random_corruption(node, state, rng)
+
+
+class BfsTreeScheme(ProofLabelingScheme):
+    """Spanning-tree counters plus the Lipschitz check — same bits."""
+
+    name = "bfs-tree"
+    size_bound = "Theta(log n)"
+
+    def __init__(self, language: BfsTreeLanguage | None = None) -> None:
+        super().__init__(language or BfsTreeLanguage())
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        graph = config.graph
+        pointers = pointers_from_ports(config)
+        roots = [v for v in graph.nodes if pointers[v] is None]
+        root = roots[0] if roots else 0
+        dist, _ = bfs(graph, root)
+        root_uid = config.uid(root)
+        # Honest certificates use *graph* distances: on a legal BFS tree
+        # they coincide with tree depths; off-language they are the best
+        # effort that keeps Lipschitz-ness while letting parent checks
+        # expose the lie.
+        return {v: (root_uid, dist.get(v, 0)) for v in graph.nodes}
+
+    def verify(self, view: LocalView) -> bool:
+        cert = view.certificate
+        if not (isinstance(cert, tuple) and len(cert) == 2):
+            return False
+        root_uid, dist = cert
+        if not (isinstance(dist, int) and dist >= 0):
+            return False
+        neighbor_dists: list[int] = []
+        for glimpse in view.neighbors:
+            g_cert = glimpse.certificate
+            if not (isinstance(g_cert, tuple) and len(g_cert) == 2):
+                return False
+            if g_cert[0] != root_uid:
+                return False
+            if not (isinstance(g_cert[1], int) and g_cert[1] >= 0):
+                return False
+            neighbor_dists.append(g_cert[1])
+        # 1-Lipschitz across every incident edge.
+        if any(abs(d - dist) > 1 for d in neighbor_dists):
+            return False
+        state = view.state
+        if state is None:
+            return dist == 0 and view.uid == root_uid
+        if not (isinstance(state, int) and 0 <= state < view.degree):
+            return False
+        if dist == 0:
+            return False
+        parent = view.neighbor_at(state)
+        p_cert = parent.certificate
+        return isinstance(p_cert, tuple) and p_cert[1] == dist - 1

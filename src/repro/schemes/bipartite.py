@@ -1,0 +1,106 @@
+"""Bipartiteness: a pure graph property certified with one bit.
+
+States carry no information (``None`` everywhere); a configuration is a
+member iff the graph is 2-colorable.  The certificate is the node's side
+in a 2-coloring; a node accepts iff every neighbor certifies the other
+side.  Proof size is 1 bit — the textbook example of an ``O(1)`` scheme.
+
+Soundness: an all-accepting certificate assignment *is* a proper
+2-coloring, which exists only on bipartite graphs.  Completeness needs a
+2-coloring to exist, i.e. the language is constructible exactly on
+bipartite graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView
+from repro.errors import LanguageError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs
+
+__all__ = ["BipartiteLanguage", "BipartiteScheme", "two_coloring"]
+
+
+def two_coloring(graph: Graph) -> dict[int, int] | None:
+    """A proper 2-coloring by BFS parity, or ``None`` if impossible."""
+    color: dict[int, int] = {}
+    for start in graph.nodes:
+        if start in color:
+            continue
+        dist, _ = bfs(graph, start)
+        for v, d in dist.items():
+            color[v] = d % 2
+    for u, v in graph.edges():
+        if color[u] == color[v]:
+            return None
+    return color
+
+
+class BipartiteLanguage(DistributedLanguage):
+    """Member iff the underlying graph is bipartite (states are None)."""
+
+    name = "bipartite"
+
+    def is_member(self, config: Configuration) -> bool:
+        if any(config.state(v) is not None for v in config.graph.nodes):
+            return False
+        return two_coloring(config.graph) is not None
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        if two_coloring(graph) is None:
+            raise LanguageError("graph is not bipartite; language empty here")
+        return Labeling.uniform(graph.nodes, None)
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        return state is None
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        # States carry no information; the only corruption is a format
+        # violation (the interesting bipartiteness experiments corrupt
+        # the *graph*, not the labeling).
+        return ("not-none", rng.randrange(4))
+
+
+class BipartiteScheme(ProofLabelingScheme):
+    """One-bit side certificates."""
+
+    name = "bipartite-sides"
+    size_bound = "O(1)"
+
+    def __init__(self, language: BipartiteLanguage | None = None) -> None:
+        super().__init__(language or BipartiteLanguage())
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        coloring = two_coloring(config.graph)
+        if coloring is None:
+            # Best effort on odd-cycle graphs: BFS parity anyway; some
+            # edge will be monochromatic and both its endpoints reject.
+            coloring = {}
+            for start in config.graph.nodes:
+                if start in coloring:
+                    continue
+                dist, _ = bfs(config.graph, start)
+                for v, d in dist.items():
+                    coloring[v] = d % 2
+        return dict(coloring)
+
+    def verify(self, view: LocalView) -> bool:
+        if view.state is not None:
+            return False
+        if view.certificate not in (0, 1):
+            return False
+        return all(g.certificate == 1 - view.certificate for g in view.neighbors)
+
+    def certificate_bits(self, certificate: Any) -> int:
+        return 1 if certificate in (0, 1) else super().certificate_bits(certificate)

@@ -1,0 +1,81 @@
+"""Dominating set membership.
+
+States are booleans; member iff every node is marked or has a marked
+neighbor.  Echo certificates give an ``O(1)`` KKP scheme: an unmarked
+node accepts only if some neighbor's echoed bit is set, and echoes are
+pinned by their owners.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView
+from repro.graphs.graph import Graph
+
+__all__ = ["DominatingSetLanguage", "DominatingSetScheme"]
+
+
+class DominatingSetLanguage(DistributedLanguage):
+    """Member iff the marked nodes dominate the graph."""
+
+    name = "dominating-set"
+
+    def is_member(self, config: Configuration) -> bool:
+        graph = config.graph
+        for v in graph.nodes:
+            if not isinstance(config.state(v), bool):
+                return False
+        return all(
+            config.state(v) or any(config.state(u) for u in graph.neighbors(v))
+            for v in graph.nodes
+        )
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        """A greedy dominating set (greedy MIS is dominating)."""
+        order = list(graph.nodes)
+        if rng is not None:
+            rng.shuffle(order)
+        chosen: set[int] = set()
+        dominated: set[int] = set()
+        for v in order:
+            if v not in dominated:
+                chosen.add(v)
+                dominated.add(v)
+                dominated.update(graph.neighbors(v))
+        return Labeling({v: v in chosen for v in graph.nodes})
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        return isinstance(state, bool)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        return not state
+
+
+class DominatingSetScheme(ProofLabelingScheme):
+    """Echo the membership bit; unmarked nodes demand a marked neighbor."""
+
+    name = "dominating-set-echo"
+    size_bound = "O(1)"
+
+    def __init__(self, language: DominatingSetLanguage | None = None) -> None:
+        super().__init__(language or DominatingSetLanguage())
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        return {v: bool(config.state(v)) for v in config.graph.nodes}
+
+    def verify(self, view: LocalView) -> bool:
+        if not isinstance(view.state, bool) or view.certificate != view.state:
+            return False
+        if not view.state:
+            return any(g.certificate is True for g in view.neighbors)
+        return True

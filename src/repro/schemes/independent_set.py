@@ -1,0 +1,101 @@
+"""Independent set (and maximal independent set) membership.
+
+States are booleans ("am I in the set").  The predicate is locally
+checkable, so under KKP visibility the scheme just echoes the bit:
+``O(1)`` proof size.  With ``maximal=True`` the language additionally
+requires every outside node to have a set neighbor (no node can be
+added), which the same echo certificates already support.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView
+from repro.graphs.graph import Graph
+
+__all__ = ["IndependentSetLanguage", "IndependentSetScheme"]
+
+
+class IndependentSetLanguage(DistributedLanguage):
+    """Member iff the marked nodes form an independent set.
+
+    ``maximal=True`` also requires maximality (every unmarked node has a
+    marked neighbor).
+    """
+
+    def __init__(self, maximal: bool = False) -> None:
+        self.maximal = maximal
+        self.name = "maximal-independent-set" if maximal else "independent-set"
+
+    def is_member(self, config: Configuration) -> bool:
+        graph = config.graph
+        for v in graph.nodes:
+            if not isinstance(config.state(v), bool):
+                return False
+        if any(config.state(u) and config.state(v) for u, v in graph.edges()):
+            return False
+        if self.maximal:
+            for v in graph.nodes:
+                if not config.state(v) and not any(
+                    config.state(u) for u in graph.neighbors(v)
+                ):
+                    return False
+        return True
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        """Greedy MIS in (optionally shuffled) node order.
+
+        A greedy MIS is independent and maximal, so it is legal for both
+        variants of the language.
+        """
+        order = list(graph.nodes)
+        if rng is not None:
+            rng.shuffle(order)
+        chosen: set[int] = set()
+        blocked: set[int] = set()
+        for v in order:
+            if v not in blocked:
+                chosen.add(v)
+                blocked.add(v)
+                blocked.update(graph.neighbors(v))
+        return Labeling({v: v in chosen for v in graph.nodes})
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        return isinstance(state, bool)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        return not state
+
+
+class IndependentSetScheme(ProofLabelingScheme):
+    """Echo the membership bit; check independence (and maximality)."""
+
+    name = "independent-set-echo"
+    size_bound = "O(1)"
+
+    def __init__(self, language: IndependentSetLanguage | None = None) -> None:
+        super().__init__(language or IndependentSetLanguage())
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        return {v: bool(config.state(v)) for v in config.graph.nodes}
+
+    def verify(self, view: LocalView) -> bool:
+        lang: IndependentSetLanguage = self.language  # type: ignore[assignment]
+        if not isinstance(view.state, bool) or view.certificate != view.state:
+            return False
+        if view.state and any(g.certificate is True for g in view.neighbors):
+            return False
+        if lang.maximal and not view.state:
+            if not any(g.certificate is True for g in view.neighbors):
+                return False
+        return True

@@ -1,0 +1,116 @@
+"""Leader: exactly one marked node.
+
+States are booleans.  Counting is a *global* property, and the classic
+``Θ(log n)``-bit certificate makes it local: a spanning tree oriented
+toward the leader.  Each node carries ``(leader_uid, parent_uid, dist)``;
+everyone agrees on ``leader_uid`` with neighbors, marked nodes must sit
+at distance 0 with their own uid equal to ``leader_uid``, and every
+unmarked node needs a neighbor (its claimed parent) at distance exactly
+one less.
+
+Soundness: the agreement check fixes one global ``leader_uid``; distance
+counters descend to some distance-0 node, which must be marked and carry
+uid ``leader_uid`` — and identifiers are distinct, so there is exactly
+one such node; conversely any marked node must be at distance 0, hence
+*the* leader.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs
+
+__all__ = ["LeaderLanguage", "LeaderScheme"]
+
+
+class LeaderLanguage(DistributedLanguage):
+    """Member iff exactly one node's boolean state is True."""
+
+    name = "leader"
+
+    def is_member(self, config: Configuration) -> bool:
+        graph = config.graph
+        marks = []
+        for v in graph.nodes:
+            state = config.state(v)
+            if not isinstance(state, bool):
+                return False
+            marks.append(state)
+        return sum(marks) == 1
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        leader = rng.randrange(graph.n) if rng is not None else 0
+        return Labeling({v: v == leader for v in graph.nodes})
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        return isinstance(state, bool)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        return not state
+
+
+class LeaderScheme(ProofLabelingScheme):
+    """Spanning tree toward the leader: ``(leader_uid, parent_uid, dist)``."""
+
+    name = "leader-tree"
+    size_bound = "Theta(log n)"
+
+    def __init__(self, language: LeaderLanguage | None = None) -> None:
+        super().__init__(language or LeaderLanguage())
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        graph = config.graph
+        marked = [v for v in graph.nodes if config.state(v) is True]
+        root = marked[0] if marked else 0  # best effort: pretend node 0 leads
+        dist, parent = bfs(graph, root)
+        leader_uid = config.uid(root)
+        certs: dict[int, Any] = {}
+        for v in graph.nodes:
+            p = parent.get(v)
+            certs[v] = (
+                leader_uid,
+                config.uid(v) if p is None else config.uid(p),
+                dist.get(v, 0),
+            )
+        return certs
+
+    def verify(self, view: LocalView) -> bool:
+        cert = view.certificate
+        if not (isinstance(cert, tuple) and len(cert) == 3):
+            return False
+        leader_uid, parent_uid, dist = cert
+        if not (isinstance(dist, int) and dist >= 0):
+            return False
+        if not isinstance(view.state, bool):
+            return False
+        for glimpse in view.neighbors:
+            g_cert = glimpse.certificate
+            if not (isinstance(g_cert, tuple) and len(g_cert) == 3):
+                return False
+            if g_cert[0] != leader_uid:
+                return False
+        if dist == 0:
+            return (
+                view.state is True
+                and view.uid == leader_uid
+                and parent_uid == view.uid
+            )
+        if view.state is True:
+            return False  # marked nodes must be at distance 0
+        parent = view.neighbor_by_uid(parent_uid)
+        if parent is None:
+            return False
+        p_cert = parent.certificate
+        return isinstance(p_cert, tuple) and len(p_cert) == 3 and p_cert[2] == dist - 1

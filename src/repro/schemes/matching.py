@@ -1,0 +1,176 @@
+"""Matchings encoded by partner ports.
+
+Each node's state is the port of its matched partner, or ``None`` when
+unmatched; a configuration is a member iff the claims are *mutual* — the
+pointed-to neighbor points back — so the claimed edges form a matching.
+With ``perfect=True`` every node must be matched (constructible only on
+graphs with a perfect matching; the canonical labeling uses a simple
+augmenting-path search, sufficient at experiment scale).
+
+The scheme echoes ``(my uid, partner uid)``: mutuality is then checkable
+from the partner's echo, and the echo itself is pinned by its owner —
+``O(log N)`` bits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView
+from repro.errors import LanguageError
+from repro.graphs.graph import Graph
+
+__all__ = ["MatchingLanguage", "MatchingScheme", "greedy_matching"]
+
+
+def greedy_matching(graph: Graph, rng: random.Random | None = None) -> dict[int, int | None]:
+    """A (maximal) greedy matching as a node -> partner-node map."""
+    order = list(graph.edges())
+    if rng is not None:
+        rng.shuffle(order)
+    partner: dict[int, int | None] = {v: None for v in graph.nodes}
+    for u, v in order:
+        if partner[u] is None and partner[v] is None:
+            partner[u] = v
+            partner[v] = u
+    return partner
+
+
+def _perfect_matching(graph: Graph, rng: random.Random | None) -> dict[int, int] | None:
+    """A perfect matching, or ``None`` if there is none.
+
+    Strategy: a few randomized greedy attempts (fast, usually enough on
+    the symmetric families used in experiments), then an exact
+    backtracking search over the lowest unmatched node (small graphs).
+    """
+    if graph.n % 2:
+        return None
+    attempt_rng = rng or random.Random(0)
+    for _ in range(16):
+        partner = greedy_matching(graph, attempt_rng)
+        if all(p is not None for p in partner.values()):
+            return {v: p for v, p in partner.items() if p is not None}
+
+    matched: dict[int, int] = {}
+
+    def backtrack() -> bool:
+        free = next((v for v in graph.nodes if v not in matched), None)
+        if free is None:
+            return True
+        for nb in graph.neighbors(free):
+            if nb not in matched:
+                matched[free] = nb
+                matched[nb] = free
+                if backtrack():
+                    return True
+                del matched[free]
+                del matched[nb]
+        return False
+
+    return matched if backtrack() else None
+
+
+class MatchingLanguage(DistributedLanguage):
+    """Member iff partner-port claims are mutual (a matching)."""
+
+    def __init__(self, perfect: bool = False) -> None:
+        self.perfect = perfect
+        self.name = "perfect-matching" if perfect else "matching"
+
+    def is_member(self, config: Configuration) -> bool:
+        graph = config.graph
+        # Validate every state first: mutuality checks read partners'
+        # states, which must already be known well-formed.
+        for v in graph.nodes:
+            if not self.validate_state(graph, v, config.state(v)):
+                return False
+        for v in graph.nodes:
+            state = config.state(v)
+            if state is None:
+                if self.perfect and graph.n > 1:
+                    return False
+                continue
+            mate = graph.neighbor_at(v, state)
+            mate_state = config.state(mate)
+            if mate_state is None or graph.neighbor_at(mate, mate_state) != v:
+                return False
+        return True
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        partner: dict[int, int | None] = greedy_matching(graph, rng)
+        if self.perfect:
+            perfected = _perfect_matching(graph, rng)
+            if perfected is None:
+                raise LanguageError("graph has no perfect matching")
+            partner = dict(perfected)
+        states = {
+            v: (None if partner[v] is None else graph.port(v, partner[v]))
+            for v in graph.nodes
+        }
+        return Labeling(states)
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        if state is None:
+            return True
+        return isinstance(state, int) and 0 <= state < graph.degree(node)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        # Re-point to a uniformly random different port (or drop/add).
+        choices: list[Any] = [None] + list(range(8))
+        choices = [c for c in choices if c != state]
+        return rng.choice(choices)
+
+
+class MatchingScheme(ProofLabelingScheme):
+    """Echo ``(uid, partner_uid)``; check mutuality via partner echoes."""
+
+    name = "matching-echo"
+    size_bound = "O(log N)"
+
+    def __init__(self, language: MatchingLanguage | None = None) -> None:
+        super().__init__(language or MatchingLanguage())
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        graph = config.graph
+        certs: dict[int, Any] = {}
+        for v in graph.nodes:
+            state = config.state(v)
+            if isinstance(state, int) and 0 <= state < graph.degree(v):
+                partner_uid = config.uid(graph.neighbor_at(v, state))
+            else:
+                partner_uid = None
+            certs[v] = (config.uid(v), partner_uid)
+        return certs
+
+    def verify(self, view: LocalView) -> bool:
+        lang: MatchingLanguage = self.language  # type: ignore[assignment]
+        cert = view.certificate
+        if not (isinstance(cert, tuple) and len(cert) == 2):
+            return False
+        echo_uid, partner_uid = cert
+        if echo_uid != view.uid:
+            return False
+        state = view.state
+        if state is None:
+            if partner_uid is not None:
+                return False
+            return not (lang.perfect and view.degree > 0)
+        if not (isinstance(state, int) and 0 <= state < view.degree):
+            return False
+        mate = view.neighbor_at(state)
+        if partner_uid != mate.uid:
+            return False
+        mate_cert = mate.certificate
+        if not (isinstance(mate_cert, tuple) and len(mate_cert) == 2):
+            return False
+        # The partner's echo must name it and point back at me.
+        return mate_cert[0] == mate.uid and mate_cert[1] == view.uid

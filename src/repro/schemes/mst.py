@@ -1,0 +1,440 @@
+"""Minimum spanning tree: the paper's ``O(log² n)`` certificate.
+
+The configuration encodes a spanning tree by parent ports (as in
+:mod:`repro.schemes.spanning_tree`); it is a member iff that tree is
+*the* minimum spanning tree (weights are assumed distinct, so the MST is
+unique — the assumption the paper makes).
+
+The certificate encodes a run of **phase-synchronous parallel Borůvka**
+(at most ``⌈log₂ n⌉`` phases, each ``O(log n)`` bits per node, hence
+``O(log² n)`` total).  For every phase, each node stores:
+
+* its fragment identifier (the uid of the fragment's designated root),
+* its parent and hop distance in a tree ``T1`` spanning the fragment
+  (certifying the fragment is connected and really contains a node whose
+  uid is the fragment identifier),
+* the fragment's selected minimum outgoing edge ``(w, a_uid, b_uid)``
+  with ``a`` inside the fragment, and
+* its parent and distance in a second tree ``T2`` spanning the fragment
+  but rooted at ``a`` (certifying that the selected edge is really
+  incident to this very fragment).
+
+Local checks make each claimed fragment a connected node set ``F``, make
+all of ``F`` agree on the selected edge, make every member see no
+outgoing edge cheaper than the selection, and make the ``T2`` root
+exhibit the selected edge — so the selection is the true minimum-weight
+edge leaving ``F``, and by the cut property belongs to the (unique) MST.
+Finally every tree edge must be some phase's selection, and the last
+phase must be a single fragment spanning the graph: then the certified
+tree has ``n - 1`` edges, all in the MST — it *is* the MST.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView, NeighborGlimpse
+from repro.errors import LanguageError
+from repro.graphs.graph import Graph, edge_key
+from repro.graphs.mst import boruvka_trace, kruskal
+from repro.graphs.subgraphs import pointer_structure, pointers_from_tree
+from repro.graphs.traversal import bfs
+from repro.schemes.acyclic import pointers_from_ports
+
+__all__ = ["MstLanguage", "MstScheme"]
+
+_TAG = "mst"
+
+
+class MstLanguage(DistributedLanguage):
+    """Parent-port pointers forming the unique MST of a weighted graph."""
+
+    name = "mst"
+    weighted = True
+
+    def is_member(self, config: Configuration) -> bool:
+        graph = config.graph
+        if not graph.is_weighted:
+            return False
+        for v in graph.nodes:
+            if not self.validate_state(graph, v, config.state(v)):
+                return False
+        pointers = pointers_from_ports(config)
+        structure = pointer_structure(pointers)
+        if len(structure.roots) != 1 or structure.on_cycle:
+            return False
+        if len(structure.depth) != graph.n:
+            return False
+        edges = frozenset(
+            edge_key(v, t) for v, t in pointers.items() if t is not None
+        )
+        return edges == kruskal(graph)
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        if not graph.is_weighted:
+            raise LanguageError("MST language needs a weighted graph")
+        if not graph.has_distinct_weights():
+            raise LanguageError(
+                "MST scheme assumes distinct weights (unique MST)"
+            )
+        tree = kruskal(graph)
+        root = rng.randrange(graph.n) if rng is not None else 0
+        pointers = pointers_from_tree(graph, tree, root)
+        return Labeling(
+            {
+                v: None if p is None else graph.port(v, p)
+                for v, p in pointers.items()
+            }
+        )
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        if state is None:
+            return True
+        return isinstance(state, int) and 0 <= state < graph.degree(node)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        choices: list[Any] = [None] + list(range(6))
+        choices = [c for c in choices if c != state]
+        return rng.choice(choices)
+
+
+class MstScheme(ProofLabelingScheme):
+    """Borůvka-trace certificates: ``O(log² n)`` bits."""
+
+    name = "mst-boruvka"
+    size_bound = "O(log^2 n)"
+
+    def __init__(self, language: MstLanguage | None = None) -> None:
+        super().__init__(language or MstLanguage())
+
+    # ------------------------------------------------------------------
+    # Prover.
+    # ------------------------------------------------------------------
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        graph = config.graph
+        pointers = pointers_from_ports(config)
+        structure = pointer_structure(pointers)
+        roots = sorted(structure.roots)
+        root_uid = config.uid(roots[0]) if roots else config.uid(0)
+
+        trace = boruvka_trace(graph)
+        phase_fields: list[dict[int, tuple]] = []
+        for phase in trace.phases:
+            fields: dict[int, tuple] = {}
+            for rep, members in phase.fragments().items():
+                u, v = phase.moe[rep]
+                a = u if phase.fragment[u] == rep else v
+                b = v if a == u else u
+                moe = (graph.weight(u, v), config.uid(a), config.uid(b))
+                t1_dist, t1_parent = self._fragment_tree(graph, members, rep)
+                t2_dist, t2_parent = self._fragment_tree(graph, members, a)
+                for m in members:
+                    fields[m] = (
+                        config.uid(rep),
+                        None if t1_parent[m] is None else config.uid(t1_parent[m]),
+                        t1_dist[m],
+                        moe,
+                        None if t2_parent[m] is None else config.uid(t2_parent[m]),
+                        t2_dist[m],
+                    )
+            phase_fields.append(fields)
+        # Final single-fragment entry.
+        final_rep = trace.final_fragment[0]
+        f_dist, f_parent = self._fragment_tree(graph, set(graph.nodes), final_rep)
+        final_fields = {
+            v: (
+                config.uid(final_rep),
+                None if f_parent[v] is None else config.uid(f_parent[v]),
+                f_dist[v],
+                None,
+                None,
+                0,
+            )
+            for v in graph.nodes
+        }
+        phase_fields.append(final_fields)
+
+        certs: dict[int, Any] = {}
+        for v in graph.nodes:
+            target = pointers[v]
+            certs[v] = (
+                _TAG,
+                root_uid,
+                structure.depth.get(v, 0),
+                None if target is None else config.uid(target),
+                tuple(fields[v] for fields in phase_fields),
+            )
+        return certs
+
+    @staticmethod
+    def _fragment_tree(
+        graph: Graph, members: set[int], root: int
+    ) -> tuple[dict[int, int], dict[int, int | None]]:
+        """BFS tree of the induced subgraph ``G[members]`` from ``root``."""
+        sub, index = graph.induced_subgraph(members)
+        back = {new: old for old, new in index.items()}
+        dist_sub, parent_sub = bfs(sub, index[root])
+        dist = {back[s]: d for s, d in dist_sub.items()}
+        parent = {
+            back[s]: (None if p is None else back[p])
+            for s, p in parent_sub.items()
+        }
+        # Guard: fragments from a Borůvka trace are connected, so the BFS
+        # must cover all members.
+        for m in members:
+            dist.setdefault(m, 0)
+            parent.setdefault(m, None)
+        return dist, parent
+
+    # ------------------------------------------------------------------
+    # Verifier.
+    # ------------------------------------------------------------------
+
+    def verify(self, view: LocalView) -> bool:
+        mine = self._parse(view.certificate)
+        if mine is None:
+            return False
+        root_uid, dist, ptr_echo, phases = mine
+        glimpse_certs: list[tuple] = []
+        for glimpse in view.neighbors:
+            parsed = self._parse(glimpse.certificate)
+            if parsed is None:
+                return False
+            if glimpse.weight is None:
+                return False  # MST needs a weighted network
+            glimpse_certs.append(parsed)
+
+        if not self._check_spanning_tree(view, root_uid, dist, ptr_echo, glimpse_certs):
+            return False
+        length = len(phases)
+        if any(len(parsed[3]) != length for parsed in glimpse_certs):
+            return False
+        # Phase 0 must be the singleton fragmentation.
+        f0 = phases[0]
+        if length > 1 and not (
+            f0[0] == view.uid and f0[1] is None and f0[2] == 0
+        ):
+            return False
+        for i in range(length):
+            if not self._check_phase(view, phases, glimpse_certs, i):
+                return False
+        return self._check_tree_edges_selected(view, ptr_echo, phases, glimpse_certs)
+
+    # -- parsing ---------------------------------------------------------
+
+    @staticmethod
+    def _parse(cert: Any) -> tuple | None:
+        """Validate shape; return (root_uid, dist, ptr_echo, phases)."""
+        if not (isinstance(cert, tuple) and len(cert) == 5 and cert[0] == _TAG):
+            return None
+        _, root_uid, dist, ptr_echo, phases = cert
+        if not (isinstance(dist, int) and dist >= 0):
+            return None
+        if not (isinstance(phases, tuple) and len(phases) >= 1):
+            return None
+        for index, entry in enumerate(phases):
+            if not (isinstance(entry, tuple) and len(entry) == 6):
+                return None
+            f_uid, f_parent, f_dist, moe, m_parent, m_dist = entry
+            if not (isinstance(f_dist, int) and f_dist >= 0):
+                return None
+            if not (isinstance(m_dist, int) and m_dist >= 0):
+                return None
+            last = index == len(phases) - 1
+            if last and moe is not None:
+                return None
+            if not last:
+                if not (isinstance(moe, tuple) and len(moe) == 3):
+                    return None
+                if moe[1] == moe[2]:
+                    return None
+        return root_uid, dist, ptr_echo, phases
+
+    # -- the spanning-tree layer -----------------------------------------
+
+    @staticmethod
+    def _check_spanning_tree(
+        view: LocalView,
+        root_uid: int,
+        dist: int,
+        ptr_echo: Any,
+        glimpse_certs: list[tuple],
+    ) -> bool:
+        for parsed in glimpse_certs:
+            if parsed[0] != root_uid:
+                return False
+        state = view.state
+        if state is None:
+            if ptr_echo is not None:
+                return False
+            return dist == 0 and view.uid == root_uid
+        if not (isinstance(state, int) and 0 <= state < view.degree):
+            return False
+        if dist == 0:
+            return False
+        parent = view.neighbor_at(state)
+        if ptr_echo != parent.uid:
+            return False  # the echo must truthfully name my pointer target
+        return glimpse_certs[state][1] == dist - 1
+
+    # -- per-phase checks ---------------------------------------------------
+
+    def _check_phase(
+        self,
+        view: LocalView,
+        phases: tuple,
+        glimpse_certs: list[tuple],
+        i: int,
+    ) -> bool:
+        f_uid, f_parent, f_dist, moe, m_parent, m_dist = phases[i]
+        last = i == len(phases) - 1
+
+        # T1: connectivity of my fragment toward its designated root.
+        if f_parent is None:
+            if not (view.uid == f_uid and f_dist == 0):
+                return False
+        else:
+            if not self._has_parent_glimpse(
+                view, glimpse_certs, i, f_parent, f_uid, f_dist, tree=1
+            ):
+                return False
+
+        # Same-fragment neighbors must agree on the selected edge, and on
+        # the *next* fragment (merges preserve cohabitation).
+        for port, glimpse in enumerate(view.neighbors):
+            g_phases = glimpse_certs[port][3]
+            if g_phases[i][0] == f_uid:
+                if g_phases[i][3] != moe:
+                    return False
+                if not last and g_phases[i + 1][0] != phases[i + 1][0]:
+                    return False
+
+        if last:
+            # Single fragment: every neighbor shares it.
+            return all(
+                glimpse_certs[port][3][i][0] == f_uid
+                for port in range(view.degree)
+            )
+
+        w, a_uid, b_uid = moe
+        # Minimality: no outgoing edge of mine is cheaper than the claim.
+        for port, glimpse in enumerate(view.neighbors):
+            g_phases = glimpse_certs[port][3]
+            if g_phases[i][0] != f_uid and glimpse.weight < w:
+                return False
+
+        # T2: connectivity toward the selected edge's inner endpoint.
+        if m_parent is None:
+            if view.uid != a_uid or m_dist != 0:
+                return False
+            # I am the inner endpoint: exhibit the edge.
+            if not self._exhibits_selected_edge(
+                view, glimpse_certs, i, f_uid, w, b_uid
+            ):
+                return False
+        else:
+            if not self._has_parent_glimpse(
+                view, glimpse_certs, i, m_parent, f_uid, m_dist, tree=2
+            ):
+                return False
+
+        # Merge along the selected edge: its endpoints share the next
+        # fragment identifier.
+        for port, glimpse in enumerate(view.neighbors):
+            g_phases = glimpse_certs[port][3]
+            pair = {view.uid, glimpse.uid}
+            mine_selected = moe is not None and {moe[1], moe[2]} == pair
+            g_moe = g_phases[i][3]
+            theirs_selected = g_moe is not None and {g_moe[1], g_moe[2]} == pair
+            if mine_selected or theirs_selected:
+                if g_phases[i + 1][0] != phases[i + 1][0]:
+                    return False
+        return True
+
+    @staticmethod
+    def _has_parent_glimpse(
+        view: LocalView,
+        glimpse_certs: list[tuple],
+        i: int,
+        parent_uid: int,
+        f_uid: int,
+        my_dist: int,
+        tree: int,
+    ) -> bool:
+        """A same-fragment neighbor named ``parent_uid`` one hop closer to
+        the root of T1 (``tree=1``) or T2 (``tree=2``)."""
+        dist_index = 2 if tree == 1 else 5
+        for port, glimpse in enumerate(view.neighbors):
+            if glimpse.uid != parent_uid:
+                continue
+            entry = glimpse_certs[port][3][i]
+            if entry[0] == f_uid and entry[dist_index] == my_dist - 1:
+                return True
+        return False
+
+    @staticmethod
+    def _exhibits_selected_edge(
+        view: LocalView,
+        glimpse_certs: list[tuple],
+        i: int,
+        f_uid: int,
+        w: float,
+        b_uid: int,
+    ) -> bool:
+        """The selected edge exists here: an outgoing neighbor ``b`` with
+        ground-truth weight ``w``, and the edge is part of the certified
+        tree (one endpoint points at the other)."""
+        for port, glimpse in enumerate(view.neighbors):
+            if glimpse.uid != b_uid:
+                continue
+            if glimpse.weight != w:
+                continue
+            if glimpse_certs[port][3][i][0] == f_uid:
+                continue  # not outgoing after all
+            points_out = view.state == port
+            points_in = glimpse_certs[port][2] == view.uid  # their echo names me
+            if points_out or points_in:
+                return True
+        return False
+
+    # -- coverage: every tree edge was selected ------------------------------
+
+    @staticmethod
+    def _check_tree_edges_selected(
+        view: LocalView,
+        ptr_echo: Any,
+        phases: tuple,
+        glimpse_certs: list[tuple],
+    ) -> bool:
+        length = len(phases)
+        for port, glimpse in enumerate(view.neighbors):
+            parsed = glimpse_certs[port]
+            is_tree_edge = view.state == port or parsed[2] == view.uid
+            if not is_tree_edge:
+                continue
+            pair = {view.uid, glimpse.uid}
+            covered = False
+            for i in range(length - 1):
+                for candidate in (phases[i][3], parsed[3][i][3]):
+                    if (
+                        candidate is not None
+                        and {candidate[1], candidate[2]} == pair
+                        and candidate[0] == glimpse.weight
+                    ):
+                        covered = True
+                        break
+                if covered:
+                    break
+            if not covered:
+                return False
+        return True

@@ -1,0 +1,92 @@
+"""Regular subgraphs — the language without a compact scheme.
+
+Each node's state lists (by port) its incident edges of a claimed
+subgraph ``H``; the configuration is a member iff the listing is mutual
+and every node has the *same* ``H``-degree.  The degree itself is not
+part of the input — that global uniformity is what makes the language
+hard: gluing two legal instances of different degrees produces an
+instance that is far from legal yet locally looks fine almost
+everywhere.
+
+The library certifies it with the universal scheme (``O(n²)`` bits);
+:func:`regular_universal_scheme` is the packaged combination.  The
+mismatch between this quadratic cost and the logarithmic cost of the
+tree languages is one of the summary-table contrasts (T1/T3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.universal import UniversalScheme
+from repro.graphs.graph import Graph
+from repro.graphs.subgraphs import edges_from_lists, lists_are_consistent
+
+__all__ = ["RegularSubgraphLanguage", "regular_universal_scheme"]
+
+
+class RegularSubgraphLanguage(DistributedLanguage):
+    """Mutually listed edges forming a regular subgraph."""
+
+    name = "regular-subgraph"
+
+    def is_member(self, config: Configuration) -> bool:
+        graph = config.graph
+        lists: dict[int, frozenset[int]] = {}
+        for v in graph.nodes:
+            state = config.state(v)
+            if not self.validate_state(graph, v, state):
+                return False
+            lists[v] = frozenset(graph.neighbor_at(v, p) for p in state)
+        if not lists_are_consistent(graph, lists):
+            return False
+        edges = edges_from_lists(lists)
+        degree = {v: 0 for v in graph.nodes}
+        for u, v in edges:
+            degree[u] += 1
+            degree[v] += 1
+        return len(set(degree.values())) <= 1
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        """The empty subgraph is 0-regular on every graph.
+
+        With randomness, tries a perfect matching first (a 1-regular
+        witness), falling back to the empty subgraph.
+        """
+        if rng is not None and graph.n % 2 == 0:
+            from repro.schemes.matching import _perfect_matching
+
+            matching = _perfect_matching(graph, rng)
+            if matching is not None:
+                return Labeling(
+                    {
+                        v: frozenset({graph.port(v, matching[v])})
+                        for v in graph.nodes
+                    }
+                )
+        return Labeling.uniform(graph.nodes, frozenset())
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        if not isinstance(state, frozenset):
+            return False
+        return all(
+            isinstance(p, int) and 0 <= p < graph.degree(node) for p in state
+        )
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        if not isinstance(state, frozenset):
+            return frozenset()
+        return state ^ {rng.randrange(6)}
+
+
+def regular_universal_scheme() -> UniversalScheme:
+    """The universal scheme instantiated for regular subgraphs."""
+    return UniversalScheme(RegularSubgraphLanguage())

@@ -1,0 +1,341 @@
+"""Spanning trees: the paper's flagship ``Θ(log n)`` certificate.
+
+Two encodings of "the configuration describes a spanning tree":
+
+* **pointer encoding** (:class:`SpanningTreePointerLanguage`) — each
+  node's state is the port of its tree parent, or ``None`` for the root.
+  The classic scheme certifies with ``(root_uid, dist)``: everyone agrees
+  on the root identifier with neighbors; distance counters decrease by
+  exactly one toward the parent; a counter of 0 forces ``uid ==
+  root_uid`` and forces being the root.  All-accept then implies the
+  pointers form one tree spanning the (connected) graph.
+
+* **list encoding** (:class:`SpanningTreeListLanguage`) — each node's
+  state is the *set of ports* of its tree-adjacent neighbors, mutual by
+  membership.  Under KKP visibility the verifier cannot see neighbor
+  lists, so the scheme echoes each node's listed uids into its
+  certificate — ``O(Δ log n)`` bits; with FULL visibility the echo is
+  dropped and the scheme is ``Θ(log n)`` again.  The measured gap is one
+  of the model-comparison experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView, Visibility
+from repro.graphs.graph import Graph
+from repro.graphs.subgraphs import (
+    edges_from_lists,
+    lists_are_consistent,
+    pointers_form_spanning_tree,
+)
+from repro.graphs.traversal import bfs, is_spanning_tree_edges
+from repro.schemes.acyclic import pointers_from_ports
+
+__all__ = [
+    "SpanningTreeListLanguage",
+    "SpanningTreeListScheme",
+    "SpanningTreePointerLanguage",
+    "SpanningTreePointerScheme",
+]
+
+
+# ---------------------------------------------------------------------------
+# Pointer encoding (the paper's STP).
+# ---------------------------------------------------------------------------
+
+
+class SpanningTreePointerLanguage(DistributedLanguage):
+    """States are parent ports (``None`` = root); member iff they form a
+    spanning tree of the graph."""
+
+    name = "spanning-tree-ptr"
+
+    def is_member(self, config: Configuration) -> bool:
+        graph = config.graph
+        for v in graph.nodes:
+            if not self.validate_state(graph, v, config.state(v)):
+                return False
+        return pointers_form_spanning_tree(graph, pointers_from_ports(config))
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        root = rng.randrange(graph.n) if rng is not None else 0
+        _, parent = bfs(graph, root)
+        states: dict[int, Any] = {}
+        for v in graph.nodes:
+            p = parent[v]
+            states[v] = None if p is None else graph.port(v, p)
+        return Labeling(states)
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        if state is None:
+            return True
+        return isinstance(state, int) and 0 <= state < graph.degree(node)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        choices: list[Any] = [None] + list(range(6))
+        choices = [c for c in choices if c != state]
+        return rng.choice(choices)
+
+
+class SpanningTreePointerScheme(ProofLabelingScheme):
+    """``(root_uid, dist)`` certificates — ``Θ(log n)`` bits."""
+
+    name = "spanning-tree-ptr"
+    size_bound = "Theta(log n)"
+
+    def __init__(self, language: SpanningTreePointerLanguage | None = None) -> None:
+        super().__init__(language or SpanningTreePointerLanguage())
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        from repro.graphs.subgraphs import pointer_structure
+
+        pointers = pointers_from_ports(config)
+        structure = pointer_structure(pointers)
+        roots = sorted(structure.roots)
+        root_uid = config.uid(roots[0]) if roots else config.uid(0)
+        # Best effort: certify distances in the pointer forest; off-language
+        # inputs leave some check failing, as they must.
+        return {
+            v: (root_uid, structure.depth.get(v, 0)) for v in config.graph.nodes
+        }
+
+    def verify(self, view: LocalView) -> bool:
+        cert = view.certificate
+        if not (isinstance(cert, tuple) and len(cert) == 2):
+            return False
+        root_uid, dist = cert
+        if not (isinstance(dist, int) and dist >= 0):
+            return False
+        for glimpse in view.neighbors:
+            g_cert = glimpse.certificate
+            if not (isinstance(g_cert, tuple) and len(g_cert) == 2):
+                return False
+            if g_cert[0] != root_uid:
+                return False
+        state = view.state
+        if state is None:
+            return dist == 0 and view.uid == root_uid
+        if not (isinstance(state, int) and 0 <= state < view.degree):
+            return False
+        if dist == 0:
+            return False  # distance 0 is reserved for the root
+        parent = view.neighbor_at(state)
+        p_cert = parent.certificate
+        return isinstance(p_cert, tuple) and len(p_cert) == 2 and p_cert[1] == dist - 1
+
+
+# ---------------------------------------------------------------------------
+# List encoding (STL).
+# ---------------------------------------------------------------------------
+
+
+class SpanningTreeListLanguage(DistributedLanguage):
+    """States are frozensets of ports; member iff the mutually listed
+    edges form a spanning tree and listing is symmetric."""
+
+    name = "spanning-tree-list"
+
+    def is_member(self, config: Configuration) -> bool:
+        graph = config.graph
+        lists: dict[int, frozenset[int]] = {}
+        for v in graph.nodes:
+            state = config.state(v)
+            if not self.validate_state(graph, v, state):
+                return False
+            lists[v] = frozenset(graph.neighbor_at(v, p) for p in state)
+        if not lists_are_consistent(graph, lists):
+            return False
+        return is_spanning_tree_edges(graph, edges_from_lists(lists))
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        root = rng.randrange(graph.n) if rng is not None else 0
+        _, parent = bfs(graph, root)
+        adjacent: dict[int, set[int]] = {v: set() for v in graph.nodes}
+        for v, p in parent.items():
+            if p is not None:
+                adjacent[v].add(p)
+                adjacent[p].add(v)
+        return Labeling(
+            {
+                v: frozenset(graph.port(v, u) for u in adjacent[v])
+                for v in graph.nodes
+            }
+        )
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        if not isinstance(state, frozenset):
+            return False
+        return all(
+            isinstance(p, int) and 0 <= p < graph.degree(node) for p in state
+        )
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        if not isinstance(state, frozenset):
+            return frozenset({0})
+        port = rng.randrange(6)
+        return state ^ {port}  # toggle one port in the listing
+
+
+class SpanningTreeListScheme(ProofLabelingScheme):
+    """Tree certificate plus (under KKP) an echo of the listed uids.
+
+    Certificate: ``(root_uid, parent_uid, dist, echo)`` where ``echo`` is
+    the sorted tuple of listed neighbor uids (``None`` under FULL
+    visibility, where neighbor lists are directly observable).
+
+    Every listed edge must be a parent/child edge of the certified tree,
+    which pins the listed edge set to exactly the tree's edges.
+    """
+
+    name = "spanning-tree-list"
+    size_bound = "O(Delta log n) [KKP] / Theta(log n) [FULL]"
+
+    def __init__(
+        self,
+        language: SpanningTreeListLanguage | None = None,
+        visibility: Visibility = Visibility.KKP,
+    ) -> None:
+        super().__init__(language or SpanningTreeListLanguage())
+        self.visibility = visibility
+        self.name = (
+            "spanning-tree-list-echo"
+            if visibility is Visibility.KKP
+            else "spanning-tree-list-full"
+        )
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        graph = config.graph
+        edges = self._listed_edges(config)
+        tree = Graph(graph.n, sorted(edges)) if edges else Graph(graph.n)
+        dist, parent = bfs(tree, 0)
+        root_uid = config.uid(0)
+        certs: dict[int, Any] = {}
+        for v in graph.nodes:
+            echo: tuple[int, ...] | None = None
+            if self.visibility is Visibility.KKP:
+                echo = self._echo(config, v)
+            p = parent.get(v)
+            certs[v] = (
+                root_uid,
+                config.uid(v) if p is None else config.uid(p),
+                dist.get(v, 0),
+                echo,
+            )
+        return certs
+
+    @staticmethod
+    def _listed_edges(config: Configuration) -> set[tuple[int, int]]:
+        graph = config.graph
+        lists: dict[int, frozenset[int]] = {}
+        for v in graph.nodes:
+            state = config.state(v)
+            if isinstance(state, frozenset) and all(
+                isinstance(p, int) and 0 <= p < graph.degree(v) for p in state
+            ):
+                lists[v] = frozenset(graph.neighbor_at(v, p) for p in state)
+            else:
+                lists[v] = frozenset()
+        return edges_from_lists(lists)
+
+    @staticmethod
+    def _echo(config: Configuration, node: int) -> tuple[int, ...]:
+        graph = config.graph
+        state = config.state(node)
+        if not isinstance(state, frozenset):
+            return ()
+        uids = [
+            config.uid(graph.neighbor_at(node, p))
+            for p in state
+            if isinstance(p, int) and 0 <= p < graph.degree(node)
+        ]
+        return tuple(sorted(uids))
+
+    def verify(self, view: LocalView) -> bool:
+        cert = view.certificate
+        if not (isinstance(cert, tuple) and len(cert) == 4):
+            return False
+        root_uid, parent_uid, dist, echo = cert
+        if not (isinstance(dist, int) and dist >= 0):
+            return False
+        state = view.state
+        if not isinstance(state, frozenset) or not all(
+            isinstance(p, int) and 0 <= p < view.degree for p in state
+        ):
+            return False
+        listed_uids = frozenset(view.neighbor_at(p).uid for p in state)
+
+        # Echo truthfulness (KKP) and root agreement with all neighbors.
+        if self.visibility is Visibility.KKP:
+            if echo is None or frozenset(echo) != listed_uids:
+                return False
+        for glimpse in view.neighbors:
+            g_cert = glimpse.certificate
+            if not (isinstance(g_cert, tuple) and len(g_cert) == 4):
+                return False
+            if g_cert[0] != root_uid:
+                return False
+
+        # Symmetry: whoever I list must list me back.
+        for port in state:
+            glimpse = view.neighbor_at(port)
+            if not self._lists_me(glimpse, view.uid):
+                return False
+
+        # Tree shape: distance counters toward the root, and every listed
+        # edge is a parent/child edge.
+        if dist == 0:
+            if view.uid != root_uid or parent_uid != view.uid:
+                return False
+        else:
+            if parent_uid not in listed_uids:
+                return False
+            parent = view.neighbor_by_uid(parent_uid)
+            if parent is None:
+                return False
+            p_cert = parent.certificate
+            if not (isinstance(p_cert, tuple) and len(p_cert) == 4):
+                return False
+            if p_cert[2] != dist - 1:
+                return False
+        for port in state:
+            glimpse = view.neighbor_at(port)
+            g_cert = glimpse.certificate
+            if not (isinstance(g_cert, tuple) and len(g_cert) == 4):
+                return False
+            is_my_parent = dist > 0 and glimpse.uid == parent_uid
+            is_my_child = g_cert[1] == view.uid and g_cert[2] == dist + 1
+            if not (is_my_parent or is_my_child):
+                return False
+        return True
+
+    def _lists_me(self, glimpse, my_uid: int) -> bool:
+        """Does the neighbor (per echo or visible state) list me?"""
+        if self.visibility is Visibility.KKP:
+            g_cert = glimpse.certificate
+            if not (isinstance(g_cert, tuple) and len(g_cert) == 4):
+                return False
+            echo = g_cert[3]
+            return isinstance(echo, tuple) and my_uid in echo
+        # FULL visibility: the neighbor's state is visible and its port
+        # for our shared edge (back_port) is channel ground truth, so
+        # mutuality is directly checkable.
+        return (
+            isinstance(glimpse.state, frozenset)
+            and glimpse.back_port in glimpse.state
+        )

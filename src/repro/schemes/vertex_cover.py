@@ -1,0 +1,80 @@
+"""Vertex cover membership.
+
+States are booleans; a configuration is a member iff every edge has at
+least one marked endpoint.  Like the other locally checkable predicates,
+the KKP scheme just echoes the bit: an edge with two unmarked endpoints
+is noticed by both of them through the echoes.  ``O(1)`` proof size.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import LocalView
+from repro.graphs.graph import Graph
+
+__all__ = ["VertexCoverLanguage", "VertexCoverScheme"]
+
+
+class VertexCoverLanguage(DistributedLanguage):
+    """Member iff the marked nodes cover every edge."""
+
+    name = "vertex-cover"
+
+    def is_member(self, config: Configuration) -> bool:
+        graph = config.graph
+        for v in graph.nodes:
+            if not isinstance(config.state(v), bool):
+                return False
+        return all(
+            config.state(u) or config.state(v) for u, v in graph.edges()
+        )
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        """The classic 2-approximation: both endpoints of a greedy
+        maximal matching."""
+        order = list(graph.edges())
+        if rng is not None:
+            rng.shuffle(order)
+        covered: set[int] = set()
+        for u, v in order:
+            if u not in covered and v not in covered:
+                covered.add(u)
+                covered.add(v)
+        return Labeling({v: v in covered for v in graph.nodes})
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        return isinstance(state, bool)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        return not state
+
+
+class VertexCoverScheme(ProofLabelingScheme):
+    """Echo the membership bit; unmarked nodes demand marked neighbors."""
+
+    name = "vertex-cover-echo"
+    size_bound = "O(1)"
+
+    def __init__(self, language: VertexCoverLanguage | None = None) -> None:
+        super().__init__(language or VertexCoverLanguage())
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        return {v: bool(config.state(v)) for v in config.graph.nodes}
+
+    def verify(self, view: LocalView) -> bool:
+        if not isinstance(view.state, bool) or view.certificate != view.state:
+            return False
+        if not view.state:
+            # Every incident edge must be covered from the other side.
+            return all(g.certificate is True for g in view.neighbors)
+        return True

@@ -1,0 +1,33 @@
+"""Self-stabilization: state model, max-root BFS protocol, PLS detection
+and reset experiments."""
+
+from repro.selfstab.detector import DetectionReport, PlsDetector
+from repro.selfstab.model import (
+    SelfStabProtocol,
+    StabilizationTrace,
+    run_until_silent,
+    synchronous_round,
+)
+from repro.selfstab.leader_protocol import SilentLeaderProtocol
+from repro.selfstab.protocol import MaxRootBfsProtocol
+from repro.selfstab.reset import (
+    RecoveryTrace,
+    inject_faults,
+    run_guarded,
+    run_with_global_reset,
+)
+
+__all__ = [
+    "DetectionReport",
+    "MaxRootBfsProtocol",
+    "PlsDetector",
+    "RecoveryTrace",
+    "SelfStabProtocol",
+    "SilentLeaderProtocol",
+    "StabilizationTrace",
+    "inject_faults",
+    "run_guarded",
+    "run_until_silent",
+    "run_with_global_reset",
+    "synchronous_round",
+]

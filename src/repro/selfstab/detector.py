@@ -1,0 +1,84 @@
+"""PLS-based fault detection over self-stabilizing protocol states.
+
+A protocol's registers decompose into an output labeling and a
+certificate (see :class:`~repro.selfstab.model.SelfStabProtocol`); the
+detector assembles the current configuration from the outputs, takes the
+embedded certificates, and runs a scheme's one-round verifier.  An empty
+reject set means the system looks legitimate from everywhere; any
+non-empty set is a local alarm raised exactly one round after the
+verified data went bad — the paper's detection guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.labeling import Configuration
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import Verdict
+from repro.local.network import Network
+from repro.selfstab.model import SelfStabProtocol
+
+__all__ = ["DetectionReport", "PlsDetector"]
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Result of one detection sweep."""
+
+    verdict: Verdict
+    legitimate: bool  # ground truth: is the output labeling in the language?
+
+    @property
+    def alarmed(self) -> bool:
+        return not self.verdict.all_accept
+
+    @property
+    def false_negative(self) -> bool:
+        """Illegal output but nobody alarmed — must never happen."""
+        return (not self.legitimate) and (not self.alarmed)
+
+    @property
+    def false_positive(self) -> bool:
+        """Legal output but alarms anyway.
+
+        Possible in general (the *certificates* may be stale even when
+        the output is fine); the experiments report it separately.
+        """
+        return self.legitimate and self.alarmed
+
+
+class PlsDetector:
+    """Bind a scheme to a protocol's state decomposition."""
+
+    def __init__(self, scheme: ProofLabelingScheme, protocol: SelfStabProtocol) -> None:
+        self.scheme = scheme
+        self.protocol = protocol
+
+    def configuration(
+        self, network: Network, states: Mapping[int, Any]
+    ) -> Configuration:
+        contexts = network.contexts()
+        outputs = {
+            v: self.protocol.output(contexts[v], states[v])
+            for v in network.graph.nodes
+        }
+        return Configuration.build(network.graph, outputs, ids=network.ids)
+
+    def certificates(
+        self, network: Network, states: Mapping[int, Any]
+    ) -> dict[int, Any]:
+        contexts = network.contexts()
+        return {
+            v: self.protocol.certificate(contexts[v], states[v])
+            for v in network.graph.nodes
+        }
+
+    def sweep(self, network: Network, states: Mapping[int, Any]) -> DetectionReport:
+        """One verification round over the current registers."""
+        config = self.configuration(network, states)
+        certs = self.certificates(network, states)
+        verdict = self.scheme.run(config, certificates=certs)
+        legitimate = self.scheme.language.is_member(config)
+        return DetectionReport(verdict=verdict, legitimate=legitimate)

@@ -1,0 +1,82 @@
+"""Silent self-stabilizing leader election, certified by the leader scheme.
+
+A companion protocol to :class:`~repro.selfstab.protocol.MaxRootBfsProtocol`
+that certifies a different language with the same detection machinery:
+the register is ``(self_uid, leader_uid, parent_uid, dist)``; each round
+a node adopts the largest leader claim in its closed neighborhood,
+recording the *uid* of the neighbor it heard it from and the claimed
+distance plus one.  Stabilized registers elect the maximum uid, and the
+``(leader_uid, parent_uid, dist)`` slice is *exactly* the certificate of
+:class:`~repro.schemes.leader.LeaderScheme` — so a
+:class:`~repro.selfstab.detector.PlsDetector` built from the leader
+scheme watches the silent election for free.
+
+The self-uid field is defensive: registers are adversarially corruptible,
+and a register lying about its owner's uid would poison neighbors'
+``parent_uid`` records; the step function therefore rewrites the field
+every round, and the verifier's uid checks (ground truth) catch the rest.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping
+
+from repro.local.algorithm import NodeContext
+from repro.selfstab.model import SelfStabProtocol
+
+__all__ = ["SilentLeaderProtocol"]
+
+
+class SilentLeaderProtocol(SelfStabProtocol):
+    """Registers ``(self_uid, leader_uid, parent_uid, dist)``."""
+
+    name = "silent-leader"
+
+    def initial_state(self, ctx: NodeContext) -> Any:
+        return (ctx.uid, ctx.uid, ctx.uid, 0)
+
+    def random_state(self, ctx: NodeContext, rng: random.Random) -> Any:
+        return (
+            ctx.uid,
+            rng.randrange(1, 4 * max(2, ctx.n)),
+            rng.randrange(1, 4 * max(2, ctx.n)),
+            rng.randrange(2 * max(1, ctx.n)),
+        )
+
+    def step(
+        self, ctx: NodeContext, state: Any, neighbor_states: Mapping[int, Any]
+    ) -> Any:
+        best = (ctx.uid, ctx.uid, 0)  # (leader, parent_uid, dist)
+        for port in sorted(neighbor_states):
+            register = neighbor_states[port]
+            if not (isinstance(register, tuple) and len(register) == 4):
+                continue
+            their_uid, their_leader, _, their_dist = register
+            if not (
+                isinstance(their_leader, int)
+                and isinstance(their_dist, int)
+                and isinstance(their_uid, int)
+            ):
+                continue
+            if their_leader <= 0 or their_dist < 0 or their_dist + 1 >= ctx.n:
+                continue
+            candidate = (their_leader, their_uid, their_dist + 1)
+            if candidate[0] > best[0] or (
+                candidate[0] == best[0] and candidate[2] < best[2]
+            ):
+                best = candidate
+        leader, parent_uid, dist = best
+        return (ctx.uid, leader, parent_uid, dist)
+
+    def output(self, ctx: NodeContext, state: Any) -> Any:
+        """The leader-language labeling: am I the leader?"""
+        if isinstance(state, tuple) and len(state) == 4:
+            return bool(state[1] == ctx.uid)
+        return False
+
+    def certificate(self, ctx: NodeContext, state: Any) -> Any:
+        """The :class:`LeaderScheme` certificate slice."""
+        if isinstance(state, tuple) and len(state) == 4:
+            return (state[1], state[2], state[3])
+        return None

@@ -1,0 +1,137 @@
+"""Self-stabilization substrate: state model, synchronous daemon.
+
+The paper's motivating application: proof-labeling schemes let a *silent*
+distributed algorithm check, in one round and forever after, that its
+output still satisfies the target predicate — turning transient faults
+into locally detected events.
+
+The model here is the classic shared-state one: each node holds a state
+register its neighbors can read; a **synchronous daemon** activates every
+node each round, and a node's next state is a function of its own and its
+neighbors' current states.  A configuration is *silent* when a round
+changes no register.  Initial states are arbitrary (adversarial) — that
+is the whole point of self-stabilization.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import SimulationError
+from repro.local.algorithm import NodeContext
+from repro.local.network import Network
+
+__all__ = ["SelfStabProtocol", "StabilizationTrace", "run_until_silent", "synchronous_round"]
+
+
+class SelfStabProtocol(ABC):
+    """A guarded-rule protocol under the synchronous daemon.
+
+    Besides the transition function, protocols expose their *output*
+    (the piece of state that the target distributed language judges) and
+    their *certificate* (the piece that a proof-labeling scheme
+    verifies) — silent states double as certified states, which is the
+    paper's bridge between schemes and self-stabilization.
+    """
+
+    name: str = "selfstab"
+
+    @abstractmethod
+    def initial_state(self, ctx: NodeContext) -> Any:
+        """The clean-start state (also the local-reset target)."""
+
+    @abstractmethod
+    def random_state(self, ctx: NodeContext, rng: random.Random) -> Any:
+        """An arbitrary (adversarial) state for fault injection."""
+
+    @abstractmethod
+    def step(
+        self, ctx: NodeContext, state: Any, neighbor_states: Mapping[int, Any]
+    ) -> Any:
+        """Next state from own and neighbors' current states.
+
+        ``neighbor_states`` maps each port to the neighbor's register.
+        Must be deterministic: silence detection compares fixpoints.
+        """
+
+    @abstractmethod
+    def output(self, ctx: NodeContext, state: Any) -> Any:
+        """The output-labeling component of a state."""
+
+    @abstractmethod
+    def certificate(self, ctx: NodeContext, state: Any) -> Any:
+        """The proof-labeling certificate embedded in a state."""
+
+
+@dataclass
+class StabilizationTrace:
+    """History of a run under the synchronous daemon."""
+
+    rounds: int
+    silent: bool
+    states: dict[int, Any]
+    changes_per_round: list[int] = field(default_factory=list)
+
+    @property
+    def stabilization_round(self) -> int:
+        """First round after which nothing changed (== ``rounds`` when
+        the run went silent exactly at the end)."""
+        for index in range(len(self.changes_per_round), 0, -1):
+            if self.changes_per_round[index - 1] > 0:
+                return index
+        return 0
+
+
+def synchronous_round(
+    network: Network,
+    protocol: SelfStabProtocol,
+    states: Mapping[int, Any],
+) -> dict[int, Any]:
+    """One activation of every node (reads all happen before writes)."""
+    graph = network.graph
+    contexts = network.contexts()
+    next_states: dict[int, Any] = {}
+    for v in graph.nodes:
+        neighbor_states = {
+            port: states[nb] for port, nb in enumerate(graph.neighbors(v))
+        }
+        next_states[v] = protocol.step(contexts[v], states[v], neighbor_states)
+    return next_states
+
+
+def run_until_silent(
+    network: Network,
+    protocol: SelfStabProtocol,
+    states: Mapping[int, Any] | None = None,
+    max_rounds: int = 10_000,
+) -> StabilizationTrace:
+    """Run to a silent configuration (fixpoint of the daemon).
+
+    Starts from ``states`` (default: clean initial states) and raises
+    :class:`~repro.errors.SimulationError` if the round budget is
+    exhausted first — a protocol that does not stabilize is a bug here.
+    """
+    contexts = network.contexts()
+    if states is None:
+        current = {v: protocol.initial_state(contexts[v]) for v in network.graph.nodes}
+    else:
+        current = dict(states)
+    changes: list[int] = []
+    for round_index in range(max_rounds):
+        nxt = synchronous_round(network, protocol, current)
+        changed = sum(1 for v in current if nxt[v] != current[v])
+        changes.append(changed)
+        current = nxt
+        if changed == 0:
+            return StabilizationTrace(
+                rounds=round_index + 1,
+                silent=True,
+                states=current,
+                changes_per_round=changes,
+            )
+    raise SimulationError(
+        f"{protocol.name} did not go silent within {max_rounds} rounds"
+    )

@@ -1,0 +1,91 @@
+"""Silent self-stabilizing spanning-tree construction.
+
+The classic max-root BFS protocol: every node maintains
+``(root_uid, parent_port, dist)``; each round it adopts the largest root
+identifier claimed in its closed neighborhood, attaching below the
+neighbor offering that root at the smallest distance.  Claims whose
+distance would reach ``n`` are discarded, which starves fake root
+identifiers (no node re-issues them at distance 0), so the protocol
+stabilizes from *any* initial state to the BFS tree rooted at the
+maximum-uid node, in ``O(n)`` rounds — and is then silent.
+
+Crucially for the paper's story, the stabilized registers *are* the
+proof-labeling data: the output component is the parent port (the
+spanning-tree-by-pointers labeling) and the certificate component is
+``(root_uid, dist)`` — exactly what
+:class:`~repro.schemes.spanning_tree.SpanningTreePointerScheme` (and,
+since the tree is BFS, :class:`~repro.schemes.bfs_tree.BfsTreeScheme`)
+verifies.  A silent legitimate state passes verification at every node;
+any transient fault is caught by the one-round verifier.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping
+
+from repro.local.algorithm import NodeContext
+from repro.selfstab.model import SelfStabProtocol
+
+__all__ = ["MaxRootBfsProtocol"]
+
+
+class MaxRootBfsProtocol(SelfStabProtocol):
+    """States ``(root_uid, parent_port_or_None, dist)``."""
+
+    name = "max-root-bfs"
+
+    def initial_state(self, ctx: NodeContext) -> Any:
+        return (ctx.uid, None, 0)
+
+    def random_state(self, ctx: NodeContext, rng: random.Random) -> Any:
+        root = rng.randrange(1, 4 * max(2, ctx.n))
+        parent = None if ctx.degree == 0 or rng.random() < 0.3 else rng.randrange(ctx.degree)
+        dist = rng.randrange(2 * max(1, ctx.n))
+        return (root, parent, dist)
+
+    def step(
+        self, ctx: NodeContext, state: Any, neighbor_states: Mapping[int, Any]
+    ) -> Any:
+        # Candidate claims: become my own root, or attach below a
+        # neighbor whose claim is well-formed and within the distance
+        # bound.  Preference: larger root uid, then smaller distance,
+        # then smaller port (determinism).
+        best = (ctx.uid, None, 0)
+        for port in range(ctx.degree):
+            neighbor = neighbor_states.get(port)
+            if not (isinstance(neighbor, tuple) and len(neighbor) == 3):
+                continue
+            root, _, dist = neighbor
+            if not (isinstance(root, int) and isinstance(dist, int)):
+                continue
+            if root <= 0 or dist < 0 or dist + 1 >= ctx.n:
+                continue
+            candidate = (root, port, dist + 1)
+            if self._better(candidate, best):
+                best = candidate
+        return best
+
+    @staticmethod
+    def _better(candidate: tuple, incumbent: tuple) -> bool:
+        c_root, c_port, c_dist = candidate
+        i_root, i_port, i_dist = incumbent
+        if c_root != i_root:
+            return c_root > i_root
+        if c_dist != i_dist:
+            return c_dist < i_dist
+        return (c_port if c_port is not None else -1) < (
+            i_port if i_port is not None else -1
+        )
+
+    def output(self, ctx: NodeContext, state: Any) -> Any:
+        """The spanning-tree-by-pointers labeling component."""
+        if isinstance(state, tuple) and len(state) == 3:
+            return state[1]
+        return None
+
+    def certificate(self, ctx: NodeContext, state: Any) -> Any:
+        """The ``(root_uid, dist)`` proof for the pointer scheme."""
+        if isinstance(state, tuple) and len(state) == 3:
+            return (state[0], state[2])
+        return None

@@ -1,0 +1,31 @@
+"""Shared low-level utilities: bit codecs, RNG discipline, id spaces."""
+
+from repro.util.bits import (
+    BitReader,
+    BitWriter,
+    decode_obj,
+    encode_obj,
+    obj_bit_size,
+)
+from repro.util.idspace import (
+    adversarial_ids,
+    contiguous_ids,
+    permuted_ids,
+    random_ids,
+    validate_ids,
+)
+from repro.util.rng import make_rng
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "adversarial_ids",
+    "contiguous_ids",
+    "decode_obj",
+    "encode_obj",
+    "make_rng",
+    "obj_bit_size",
+    "permuted_ids",
+    "random_ids",
+    "validate_ids",
+]

@@ -1,0 +1,354 @@
+"""Bit-level encoding of certificates and messages.
+
+Proof-labeling schemes are measured by their *proof size*: the maximum
+number of bits in any node's certificate.  To keep that measurement
+honest, every certificate produced by this library is actually serialised
+to a bitstring by the codecs in this module, and "size" always means the
+length of that bitstring — never a Python ``sys.getsizeof``.
+
+Two layers are provided:
+
+* primitive codecs — fixed-width unsigned integers, Elias-gamma
+  self-delimiting naturals, zig-zag signed integers, booleans, byte
+  strings;
+* a generic tagged codec (:func:`encode_obj` / :func:`decode_obj`) that
+  round-trips ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``,
+  ``tuple``, ``list`` and ``dict`` values.  Schemes whose certificates are
+  plain tuples of integers can rely on it directly.
+
+The :class:`BitWriter` / :class:`BitReader` pair implements the streams.
+Bits are stored as Python strings of ``'0'``/``'1'`` characters: the
+volumes involved in the experiments (thousands of certificates of at most
+a few kilobits) make the simplicity worth far more than a packed
+representation.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Any, Iterable, Iterator
+
+from repro.errors import EncodingError
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "bit_length",
+    "decode_obj",
+    "encode_obj",
+    "elias_gamma",
+    "elias_gamma_decode",
+    "fixed_uint",
+    "fixed_uint_decode",
+    "obj_bit_size",
+    "zigzag",
+    "zigzag_decode",
+]
+
+
+def bit_length(value: int) -> int:
+    """Number of bits needed to write ``value`` in binary (at least 1).
+
+    >>> bit_length(0), bit_length(1), bit_length(8)
+    (1, 1, 4)
+    """
+    if value < 0:
+        raise EncodingError(f"bit_length is defined for naturals, got {value}")
+    return max(1, value.bit_length())
+
+
+def fixed_uint(value: int, width: int) -> str:
+    """Encode ``value`` as exactly ``width`` bits, most significant first."""
+    if width <= 0:
+        raise EncodingError(f"width must be positive, got {width}")
+    if value < 0 or value >= (1 << width):
+        raise EncodingError(f"{value} does not fit in {width} bits")
+    return format(value, f"0{width}b")
+
+
+def fixed_uint_decode(bits: str) -> int:
+    """Inverse of :func:`fixed_uint` for a complete bitstring."""
+    if not bits or any(b not in "01" for b in bits):
+        raise EncodingError(f"not a bitstring: {bits!r}")
+    return int(bits, 2)
+
+
+def elias_gamma(value: int) -> str:
+    """Elias-gamma code of a *positive* integer.
+
+    The code of ``v`` is ``floor(log2 v)`` zeros followed by the binary
+    expansion of ``v``; it is self-delimiting and has length
+    ``2*floor(log2 v) + 1``.
+
+    >>> elias_gamma(1), elias_gamma(2), elias_gamma(5)
+    ('1', '010', '00101')
+    """
+    if value <= 0:
+        raise EncodingError(f"Elias gamma encodes positive ints, got {value}")
+    binary = format(value, "b")
+    return "0" * (len(binary) - 1) + binary
+
+
+def elias_gamma_decode(bits: str, start: int = 0) -> tuple[int, int]:
+    """Decode one gamma codeword from ``bits`` starting at ``start``.
+
+    Returns ``(value, next_position)``.
+    """
+    zeros = 0
+    pos = start
+    while pos < len(bits) and bits[pos] == "0":
+        zeros += 1
+        pos += 1
+    end = pos + zeros + 1
+    if pos >= len(bits) or end > len(bits):
+        raise EncodingError("truncated Elias-gamma codeword")
+    return int(bits[pos:end], 2), end
+
+
+def zigzag(value: int) -> int:
+    """Map a signed integer to a natural: 0,-1,1,-2,2 -> 0,1,2,3,4."""
+    return 2 * value if value >= 0 else -2 * value - 1
+
+
+_zigzag_big = zigzag
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+class BitWriter:
+    """Accumulates bits; supports the primitive codecs as methods."""
+
+    def __init__(self) -> None:
+        self._chunks: list[str] = []
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._chunks)
+
+    def raw(self, bits: str) -> None:
+        """Append a raw bitstring (validated)."""
+        if any(b not in "01" for b in bits):
+            raise EncodingError(f"not a bitstring: {bits!r}")
+        self._chunks.append(bits)
+
+    def bit(self, flag: bool) -> None:
+        self._chunks.append("1" if flag else "0")
+
+    def uint(self, value: int, width: int) -> None:
+        self._chunks.append(fixed_uint(value, width))
+
+    def gamma(self, value: int) -> None:
+        self._chunks.append(elias_gamma(value))
+
+    def nat(self, value: int) -> None:
+        """Self-delimiting natural (gamma of ``value + 1``)."""
+        if value < 0:
+            raise EncodingError(f"nat encodes non-negatives, got {value}")
+        self._chunks.append(elias_gamma(value + 1))
+
+    def int(self, value: int) -> None:
+        """Self-delimiting signed integer (zig-zag then nat)."""
+        self.nat(_zigzag_big(value))
+
+    def getvalue(self) -> str:
+        return "".join(self._chunks)
+
+
+class BitReader:
+    """Sequential reader over a bitstring, mirroring :class:`BitWriter`."""
+
+    def __init__(self, bits: str) -> None:
+        if any(b not in "01" for b in bits):
+            raise EncodingError("not a bitstring")
+        self._bits = bits
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._bits)
+
+    def raw(self, width: int) -> str:
+        end = self._pos + width
+        if end > len(self._bits):
+            raise EncodingError("read past end of bitstring")
+        chunk = self._bits[self._pos:end]
+        self._pos = end
+        return chunk
+
+    def bit(self) -> bool:
+        return self.raw(1) == "1"
+
+    def uint(self, width: int) -> int:
+        return int(self.raw(width), 2)
+
+    def gamma(self) -> int:
+        value, self._pos = elias_gamma_decode(self._bits, self._pos)
+        return value
+
+    def nat(self) -> int:
+        return self.gamma() - 1
+
+    def int(self) -> int:
+        return zigzag_decode(self.nat())
+
+
+# ---------------------------------------------------------------------------
+# Generic tagged codec.
+# ---------------------------------------------------------------------------
+
+_TAG_NONE = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_INT = 3
+_TAG_STR = 4
+_TAG_TUPLE = 5
+_TAG_LIST = 6
+_TAG_DICT = 7
+_TAG_FLOAT = 8
+_TAG_BYTES = 9
+_TAG_FROZENSET = 10
+
+_TAG_WIDTH = 4
+
+
+def _write_obj(writer: BitWriter, obj: Any) -> None:
+    if obj is None:
+        writer.uint(_TAG_NONE, _TAG_WIDTH)
+    elif obj is False:
+        writer.uint(_TAG_FALSE, _TAG_WIDTH)
+    elif obj is True:
+        writer.uint(_TAG_TRUE, _TAG_WIDTH)
+    elif isinstance(obj, int):
+        writer.uint(_TAG_INT, _TAG_WIDTH)
+        writer.int(obj)
+    elif isinstance(obj, float):
+        writer.uint(_TAG_FLOAT, _TAG_WIDTH)
+        packed = struct.pack(">d", obj)
+        for byte in packed:
+            writer.uint(byte, 8)
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        writer.uint(_TAG_STR, _TAG_WIDTH)
+        writer.nat(len(data))
+        for byte in data:
+            writer.uint(byte, 8)
+    elif isinstance(obj, bytes):
+        writer.uint(_TAG_BYTES, _TAG_WIDTH)
+        writer.nat(len(obj))
+        for byte in obj:
+            writer.uint(byte, 8)
+    elif isinstance(obj, tuple):
+        writer.uint(_TAG_TUPLE, _TAG_WIDTH)
+        _write_seq(writer, obj)
+    elif isinstance(obj, list):
+        writer.uint(_TAG_LIST, _TAG_WIDTH)
+        _write_seq(writer, obj)
+    elif isinstance(obj, frozenset):
+        writer.uint(_TAG_FROZENSET, _TAG_WIDTH)
+        _write_seq(writer, sorted(obj, key=repr))
+    elif isinstance(obj, dict):
+        writer.uint(_TAG_DICT, _TAG_WIDTH)
+        writer.nat(len(obj))
+        for key in sorted(obj, key=repr):
+            _write_obj(writer, key)
+            _write_obj(writer, obj[key])
+    else:
+        raise EncodingError(f"cannot encode object of type {type(obj).__name__}")
+
+
+def _write_seq(writer: BitWriter, items: Iterable[Any]) -> None:
+    items = list(items)
+    writer.nat(len(items))
+    for item in items:
+        _write_obj(writer, item)
+
+
+def _read_obj(reader: BitReader) -> Any:
+    tag = reader.uint(_TAG_WIDTH)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_INT:
+        return reader.int()
+    if tag == _TAG_FLOAT:
+        data = bytes(reader.uint(8) for _ in range(8))
+        return struct.unpack(">d", data)[0]
+    if tag == _TAG_STR:
+        length = reader.nat()
+        return bytes(reader.uint(8) for _ in range(length)).decode("utf-8")
+    if tag == _TAG_BYTES:
+        length = reader.nat()
+        return bytes(reader.uint(8) for _ in range(length))
+    if tag == _TAG_TUPLE:
+        return tuple(_read_seq(reader))
+    if tag == _TAG_LIST:
+        return list(_read_seq(reader))
+    if tag == _TAG_FROZENSET:
+        return frozenset(_read_seq(reader))
+    if tag == _TAG_DICT:
+        length = reader.nat()
+        return {(_read_obj(reader)): _read_obj(reader) for _ in range(length)}
+    raise EncodingError(f"unknown tag {tag}")
+
+
+def _read_seq(reader: BitReader) -> Iterator[Any]:
+    length = reader.nat()
+    for _ in range(length):
+        yield _read_obj(reader)
+
+
+def encode_obj(obj: Any) -> str:
+    """Serialise a Python value to a self-delimiting bitstring.
+
+    Supported types: ``None``, ``bool``, ``int``, ``float``, ``str``,
+    ``bytes``, ``tuple``, ``list``, ``frozenset`` and ``dict`` (with
+    supported keys/values).  The encoding is canonical for a given value,
+    so equal values always produce equal bitstrings.
+    """
+    writer = BitWriter()
+    _write_obj(writer, obj)
+    return writer.getvalue()
+
+
+def decode_obj(bits: str) -> Any:
+    """Inverse of :func:`encode_obj`; rejects trailing garbage."""
+    reader = BitReader(bits)
+    obj = _read_obj(reader)
+    if not reader.exhausted():
+        raise EncodingError("trailing bits after decoded object")
+    return obj
+
+
+def obj_bit_size(obj: Any) -> int:
+    """Length in bits of the canonical encoding of ``obj``.
+
+    This is the size function used throughout the library for
+    certificates, messages, and states.
+    """
+    return len(encode_obj(obj))
+
+
+def log2_ceil(value: int) -> int:
+    """``ceil(log2(value))`` for positive integers (0 for value 1)."""
+    if value <= 0:
+        raise EncodingError(f"log2_ceil needs a positive int, got {value}")
+    return (value - 1).bit_length()
+
+
+def theoretical_log_bound(n: int, constant: float = 1.0) -> float:
+    """Reference curve ``constant * log2(n)`` used by the size fits."""
+    return constant * math.log2(max(2, n))
+
+
+def theoretical_log2_bound(n: int, constant: float = 1.0) -> float:
+    """Reference curve ``constant * log2(n) ** 2`` used by the size fits."""
+    return constant * math.log2(max(2, n)) ** 2

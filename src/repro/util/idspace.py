@@ -1,0 +1,92 @@
+"""Identifier assignment policies.
+
+The LOCAL model assumes nodes carry distinct identifiers from some domain
+``[1, N]``.  Proof sizes depend on that domain (a spanning-tree
+certificate stores a root identifier, i.e. ``Θ(log N)`` bits), so the
+experiments sweep several policies:
+
+* :func:`contiguous_ids` — ids ``1..n`` in node order (the friendliest
+  domain, ``N = n``);
+* :func:`permuted_ids` — a random permutation of ``1..n``;
+* :func:`random_ids` — distinct ids sampled from a configurable universe
+  ``[1, N]`` with ``N >> n`` (the paper's polynomial-id regime, e.g.
+  ``N = n^3``);
+* :func:`adversarial_ids` — ids chosen to maximise certificate sizes
+  (largest values in the universe).
+
+An assignment is a plain ``dict`` mapping node index to identifier; the
+:func:`validate_ids` helper enforces distinctness and domain membership.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.errors import IdentityError
+from repro.util.rng import make_rng
+
+__all__ = [
+    "adversarial_ids",
+    "contiguous_ids",
+    "id_domain_bits",
+    "permuted_ids",
+    "random_ids",
+    "validate_ids",
+]
+
+
+def contiguous_ids(nodes: Sequence[int]) -> dict[int, int]:
+    """Assign ids ``1..n`` following node order."""
+    return {node: index + 1 for index, node in enumerate(nodes)}
+
+
+def permuted_ids(nodes: Sequence[int], rng: random.Random | None = None) -> dict[int, int]:
+    """Assign a uniformly random permutation of ``1..n``."""
+    rng = rng or make_rng()
+    ids = list(range(1, len(nodes) + 1))
+    rng.shuffle(ids)
+    return dict(zip(nodes, ids))
+
+
+def random_ids(
+    nodes: Sequence[int],
+    universe: int,
+    rng: random.Random | None = None,
+) -> dict[int, int]:
+    """Assign distinct ids sampled uniformly from ``[1, universe]``."""
+    n = len(nodes)
+    if universe < n:
+        raise IdentityError(f"universe {universe} too small for {n} nodes")
+    rng = rng or make_rng()
+    return dict(zip(nodes, rng.sample(range(1, universe + 1), n)))
+
+
+def adversarial_ids(nodes: Sequence[int], universe: int) -> dict[int, int]:
+    """Assign the ``n`` largest ids of the universe (worst-case id sizes)."""
+    n = len(nodes)
+    if universe < n:
+        raise IdentityError(f"universe {universe} too small for {n} nodes")
+    return {node: universe - n + 1 + index for index, node in enumerate(nodes)}
+
+
+def validate_ids(nodes: Sequence[int], ids: Mapping[int, int], universe: int | None = None) -> None:
+    """Check that ``ids`` is a distinct assignment covering ``nodes``.
+
+    Raises :class:`~repro.errors.IdentityError` on any violation.
+    """
+    missing = [node for node in nodes if node not in ids]
+    if missing:
+        raise IdentityError(f"nodes without ids: {missing[:5]}")
+    values = [ids[node] for node in nodes]
+    if len(set(values)) != len(values):
+        raise IdentityError("duplicate identifiers")
+    if any(v < 1 for v in values):
+        raise IdentityError("identifiers must be positive")
+    if universe is not None and any(v > universe for v in values):
+        raise IdentityError(f"identifier outside universe [1, {universe}]")
+
+
+def id_domain_bits(ids: Mapping[int, int]) -> int:
+    """Bits needed for the largest identifier in the assignment."""
+    return max(v.bit_length() for v in ids.values()) if ids else 0

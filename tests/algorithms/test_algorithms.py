@@ -1,0 +1,136 @@
+"""Tests for distributed constructions and certified markers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bfs import DistributedBfs
+from repro.algorithms.fullinfo import configuration_from_knowledge, gather_configurations
+from repro.algorithms.leader_election import FloodMaxLeaderElection
+from repro.algorithms.markers import leader_marker, mst_marker, spanning_tree_marker
+from repro.graphs.generators import connected_gnp, cycle_graph, path_graph, star_graph
+from repro.graphs.traversal import bfs
+from repro.graphs.weighted import weighted_copy
+from repro.local.network import Network
+from repro.local.runner import run_synchronous
+from repro.schemes.bfs_tree import BfsTreeScheme
+from repro.schemes.leader import LeaderScheme
+from repro.schemes.mst import MstScheme
+from repro.schemes.spanning_tree import SpanningTreePointerScheme
+from repro.util.rng import make_rng
+
+
+class TestFloodMax:
+    def test_elects_max_uid(self, rng):
+        g = connected_gnp(12, 0.3, rng)
+        net = Network(g, ids={v: 100 + v * 7 for v in g.nodes})
+        result = run_synchronous(net, FloodMaxLeaderElection())
+        max_uid = max(net.ids.values())
+        winners = [v for v, out in result.outputs.items() if out.is_leader]
+        assert winners == [net.node_of_uid(max_uid)]
+        assert all(out.leader_uid == max_uid for out in result.outputs.values())
+
+    def test_distances_are_bfs_distances(self, rng):
+        g = connected_gnp(10, 0.35, rng)
+        net = Network(g)
+        result = run_synchronous(net, FloodMaxLeaderElection())
+        leader = max(g.nodes, key=lambda v: net.ids[v])
+        dist, _ = bfs(g, leader)
+        for v, out in result.outputs.items():
+            assert out.dist == dist[v]
+
+    def test_quiescent_messaging(self):
+        # On a star, flooding settles after two rounds; most rounds are
+        # silent, so far fewer messages than rounds * edges are sent.
+        g = star_graph(10)
+        net = Network(g)
+        result = run_synchronous(net, FloodMaxLeaderElection())
+        assert result.message_count < result.rounds * 2 * g.num_edges
+
+
+class TestDistributedBfs:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_matches_central_bfs(self, seed):
+        rng = make_rng(seed)
+        g = connected_gnp(12, 0.3, rng)
+        net = Network(g)
+        root = 0
+        result = run_synchronous(net, DistributedBfs(net.ids[root]))
+        dist, _ = bfs(g, root)
+        for v, out in result.outputs.items():
+            assert out.dist == dist[v]
+            if v == root:
+                assert out.parent_port is None
+            else:
+                parent = g.neighbor_at(v, out.parent_port)
+                assert dist[parent] == dist[v] - 1
+
+
+class TestFullInfo:
+    def test_everyone_reconstructs_the_network(self, rng):
+        g = weighted_copy(connected_gnp(8, 0.4, rng), rng)
+        net = Network(g, inputs={v: ("payload", v) for v in g.nodes})
+        configs, _ = gather_configurations(net)
+        for node, config in configs.items():
+            assert config.graph.n == g.n
+            assert config.graph.num_edges == g.num_edges
+            # Weights survive the flood.
+            for u, v in g.edges():
+                cu, cv = config.node_of_uid(net.ids[u]), config.node_of_uid(net.ids[v])
+                assert config.graph.weight(cu, cv) == g.weight(u, v)
+            # Inputs survive too.
+            me = config.node_of_uid(net.ids[node])
+            assert config.state(me) == ("payload", node)
+
+    def test_reconstruction_identical_across_nodes(self, rng):
+        g = connected_gnp(9, 0.3, rng)
+        net = Network(g)
+        configs, _ = gather_configurations(net)
+        graphs = {config.graph for config in configs.values()}
+        assert len(graphs) == 1
+
+
+class TestMarkers:
+    def test_leader_marker_verifies(self, rng):
+        g = connected_gnp(11, 0.3, rng)
+        net = Network(g)
+        marker = leader_marker(net)
+        scheme = LeaderScheme()
+        config = marker.configuration(net)
+        assert scheme.language.is_member(config)
+        assert scheme.run(config, marker.certificates).all_accept
+
+    def test_spanning_tree_marker_verifies_both_schemes(self, rng):
+        g = connected_gnp(13, 0.25, rng)
+        net = Network(g)
+        marker = spanning_tree_marker(net)
+        config = marker.configuration(net)
+        for scheme in (SpanningTreePointerScheme(), BfsTreeScheme()):
+            assert scheme.language.is_member(config)
+            assert scheme.run(config, marker.certificates).all_accept
+
+    def test_spanning_tree_marker_custom_root(self, rng):
+        g = cycle_graph(7)
+        net = Network(g)
+        marker = spanning_tree_marker(net, root_uid=net.ids[3])
+        assert marker.states[3] is None
+
+    def test_mst_marker_verifies(self, rng):
+        g = weighted_copy(connected_gnp(9, 0.4, rng), rng)
+        net = Network(g)
+        marker = mst_marker(net)
+        scheme = MstScheme()
+        config = marker.configuration(net)
+        assert scheme.language.is_member(config)
+        assert scheme.run(config, marker.certificates).all_accept
+
+    def test_marker_reports_costs(self, rng):
+        g = path_graph(6)
+        net = Network(g)
+        marker = spanning_tree_marker(net)
+        assert marker.rounds >= 1
+        assert marker.message_count > 0
+        assert marker.message_bits > 0

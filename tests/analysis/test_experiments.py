@@ -1,0 +1,92 @@
+"""Smoke tests for the experiment harness (tiny parameters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    experiment_f1_st_scaling,
+    experiment_f2_mst_scaling,
+    experiment_f3_lower_bound,
+    experiment_f4_selfstab,
+    experiment_f5_idspace,
+    experiment_t1_proof_sizes,
+    experiment_t2_soundness,
+    experiment_t3_universal,
+    experiment_t4_verification_cost,
+)
+from repro.analysis.tables import ExperimentResult, format_table
+from repro.util.rng import make_rng
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(("a", "bbbb"), [(1, 2.5), (333, None)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in table
+        assert "-" in lines[-1]
+
+    def test_experiment_result_render(self):
+        result = ExperimentResult("demo", ("x", "y"))
+        result.add(1, 2)
+        result.note("a note")
+        text = result.to_table()
+        assert "demo" in text and "a note" in text
+
+
+class TestExperimentsRun:
+    def test_t1(self):
+        result = experiment_t1_proof_sizes(sizes=(8, 12), rng=make_rng(1))
+        assert len(result.rows) >= 20  # all schemes x sizes
+        assert any("best-fit" in n for n in result.notes)
+
+    def test_t2(self):
+        result = experiment_t2_soundness(n=8, corruption_levels=(1,), trials=10, rng=make_rng(2))
+        assert result.rows
+        fooled_column = [row[3] for row in result.rows if row[3] != "-"]
+        assert all(f is False for f in fooled_column)
+
+    def test_f1(self):
+        result = experiment_f1_st_scaling(sizes=(8, 16), rng=make_rng(3))
+        assert len(result.rows) == 8
+        assert all("bits per doubling" in n for n in result.notes)
+
+    def test_f2(self):
+        result = experiment_f2_mst_scaling(sizes=(8, 16), rng=make_rng(4))
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row[3] <= row[4]  # phases within the log bound
+
+    def test_f3(self):
+        result = experiment_f3_lower_bound(sizes=(8, 16))
+        assert len(result.rows) == 2
+        for row in result.rows:
+            n, cycle_b, path_b, surviving, log_u = row
+            assert surviving > path_b
+
+    def test_t3(self):
+        result = experiment_t3_universal(sizes=(6, 10), rng=make_rng(5))
+        for row in result.rows:
+            assert row[3] is True  # member accepted
+            assert row[4] is True  # corrupted rejected
+
+    def test_f4(self):
+        result = experiment_f4_selfstab(n=14, fault_counts=(2,), seeds=range(2))
+        assert result.rows
+        for row in result.rows:
+            assert row[2] == 0  # detection latency: first sweep
+
+    def test_t4(self):
+        from repro.schemes import ALL_SCHEME_FACTORIES
+
+        result = experiment_t4_verification_cost(n=10, rng=make_rng(6))
+        assert len(result.rows) == len(ALL_SCHEME_FACTORIES)
+        assert all(row[1] == 1 for row in result.rows)  # one round each
+
+    def test_f5(self):
+        result = experiment_f5_idspace(
+            n=12, domains=(2, 2**8), universes=(64, 2**16), rng=make_rng(7)
+        )
+        agreement_rows = [r for r in result.rows if r[0].startswith("agreement")]
+        assert agreement_rows[0][3] <= agreement_rows[-1][3]

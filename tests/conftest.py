@@ -1,0 +1,39 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import (
+    connected_gnp,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+)
+from repro.graphs.weighted import weighted_copy
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG, fresh per test."""
+    return make_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_graphs(rng):
+    """A representative zoo of small connected graphs."""
+    return {
+        "path": path_graph(7),
+        "cycle": cycle_graph(8),
+        "grid": grid_graph(3, 4),
+        "tree": random_tree(10, rng),
+        "gnp": connected_gnp(12, 0.3, rng),
+    }
+
+
+@pytest.fixture
+def weighted_graph(rng):
+    """A small connected graph with distinct random weights."""
+    return weighted_copy(connected_gnp(10, 0.35, rng), rng)

@@ -1,0 +1,105 @@
+"""Tests for language intersection and scheme conjunction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composition import ConjunctionScheme, IntersectionLanguage
+from repro.core.labeling import Configuration
+from repro.core.soundness import completeness_holds
+from repro.core.verifier import Visibility
+from repro.errors import LanguageError, SchemeError
+from repro.graphs.generators import connected_gnp, path_graph
+from repro.schemes.acyclic import AcyclicLanguage, AcyclicScheme
+from repro.schemes.bfs_tree import BfsTreeScheme
+from repro.schemes.spanning_tree import (
+    SpanningTreePointerLanguage,
+    SpanningTreePointerScheme,
+)
+from repro.util.rng import make_rng
+
+
+class TestIntersectionLanguage:
+    def test_membership_is_conjunction(self):
+        inter = IntersectionLanguage(
+            [SpanningTreePointerLanguage(), AcyclicLanguage()]
+        )
+        rng = make_rng(1)
+        graph = connected_gnp(8, 0.4, rng)
+        config = inter.member_configuration(graph, rng=rng)
+        assert inter.is_member(config)
+
+    def test_name_concatenates(self):
+        inter = IntersectionLanguage([AcyclicLanguage(), AcyclicLanguage()])
+        assert "acyclic" in inter.name
+
+    def test_empty_intersection_rejected(self):
+        with pytest.raises(LanguageError):
+            IntersectionLanguage([])
+
+    def test_non_member_detected(self):
+        inter = IntersectionLanguage([SpanningTreePointerLanguage()])
+        config = Configuration.build(path_graph(3), {0: None, 1: None, 2: None})
+        assert not inter.is_member(config)
+
+
+class TestConjunctionScheme:
+    def test_completeness(self):
+        scheme = ConjunctionScheme(
+            [SpanningTreePointerScheme(), AcyclicScheme()]
+        )
+        rng = make_rng(2)
+        graph = connected_gnp(10, 0.3, rng)
+        config = scheme.language.member_configuration(graph, rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_certificates_are_tuples_and_sizes_add(self):
+        a, b = SpanningTreePointerScheme(), AcyclicScheme()
+        scheme = ConjunctionScheme([a, b])
+        rng = make_rng(3)
+        graph = connected_gnp(8, 0.4, rng)
+        config = scheme.language.member_configuration(graph, rng=rng)
+        certs = scheme.prove(config)
+        cert = certs[0]
+        assert isinstance(cert, tuple) and len(cert) == 2
+        assert scheme.certificate_bits(cert) == (
+            a.certificate_bits(cert[0]) + b.certificate_bits(cert[1])
+        )
+
+    def test_rejects_if_any_component_rejects(self):
+        scheme = ConjunctionScheme([SpanningTreePointerScheme(), AcyclicScheme()])
+        rng = make_rng(4)
+        graph = connected_gnp(8, 0.4, rng)
+        config = scheme.language.member_configuration(graph, rng=rng)
+        certs = dict(scheme.prove(config))
+        good = certs[0]
+        certs[0] = (good[0], 999_999)  # break only the acyclic component
+        assert not scheme.run(config, certificates=certs).all_accept
+
+    def test_malformed_tuple_rejected(self):
+        scheme = ConjunctionScheme([SpanningTreePointerScheme(), AcyclicScheme()])
+        rng = make_rng(5)
+        graph = connected_gnp(6, 0.5, rng)
+        config = scheme.language.member_configuration(graph, rng=rng)
+        verdict = scheme.run(config, certificates={v: "junk" for v in graph.nodes})
+        assert not verdict.all_accept
+
+    def test_visibility_and_radius_lift(self):
+        class WideScheme(SpanningTreePointerScheme):
+            visibility = Visibility.FULL
+            radius = 2
+
+        scheme = ConjunctionScheme([WideScheme(), AcyclicScheme()])
+        assert scheme.visibility is Visibility.FULL
+        assert scheme.radius == 2
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(SchemeError):
+            ConjunctionScheme([])
+
+    def test_spanning_tree_and_bfs(self):
+        scheme = ConjunctionScheme([SpanningTreePointerScheme(), BfsTreeScheme()])
+        rng = make_rng(6)
+        graph = connected_gnp(9, 0.35, rng)
+        config = scheme.language.member_configuration(graph, rng=rng)
+        assert completeness_holds(scheme, config)

@@ -1,0 +1,69 @@
+"""Tests for proof-size measurement and curve fitting."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.measure import (
+    CURVES,
+    best_curve,
+    fit_constant,
+    proof_size_sweep,
+    size_table,
+)
+from repro.graphs.generators import path_graph
+from repro.schemes.spanning_tree import SpanningTreePointerScheme
+from repro.util.rng import make_rng
+
+
+class TestFitting:
+    def test_exact_recovery(self):
+        points = [(n, 3.5 * math.log2(n)) for n in (8, 16, 32, 64)]
+        c, rmse = fit_constant(points, CURVES["log n"])
+        assert abs(c - 3.5) < 1e-9
+        assert rmse < 1e-9
+
+    def test_best_curve_picks_right_shape(self):
+        log_points = [(n, 4.0 * math.log2(n)) for n in (8, 16, 64, 256, 1024)]
+        name, scale, _ = best_curve(log_points)
+        assert name == "log n"
+        assert abs(scale - 4.0) < 1e-6
+
+        sq_points = [(n, 2.0 * math.log2(n) ** 2) for n in (8, 16, 64, 256, 1024)]
+        name, _, _ = best_curve(sq_points)
+        assert name == "log^2 n"
+
+        quad_points = [(n, 0.5 * n * n) for n in (8, 16, 64, 256)]
+        name, _, _ = best_curve(quad_points)
+        assert name == "n^2"
+
+    def test_empty_points(self):
+        c, rmse = fit_constant([], CURVES["n"])
+        assert c == 0.0
+        assert rmse == float("inf")
+
+
+class TestSweep:
+    def test_rows_shape(self):
+        scheme = SpanningTreePointerScheme()
+        rows = proof_size_sweep(
+            scheme,
+            "path",
+            lambda n, rng: path_graph(n),
+            sizes=(8, 16),
+            rng=make_rng(1),
+            samples=2,
+        )
+        assert [r.n for r in rows] == [8, 16]
+        assert all(r.scheme == scheme.name for r in rows)
+        assert all(r.proof_bits > 0 for r in rows)
+        assert rows[1].proof_bits >= rows[0].proof_bits
+
+    def test_size_table_renders(self):
+        scheme = SpanningTreePointerScheme()
+        rows = proof_size_sweep(
+            scheme, "path", lambda n, rng: path_graph(n), sizes=(8,), rng=make_rng(1)
+        )
+        table = size_table(rows)
+        assert "path" in table
+        assert scheme.name in table

@@ -1,0 +1,62 @@
+"""Tests for the scheme base class and certificate assignments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeling import Configuration
+from repro.core.scheme import CertificateAssignment
+from repro.errors import SchemeError
+from repro.graphs.generators import path_graph
+from repro.schemes.agreement import AgreementLanguage, AgreementScheme
+from repro.schemes.spanning_tree import SpanningTreePointerScheme
+from repro.util.rng import make_rng
+
+
+class TestAssignment:
+    def test_sizes(self):
+        scheme = AgreementScheme(AgreementLanguage(domain=1 << 20))
+        config = scheme.language.member_configuration(path_graph(4), rng=make_rng(1))
+        assignment = scheme.assignment(config)
+        assert set(assignment) == set(config.graph.nodes)
+        assert assignment.max_bits >= assignment.bits(0) > 0
+        assert assignment.total_bits == sum(
+            assignment.bits(v) for v in config.graph.nodes
+        )
+
+    def test_replaced(self):
+        scheme = AgreementScheme()
+        config = scheme.language.member_configuration(path_graph(3))
+        assignment = scheme.assignment(config)
+        new = assignment.replaced(0, 12345)
+        assert new[0] == 12345
+        assert assignment[0] != 12345 or assignment[0] == 12345  # original intact
+        assert new[1] == assignment[1]
+
+    def test_prover_must_cover_all_nodes(self):
+        class Sloppy(AgreementScheme):
+            def prove(self, config):
+                certs = super().prove(config)
+                certs.pop(0)
+                return certs
+
+        scheme = Sloppy()
+        config = scheme.language.member_configuration(path_graph(3))
+        with pytest.raises(SchemeError):
+            scheme.assignment(config)
+
+    def test_run_with_custom_certificates(self):
+        scheme = AgreementScheme()
+        config = scheme.language.member_configuration(path_graph(3))
+        verdict = scheme.run(config, certificates={v: 999 for v in range(3)})
+        # Certificates disagree with the states, so everyone rejects.
+        assert verdict.reject_count == 3
+
+    def test_proof_size_bits(self):
+        scheme = SpanningTreePointerScheme()
+        config = scheme.language.member_configuration(path_graph(8), rng=make_rng(2))
+        assert scheme.proof_size_bits(config) == scheme.assignment(config).max_bits
+
+    def test_repr(self):
+        scheme = SpanningTreePointerScheme()
+        assert "spanning-tree-ptr" in repr(scheme)

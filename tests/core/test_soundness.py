@@ -1,0 +1,126 @@
+"""Tests for the adversarial soundness harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.soundness import (
+    attack,
+    completeness_holds,
+    exhaustive_attack,
+    greedy_attack,
+    harvest_pool,
+    mutate_certificate,
+    random_attack,
+)
+from repro.errors import SchemeError
+from repro.graphs.generators import connected_gnp, cycle_graph, path_graph
+from repro.schemes.agreement import AgreementScheme
+from repro.schemes.leader import LeaderScheme
+from repro.schemes.spanning_tree import SpanningTreePointerScheme
+from repro.util.rng import make_rng
+
+
+class TestCompleteness:
+    def test_holds_on_member(self):
+        scheme = LeaderScheme()
+        config = scheme.language.member_configuration(cycle_graph(6), rng=make_rng(1))
+        assert completeness_holds(scheme, config)
+
+    def test_requires_member(self):
+        scheme = LeaderScheme()
+        bad = scheme.language.corrupted_configuration(cycle_graph(6), 1, rng=make_rng(2))
+        with pytest.raises(SchemeError):
+            completeness_holds(scheme, bad)
+
+
+class TestMutation:
+    def test_int_changes(self):
+        rng = make_rng(3)
+        assert mutate_certificate(5, rng) != 5
+
+    def test_bool_flips(self):
+        assert mutate_certificate(True, make_rng(1)) is False
+
+    def test_tuple_shape_preserved(self):
+        rng = make_rng(4)
+        cert = (1, "x", (2, 3))
+        mutant = mutate_certificate(cert, rng)
+        assert isinstance(mutant, tuple) and len(mutant) == 3
+
+    def test_none_unchanged(self):
+        assert mutate_certificate(None, make_rng(1)) is None
+
+    def test_dict_values_mutated(self):
+        rng = make_rng(5)
+        mutant = mutate_certificate({"k": 1}, rng)
+        assert set(mutant) == {"k"}
+
+
+class TestPool:
+    def test_harvest_dedupes(self):
+        scheme = AgreementScheme()
+        config = scheme.language.member_configuration(path_graph(5), rng=make_rng(0))
+        pool = harvest_pool(scheme, [config, config], rng=make_rng(1), mutations_per_cert=0)
+        # All nodes share the same agreement value: one unique certificate.
+        assert len(pool) == 1
+
+    def test_harvest_includes_mutants(self):
+        scheme = AgreementScheme()
+        config = scheme.language.member_configuration(path_graph(5), rng=make_rng(0))
+        pool = harvest_pool(scheme, [config], rng=make_rng(1), mutations_per_cert=3)
+        assert len(pool) > 1
+
+
+class TestAttacks:
+    def test_attacks_never_fool_sound_scheme(self):
+        rng = make_rng(6)
+        scheme = SpanningTreePointerScheme()
+        graph = connected_gnp(9, 0.35, rng)
+        member = scheme.language.member_configuration(graph, rng=rng)
+        bad = scheme.language.corrupted_configuration(graph, 2, rng=rng)
+        for attacker in (random_attack, greedy_attack):
+            result = attacker(scheme, bad, rng=rng)
+            assert not result.fooled
+            assert result.min_rejects >= 1
+        combined = attack(scheme, bad, rng=rng, trials=30, related=[member])
+        assert not combined.fooled
+
+    def test_attack_fools_broken_scheme(self):
+        class Gullible(SpanningTreePointerScheme):
+            """Accepts anything — soundness is trivially violated."""
+
+            def verify(self, view):
+                return True
+
+        rng = make_rng(7)
+        scheme = Gullible()
+        bad = scheme.language.corrupted_configuration(cycle_graph(6), 2, rng=rng)
+        result = random_attack(scheme, bad, rng=rng, trials=5)
+        assert result.fooled
+        assert result.min_rejects == 0
+
+    def test_exhaustive_attack_small_space(self):
+        rng = make_rng(8)
+        scheme = AgreementScheme()
+        graph = path_graph(3)
+        bad = scheme.language.corrupted_configuration(graph, 1, rng=rng)
+        candidates = {v: [0, 1, 2] for v in graph.nodes}
+        result = exhaustive_attack(scheme, bad, candidates)
+        assert not result.fooled
+        assert result.evaluations == 27
+
+    def test_exhaustive_attack_space_guard(self):
+        rng = make_rng(9)
+        scheme = AgreementScheme()
+        bad = scheme.language.corrupted_configuration(path_graph(8), 1, rng=rng)
+        candidates = {v: list(range(10)) for v in range(8)}
+        with pytest.raises(SchemeError):
+            exhaustive_attack(scheme, bad, candidates, limit=1000)
+
+    def test_attack_reports_evaluations(self):
+        rng = make_rng(10)
+        scheme = AgreementScheme()
+        bad = scheme.language.corrupted_configuration(path_graph(5), 1, rng=rng)
+        result = attack(scheme, bad, rng=rng, trials=10)
+        assert result.evaluations > 0

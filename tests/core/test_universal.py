@@ -1,0 +1,135 @@
+"""Tests for the universal proof-labeling scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.soundness import attack, completeness_holds
+from repro.core.universal import UniversalScheme
+from repro.graphs.generators import connected_gnp, cycle_graph, path_graph
+from repro.graphs.weighted import weighted_copy
+from repro.schemes.agreement import AgreementLanguage
+from repro.schemes.leader import LeaderLanguage
+from repro.schemes.mst import MstLanguage
+from repro.schemes.regular import RegularSubgraphLanguage
+from repro.util.rng import make_rng
+
+LANGUAGES = {
+    "agreement": AgreementLanguage(domain=16),
+    "leader": LeaderLanguage(),
+    "regular": RegularSubgraphLanguage(),
+}
+
+
+@pytest.mark.parametrize("name", sorted(LANGUAGES))
+class TestUniversalOnUnweighted:
+    def test_completeness(self, name):
+        rng = make_rng(11)
+        language = LANGUAGES[name]
+        scheme = UniversalScheme(language)
+        config = language.member_configuration(connected_gnp(9, 0.35, rng), rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_detects_corruption(self, name):
+        rng = make_rng(12)
+        language = LANGUAGES[name]
+        scheme = UniversalScheme(language)
+        graph = connected_gnp(9, 0.35, rng)
+        bad = language.corrupted_configuration(graph, corruptions=1, rng=rng)
+        assert not scheme.run(bad).all_accept
+
+    def test_attack_resistant(self, name):
+        rng = make_rng(13)
+        language = LANGUAGES[name]
+        scheme = UniversalScheme(language)
+        graph = connected_gnp(8, 0.4, rng)
+        bad = language.corrupted_configuration(graph, corruptions=1, rng=rng)
+        result = attack(scheme, bad, rng=rng, trials=25)
+        assert not result.fooled
+
+
+class TestUniversalWeighted:
+    def test_mst_language_through_universal(self):
+        rng = make_rng(21)
+        language = MstLanguage()
+        scheme = UniversalScheme(language)
+        graph = weighted_copy(connected_gnp(7, 0.5, rng), rng)
+        config = language.member_configuration(graph, rng=rng)
+        assert completeness_holds(scheme, config)
+        bad = language.corrupted_configuration(graph, corruptions=1, rng=rng)
+        assert not scheme.run(bad).all_accept
+
+    def test_lying_about_weights_detected(self):
+        rng = make_rng(22)
+        language = MstLanguage()
+        scheme = UniversalScheme(language)
+        graph = weighted_copy(cycle_graph(5), rng)
+        config = language.member_configuration(graph, rng=rng)
+        certs = scheme.prove(config)
+        # Forge the weight table inside every certificate.
+        tag, uids, rows, states, weights = certs[0]
+        forged_weights = tuple((i, j, w + 1) for i, j, w in weights)
+        forged = {v: (tag, uids, rows, states, forged_weights) for v in certs}
+        assert not scheme.run(config, certificates=forged).all_accept
+
+
+class TestUniversalAdversarialStructure:
+    def test_disagreeing_maps_rejected(self):
+        rng = make_rng(31)
+        language = LeaderLanguage()
+        scheme = UniversalScheme(language)
+        config = language.member_configuration(path_graph(4), rng=rng)
+        certs = dict(scheme.prove(config))
+        other = language.member_configuration(path_graph(4), rng=make_rng(99))
+        certs[2] = scheme.prove(other)[2]
+        verdict = scheme.run(config, certificates=certs)
+        # Either the splice is identical (same map) or someone rejects.
+        if certs[2] != scheme.prove(config)[2]:
+            assert not verdict.all_accept
+
+    def test_wrong_row_rejected(self):
+        language = LeaderLanguage()
+        scheme = UniversalScheme(language)
+        config = language.member_configuration(cycle_graph(5), rng=make_rng(1))
+        tag, uids, rows, states, weights = scheme.prove(config)[0]
+        # Claim node 0 has no edges at all.
+        forged_rows = (0,) + rows[1:]
+        forged = {
+            v: (tag, uids, forged_rows, states, weights)
+            for v in config.graph.nodes
+        }
+        assert not scheme.run(config, certificates=forged).all_accept
+
+    def test_asymmetric_matrix_rejected(self):
+        language = LeaderLanguage()
+        scheme = UniversalScheme(language)
+        config = language.member_configuration(path_graph(3), rng=make_rng(1))
+        tag, uids, rows, states, weights = scheme.prove(config)[0]
+        rows = list(rows)
+        rows[0] |= 1 << 2  # 0 claims edge to 2; 2 does not reciprocate
+        forged = {
+            v: (tag, uids, tuple(rows), states, weights)
+            for v in config.graph.nodes
+        }
+        assert not scheme.run(config, certificates=forged).all_accept
+
+    def test_malformed_certificates_rejected(self):
+        language = LeaderLanguage()
+        scheme = UniversalScheme(language)
+        config = language.member_configuration(path_graph(3), rng=make_rng(1))
+        for junk in (None, 42, ("x",), ("universal-map", (), (), (), None)):
+            verdict = scheme.run(config, certificates={v: junk for v in range(3)})
+            assert not verdict.all_accept
+
+    def test_proof_size_quadratic_shape(self):
+        language = RegularSubgraphLanguage()
+        scheme = UniversalScheme(language)
+        sizes = []
+        for n in (6, 12, 24):
+            config = language.member_configuration(
+                connected_gnp(n, 0.3, make_rng(n)), rng=make_rng(n)
+            )
+            sizes.append(scheme.proof_size_bits(config))
+        # Doubling n should much-more-than-double the certificate.
+        assert sizes[1] > 2 * sizes[0]
+        assert sizes[2] > 2 * sizes[1]

@@ -1,0 +1,121 @@
+"""Tests for view construction and the decision engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeling import Configuration
+from repro.core.verifier import (
+    LocalView,
+    Visibility,
+    build_view,
+    build_views,
+    decide,
+)
+from repro.errors import SchemeError
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.weighted import weighted_copy
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def config():
+    return Configuration.build(
+        path_graph(3), {0: "s0", 1: "s1", 2: "s2"}, ids={0: 10, 1: 20, 2: 30}
+    )
+
+
+class TestViewConstruction:
+    def test_own_fields(self, config):
+        view = build_view(config, {0: "c0", 1: "c1", 2: "c2"}, 1)
+        assert view.uid == 20
+        assert view.degree == 2
+        assert view.state == "s1"
+        assert view.certificate == "c1"
+
+    def test_kkp_hides_neighbor_states(self, config):
+        view = build_view(config, {}, 1, visibility=Visibility.KKP)
+        assert all(g.state is None for g in view.neighbors)
+
+    def test_full_reveals_neighbor_states(self, config):
+        view = build_view(config, {}, 1, visibility=Visibility.FULL)
+        assert [g.state for g in view.neighbors] == ["s0", "s2"]
+
+    def test_neighbor_certs_and_uids(self, config):
+        view = build_view(config, {0: "c0", 2: "c2"}, 1)
+        assert [g.uid for g in view.neighbors] == [10, 30]
+        assert [g.certificate for g in view.neighbors] == ["c0", "c2"]
+
+    def test_back_port(self):
+        g = star_graph(4)
+        config = Configuration.build(g)
+        view = build_view(config, {}, 2)  # leaf node 2
+        hub = view.neighbors[0]
+        assert hub.back_port == g.port(0, 2) == 1
+
+    def test_weights_visible(self, rng):
+        g = weighted_copy(cycle_graph(4), rng)
+        config = Configuration.build(g)
+        view = build_view(config, {}, 0)
+        for glimpse in view.neighbors:
+            nb = g.neighbor_at(0, glimpse.port)
+            assert glimpse.weight == g.weight(0, nb)
+
+    def test_neighbor_lookup_helpers(self, config):
+        view = build_view(config, {0: "c0", 2: "c2"}, 1)
+        assert view.neighbor_at(0).uid == 10
+        assert view.neighbor_by_uid(30).certificate == "c2"
+        assert view.neighbor_by_uid(99) is None
+        assert view.neighbor_uids() == frozenset({10, 30})
+        with pytest.raises(SchemeError):
+            view.neighbor_at(5)
+
+    def test_build_views_covers_all_nodes(self, config):
+        views = build_views(config, {})
+        assert set(views) == {0, 1, 2}
+
+
+class TestRadius:
+    def test_ball_members_and_edges(self):
+        g = path_graph(5)
+        config = Configuration.build(g, {v: v for v in g.nodes})
+        view = build_view(config, {v: f"c{v}" for v in g.nodes}, 2, radius=2)
+        assert view.ball is not None
+        # uids are node+1; ball of radius 2 around node 2 covers everyone.
+        assert set(view.ball.members) == {1, 2, 3, 4, 5}
+        dists = {uid: entry[0] for uid, entry in view.ball.members.items()}
+        assert dists == {3: 0, 2: 1, 4: 1, 1: 2, 5: 2}
+        assert len(view.ball.edges) == 4
+
+    def test_radius_one_has_no_ball(self):
+        config = Configuration.build(path_graph(3))
+        assert build_view(config, {}, 1).ball is None
+
+
+class TestDecide:
+    def test_all_accept(self, config):
+        verdict = decide(lambda view: True, config, {})
+        assert verdict.all_accept
+        assert verdict.reject_count == 0
+
+    def test_rejects_collected(self, config):
+        verdict = decide(lambda view: view.uid != 20, config, {})
+        assert verdict.rejects == frozenset({1})
+        assert verdict.accepts == frozenset({0, 2})
+
+    def test_exception_counts_as_reject(self, config):
+        def explosive(view):
+            raise ValueError("boom")
+
+        verdict = decide(explosive, config, {})
+        assert verdict.reject_count == 3
+
+    def test_missing_certificates_are_none(self, config):
+        seen = {}
+
+        def record(view):
+            seen[view.uid] = view.certificate
+            return True
+
+        decide(record, config, {1: "only-middle"})
+        assert seen == {10: None, 20: "only-middle", 30: None}

@@ -1,0 +1,94 @@
+"""Model-knob tests: visibility models and verification radius.
+
+The framework's two extension axes must behave as the definitions say:
+KKP hides neighbor states (schemes that need them must echo), FULL
+reveals them; radius-1 views carry no ball, larger radii carry
+consistent ball data that the coarse-counter scheme relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labeling import Configuration
+from repro.core.verifier import Visibility, build_view, build_views
+from repro.graphs.generators import connected_gnp, cycle_graph, path_graph
+from repro.util.rng import make_rng
+
+
+class TestVisibilityContracts:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_kkp_state_always_none(self, seed):
+        rng = make_rng(seed)
+        g = connected_gnp(8, 0.4, rng)
+        config = Configuration.build(g, {v: ("state", v) for v in g.nodes})
+        for view in build_views(config, {}, visibility=Visibility.KKP).values():
+            assert all(glimpse.state is None for glimpse in view.neighbors)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_full_states_are_ground_truth(self, seed):
+        rng = make_rng(seed)
+        g = connected_gnp(8, 0.4, rng)
+        config = Configuration.build(g, {v: ("state", v) for v in g.nodes})
+        for node, view in build_views(
+            config, {}, visibility=Visibility.FULL
+        ).items():
+            for glimpse in view.neighbors:
+                neighbor = g.neighbor_at(node, glimpse.port)
+                assert glimpse.state == ("state", neighbor)
+
+    def test_back_ports_are_symmetric(self):
+        g = connected_gnp(10, 0.35, make_rng(1))
+        config = Configuration.build(g)
+        for node, view in build_views(config, {}).items():
+            for glimpse in view.neighbors:
+                neighbor = g.neighbor_at(node, glimpse.port)
+                assert g.neighbor_at(neighbor, glimpse.back_port) == node
+
+
+class TestBallConsistency:
+    @pytest.mark.parametrize("radius", [2, 3, 4])
+    def test_ball_distances_and_membership(self, radius):
+        g = cycle_graph(12)
+        config = Configuration.build(g, {v: v for v in g.nodes})
+        certs = {v: ("c", v) for v in g.nodes}
+        view = build_view(config, certs, 0, radius=radius)
+        ball = view.ball
+        assert ball is not None and ball.radius == radius
+        # Cycle: exactly 2*radius + 1 members.
+        assert len(ball.members) == 2 * radius + 1
+        for uid, (dist, cert, state) in ball.members.items():
+            node = config.node_of_uid(uid)
+            assert cert == certs[node]
+            assert dist <= radius
+
+    def test_ball_ports_cover_members(self):
+        g = path_graph(7)
+        config = Configuration.build(g)
+        view = build_view(config, {}, 3, radius=2)
+        ball = view.ball
+        assert set(ball.ports) == set(ball.members)
+        # Port tuples name real neighbors in order.
+        for uid, ports in ball.ports.items():
+            node = config.node_of_uid(uid)
+            assert ports == tuple(config.uid(nb) for nb in g.neighbors(node))
+
+    def test_ball_states_follow_visibility(self):
+        g = path_graph(5)
+        config = Configuration.build(g, {v: v * 10 for v in g.nodes})
+        kkp = build_view(config, {}, 2, visibility=Visibility.KKP, radius=2)
+        full = build_view(config, {}, 2, visibility=Visibility.FULL, radius=2)
+        assert all(entry[2] is None for entry in kkp.ball.members.values())
+        assert any(entry[2] is not None for entry in full.ball.members.values())
+
+    def test_ball_edges_are_induced(self):
+        g = cycle_graph(8)
+        config = Configuration.build(g)
+        view = build_view(config, {}, 0, radius=2)
+        member_uids = set(view.ball.members)
+        for a, b, _w in view.ball.edges:
+            assert a in member_uids and b in member_uids

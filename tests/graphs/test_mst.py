@@ -1,0 +1,165 @@
+"""Tests for the reference MST algorithms and Borůvka traces."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.generators import connected_gnp, cycle_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.mst import (
+    UnionFind,
+    boruvka_trace,
+    is_mst,
+    kruskal,
+    mst_weight,
+    prim,
+)
+from repro.graphs.traversal import is_spanning_tree_edges
+from repro.graphs.weighted import distinct_random_weights, unit_weights, weighted_copy
+from repro.util.rng import make_rng
+
+
+class TestUnionFind:
+    def test_basic_unions(self):
+        uf = UnionFind(5)
+        assert uf.components == 5
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.components == 4
+        assert uf.find(0) == uf.find(1)
+
+    def test_groups(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = sorted(sorted(g) for g in uf.groups().values())
+        assert groups == [[0, 1], [2, 3]]
+
+
+class TestMstAlgorithms:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=25), st.integers(min_value=0, max_value=10**6))
+    def test_kruskal_prim_boruvka_agree(self, n, seed):
+        rng = make_rng(seed)
+        g = weighted_copy(connected_gnp(n, 0.35, rng), rng)
+        k = kruskal(g)
+        assert k == prim(g)
+        assert k == boruvka_trace(g).mst_edges
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=10**6))
+    def test_weight_matches_networkx(self, n, seed):
+        rng = make_rng(seed)
+        g = weighted_copy(connected_gnp(n, 0.4, rng), rng)
+        ours = mst_weight(g)
+        theirs = sum(
+            d["weight"]
+            for _, _, d in nx.minimum_spanning_tree(g.to_networkx()).edges(data=True)
+        )
+        assert ours == theirs
+
+    def test_tied_weights_still_agree(self):
+        g = cycle_graph(6).with_weights(unit_weights(cycle_graph(6)))
+        assert kruskal(g) == prim(g) == boruvka_trace(g).mst_edges
+
+    def test_is_mst(self):
+        rng = make_rng(7)
+        g = weighted_copy(connected_gnp(10, 0.4, rng), rng)
+        tree = kruskal(g)
+        assert is_mst(g, tree)
+        # Any other spanning tree is rejected (distinct weights).
+        other = prim(g.with_weights({e: -w for e, w in g.weights().items()}))
+        if other != tree:
+            assert not is_mst(g, other)
+
+    def test_requires_weights(self):
+        with pytest.raises(GraphError):
+            kruskal(path_graph(4))
+
+    def test_requires_connected(self):
+        g = Graph(4, [(0, 1), (2, 3)], {(0, 1): 1, (2, 3): 2})
+        with pytest.raises(GraphError):
+            kruskal(g)
+
+    def test_single_node(self):
+        g = Graph(1, [], {})
+        assert kruskal(g) == frozenset()
+        assert prim(g) == frozenset()
+
+
+class TestBoruvkaTrace:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=32), st.integers(min_value=0, max_value=10**6))
+    def test_phase_count_bound(self, n, seed):
+        rng = make_rng(seed)
+        g = weighted_copy(connected_gnp(n, 0.3, rng), rng)
+        trace = boruvka_trace(g)
+        assert trace.phase_count <= max(1, math.ceil(math.log2(g.n)))
+
+    def test_phase_zero_is_singletons(self):
+        rng = make_rng(3)
+        g = weighted_copy(connected_gnp(8, 0.4, rng), rng)
+        trace = boruvka_trace(g)
+        assert trace.phases[0].fragment == {v: v for v in g.nodes}
+
+    def test_fragments_merge_along_selected_edges(self):
+        rng = make_rng(4)
+        g = weighted_copy(connected_gnp(12, 0.3, rng), rng)
+        trace = boruvka_trace(g)
+        for i, phase in enumerate(trace.phases):
+            nxt = (
+                trace.phases[i + 1].fragment
+                if i + 1 < trace.phase_count
+                else trace.final_fragment
+            )
+            for rep, (u, v) in phase.moe.items():
+                assert nxt[u] == nxt[v]
+            # Cohabitation is preserved.
+            for a in g.nodes:
+                for b in g.nodes:
+                    if phase.fragment[a] == phase.fragment[b]:
+                        assert nxt[a] == nxt[b]
+
+    def test_moe_is_minimum_outgoing(self):
+        rng = make_rng(5)
+        g = weighted_copy(connected_gnp(10, 0.4, rng), rng)
+        trace = boruvka_trace(g)
+        for phase in trace.phases:
+            for rep, (u, v) in phase.moe.items():
+                key = g.weight_key(u, v)
+                for a, b in g.edges():
+                    if (phase.fragment[a] == rep) != (phase.fragment[b] == rep):
+                        assert g.weight_key(a, b) >= key
+
+    def test_final_fragment_is_single(self):
+        rng = make_rng(6)
+        g = weighted_copy(connected_gnp(9, 0.4, rng), rng)
+        trace = boruvka_trace(g)
+        assert len(set(trace.final_fragment.values())) == 1
+
+    def test_mst_edges_form_spanning_tree(self):
+        rng = make_rng(8)
+        g = weighted_copy(connected_gnp(14, 0.25, rng), rng)
+        assert is_spanning_tree_edges(g, boruvka_trace(g).mst_edges)
+
+
+class TestWeightGenerators:
+    def test_distinct_random_weights(self):
+        g = connected_gnp(10, 0.4, make_rng(1))
+        weights = distinct_random_weights(g, make_rng(2))
+        assert len(set(weights.values())) == g.num_edges
+
+    def test_range_too_small(self):
+        g = connected_gnp(10, 0.8, make_rng(1))
+        with pytest.raises(GraphError):
+            distinct_random_weights(g, make_rng(2), low=1, high=3)
+
+    def test_weighted_copy_distinct(self):
+        g = weighted_copy(connected_gnp(8, 0.5, make_rng(1)), make_rng(2))
+        assert g.has_distinct_weights()

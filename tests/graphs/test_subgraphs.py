@@ -1,0 +1,143 @@
+"""Tests for pointer and list subgraph encodings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LabelingError
+from repro.graphs.generators import connected_gnp, cycle_graph, path_graph
+from repro.graphs.subgraphs import (
+    edges_from_lists,
+    edges_from_pointers,
+    forest_from_lists,
+    lists_are_consistent,
+    lists_from_edges,
+    pointer_structure,
+    pointers_are_well_formed,
+    pointers_form_spanning_tree,
+    pointers_from_tree,
+)
+from repro.graphs.traversal import bfs_tree_edges
+from repro.util.rng import make_rng
+
+
+class TestPointerBasics:
+    def test_well_formed(self):
+        g = path_graph(3)
+        assert pointers_are_well_formed(g, {0: 1, 1: None, 2: 1})
+        assert not pointers_are_well_formed(g, {0: 2, 1: None, 2: 1})  # not a neighbor
+        assert not pointers_are_well_formed(g, {0: 1, 1: None})  # missing node
+
+    def test_edges_from_pointers(self):
+        edges = edges_from_pointers({0: 1, 1: None, 2: 1})
+        assert edges == {(0, 1), (1, 2)}
+
+
+class TestPointerStructure:
+    def test_forest_depths(self):
+        s = pointer_structure({0: None, 1: 0, 2: 1, 3: None})
+        assert s.is_acyclic
+        assert s.roots == {0, 3}
+        assert s.depth == {0: 0, 1: 1, 2: 2, 3: 0}
+
+    def test_cycle_detection(self):
+        s = pointer_structure({0: 1, 1: 2, 2: 0})
+        assert not s.is_acyclic
+        assert s.on_cycle == {0, 1, 2}
+
+    def test_tail_into_cycle(self):
+        s = pointer_structure({0: 1, 1: 2, 2: 1, 3: None})
+        assert s.on_cycle == {1, 2}
+        assert 0 not in s.depth  # feeds a cycle, never reaches a root
+        assert s.depth[3] == 0
+
+    def test_two_cycles(self):
+        s = pointer_structure({0: 1, 1: 0, 2: 3, 3: 2})
+        assert s.on_cycle == {0, 1, 2, 3}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=25), st.integers(min_value=0, max_value=10**6))
+    def test_depth_parent_relation(self, n, seed):
+        rng = make_rng(seed)
+        pointers = {
+            v: (rng.randrange(v) if v and rng.random() < 0.8 else None)
+            for v in range(n)
+        }
+        s = pointer_structure(pointers)
+        assert s.is_acyclic  # pointers only go to smaller indices
+        for v, target in pointers.items():
+            if target is not None:
+                assert s.depth[v] == s.depth[target] + 1
+
+
+class TestSpanningTreePointers:
+    def test_valid_tree(self):
+        g = cycle_graph(5)
+        pointers = {0: None, 1: 0, 2: 1, 3: 2, 4: 0}
+        assert pointers_form_spanning_tree(g, pointers)
+
+    def test_two_roots_rejected(self):
+        g = path_graph(4)
+        pointers = {0: None, 1: 0, 2: None, 3: 2}
+        assert not pointers_form_spanning_tree(g, pointers)
+
+    def test_cycle_rejected(self):
+        g = cycle_graph(4)
+        pointers = {0: 1, 1: 2, 2: 3, 3: 0}
+        assert not pointers_form_spanning_tree(g, pointers)
+
+    def test_pointers_from_tree_roundtrip(self):
+        g = connected_gnp(12, 0.3, make_rng(2))
+        tree = bfs_tree_edges(g, 0)
+        pointers = pointers_from_tree(g, tree, root=5)
+        assert pointers_form_spanning_tree(g, pointers)
+        assert pointers[5] is None
+        assert edges_from_pointers(pointers) == tree
+
+    def test_pointers_from_non_tree_raises(self):
+        g = cycle_graph(4)
+        with pytest.raises(LabelingError):
+            pointers_from_tree(g, g.edges(), root=0)
+
+
+class TestListEncoding:
+    def test_consistent_lists(self):
+        g = path_graph(3)
+        lists = {0: {1}, 1: {0, 2}, 2: {1}}
+        assert lists_are_consistent(g, lists)
+        assert edges_from_lists(lists) == {(0, 1), (1, 2)}
+
+    def test_asymmetric_rejected(self):
+        g = path_graph(3)
+        lists = {0: {1}, 1: {2}, 2: {1}}
+        assert not lists_are_consistent(g, lists)
+
+    def test_non_neighbor_rejected(self):
+        g = path_graph(3)
+        lists = {0: {2}, 1: set(), 2: {0}}
+        assert not lists_are_consistent(g, lists)
+
+    def test_edges_from_lists_requires_mutuality(self):
+        edges = edges_from_lists({0: {1}, 1: set()})
+        assert edges == set()
+
+    def test_lists_from_edges_roundtrip(self):
+        g = connected_gnp(10, 0.3, make_rng(5))
+        tree = bfs_tree_edges(g, 0)
+        lists = lists_from_edges(g, tree)
+        assert lists_are_consistent(g, lists)
+        assert edges_from_lists(lists) == tree
+
+    def test_lists_from_edges_rejects_non_edges(self):
+        g = path_graph(3)
+        with pytest.raises(LabelingError):
+            lists_from_edges(g, [(0, 2)])
+
+    def test_forest_from_lists(self):
+        g = cycle_graph(4)
+        tree_lists = lists_from_edges(g, [(0, 1), (1, 2), (2, 3)])
+        assert forest_from_lists(g, tree_lists) == {(0, 1), (1, 2), (2, 3)}
+        cycle_lists = lists_from_edges(g, g.edges())
+        assert forest_from_lists(g, cycle_lists) is None

@@ -1,0 +1,114 @@
+"""Tests for traversal and structural queries (cross-checked vs networkx)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.generators import connected_gnp, cycle_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    bfs,
+    bfs_tree_edges,
+    connected_components,
+    diameter,
+    eccentricity,
+    is_connected,
+    is_forest,
+    is_spanning_tree_edges,
+    spanning_forest,
+    spanning_tree_parents,
+)
+from repro.util.rng import make_rng
+
+
+class TestBfs:
+    def test_path_distances(self):
+        g = path_graph(5)
+        dist, parent = bfs(g, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        assert parent[0] is None
+        assert parent[4] == 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=10**6))
+    def test_matches_networkx(self, n, seed):
+        g = connected_gnp(n, 0.25, make_rng(seed))
+        dist, _ = bfs(g, 0)
+        expected = nx.single_source_shortest_path_length(g.to_networkx(), 0)
+        assert dist == dict(expected)
+
+    def test_bfs_tree_edges_count(self):
+        g = connected_gnp(15, 0.3, make_rng(1))
+        assert len(bfs_tree_edges(g, 0)) == 14
+
+    def test_unreachable_nodes_absent(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        dist, _ = bfs(g, 0)
+        assert set(dist) == {0, 1}
+
+
+class TestComponents:
+    def test_connected_graph_one_component(self):
+        assert len(connected_components(cycle_graph(5))) == 1
+
+    def test_disconnected(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert [sorted(c) for c in comps] == [[0, 1], [2, 3], [4]]
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(4))
+        assert not is_connected(Graph(3, [(0, 1)]))
+        assert is_connected(Graph(0))
+        assert is_connected(Graph(1))
+
+
+class TestDistanceMetrics:
+    def test_eccentricity(self):
+        g = path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+
+    def test_eccentricity_disconnected_raises(self):
+        with pytest.raises(GraphError):
+            eccentricity(Graph(3, [(0, 1)]), 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=25), st.integers(min_value=0, max_value=10**6))
+    def test_diameter_matches_networkx(self, n, seed):
+        g = connected_gnp(n, 0.3, make_rng(seed))
+        assert diameter(g) == nx.diameter(g.to_networkx())
+
+
+class TestForests:
+    def test_is_forest(self):
+        assert is_forest(4, [(0, 1), (2, 3)])
+        assert not is_forest(3, [(0, 1), (1, 2), (0, 2)])
+        assert is_forest(3, [])
+
+    def test_spanning_tree_edges_checks(self):
+        g = cycle_graph(4)
+        tree = [(0, 1), (1, 2), (2, 3)]
+        assert is_spanning_tree_edges(g, tree)
+        assert not is_spanning_tree_edges(g, tree + [(0, 3)])  # too many
+        assert not is_spanning_tree_edges(g, tree[:2])  # too few
+        assert not is_spanning_tree_edges(g, [(0, 1), (1, 2), (0, 2)])  # not an edge
+
+    def test_spanning_forest_covers_components(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        forest = spanning_forest(g)
+        assert len(forest) == 3  # 2 + 1 edges over three components
+
+    def test_spanning_tree_parents(self):
+        g = cycle_graph(5)
+        parent = spanning_tree_parents(g, root=2)
+        assert parent[2] is None
+        assert sum(1 for p in parent.values() if p is None) == 1
+
+    def test_spanning_tree_parents_disconnected(self):
+        with pytest.raises(GraphError):
+            spanning_tree_parents(Graph(3, [(0, 1)]))

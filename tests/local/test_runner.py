@@ -1,0 +1,136 @@
+"""Tests for the synchronous LOCAL-model runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.local.algorithm import Halted, NodeContext, SynchronousAlgorithm
+from repro.local.network import Network
+from repro.local.runner import run_synchronous
+
+
+class EchoOnce(SynchronousAlgorithm):
+    """Round 0: broadcast uid; then halt with the set of heard uids."""
+
+    name = "echo-once"
+
+    def init_state(self, ctx):
+        return None
+
+    def send(self, ctx, state, round_index):
+        return {port: ctx.uid for port in range(ctx.degree)}
+
+    def receive(self, ctx, state, inbox, round_index):
+        return Halted(frozenset(inbox.values()))
+
+
+class CountTo(SynchronousAlgorithm):
+    """Halt after a fixed number of rounds; no messages."""
+
+    name = "count-to"
+
+    def __init__(self, rounds):
+        self.rounds = rounds
+
+    def init_state(self, ctx):
+        return 0
+
+    def send(self, ctx, state, round_index):
+        return {}
+
+    def receive(self, ctx, state, inbox, round_index):
+        if round_index + 1 >= self.rounds:
+            return Halted(round_index + 1)
+        return state + 1
+
+
+class BadPort(SynchronousAlgorithm):
+    name = "bad-port"
+
+    def init_state(self, ctx):
+        return None
+
+    def send(self, ctx, state, round_index):
+        return {99: "boom"}
+
+    def receive(self, ctx, state, inbox, round_index):
+        return Halted(None)
+
+
+class Forever(SynchronousAlgorithm):
+    name = "forever"
+
+    def init_state(self, ctx):
+        return 0
+
+    def send(self, ctx, state, round_index):
+        return {}
+
+    def receive(self, ctx, state, inbox, round_index):
+        return state + 1
+
+
+class TestRunner:
+    def test_one_round_echo(self):
+        net = Network(path_graph(3))
+        result = run_synchronous(net, EchoOnce())
+        assert result.rounds == 1
+        assert result.outputs[0] == frozenset({net.ids[1]})
+        assert result.outputs[1] == frozenset({net.ids[0], net.ids[2]})
+
+    def test_message_accounting(self):
+        g = cycle_graph(5)
+        result = run_synchronous(Network(g), EchoOnce())
+        assert result.message_count == 2 * g.num_edges
+        assert result.message_bits > 0
+
+    def test_bit_accounting_optional(self):
+        result = run_synchronous(Network(path_graph(3)), EchoOnce(), count_bits=False)
+        assert result.message_bits == 0
+        assert result.message_count == 4
+
+    def test_fixed_round_halting(self):
+        result = run_synchronous(Network(path_graph(4)), CountTo(5))
+        assert result.rounds == 5
+        assert all(out == 5 for out in result.outputs.values())
+
+    def test_invalid_port_raises(self):
+        with pytest.raises(SimulationError):
+            run_synchronous(Network(path_graph(2)), BadPort())
+
+    def test_round_budget(self):
+        with pytest.raises(SimulationError):
+            run_synchronous(Network(path_graph(2)), Forever(), max_rounds=10)
+
+    def test_output_by_uid(self):
+        net = Network(path_graph(2))
+        result = run_synchronous(net, CountTo(1))
+        assert set(result.output_by_uid(net)) == set(net.ids.values())
+
+
+class TestNetwork:
+    def test_contexts(self):
+        g = path_graph(3).with_weights({(0, 1): 2.5, (1, 2): 3.5})
+        net = Network(g, inputs={0: "a", 1: "b", 2: "c"})
+        ctx = net.context(1)
+        assert isinstance(ctx, NodeContext)
+        assert ctx.degree == 2
+        assert ctx.input == "b"
+        assert ctx.n == 3
+        assert ctx.port_weights == (2.5, 3.5)
+
+    def test_missing_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            Network(path_graph(3), inputs={0: 1})
+
+    def test_node_of_uid(self):
+        net = Network(path_graph(3), ids={0: 10, 1: 20, 2: 30})
+        assert net.node_of_uid(20) == 1
+        with pytest.raises(SimulationError):
+            net.node_of_uid(99)
+
+    def test_default_ids_contiguous(self):
+        net = Network(path_graph(3))
+        assert net.ids == {0: 1, 1: 2, 2: 3}

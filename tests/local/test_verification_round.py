@@ -1,0 +1,59 @@
+"""The message-passing verification round must match the direct engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import connected_gnp, grid_graph
+from repro.graphs.weighted import weighted_copy
+from repro.local.verification_round import distributed_verification
+from repro.schemes import ALL_SCHEME_FACTORIES
+from repro.util.rng import make_rng
+
+
+def _config_for(scheme, rng):
+    graph = grid_graph(3, 4) if scheme.language.name == "bipartite" else connected_gnp(12, 0.3, rng)
+    if scheme.language.weighted:
+        graph = weighted_copy(graph, rng)
+    return scheme.language.member_configuration(graph, rng=rng)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_SCHEME_FACTORIES))
+class TestAgainstDirectEngine:
+    def test_verdicts_match_on_members(self, name):
+        rng = make_rng(42)
+        scheme = ALL_SCHEME_FACTORIES[name]()
+        config = _config_for(scheme, rng)
+        certs = scheme.prove(config)
+        distributed, run = distributed_verification(scheme, config, certs)
+        direct = scheme.run(config, certs)
+        assert distributed.rejects == direct.rejects
+        assert distributed.all_accept
+        assert run.rounds == 1
+
+    def test_verdicts_match_on_corrupted(self, name):
+        rng = make_rng(43)
+        scheme = ALL_SCHEME_FACTORIES[name]()
+        config = _config_for(scheme, rng)
+        try:
+            bad = scheme.language.corrupted_configuration(
+                config.graph, corruptions=2, rng=rng
+            )
+        except Exception:
+            pytest.skip("language cannot corrupt on this graph")
+        certs = scheme.prove(bad)
+        distributed, _ = distributed_verification(scheme, bad, certs)
+        direct = scheme.run(bad, certs)
+        assert distributed.rejects == direct.rejects
+        assert not distributed.all_accept
+
+
+class TestMessageCost:
+    def test_bits_scale_with_certificates(self):
+        rng = make_rng(7)
+        scheme = ALL_SCHEME_FACTORIES["spanning-tree-ptr"]()
+        config = _config_for(scheme, rng)
+        _, run = distributed_verification(scheme, config)
+        # Two messages per edge, each carrying at least the certificate.
+        assert run.message_count == 2 * config.graph.num_edges
+        assert run.message_bits >= run.message_count  # non-trivial payloads

@@ -1,0 +1,80 @@
+"""Exhaustive replay-adversary checks on tiny instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeling import Configuration
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.lowerbounds.bruteforce import (
+    all_legal_configurations,
+    exhaustive_soundness_check,
+    per_node_candidates,
+)
+from repro.schemes.acyclic import AcyclicLanguage, AcyclicScheme
+from repro.schemes.spanning_tree import (
+    SpanningTreePointerLanguage,
+    SpanningTreePointerScheme,
+)
+from repro.util.rng import make_rng
+
+
+class TestEnumeration:
+    def test_all_legal_spanning_trees_of_c4(self):
+        language = SpanningTreePointerLanguage()
+        members = all_legal_configurations(language, cycle_graph(4))
+        # C4 has 4 spanning trees (drop one edge), each with 4 root
+        # choices: 16 legal pointer labelings.
+        assert len(members) == 16
+
+    def test_all_legal_paths(self):
+        language = SpanningTreePointerLanguage()
+        members = all_legal_configurations(language, path_graph(3))
+        # The path's unique spanning tree with 3 root choices.
+        assert len(members) == 3
+
+    def test_space_guard(self):
+        language = SpanningTreePointerLanguage()
+        with pytest.raises(ValueError):
+            all_legal_configurations(language, cycle_graph(30), limit=100)
+
+    def test_candidates_cover_all_nodes(self):
+        language = SpanningTreePointerLanguage()
+        scheme = SpanningTreePointerScheme(language)
+        members = all_legal_configurations(language, path_graph(3))
+        candidates = per_node_candidates(scheme, members, rng=make_rng(1))
+        assert set(candidates) == {0, 1, 2}
+        assert all(len(c) >= 2 for c in candidates.values())
+
+
+class TestExhaustiveSoundness:
+    def test_spanning_tree_survives_full_replay_on_p4(self):
+        language = SpanningTreePointerLanguage()
+        scheme = SpanningTreePointerScheme(language)
+        graph = path_graph(4)
+        members = all_legal_configurations(language, graph)
+        # Two-root illegal instance.
+        illegal = Configuration.build(
+            graph,
+            {0: None, 1: graph.port(1, 0), 2: graph.port(2, 3), 3: None},
+        )
+        assert not language.is_member(illegal)
+        result = exhaustive_soundness_check(
+            scheme, illegal, members, rng=make_rng(2), limit=300_000
+        )
+        assert not result.fooled
+        assert result.min_rejects >= 1
+
+    def test_acyclic_survives_replay_on_c3(self):
+        language = AcyclicLanguage()
+        scheme = AcyclicScheme(language)
+        graph = cycle_graph(3)
+        members = all_legal_configurations(language, graph)
+        looped = Configuration.build(
+            graph, {i: graph.port(i, (i + 1) % 3) for i in range(3)}
+        )
+        assert not language.is_member(looped)
+        result = exhaustive_soundness_check(
+            scheme, looped, members, rng=make_rng(3), limit=300_000
+        )
+        assert not result.fooled

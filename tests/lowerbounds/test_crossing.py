@@ -1,0 +1,132 @@
+"""Tests for the executable lower-bound machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.soundness import completeness_holds
+from repro.errors import AttackError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.lowerbounds.crossing import (
+    completeness_failure_depth,
+    minimum_surviving_budget,
+    pointer_cycle_attack,
+    signature_collision_profile,
+    two_root_path_attack,
+)
+from repro.lowerbounds.truncated import TruncatedSpanningTreeScheme
+from repro.schemes.spanning_tree import SpanningTreePointerScheme
+from repro.util.rng import make_rng
+
+
+class TestTruncatedScheme:
+    def test_lax_stays_complete_on_deep_trees(self):
+        scheme = TruncatedSpanningTreeScheme(2, strict_root=False)
+        config = scheme.language.member_configuration(path_graph(30))
+        assert completeness_holds(scheme, config)
+
+    def test_strict_loses_completeness_past_threshold(self):
+        bits = 3
+        scheme = TruncatedSpanningTreeScheme(bits, strict_root=True)
+        shallow = scheme.language.member_configuration(path_graph(2 ** bits))
+        # With a random root the depth may stay below the modulus; use
+        # the deterministic deep labeling instead.
+        from repro.core.labeling import Configuration
+
+        deep_graph = path_graph(2 ** bits + 1)
+        deep = Configuration.build(
+            deep_graph, scheme.language.canonical_labeling(deep_graph)
+        )
+        assert not completeness_holds(scheme, deep)
+
+    def test_declared_certificate_size(self):
+        scheme = TruncatedSpanningTreeScheme(5)
+        assert scheme.certificate_bits((0, 0)) == 10
+
+    def test_rejects_invalid_budget(self):
+        with pytest.raises(ValueError):
+            TruncatedSpanningTreeScheme(0)
+
+
+class TestPointerCycleAttack:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_fools_when_divisible(self, bits):
+        result = pointer_cycle_attack(16, bits)
+        assert result.illegal
+        assert result.fooled
+        assert result.verdict.reject_count == 0
+
+    def test_requires_divisibility(self):
+        with pytest.raises(AttackError):
+            pointer_cycle_attack(10, 2)  # 4 does not divide 10
+
+    def test_instance_is_far_from_language(self):
+        result = pointer_cycle_attack(16, 2)
+        # Every node's pointer participates in the cycle: fixing the
+        # instance needs at least one label change (in fact many).
+        assert not result.config.graph is None
+        assert result.illegal
+
+
+class TestTwoRootPathAttack:
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_fools_small_budgets(self, bits):
+        result = two_root_path_attack(16, bits)
+        assert result.illegal
+        assert result.fooled
+
+    def test_blocked_by_small_universe(self):
+        # With 2^b beyond the id universe there is no colliding pair.
+        with pytest.raises(AttackError):
+            two_root_path_attack(8, 10, universe=64)
+
+    def test_needs_minimum_length(self):
+        with pytest.raises(AttackError):
+            two_root_path_attack(3, 1)
+
+
+class TestThresholds:
+    @pytest.mark.parametrize("n", [8, 16, 32, 64])
+    def test_surviving_budget_tracks_log_universe(self, n):
+        # For power-of-two n with universe n², the attacks succeed up to
+        # exactly log2(n²) - 1 bits and fail from log2(n²) on.
+        assert minimum_surviving_budget(n) == round(2 * math.log2(n))
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_completeness_threshold_exact(self, bits):
+        assert completeness_failure_depth(bits, max_n=300) == 2 ** bits + 1
+
+    def test_full_scheme_never_fooled_by_these_attacks(self):
+        """The real Θ(log n) scheme survives the same constructions."""
+        scheme = SpanningTreePointerScheme()
+        # Re-run the pointer-cycle construction against the full scheme:
+        # all-clockwise pointers with the best certificates the adversary
+        # could harvest cannot all-accept (counters must strictly
+        # decrease without wrap-around).
+        from repro.core.labeling import Configuration
+
+        n = 16
+        g = cycle_graph(n)
+        states = {i: g.port(i, (i + 1) % n) for i in range(n)}
+        config = Configuration.build(g, states)
+        from repro.core.soundness import attack
+
+        result = attack(scheme, config, rng=make_rng(0), trials=60)
+        assert not result.fooled
+
+
+class TestCollisionProfile:
+    def test_profile_monotone_and_saturating(self):
+        scheme = SpanningTreePointerScheme()
+        configs = [
+            scheme.language.member_configuration(path_graph(12), rng=make_rng(s))
+            for s in range(4)
+        ]
+        profile = signature_collision_profile(scheme, configs)
+        widths = sorted(profile)
+        values = [profile[w] for w in widths]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert values[0] <= 2  # one bit distinguishes at most two
+        assert values[-1] > 2  # full width separates many certificates

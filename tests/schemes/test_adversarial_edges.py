@@ -1,0 +1,173 @@
+"""Targeted adversarial probes at individual verifier checks.
+
+Each test forges exactly one certificate field and asserts the specific
+check that must catch it — pinning the soundness argument's case
+analysis to code, branch by branch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeling import Configuration
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.weighted import weighted_copy
+from repro.schemes.leader import LeaderScheme
+from repro.schemes.mst import MstScheme
+from repro.schemes.spanning_tree import (
+    SpanningTreeListScheme,
+    SpanningTreePointerScheme,
+)
+from repro.util.rng import make_rng
+
+
+class TestSpanningTreeBranches:
+    def _config(self, rng):
+        scheme = SpanningTreePointerScheme()
+        g = cycle_graph(6)
+        return scheme, scheme.language.member_configuration(g, rng=rng)
+
+    def test_negative_distance_rejected(self, rng):
+        scheme, config = self._config(rng)
+        certs = dict(scheme.prove(config))
+        victim = next(v for v in config.graph.nodes if config.state(v) is not None)
+        certs[victim] = (certs[victim][0], -1)
+        assert victim in scheme.run(config, certificates=certs).rejects
+
+    def test_wrong_root_uid_at_root_rejected(self, rng):
+        scheme, config = self._config(rng)
+        certs = dict(scheme.prove(config))
+        root = next(v for v in config.graph.nodes if config.state(v) is None)
+        forged = {v: (999_999, certs[v][1]) for v in certs}
+        verdict = scheme.run(config, certificates=forged)
+        assert root in verdict.rejects  # uid pin at the root
+
+    def test_skipping_distance_rejected(self, rng):
+        scheme, config = self._config(rng)
+        certs = dict(scheme.prove(config))
+        victim = next(
+            v for v in config.graph.nodes
+            if config.state(v) is not None and certs[v][1] >= 2
+        )
+        certs[victim] = (certs[victim][0], certs[victim][1] + 1)
+        assert not scheme.run(config, certificates=certs).all_accept
+
+    def test_malformed_neighbor_cert_rejected(self, rng):
+        scheme, config = self._config(rng)
+        certs = dict(scheme.prove(config))
+        certs[0] = "garbage"
+        verdict = scheme.run(config, certificates=certs)
+        assert 0 in verdict.rejects
+        # And its neighbors reject too (they cannot parse the root field).
+        assert any(
+            nb in verdict.rejects for nb in config.graph.neighbors(0)
+        )
+
+
+class TestSpanningTreeListBranches:
+    def test_non_tree_listed_edge_rejected(self, rng):
+        """Listing an extra mutual edge that is neither parent nor child
+        of either endpoint must fail the parent/child pinning."""
+        scheme = SpanningTreeListScheme()
+        g = cycle_graph(5)
+        config = scheme.language.member_configuration(g, rng=rng)
+        # Add the one non-tree edge to both endpoint lists.
+        from repro.graphs.subgraphs import edges_from_lists
+
+        lists = {
+            v: frozenset(g.neighbor_at(v, p) for p in config.state(v))
+            for v in g.nodes
+        }
+        missing = next(
+            e for e in g.edges() if e not in edges_from_lists(lists)
+        )
+        u, w = missing
+        new_states = dict(config.labeling)
+        new_states[u] = config.state(u) | {g.port(u, w)}
+        new_states[w] = config.state(w) | {g.port(w, u)}
+        bad = config.with_labeling(new_states)
+        assert not scheme.language.is_member(bad)
+        assert not scheme.run(bad).all_accept
+
+    def test_echo_must_match_state(self, rng):
+        scheme = SpanningTreeListScheme()
+        g = path_graph(4)
+        config = scheme.language.member_configuration(g, rng=rng)
+        certs = dict(scheme.prove(config))
+        root_uid, parent_uid, dist, _echo = certs[1]
+        certs[1] = (root_uid, parent_uid, dist, (999,))
+        assert 1 in scheme.run(config, certificates=certs).rejects
+
+
+class TestLeaderBranches:
+    def test_unmarked_distance_zero_rejected(self, rng):
+        scheme = LeaderScheme()
+        g = star_graph(4)
+        config = scheme.language.member_configuration(g, rng=rng)
+        certs = dict(scheme.prove(config))
+        victim = next(v for v in g.nodes if config.state(v) is False)
+        leader_uid = certs[victim][0]
+        certs[victim] = (leader_uid, config.uid(victim), 0)
+        assert victim in scheme.run(config, certificates=certs).rejects
+
+    def test_parent_must_be_a_neighbor(self, rng):
+        scheme = LeaderScheme()
+        g = path_graph(5)
+        config = scheme.language.member_configuration(g, rng=rng)
+        certs = dict(scheme.prove(config))
+        victim = next(v for v in g.nodes if certs[v][2] > 0)
+        certs[victim] = (certs[victim][0], 424242, certs[victim][2])
+        assert victim in scheme.run(config, certificates=certs).rejects
+
+
+class TestMstBranches:
+    def _config(self, rng, n=6):
+        scheme = MstScheme()
+        g = weighted_copy(cycle_graph(n), rng)
+        return scheme, g, scheme.language.member_configuration(g, rng=rng)
+
+    def test_fragment_disagreeing_on_moe_rejected(self, rng):
+        scheme, g, config = self._config(rng, n=12)
+        certs = dict(scheme.prove(config))
+        # Find two adjacent nodes sharing a fragment past phase 0.
+        tag, root_uid, dist, echo, phases = certs[0]
+        if len(phases) < 3:
+            pytest.skip("needs a multi-phase run")
+        i = 1
+        partner = next(
+            (nb for nb in g.neighbors(0)
+             if certs[nb][4][i][0] == phases[i][0]),
+            None,
+        )
+        if partner is None:
+            pytest.skip("no same-fragment neighbor at phase 1")
+        entry = list(phases[i])
+        if entry[3] is None:
+            pytest.skip("last phase selected")
+        w, a, b = entry[3]
+        entry[3] = (w + 500, a, b)
+        new_phases = phases[:i] + (tuple(entry),) + phases[i + 1:]
+        certs[0] = (tag, root_uid, dist, echo, new_phases)
+        assert not scheme.run(config, certificates=certs).all_accept
+
+    def test_final_phase_split_rejected(self, rng):
+        scheme, g, config = self._config(rng)
+        certs = dict(scheme.prove(config))
+        tag, root_uid, dist, echo, phases = certs[0]
+        last = list(phases[-1])
+        last[0] = 777_777  # a fragment id nobody else shares
+        certs[0] = (tag, root_uid, dist, echo, phases[:-1] + (tuple(last),))
+        assert not scheme.run(config, certificates=certs).all_accept
+
+    def test_t1_orphan_rejected(self, rng):
+        scheme, g, config = self._config(rng)
+        certs = dict(scheme.prove(config))
+        # Point a node's fragment parent at a non-existent uid.
+        victim = next(
+            v for v in g.nodes if certs[v][4][-1][1] is not None
+        )
+        tag, root_uid, dist, echo, phases = certs[victim]
+        last = list(phases[-1])
+        last[1] = 888_888
+        certs[victim] = (tag, root_uid, dist, echo, phases[:-1] + (tuple(last),))
+        assert victim in scheme.run(config, certificates=certs).rejects

@@ -1,0 +1,82 @@
+"""Tests for the agreement language and echo scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeling import Configuration
+from repro.core.soundness import attack, completeness_holds
+from repro.graphs.generators import connected_gnp, path_graph, star_graph
+from repro.schemes.agreement import AgreementLanguage, AgreementScheme
+from repro.util.rng import make_rng
+
+
+class TestLanguage:
+    def test_member(self):
+        lang = AgreementLanguage(domain=10)
+        config = Configuration.build(path_graph(3), {0: 4, 1: 4, 2: 4})
+        assert lang.is_member(config)
+
+    def test_disagreement_rejected(self):
+        lang = AgreementLanguage(domain=10)
+        config = Configuration.build(path_graph(3), {0: 4, 1: 4, 2: 5})
+        assert not lang.is_member(config)
+
+    def test_out_of_domain_rejected(self):
+        lang = AgreementLanguage(domain=4)
+        config = Configuration.build(path_graph(2), {0: 9, 1: 9})
+        assert not lang.is_member(config)
+
+    def test_non_int_rejected(self):
+        lang = AgreementLanguage()
+        config = Configuration.build(path_graph(2), {0: "a", 1: "a"})
+        assert not lang.is_member(config)
+
+    def test_canonical_uses_rng(self):
+        lang = AgreementLanguage(domain=1000)
+        lab = lang.canonical_labeling(path_graph(4), rng=make_rng(5))
+        assert len(set(lab.values())) == 1
+
+    def test_corruption_changes_value(self):
+        lang = AgreementLanguage(domain=8)
+        for value in range(8):
+            assert lang.random_corruption(0, value, make_rng(value)) != value
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            AgreementLanguage(domain=0)
+
+
+class TestScheme:
+    def test_completeness(self, rng):
+        scheme = AgreementScheme()
+        config = scheme.language.member_configuration(connected_gnp(10, 0.3, rng), rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_single_disagreeing_node_detected(self):
+        scheme = AgreementScheme()
+        config = Configuration.build(star_graph(5), {0: 1, 1: 1, 2: 1, 3: 1, 4: 2})
+        verdict = scheme.run(config)
+        assert not verdict.all_accept
+
+    def test_lying_echo_detected(self):
+        scheme = AgreementScheme()
+        config = Configuration.build(path_graph(3), {0: 1, 1: 1, 2: 2})
+        # The adversary echoes 1 everywhere, hiding node 2's deviation...
+        verdict = scheme.run(config, certificates={0: 1, 1: 1, 2: 1})
+        # ...but node 2's own echo check catches it.
+        assert 2 in verdict.rejects
+
+    def test_attack_resistant(self, rng):
+        scheme = AgreementScheme()
+        graph = connected_gnp(9, 0.35, rng)
+        bad = scheme.language.corrupted_configuration(graph, 2, rng=rng)
+        assert not attack(scheme, bad, rng=rng, trials=40).fooled
+
+    def test_proof_size_tracks_value_size(self, rng):
+        graph = path_graph(6)
+        small = AgreementScheme(AgreementLanguage(domain=2))
+        big = AgreementScheme(AgreementLanguage(domain=2**48))
+        cfg_small = Configuration.build(graph, {v: 1 for v in graph.nodes})
+        cfg_big = Configuration.build(graph, {v: 2**47 for v in graph.nodes})
+        assert big.proof_size_bits(cfg_big) > small.proof_size_bits(cfg_small)

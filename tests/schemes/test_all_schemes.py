@@ -1,0 +1,148 @@
+"""Cross-cutting properties every scheme must satisfy.
+
+These are the paper's two defining conditions, machine-checked for every
+scheme in the registry over several graph families and random seeds:
+
+* completeness — honest certificates convince every node on members;
+* soundness (experimental) — on corrupted members, the budgeted
+  adversary never finds an all-accepting assignment, and the honest
+  best-effort certificates already leave at least one rejecting node.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.soundness import attack, completeness_holds
+from repro.graphs.generators import (
+    connected_gnp,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+)
+from repro.graphs.weighted import weighted_copy
+from repro.schemes import ALL_SCHEME_FACTORIES
+from repro.util.rng import make_rng
+
+FAMILIES = {
+    "path": lambda n, rng: path_graph(n),
+    "cycle": lambda n, rng: cycle_graph(max(3, n)),
+    "tree": random_tree,
+    "gnp": lambda n, rng: connected_gnp(n, 0.3, rng),
+    "grid": lambda n, rng: grid_graph(3, max(2, n // 3)),
+}
+
+
+def _prepare(scheme, family, n, rng):
+    graph = FAMILIES[family](n, rng)
+    if scheme.language.name == "bipartite" and family in ("cycle", "gnp"):
+        graph = grid_graph(3, max(2, n // 3))
+    if scheme.language.weighted:
+        graph = weighted_copy(graph, rng)
+    return graph
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("name", sorted(ALL_SCHEME_FACTORIES))
+class TestCompleteness:
+    def test_all_nodes_accept_members(self, name, family):
+        rng = make_rng(hash((name, family)) & 0xFFFFFF)
+        scheme = ALL_SCHEME_FACTORIES[name]()
+        graph = _prepare(scheme, family, 12, rng)
+        if not scheme.language.supports_graph(graph):
+            pytest.skip("language not constructible on this family")
+        config = scheme.language.member_configuration(graph, rng=rng)
+        assert completeness_holds(scheme, config)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_SCHEME_FACTORIES))
+class TestDetection:
+    def test_honest_certificates_detect_corruption(self, name):
+        rng = make_rng(hash(name) & 0xFFFFFF)
+        scheme = ALL_SCHEME_FACTORIES[name]()
+        graph = _prepare(scheme, "gnp", 12, rng)
+        if not scheme.language.supports_graph(graph):
+            pytest.skip("language not constructible here")
+        try:
+            bad = scheme.language.corrupted_configuration(graph, 2, rng=rng)
+        except Exception:
+            pytest.skip("cannot corrupt on this graph")
+        verdict = scheme.run(bad)  # honest best-effort prover
+        assert not verdict.all_accept
+
+    def test_adversary_never_fools(self, name):
+        rng = make_rng(hash((name, "attack")) & 0xFFFFFF)
+        scheme = ALL_SCHEME_FACTORIES[name]()
+        graph = _prepare(scheme, "gnp", 10, rng)
+        if not scheme.language.supports_graph(graph):
+            pytest.skip("language not constructible here")
+        try:
+            bad = scheme.language.corrupted_configuration(graph, 2, rng=rng)
+        except Exception:
+            pytest.skip("cannot corrupt on this graph")
+        member = scheme.language.member_configuration(graph, rng=rng)
+        result = attack(scheme, bad, rng=rng, trials=30, related=[member])
+        assert not result.fooled
+        assert result.min_rejects >= 1
+
+
+class TestPropertyBased:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n=st.integers(min_value=4, max_value=16),
+        corruptions=st.integers(min_value=1, max_value=3),
+    )
+    def test_spanning_tree_detection_property(self, seed, n, corruptions):
+        """For random graphs, sizes and corruption counts: corrupted
+        spanning-tree configurations are rejected somewhere."""
+        rng = make_rng(seed)
+        scheme = ALL_SCHEME_FACTORIES["spanning-tree-ptr"]()
+        graph = connected_gnp(n, 0.4, rng)
+        try:
+            bad = scheme.language.corrupted_configuration(
+                graph, corruptions, rng=rng
+            )
+        except Exception:
+            return  # corruption stayed legal; vacuous case
+        assert not scheme.run(bad).all_accept
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n=st.integers(min_value=3, max_value=12),
+    )
+    def test_mst_completeness_property(self, seed, n):
+        """Honest MST certificates verify on random weighted graphs."""
+        rng = make_rng(seed)
+        scheme = ALL_SCHEME_FACTORIES["mst"]()
+        graph = weighted_copy(connected_gnp(n, 0.5, rng), rng)
+        config = scheme.language.member_configuration(graph, rng=rng)
+        assert completeness_holds(scheme, config)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n=st.integers(min_value=4, max_value=20),
+    )
+    def test_leader_completeness_property(self, seed, n):
+        rng = make_rng(seed)
+        scheme = ALL_SCHEME_FACTORIES["leader"]()
+        graph = connected_gnp(n, 0.35, rng)
+        config = scheme.language.member_configuration(graph, rng=rng)
+        assert completeness_holds(scheme, config)

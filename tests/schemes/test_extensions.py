@@ -1,0 +1,157 @@
+"""Tests for the extension schemes: vertex cover, bounded eccentricity,
+and the radius-t coarse acyclicity tradeoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeling import Configuration
+from repro.core.soundness import attack, completeness_holds
+from repro.errors import LanguageError
+from repro.graphs.generators import (
+    connected_gnp,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.schemes.eccentricity import (
+    BoundedEccentricityLanguage,
+    BoundedEccentricityScheme,
+)
+from repro.schemes.radius_acyclic import CoarseAcyclicScheme
+from repro.schemes.vertex_cover import VertexCoverLanguage, VertexCoverScheme
+from repro.util.rng import make_rng
+
+
+class TestVertexCover:
+    def test_membership(self):
+        lang = VertexCoverLanguage()
+        g = path_graph(4)
+        good = Configuration.build(g, {0: False, 1: True, 2: True, 3: False})
+        bad = Configuration.build(g, {0: True, 1: False, 2: False, 3: True})
+        assert lang.is_member(good)
+        assert not lang.is_member(bad)  # edge (1, 2) uncovered
+
+    def test_canonical_covers(self, rng):
+        lang = VertexCoverLanguage()
+        g = connected_gnp(14, 0.3, rng)
+        config = Configuration.build(g, lang.canonical_labeling(g, rng=rng))
+        assert lang.is_member(config)
+
+    def test_completeness(self, rng):
+        scheme = VertexCoverScheme()
+        config = scheme.language.member_configuration(connected_gnp(10, 0.3, rng), rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_uncovered_edge_detected_at_both_ends(self):
+        scheme = VertexCoverScheme()
+        g = path_graph(3)
+        config = Configuration.build(g, {0: True, 1: False, 2: False})
+        verdict = scheme.run(config)
+        assert {1, 2} <= verdict.rejects
+
+    def test_attack_resistant(self, rng):
+        scheme = VertexCoverScheme()
+        graph = connected_gnp(10, 0.3, rng)
+        bad = scheme.language.corrupted_configuration(graph, 2, rng=rng)
+        assert not attack(scheme, bad, rng=rng, trials=40).fooled
+
+
+class TestBoundedEccentricity:
+    def test_membership_by_radius(self):
+        lang = BoundedEccentricityLanguage(1)
+        assert lang.is_member(Configuration.build(star_graph(6)))
+        assert not lang.is_member(Configuration.build(path_graph(6)))
+
+    def test_rejects_negative_bound(self):
+        with pytest.raises(ValueError):
+            BoundedEccentricityLanguage(-1)
+
+    def test_canonical_raises_on_large_radius(self):
+        lang = BoundedEccentricityLanguage(2)
+        with pytest.raises(LanguageError):
+            lang.canonical_labeling(path_graph(12))
+
+    def test_completeness(self, rng):
+        lang = BoundedEccentricityLanguage(3)
+        scheme = BoundedEccentricityScheme(lang)
+        config = lang.member_configuration(grid_graph(3, 4), rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_far_graph_detected_under_attack(self, rng):
+        lang = BoundedEccentricityLanguage(2)
+        scheme = BoundedEccentricityScheme(lang)
+        config = Configuration.build(path_graph(10))  # radius 4–5 > 2
+        assert not lang.is_member(config)
+        assert not attack(scheme, config, rng=rng, trials=60).fooled
+
+    def test_distance_over_bound_rejected(self, rng):
+        lang = BoundedEccentricityLanguage(2)
+        scheme = BoundedEccentricityScheme(lang)
+        config = lang.member_configuration(star_graph(5), rng=rng)
+        certs = dict(scheme.prove(config))
+        center_uid = certs[0][0]
+        certs[3] = (center_uid, 5)  # above the bound
+        assert not scheme.run(config, certificates=certs).all_accept
+
+    def test_fake_center_rejected(self, rng):
+        lang = BoundedEccentricityLanguage(3)
+        scheme = BoundedEccentricityScheme(lang)
+        config = lang.member_configuration(cycle_graph(6), rng=rng)
+        # A center uid nobody owns: the dist-0 anchor cannot exist, and
+        # without it, some minimum-distance node lacks a parent.
+        certs = {v: (9999, 1) for v in config.graph.nodes}
+        assert not scheme.run(config, certificates=certs).all_accept
+
+
+class TestCoarseAcyclic:
+    def _deep_path(self, n):
+        g = path_graph(n)
+        states = {0: None, **{i: g.port(i, i - 1) for i in range(1, n)}}
+        return Configuration.build(g, states)
+
+    @pytest.mark.parametrize("t", [1, 2, 4, 8])
+    def test_completeness_on_deep_chain(self, t):
+        scheme = CoarseAcyclicScheme(t)
+        assert scheme.run(self._deep_path(40)).all_accept
+
+    @pytest.mark.parametrize("t", [1, 2, 4, 8])
+    def test_pointer_cycle_rejected(self, t, rng):
+        scheme = CoarseAcyclicScheme(t)
+        g = cycle_graph(12)
+        looped = Configuration.build(
+            g, {i: g.port(i, (i + 1) % 12) for i in range(12)}
+        )
+        result = attack(scheme, looped, rng=rng, trials=40)
+        assert not result.fooled
+
+    def test_bits_shrink_with_radius(self):
+        deep = self._deep_path(128)
+        sizes = [CoarseAcyclicScheme(t).proof_size_bits(deep) for t in (1, 4, 16)]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] < sizes[0]
+
+    def test_random_forests_complete(self, rng):
+        scheme = CoarseAcyclicScheme(3)
+        config = scheme.language.member_configuration(
+            connected_gnp(15, 0.3, rng), rng=rng
+        )
+        assert scheme.run(config).all_accept
+
+    def test_matches_radius_one_semantics(self):
+        # t=1 coarse counters are exact depths: same accept behaviour as
+        # the classic scheme on a legal forest.
+        deep = self._deep_path(10)
+        assert CoarseAcyclicScheme(1).run(deep).all_accept
+
+    def test_rejects_invalid_radius(self):
+        with pytest.raises(ValueError):
+            CoarseAcyclicScheme(0)
+
+    def test_wrong_coarse_counter_rejected(self):
+        scheme = CoarseAcyclicScheme(2)
+        config = self._deep_path(9)
+        certs = dict(scheme.prove(config))
+        certs[8] = certs[8] + 3
+        assert not scheme.run(config, certificates=certs).all_accept

@@ -1,0 +1,198 @@
+"""Tests for the MST language and the O(log² n) Borůvka scheme."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.labeling import Configuration
+from repro.core.soundness import attack, completeness_holds
+from repro.errors import LanguageError
+from repro.graphs.generators import connected_gnp, cycle_graph, path_graph
+from repro.graphs.mst import kruskal
+from repro.graphs.subgraphs import pointers_from_tree
+from repro.graphs.traversal import bfs_tree_edges
+from repro.graphs.weighted import weighted_copy
+from repro.schemes.mst import MstLanguage, MstScheme
+from repro.util.rng import make_rng
+
+
+def _pointer_states(graph, tree, root=0):
+    pointers = pointers_from_tree(graph, tree, root)
+    return {
+        v: None if p is None else graph.port(v, p) for v, p in pointers.items()
+    }
+
+
+class TestMstLanguage:
+    def test_member_is_the_mst(self, weighted_graph, rng):
+        lang = MstLanguage()
+        config = lang.member_configuration(weighted_graph, rng=rng)
+        assert lang.is_member(config)
+
+    def test_non_mst_spanning_tree_rejected(self, rng):
+        lang = MstLanguage()
+        g = weighted_copy(cycle_graph(6), rng)
+        mst = kruskal(g)
+        # The unique non-MST spanning tree of a cycle: drop a different edge.
+        heaviest = max(g.edges(), key=lambda e: g.weight(*e))
+        other = set(g.edges()) - {min(g.edges(), key=lambda e: g.weight(*e))}
+        config = Configuration.build(g, _pointer_states(g, other))
+        assert set(other) != set(mst)
+        assert not lang.is_member(config)
+
+    def test_unweighted_graph_not_member(self):
+        lang = MstLanguage()
+        g = path_graph(3)
+        config = Configuration.build(g, {0: None, 1: 0, 2: 0})
+        assert not lang.is_member(config)
+
+    def test_canonical_requires_weights(self):
+        with pytest.raises(LanguageError):
+            MstLanguage().canonical_labeling(path_graph(4))
+
+    def test_canonical_requires_distinct_weights(self):
+        g = path_graph(3).with_weights({(0, 1): 1, (1, 2): 1})
+        with pytest.raises(LanguageError):
+            MstLanguage().canonical_labeling(g)
+
+    def test_disconnected_pointers_rejected(self, rng):
+        lang = MstLanguage()
+        g = weighted_copy(cycle_graph(5), rng)
+        config = Configuration.build(g, {v: None for v in g.nodes})
+        assert not lang.is_member(config)
+
+
+class TestMstSchemeCompleteness:
+    @pytest.mark.parametrize("n", [2, 3, 5, 9, 16, 25])
+    def test_completeness_across_sizes(self, n):
+        rng = make_rng(n)
+        scheme = MstScheme()
+        g = weighted_copy(connected_gnp(n, 0.4, rng), rng)
+        config = scheme.language.member_configuration(g, rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_single_node(self):
+        scheme = MstScheme()
+        from repro.graphs.graph import Graph
+
+        g = Graph(1, [], {})
+        config = scheme.language.member_configuration(g)
+        assert completeness_holds(scheme, config)
+
+    def test_proof_size_polylog(self):
+        scheme = MstScheme()
+        sizes = []
+        for n in (8, 64):
+            rng = make_rng(n)
+            g = weighted_copy(connected_gnp(n, 3.0 / n, rng), rng)
+            config = scheme.language.member_configuration(g, rng=rng)
+            bits = scheme.proof_size_bits(config)
+            sizes.append(bits / (math.log2(g.n) ** 2))
+        # bits / log^2 n stays within a modest constant band.
+        assert 0.2 < sizes[1] / sizes[0] < 5
+
+
+class TestMstSchemeSoundness:
+    def test_wrong_spanning_tree_detected(self, rng):
+        scheme = MstScheme()
+        g = weighted_copy(cycle_graph(7), rng)
+        mst = kruskal(g)
+        cheapest = min(g.edges(), key=lambda e: g.weight(*e))
+        wrong_tree = set(g.edges()) - {cheapest}  # drops the cheapest: not MST
+        assert frozenset(wrong_tree) != mst
+        config = Configuration.build(g, _pointer_states(g, wrong_tree))
+        assert not scheme.language.is_member(config)
+        member = scheme.language.member_configuration(g, rng=rng)
+        result = attack(scheme, config, rng=rng, trials=60, related=[member])
+        assert not result.fooled
+
+    def test_broken_tree_detected(self, rng):
+        scheme = MstScheme()
+        g = weighted_copy(connected_gnp(9, 0.4, rng), rng)
+        bad = scheme.language.corrupted_configuration(g, 2, rng=rng)
+        result = attack(scheme, bad, rng=rng, trials=40)
+        assert not result.fooled
+
+    def test_forged_moe_weight_rejected(self, rng):
+        scheme = MstScheme()
+        g = weighted_copy(cycle_graph(5), rng)
+        config = scheme.language.member_configuration(g, rng=rng)
+        certs = dict(scheme.prove(config))
+        # Tamper with phase 0's claimed minimum outgoing edge everywhere.
+        def forge(cert):
+            tag, root_uid, dist, echo, phases = cert
+            entry = phases[0]
+            if entry[3] is None:
+                return cert
+            w, a, b = entry[3]
+            forged_entry = (entry[0], entry[1], entry[2], (w + 1000, a, b), entry[4], entry[5])
+            return (tag, root_uid, dist, echo, (forged_entry,) + phases[1:])
+
+        forged = {v: forge(c) for v, c in certs.items()}
+        assert not scheme.run(config, certificates=forged).all_accept
+
+    def test_pointer_echo_must_be_truthful(self, rng):
+        scheme = MstScheme()
+        g = weighted_copy(path_graph(4), rng)
+        config = scheme.language.member_configuration(g, rng=rng)
+        certs = dict(scheme.prove(config))
+        victim = next(v for v in g.nodes if config.state(v) is not None)
+        tag, root_uid, dist, echo, phases = certs[victim]
+        certs[victim] = (tag, root_uid, dist, 10_000, phases)
+        verdict = scheme.run(config, certificates=certs)
+        assert victim in verdict.rejects
+
+    def test_phase_zero_must_be_singletons(self, rng):
+        scheme = MstScheme()
+        g = weighted_copy(cycle_graph(4), rng)
+        config = scheme.language.member_configuration(g, rng=rng)
+        certs = dict(scheme.prove(config))
+        tag, root_uid, dist, echo, phases = certs[0]
+        entry = phases[0]
+        forged_entry = (999, entry[1], entry[2], entry[3], entry[4], entry[5])
+        certs[0] = (tag, root_uid, dist, echo, (forged_entry,) + phases[1:])
+        assert not scheme.run(config, certificates=certs).all_accept
+
+    def test_phase_count_disagreement_rejected(self, rng):
+        scheme = MstScheme()
+        g = weighted_copy(connected_gnp(8, 0.5, rng), rng)
+        config = scheme.language.member_configuration(g, rng=rng)
+        certs = dict(scheme.prove(config))
+        tag, root_uid, dist, echo, phases = certs[0]
+        certs[0] = (tag, root_uid, dist, echo, phases + (phases[-1],))
+        assert not scheme.run(config, certificates=certs).all_accept
+
+    def test_malformed_certificates_rejected(self, rng):
+        scheme = MstScheme()
+        g = weighted_copy(path_graph(3), rng)
+        config = scheme.language.member_configuration(g, rng=rng)
+        for junk in (None, 7, ("mst",), ("mst", 1, -1, None, ())):
+            verdict = scheme.run(config, certificates={v: junk for v in g.nodes})
+            assert not verdict.all_accept
+
+    def test_non_tree_moe_claim_rejected(self, rng):
+        """A certificate claiming a non-tree edge as a selection must fail
+        at the T2 root's exhibit check."""
+        scheme = MstScheme()
+        g = weighted_copy(cycle_graph(5), rng)
+        config = scheme.language.member_configuration(g, rng=rng)
+        certs = dict(scheme.prove(config))
+        # Find the non-tree edge (the heaviest on a cycle).
+        tree_edges = set()
+        from repro.schemes.acyclic import pointers_from_ports
+        from repro.graphs.subgraphs import edges_from_pointers
+
+        tree_edges = edges_from_pointers(pointers_from_ports(config))
+        non_tree = next(e for e in g.edges() if e not in tree_edges)
+        u, v = non_tree
+        tag, root_uid, dist, echo, phases = certs[u]
+        entry = phases[0]
+        forged = (
+            entry[0], entry[1], entry[2],
+            (g.weight(u, v), config.uid(u), config.uid(v)),
+            None, 0,
+        )
+        certs[u] = (tag, root_uid, dist, echo, (forged,) + phases[1:])
+        assert not scheme.run(config, certificates=certs).all_accept

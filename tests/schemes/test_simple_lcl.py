@@ -1,0 +1,227 @@
+"""Tests for the locally checkable predicates: coloring, bipartite,
+independent set, dominating set, matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeling import Configuration
+from repro.core.soundness import attack, completeness_holds
+from repro.errors import LanguageError
+from repro.graphs.generators import (
+    complete_graph,
+    connected_gnp,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.schemes.bipartite import BipartiteLanguage, BipartiteScheme, two_coloring
+from repro.schemes.coloring import (
+    ColoringEchoScheme,
+    ColoringFullScheme,
+    ProperColoringLanguage,
+)
+from repro.schemes.dominating_set import DominatingSetLanguage, DominatingSetScheme
+from repro.schemes.independent_set import (
+    IndependentSetLanguage,
+    IndependentSetScheme,
+)
+from repro.schemes.matching import MatchingLanguage, MatchingScheme, greedy_matching
+from repro.util.rng import make_rng
+
+
+class TestColoring:
+    def test_member_and_nonmember(self):
+        lang = ProperColoringLanguage(colors=3)
+        good = Configuration.build(path_graph(3), {0: 0, 1: 1, 2: 0})
+        bad = Configuration.build(path_graph(3), {0: 0, 1: 0, 2: 1})
+        assert lang.is_member(good)
+        assert not lang.is_member(bad)
+
+    def test_color_bound_enforced(self):
+        lang = ProperColoringLanguage(colors=2)
+        config = Configuration.build(path_graph(2), {0: 0, 1: 5})
+        assert not lang.is_member(config)
+
+    def test_canonical_greedy(self, rng):
+        lang = ProperColoringLanguage(colors=8)
+        g = connected_gnp(12, 0.3, rng)
+        config = Configuration.build(g, lang.canonical_labeling(g))
+        assert lang.is_member(config)
+
+    def test_canonical_fails_without_colors(self):
+        lang = ProperColoringLanguage(colors=2)
+        with pytest.raises(LanguageError):
+            lang.canonical_labeling(complete_graph(4))
+
+    def test_echo_scheme_completeness(self, rng):
+        scheme = ColoringEchoScheme()
+        config = scheme.language.member_configuration(connected_gnp(10, 0.3, rng), rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_full_scheme_zero_bits(self, rng):
+        scheme = ColoringFullScheme()
+        config = scheme.language.member_configuration(cycle_graph(6), rng=rng)
+        assert completeness_holds(scheme, config)
+        assert scheme.proof_size_bits(config) == 0
+
+    def test_monochromatic_edge_detected_both_models(self):
+        config = Configuration.build(path_graph(3), {0: 1, 1: 1, 2: 0})
+        for scheme in (ColoringEchoScheme(), ColoringFullScheme()):
+            verdict = scheme.run(config)
+            assert {0, 1} & verdict.rejects
+
+    def test_echo_lies_detected(self, rng):
+        scheme = ColoringEchoScheme()
+        config = Configuration.build(path_graph(2), {0: 1, 1: 1})
+        verdict = scheme.run(config, certificates={0: 1, 1: 0})
+        assert 1 in verdict.rejects  # node 1's echo disagrees with its state
+
+
+class TestBipartite:
+    def test_two_coloring_helper(self):
+        assert two_coloring(grid_graph(3, 3)) is not None
+        assert two_coloring(cycle_graph(5)) is None
+
+    def test_membership_is_graph_property(self):
+        lang = BipartiteLanguage()
+        good = Configuration.build(cycle_graph(6))
+        bad = Configuration.build(cycle_graph(5))
+        assert lang.is_member(good)
+        assert not lang.is_member(bad)
+
+    def test_states_must_be_none(self):
+        lang = BipartiteLanguage()
+        config = Configuration.build(path_graph(2), {0: 1, 1: None})
+        assert not lang.is_member(config)
+
+    def test_canonical_on_odd_cycle_raises(self):
+        with pytest.raises(LanguageError):
+            BipartiteLanguage().canonical_labeling(cycle_graph(7))
+
+    def test_scheme_completeness_one_bit(self, rng):
+        scheme = BipartiteScheme()
+        config = scheme.language.member_configuration(grid_graph(3, 4), rng=rng)
+        assert completeness_holds(scheme, config)
+        assert scheme.proof_size_bits(config) == 1
+
+    def test_odd_cycle_always_detected(self, rng):
+        scheme = BipartiteScheme()
+        config = Configuration.build(cycle_graph(7))
+        result = attack(scheme, config, rng=rng, trials=60)
+        assert not result.fooled
+
+
+class TestIndependentSet:
+    def test_membership(self):
+        lang = IndependentSetLanguage()
+        good = Configuration.build(path_graph(4), {0: True, 1: False, 2: True, 3: False})
+        bad = Configuration.build(path_graph(4), {0: True, 1: True, 2: False, 3: False})
+        assert lang.is_member(good)
+        assert not lang.is_member(bad)
+
+    def test_maximality_variant(self):
+        lang = IndependentSetLanguage(maximal=True)
+        not_maximal = Configuration.build(
+            path_graph(5), {v: False for v in range(5)}
+        )
+        assert not lang.is_member(not_maximal)
+        maximal = Configuration.build(
+            path_graph(5), {0: True, 1: False, 2: True, 3: False, 4: True}
+        )
+        assert lang.is_member(maximal)
+
+    def test_canonical_is_maximal(self, rng):
+        lang = IndependentSetLanguage(maximal=True)
+        g = connected_gnp(14, 0.25, rng)
+        config = Configuration.build(g, lang.canonical_labeling(g, rng=rng))
+        assert lang.is_member(config)
+
+    def test_scheme_detects_adjacent_pair(self):
+        scheme = IndependentSetScheme()
+        config = Configuration.build(path_graph(3), {0: True, 1: True, 2: False})
+        verdict = scheme.run(config)
+        assert {0, 1} <= verdict.rejects
+
+    def test_maximal_scheme_detects_hole(self):
+        scheme = IndependentSetScheme(IndependentSetLanguage(maximal=True))
+        config = Configuration.build(star_graph(4), {v: False for v in range(4)})
+        assert not scheme.run(config).all_accept
+
+
+class TestDominatingSet:
+    def test_membership(self):
+        lang = DominatingSetLanguage()
+        good = Configuration.build(star_graph(5), {0: True, **{v: False for v in range(1, 5)}})
+        assert lang.is_member(good)
+        bad = Configuration.build(path_graph(4), {v: False for v in range(4)})
+        assert not lang.is_member(bad)
+
+    def test_canonical_dominates(self, rng):
+        lang = DominatingSetLanguage()
+        g = connected_gnp(15, 0.2, rng)
+        config = Configuration.build(g, lang.canonical_labeling(g, rng=rng))
+        assert lang.is_member(config)
+
+    def test_scheme_detects_undominated_node(self):
+        scheme = DominatingSetScheme()
+        config = Configuration.build(path_graph(5), {0: True, 1: False, 2: False, 3: False, 4: True})
+        verdict = scheme.run(config)
+        assert 2 in verdict.rejects
+
+    def test_attack_resistant(self, rng):
+        scheme = DominatingSetScheme()
+        graph = connected_gnp(10, 0.25, rng)
+        bad = scheme.language.corrupted_configuration(graph, 2, rng=rng)
+        assert not attack(scheme, bad, rng=rng, trials=40).fooled
+
+
+class TestMatching:
+    def test_greedy_matching_is_matching(self, rng):
+        g = connected_gnp(12, 0.3, rng)
+        partner = greedy_matching(g, rng)
+        for v, p in partner.items():
+            if p is not None:
+                assert partner[p] == v
+
+    def test_membership_mutuality(self):
+        g = path_graph(4)
+        lang = MatchingLanguage()
+        good = Configuration.build(
+            g, {0: 0, 1: 0, 2: None, 3: None}
+        )  # 0-1 matched via ports
+        assert lang.is_member(good)
+        bad = Configuration.build(g, {0: 0, 1: 1, 2: None, 3: None})
+        assert not lang.is_member(bad)
+
+    def test_perfect_variant(self):
+        lang = MatchingLanguage(perfect=True)
+        g = path_graph(4)
+        partial = Configuration.build(g, {0: 0, 1: 0, 2: None, 3: None})
+        assert not lang.is_member(partial)
+        perfect = Configuration.build(g, {0: 0, 1: 0, 2: 1, 3: 0})
+        assert lang.is_member(perfect)
+
+    def test_perfect_canonical_on_even_cycle(self, rng):
+        lang = MatchingLanguage(perfect=True)
+        config = lang.member_configuration(cycle_graph(8), rng=rng)
+        assert lang.is_member(config)
+
+    def test_perfect_canonical_fails_on_odd(self, rng):
+        lang = MatchingLanguage(perfect=True)
+        with pytest.raises(LanguageError):
+            lang.canonical_labeling(cycle_graph(7), rng=rng)
+
+    def test_scheme_detects_one_sided_claim(self):
+        scheme = MatchingScheme()
+        config = Configuration.build(path_graph(3), {0: 0, 1: 1, 2: None})
+        # 0 claims 1, but 1 claims 2 who refuses: both 0 and 1 inconsistent.
+        verdict = scheme.run(config)
+        assert not verdict.all_accept
+
+    def test_attack_resistant(self, rng):
+        scheme = MatchingScheme()
+        graph = connected_gnp(10, 0.3, rng)
+        bad = scheme.language.corrupted_configuration(graph, 2, rng=rng)
+        assert not attack(scheme, bad, rng=rng, trials=40).fooled

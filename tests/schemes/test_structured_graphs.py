@@ -1,0 +1,89 @@
+"""The flagship schemes on structured topologies.
+
+Grids, tori, hypercubes, stars, lollipops and double-cliques exercise
+different degree/diameter regimes than the random sweeps: high-degree
+hubs (echo costs), long induced paths (deep counters), dense cores with
+sparse tails (fragment shapes in Borůvka).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.soundness import completeness_holds
+from repro.graphs.generators import (
+    caterpillar,
+    complete_graph,
+    double_clique,
+    grid_graph,
+    hypercube,
+    lollipop,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.weighted import weighted_copy
+from repro.schemes import (
+    BfsTreeScheme,
+    LeaderScheme,
+    MstScheme,
+    SpanningTreePointerScheme,
+)
+from repro.util.rng import make_rng
+
+TOPOLOGIES = {
+    "grid": grid_graph(4, 5),
+    "torus": torus_graph(4, 4),
+    "hypercube": hypercube(4),
+    "star": star_graph(17),
+    "lollipop": lollipop(6, 8),
+    "double_clique": double_clique(6),
+    "caterpillar": caterpillar(6, 2),
+    "clique": complete_graph(10),
+}
+
+TREE_SCHEMES = {
+    "spanning-tree": SpanningTreePointerScheme,
+    "bfs-tree": BfsTreeScheme,
+    "leader": LeaderScheme,
+}
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("scheme_name", sorted(TREE_SCHEMES))
+class TestTreeSchemesOnTopologies:
+    def test_completeness(self, scheme_name, topology):
+        rng = make_rng(hash((scheme_name, topology)) & 0xFFFF)
+        scheme = TREE_SCHEMES[scheme_name]()
+        graph = TOPOLOGIES[topology]
+        config = scheme.language.member_configuration(graph, rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_corruption_detected(self, scheme_name, topology):
+        rng = make_rng(hash((scheme_name, topology, "bad")) & 0xFFFF)
+        scheme = TREE_SCHEMES[scheme_name]()
+        graph = TOPOLOGIES[topology]
+        try:
+            bad = scheme.language.corrupted_configuration(graph, 1, rng=rng)
+        except Exception:
+            pytest.skip("corruption stayed legal on this topology")
+        assert not scheme.run(bad).all_accept
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+class TestMstOnTopologies:
+    def test_completeness(self, topology):
+        rng = make_rng(hash((topology, "mst")) & 0xFFFF)
+        graph = weighted_copy(TOPOLOGIES[topology], rng)
+        scheme = MstScheme()
+        config = scheme.language.member_configuration(graph, rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_corruption_detected(self, topology):
+        rng = make_rng(hash((topology, "mst-bad")) & 0xFFFF)
+        graph = weighted_copy(TOPOLOGIES[topology], rng)
+        scheme = MstScheme()
+        try:
+            bad = scheme.language.corrupted_configuration(graph, 1, rng=rng)
+        except Exception:
+            pytest.skip("corruption stayed legal on this topology")
+        assert not scheme.run(bad).all_accept

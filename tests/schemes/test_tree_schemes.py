@@ -1,0 +1,257 @@
+"""Tests for acyclic, leader, spanning-tree and BFS-tree schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeling import Configuration
+from repro.core.soundness import attack, completeness_holds
+from repro.core.verifier import Visibility
+from repro.graphs.generators import (
+    connected_gnp,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.subgraphs import edges_from_pointers
+from repro.schemes.acyclic import AcyclicLanguage, AcyclicScheme, pointers_from_ports
+from repro.schemes.bfs_tree import BfsTreeLanguage, BfsTreeScheme
+from repro.schemes.leader import LeaderLanguage, LeaderScheme
+from repro.schemes.spanning_tree import (
+    SpanningTreeListLanguage,
+    SpanningTreeListScheme,
+    SpanningTreePointerLanguage,
+    SpanningTreePointerScheme,
+)
+from repro.util.rng import make_rng
+
+
+class TestAcyclic:
+    def test_membership(self):
+        lang = AcyclicLanguage()
+        g = cycle_graph(4)
+        forest = Configuration.build(g, {0: None, 1: 0, 2: 0, 3: None})
+        assert lang.is_member(forest)
+        # All nodes pointing clockwise: a directed pointer cycle.
+        looped = Configuration.build(g, {0: 1, 1: 1, 2: 1, 3: 0})
+        assert not lang.is_member(looped)
+
+    def test_pointers_from_ports_decodes(self):
+        g = path_graph(3)
+        config = Configuration.build(g, {0: 0, 1: None, 2: 0})
+        assert pointers_from_ports(config) == {0: 1, 1: None, 2: 1}
+
+    def test_completeness(self, rng):
+        scheme = AcyclicScheme()
+        config = scheme.language.member_configuration(connected_gnp(12, 0.3, rng), rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_cycle_always_detected_under_attack(self, rng):
+        scheme = AcyclicScheme()
+        g = cycle_graph(6)
+        looped = Configuration.build(g, {i: g.port(i, (i + 1) % 6) for i in range(6)})
+        result = attack(scheme, looped, rng=rng, trials=60)
+        assert not result.fooled
+
+    def test_counter_must_decrease(self):
+        scheme = AcyclicScheme()
+        g = path_graph(2)
+        config = Configuration.build(g, {0: 0, 1: None})
+        verdict = scheme.run(config, certificates={0: 5, 1: 3})
+        assert 0 in verdict.rejects
+
+    def test_negative_counter_rejected(self):
+        scheme = AcyclicScheme()
+        config = Configuration.build(path_graph(2), {0: None, 1: None})
+        verdict = scheme.run(config, certificates={0: -1, 1: 0})
+        assert 0 in verdict.rejects
+
+
+class TestLeader:
+    def test_membership_counts_marks(self):
+        lang = LeaderLanguage()
+        g = path_graph(3)
+        assert lang.is_member(Configuration.build(g, {0: True, 1: False, 2: False}))
+        assert not lang.is_member(Configuration.build(g, {0: True, 1: True, 2: False}))
+        assert not lang.is_member(Configuration.build(g, {0: False, 1: False, 2: False}))
+
+    def test_completeness(self, rng):
+        scheme = LeaderScheme()
+        config = scheme.language.member_configuration(connected_gnp(11, 0.3, rng), rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_no_leader_detected_under_attack(self, rng):
+        scheme = LeaderScheme()
+        g = cycle_graph(8)
+        config = Configuration.build(g, {v: False for v in g.nodes})
+        related = [scheme.language.member_configuration(g, rng=make_rng(s)) for s in range(3)]
+        result = attack(scheme, config, rng=rng, trials=60, related=related)
+        assert not result.fooled
+
+    def test_two_leaders_detected_under_attack(self, rng):
+        scheme = LeaderScheme()
+        g = path_graph(8)
+        config = Configuration.build(
+            g, {0: True, 7: True, **{v: False for v in range(1, 7)}}
+        )
+        related = [scheme.language.member_configuration(g, rng=make_rng(s)) for s in range(3)]
+        result = attack(scheme, config, rng=rng, trials=60, related=related)
+        assert not result.fooled
+
+    def test_marked_node_must_be_at_distance_zero(self):
+        scheme = LeaderScheme()
+        g = path_graph(2)
+        config = Configuration.build(g, {0: True, 1: True})
+        leader_uid = config.uid(0)
+        certs = {
+            0: (leader_uid, leader_uid, 0),
+            1: (leader_uid, leader_uid, 1),
+        }
+        verdict = scheme.run(config, certificates=certs)
+        assert 1 in verdict.rejects
+
+
+class TestSpanningTreePointer:
+    def test_membership(self, rng):
+        lang = SpanningTreePointerLanguage()
+        g = cycle_graph(5)
+        tree = Configuration.build(
+            g, {0: None, 1: g.port(1, 0), 2: g.port(2, 1), 3: g.port(3, 2), 4: g.port(4, 0)}
+        )
+        assert lang.is_member(tree)
+        all_pointing = Configuration.build(
+            g, {i: g.port(i, (i + 1) % 5) for i in range(5)}
+        )
+        assert not lang.is_member(all_pointing)
+
+    def test_canonical_encodes_bfs(self, rng):
+        lang = SpanningTreePointerLanguage()
+        g = connected_gnp(10, 0.3, rng)
+        config = Configuration.build(g, lang.canonical_labeling(g, rng=rng))
+        assert lang.is_member(config)
+        pointers = pointers_from_ports(config)
+        assert len(edges_from_pointers(pointers)) == g.n - 1
+
+    def test_completeness(self, rng):
+        scheme = SpanningTreePointerScheme()
+        config = scheme.language.member_configuration(connected_gnp(12, 0.25, rng), rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_two_trees_detected_under_attack(self, rng):
+        scheme = SpanningTreePointerScheme()
+        g = path_graph(8)
+        half = {i: g.port(i, i - 1) for i in range(1, 4)}
+        other = {i: g.port(i, i + 1) for i in range(4, 7)}
+        config = Configuration.build(g, {0: None, 7: None, **half, **other})
+        related = [scheme.language.member_configuration(g, rng=make_rng(s)) for s in range(4)]
+        result = attack(scheme, config, rng=rng, trials=80, related=related)
+        assert not result.fooled
+
+    def test_distance_zero_reserved_for_root(self):
+        scheme = SpanningTreePointerScheme()
+        g = path_graph(2)
+        config = Configuration.build(g, {0: None, 1: 0})
+        root_uid = config.uid(0)
+        verdict = scheme.run(config, certificates={0: (root_uid, 0), 1: (root_uid, 0)})
+        assert 1 in verdict.rejects
+
+    def test_root_id_disagreement_detected(self):
+        scheme = SpanningTreePointerScheme()
+        g = path_graph(3)
+        config = Configuration.build(g, {0: None, 1: 0, 2: 0})
+        certs = {0: (1, 0), 1: (1, 1), 2: (99, 2)}
+        verdict = scheme.run(config, certificates=certs)
+        assert not verdict.all_accept
+
+
+class TestSpanningTreeList:
+    def _tree_config(self, rng, n=10):
+        lang = SpanningTreeListLanguage()
+        g = connected_gnp(n, 0.3, rng)
+        return lang, Configuration.build(g, lang.canonical_labeling(g, rng=rng))
+
+    def test_membership(self, rng):
+        lang, config = self._tree_config(rng)
+        assert lang.is_member(config)
+
+    def test_asymmetric_listing_rejected(self):
+        lang = SpanningTreeListLanguage()
+        g = path_graph(3)
+        config = Configuration.build(
+            g, {0: frozenset({0}), 1: frozenset(), 2: frozenset()}
+        )
+        assert not lang.is_member(config)
+
+    def test_extra_edge_rejected(self):
+        lang = SpanningTreeListLanguage()
+        g = cycle_graph(4)
+        config = Configuration.build(
+            g, {v: frozenset(range(g.degree(v))) for v in g.nodes}
+        )
+        assert not lang.is_member(config)  # whole cycle is not a tree
+
+    def test_kkp_scheme_completeness(self, rng):
+        lang, config = self._tree_config(rng)
+        scheme = SpanningTreeListScheme(lang, visibility=Visibility.KKP)
+        assert completeness_holds(scheme, config)
+
+    def test_full_scheme_completeness(self, rng):
+        lang, config = self._tree_config(rng)
+        scheme = SpanningTreeListScheme(lang, visibility=Visibility.FULL)
+        assert completeness_holds(scheme, config)
+
+    def test_echo_makes_kkp_larger_than_full(self, rng):
+        lang = SpanningTreeListLanguage()
+        g = star_graph(12)
+        config = Configuration.build(g, lang.canonical_labeling(g, rng=rng))
+        kkp = SpanningTreeListScheme(lang, visibility=Visibility.KKP)
+        full = SpanningTreeListScheme(lang, visibility=Visibility.FULL)
+        assert kkp.proof_size_bits(config) > full.proof_size_bits(config)
+
+    def test_attack_resistant(self, rng):
+        lang = SpanningTreeListLanguage()
+        g = connected_gnp(8, 0.4, rng)
+        scheme = SpanningTreeListScheme(lang)
+        bad = lang.corrupted_configuration(g, 2, rng=rng)
+        assert not attack(scheme, bad, rng=rng, trials=50).fooled
+
+
+class TestBfsTree:
+    def test_membership_requires_shortest_paths(self, rng):
+        lang = BfsTreeLanguage()
+        g = cycle_graph(6)
+        bfs_config = Configuration.build(g, lang.canonical_labeling(g, rng=rng))
+        assert lang.is_member(bfs_config)
+        # A spanning tree that is NOT a BFS tree: the path all the way
+        # around the cycle.
+        snake = Configuration.build(
+            g, {0: None, **{i: g.port(i, i - 1) for i in range(1, 6)}}
+        )
+        assert not lang.is_member(snake)
+
+    def test_completeness(self, rng):
+        scheme = BfsTreeScheme()
+        config = scheme.language.member_configuration(connected_gnp(12, 0.3, rng), rng=rng)
+        assert completeness_holds(scheme, config)
+
+    def test_non_bfs_spanning_tree_detected_under_attack(self, rng):
+        scheme = BfsTreeScheme()
+        g = cycle_graph(8)
+        snake = Configuration.build(
+            g, {0: None, **{i: g.port(i, i - 1) for i in range(1, 8)}}
+        )
+        assert not scheme.language.is_member(snake)
+        related = [scheme.language.member_configuration(g, rng=make_rng(s)) for s in range(3)]
+        result = attack(scheme, snake, rng=rng, trials=80, related=related)
+        assert not result.fooled
+
+    def test_lipschitz_violation_rejected(self):
+        scheme = BfsTreeScheme()
+        g = cycle_graph(4)
+        config = scheme.language.member_configuration(g, rng=make_rng(1))
+        certs = dict(scheme.prove(config))
+        root_uid = certs[0][0]
+        # Claim a distance far larger than any neighbor's.
+        victim = max(config.graph.nodes)
+        certs[victim] = (root_uid, 10)
+        assert not scheme.run(config, certificates=certs).all_accept

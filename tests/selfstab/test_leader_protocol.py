@@ -1,0 +1,90 @@
+"""Tests for the silent leader-election protocol."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import connected_gnp, path_graph
+from repro.local.network import Network
+from repro.schemes.leader import LeaderScheme
+from repro.selfstab import (
+    PlsDetector,
+    SilentLeaderProtocol,
+    inject_faults,
+    run_guarded,
+    run_until_silent,
+)
+from repro.util.idspace import random_ids
+from repro.util.rng import make_rng
+
+
+class TestStabilization:
+    def test_elects_max_uid(self, rng):
+        g = connected_gnp(15, 0.25, rng)
+        net = Network(g, ids=random_ids(list(g.nodes), 1000, rng))
+        protocol = SilentLeaderProtocol()
+        trace = run_until_silent(net, protocol)
+        assert trace.silent
+        max_node = max(g.nodes, key=lambda v: net.ids[v])
+        contexts = net.contexts()
+        outputs = {
+            v: protocol.output(contexts[v], trace.states[v]) for v in g.nodes
+        }
+        assert outputs[max_node] is True
+        assert sum(outputs.values()) == 1
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_stabilizes_from_garbage(self, seed):
+        rng = make_rng(seed)
+        g = connected_gnp(12, 0.3, rng)
+        net = Network(g)
+        protocol = SilentLeaderProtocol()
+        contexts = net.contexts()
+        chaos = {v: protocol.random_state(contexts[v], rng) for v in g.nodes}
+        trace = run_until_silent(net, protocol, chaos, max_rounds=2000)
+        detector = PlsDetector(LeaderScheme(), protocol)
+        report = detector.sweep(net, trace.states)
+        assert report.legitimate and not report.alarmed
+
+
+class TestDetectionWithLeaderScheme:
+    def test_stabilized_registers_verify(self, rng):
+        g = path_graph(10)
+        net = Network(g)
+        protocol = SilentLeaderProtocol()
+        detector = PlsDetector(LeaderScheme(), protocol)
+        trace = run_until_silent(net, protocol)
+        report = detector.sweep(net, trace.states)
+        assert report.legitimate and not report.alarmed
+
+    def test_faults_detected_and_recovered(self, rng):
+        g = connected_gnp(16, 0.25, rng)
+        net = Network(g)
+        protocol = SilentLeaderProtocol()
+        detector = PlsDetector(LeaderScheme(), protocol)
+        silent = run_until_silent(net, protocol).states
+        faulted = inject_faults(net, protocol, silent, 3, rng)
+        report = detector.sweep(net, faulted)
+        assert not report.false_negative
+        recovery = run_guarded(net, protocol, detector, faulted)
+        assert recovery.stabilized
+        final = detector.sweep(net, recovery.states)
+        assert final.legitimate and not final.alarmed
+
+    def test_two_protocols_one_detector_framework(self, rng):
+        """The same detector class binds either protocol to its scheme."""
+        from repro.schemes.spanning_tree import SpanningTreePointerScheme
+        from repro.selfstab import MaxRootBfsProtocol
+
+        g = connected_gnp(12, 0.3, rng)
+        net = Network(g)
+        for protocol, scheme in (
+            (SilentLeaderProtocol(), LeaderScheme()),
+            (MaxRootBfsProtocol(), SpanningTreePointerScheme()),
+        ):
+            detector = PlsDetector(scheme, protocol)
+            trace = run_until_silent(net, protocol)
+            report = detector.sweep(net, trace.states)
+            assert report.legitimate and not report.alarmed

@@ -1,0 +1,191 @@
+"""Tests for the self-stabilization substrate and PLS detection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.graphs.generators import connected_gnp, cycle_graph, path_graph
+from repro.graphs.traversal import eccentricity
+from repro.local.network import Network
+from repro.schemes.bfs_tree import BfsTreeScheme
+from repro.schemes.spanning_tree import SpanningTreePointerScheme
+from repro.selfstab import (
+    MaxRootBfsProtocol,
+    PlsDetector,
+    inject_faults,
+    run_guarded,
+    run_until_silent,
+    run_with_global_reset,
+    synchronous_round,
+)
+from repro.selfstab.model import SelfStabProtocol
+from repro.util.rng import make_rng
+
+
+class TestMaxRootBfs:
+    def test_clean_start_stabilizes_to_bfs_tree(self, rng):
+        g = connected_gnp(16, 0.25, rng)
+        net = Network(g)
+        protocol = MaxRootBfsProtocol()
+        trace = run_until_silent(net, protocol)
+        assert trace.silent
+        # The stabilized output is a legitimate BFS tree rooted at the
+        # max-uid node.
+        detector = PlsDetector(BfsTreeScheme(), protocol)
+        report = detector.sweep(net, trace.states)
+        assert report.legitimate
+        assert not report.alarmed
+        root_node = max(g.nodes, key=lambda v: net.ids[v])
+        assert trace.states[root_node][1] is None
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_stabilizes_from_arbitrary_states(self, seed):
+        rng = make_rng(seed)
+        g = connected_gnp(14, 0.3, rng)
+        net = Network(g)
+        protocol = MaxRootBfsProtocol()
+        contexts = net.contexts()
+        chaos = {v: protocol.random_state(contexts[v], rng) for v in g.nodes}
+        trace = run_until_silent(net, protocol, chaos, max_rounds=2000)
+        detector = PlsDetector(SpanningTreePointerScheme(), protocol)
+        report = detector.sweep(net, trace.states)
+        assert report.legitimate
+        assert not report.alarmed
+
+    def test_stabilization_time_scales_with_graph(self, rng):
+        protocol = MaxRootBfsProtocol()
+        g = path_graph(20)
+        net = Network(g)
+        trace = run_until_silent(net, protocol)
+        # The wave travels from the max-uid end across the path.
+        assert trace.rounds <= 2 * g.n
+        assert trace.rounds >= eccentricity(g, max(g.nodes, key=lambda v: net.ids[v]))
+
+    def test_synchronous_round_is_pure(self, rng):
+        g = cycle_graph(5)
+        net = Network(g)
+        protocol = MaxRootBfsProtocol()
+        states = {v: protocol.initial_state(net.context(v)) for v in g.nodes}
+        frozen = dict(states)
+        synchronous_round(net, protocol, states)
+        assert states == frozen  # input untouched
+
+
+class TestDetection:
+    def _silent_network(self, rng, n=18):
+        g = connected_gnp(n, 0.25, rng)
+        net = Network(g)
+        protocol = MaxRootBfsProtocol()
+        trace = run_until_silent(net, protocol)
+        return g, net, protocol, trace.states
+
+    def test_faults_detected_in_one_sweep(self, rng):
+        g, net, protocol, states = self._silent_network(rng)
+        detector = PlsDetector(SpanningTreePointerScheme(), protocol)
+        for k in (1, 3, 5):
+            faulted = inject_faults(net, protocol, states, k, rng)
+            report = detector.sweep(net, faulted)
+            if not report.legitimate:
+                assert report.alarmed  # soundness: one sweep suffices
+                assert not report.false_negative
+
+    def test_no_false_negatives_over_many_seeds(self):
+        protocol = MaxRootBfsProtocol()
+        detector_scheme = SpanningTreePointerScheme()
+        for seed in range(20):
+            rng = make_rng(seed)
+            g = connected_gnp(12, 0.3, rng)
+            net = Network(g)
+            detector = PlsDetector(detector_scheme, protocol)
+            states = run_until_silent(net, protocol).states
+            faulted = inject_faults(net, protocol, states, 2, rng)
+            report = detector.sweep(net, faulted)
+            assert not report.false_negative
+
+    def test_clean_state_not_alarmed(self, rng):
+        g, net, protocol, states = self._silent_network(rng)
+        detector = PlsDetector(SpanningTreePointerScheme(), protocol)
+        report = detector.sweep(net, states)
+        assert report.legitimate and not report.alarmed
+
+
+class TestRecovery:
+    def test_guarded_recovery_reaches_certified_silence(self, rng):
+        g = connected_gnp(20, 0.2, rng)
+        net = Network(g)
+        protocol = MaxRootBfsProtocol()
+        detector = PlsDetector(SpanningTreePointerScheme(), protocol)
+        states = run_until_silent(net, protocol).states
+        faulted = inject_faults(net, protocol, states, 4, rng)
+        trace = run_guarded(net, protocol, detector, faulted)
+        assert trace.stabilized
+        final = detector.sweep(net, trace.states)
+        assert final.legitimate and not final.alarmed
+
+    def test_guarded_on_clean_state_is_free(self, rng):
+        g = connected_gnp(12, 0.3, rng)
+        net = Network(g)
+        protocol = MaxRootBfsProtocol()
+        detector = PlsDetector(SpanningTreePointerScheme(), protocol)
+        states = run_until_silent(net, protocol).states
+        trace = run_guarded(net, protocol, detector, states)
+        assert trace.rounds == 0
+        assert trace.total_moves == 0
+        assert not trace.escalated
+
+    def test_global_reset_always_recovers(self, rng):
+        g = connected_gnp(16, 0.25, rng)
+        net = Network(g)
+        protocol = MaxRootBfsProtocol()
+        detector = PlsDetector(SpanningTreePointerScheme(), protocol)
+        states = run_until_silent(net, protocol).states
+        faulted = inject_faults(net, protocol, states, 6, rng)
+        trace = run_with_global_reset(net, protocol, detector, faulted)
+        assert trace.stabilized
+        final = detector.sweep(net, trace.states)
+        assert final.legitimate and not final.alarmed
+
+    def test_global_reset_noop_when_clean(self, rng):
+        g = cycle_graph(8)
+        net = Network(g)
+        protocol = MaxRootBfsProtocol()
+        detector = PlsDetector(SpanningTreePointerScheme(), protocol)
+        states = run_until_silent(net, protocol).states
+        trace = run_with_global_reset(net, protocol, detector, states)
+        assert trace.rounds == 0 and trace.total_moves == 0
+
+
+class TestModelGuards:
+    def test_nonterminating_protocol_raises(self, rng):
+        class Flipper(SelfStabProtocol):
+            name = "flipper"
+
+            def initial_state(self, ctx):
+                return 0
+
+            def random_state(self, ctx, rng):
+                return rng.randrange(2)
+
+            def step(self, ctx, state, neighbor_states):
+                return 1 - state
+
+            def output(self, ctx, state):
+                return state
+
+            def certificate(self, ctx, state):
+                return state
+
+        net = Network(path_graph(4))
+        with pytest.raises(SimulationError):
+            run_until_silent(net, Flipper(), max_rounds=50)
+
+    def test_stabilization_round_property(self, rng):
+        g = path_graph(6)
+        net = Network(g)
+        protocol = MaxRootBfsProtocol()
+        trace = run_until_silent(net, protocol)
+        assert 0 < trace.stabilization_round <= trace.rounds

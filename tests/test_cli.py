@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["certify", "no-such-scheme"])
+
+
+class TestCommands:
+    def test_list_schemes(self, capsys):
+        assert main(["list-schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "spanning-tree-ptr" in out
+        assert "mst" in out
+        assert "Theta(log n)" in out
+
+    def test_certify_accepts(self, capsys):
+        code = main(["certify", "spanning-tree-ptr", "--n", "16", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all accept = True" in out
+
+    def test_certify_weighted_scheme(self, capsys):
+        assert main(["certify", "mst", "--n", "10", "--seed", "1"]) == 0
+        assert "proof size" in capsys.readouterr().out
+
+    def test_certify_unconstructible_exits(self):
+        with pytest.raises(SystemExit):
+            # bipartite on a family that is generally non-bipartite
+            main(["certify", "bipartite", "--family", "gnp_dense", "--n", "13"])
+
+    def test_attack_never_fooled(self, capsys):
+        code = main(
+            ["attack", "leader", "--n", "12", "--trials", "20", "--seed", "2"]
+        )
+        assert code == 0
+        assert "fooled: False" in capsys.readouterr().out
+
+    def test_experiment_runs(self, capsys):
+        assert main(["experiment", "f6"]) == 0
+        out = capsys.readouterr().out
+        assert "space-radius" in out
+
+    def test_report_writes_file(self, tmp_path, monkeypatch):
+        # Stub the (slow) full experiment suite; this test covers the
+        # file-writing plumbing only.
+        import repro.analysis.report as report_module
+
+        monkeypatch.setattr(
+            report_module, "generate_report", lambda: "# stub report\n"
+        )
+        target = tmp_path / "EXP.md"
+        assert report_module.main([str(target)]) == 0
+        assert target.read_text() == "# stub report\n"

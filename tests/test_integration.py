@@ -1,0 +1,176 @@
+"""Cross-subsystem integration tests.
+
+Each test exercises a pipeline the paper describes end to end:
+construction algorithm → certificates → one-round verification →
+fault-tolerance machinery, across the simulator, the schemes, and the
+adversaries together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import leader_marker, mst_marker, spanning_tree_marker
+from repro.core.composition import ConjunctionScheme
+from repro.core.soundness import attack
+from repro.core.universal import UniversalScheme
+from repro.graphs.generators import connected_gnp, grid_graph
+from repro.graphs.weighted import weighted_copy
+from repro.local.network import Network
+from repro.local.verification_round import distributed_verification
+from repro.schemes import (
+    BfsTreeScheme,
+    LeaderScheme,
+    MstScheme,
+    SpanningTreePointerScheme,
+)
+from repro.selfstab import (
+    MaxRootBfsProtocol,
+    PlsDetector,
+    inject_faults,
+    run_guarded,
+    run_until_silent,
+)
+from repro.util.idspace import random_ids
+from repro.util.rng import make_rng
+
+
+class TestConstructCertifyVerify:
+    """Marker algorithm output feeds the verifier directly."""
+
+    def test_full_pipeline_leader(self):
+        rng = make_rng(1)
+        graph = connected_gnp(16, 0.2, rng)
+        network = Network(graph, ids=random_ids(list(graph.nodes), 10_000, rng))
+        marker = leader_marker(network)
+        config = marker.configuration(network)
+        verdict, run = distributed_verification(
+            LeaderScheme(), config, marker.certificates
+        )
+        assert verdict.all_accept
+        assert run.rounds == 1
+
+    def test_full_pipeline_mst_then_damage(self):
+        rng = make_rng(2)
+        graph = weighted_copy(connected_gnp(14, 0.25, rng), rng)
+        network = Network(graph)
+        marker = mst_marker(network)
+        scheme = MstScheme()
+        config = marker.configuration(network)
+        assert scheme.run(config, marker.certificates).all_accept
+        # Damage one pointer; the year-old certificates must now fail.
+        bad = scheme.language.corrupted_configuration(graph, 1, rng=rng)
+        assert not scheme.run(bad, marker.certificates).all_accept
+
+    def test_marker_certificates_survive_adversarial_reuse(self):
+        """Replaying marker certificates on a *different* tree fails."""
+        rng = make_rng(3)
+        graph = connected_gnp(12, 0.3, rng)
+        network = Network(graph)
+        marker_a = spanning_tree_marker(network, root_uid=network.ids[0])
+        marker_b = spanning_tree_marker(network, root_uid=network.ids[5])
+        scheme = SpanningTreePointerScheme()
+        config_a = marker_a.configuration(network)
+        if marker_a.states != marker_b.states:
+            verdict = scheme.run(config_a, marker_b.certificates)
+            assert not verdict.all_accept
+
+
+class TestCompactVsUniversal:
+    """The compact and universal schemes agree on membership."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_agreement_on_members_and_corruptions(self, seed):
+        rng = make_rng(seed)
+        graph = connected_gnp(8, 0.4, rng)
+        compact = LeaderScheme()
+        universal = UniversalScheme(compact.language)
+        member = compact.language.member_configuration(graph, rng=rng)
+        assert compact.run(member).all_accept
+        assert universal.run(member).all_accept
+        bad = compact.language.corrupted_configuration(graph, 1, rng=rng)
+        assert not compact.run(bad).all_accept
+        assert not universal.run(bad).all_accept
+
+    def test_universal_costs_more(self):
+        rng = make_rng(4)
+        graph = connected_gnp(16, 0.25, rng)
+        compact = LeaderScheme()
+        universal = UniversalScheme(compact.language)
+        member = compact.language.member_configuration(graph, rng=rng)
+        assert (
+            universal.proof_size_bits(member)
+            > 10 * compact.proof_size_bits(member)
+        )
+
+
+class TestConjunctionPipeline:
+    def test_bfs_and_tree_certified_from_one_marker(self):
+        rng = make_rng(5)
+        graph = connected_gnp(12, 0.3, rng)
+        network = Network(graph)
+        marker = spanning_tree_marker(network)
+        scheme = ConjunctionScheme([SpanningTreePointerScheme(), BfsTreeScheme()])
+        config = marker.configuration(network)
+        certs = {
+            v: (marker.certificates[v], marker.certificates[v])
+            for v in graph.nodes
+        }
+        assert scheme.run(config, certs).all_accept
+
+
+class TestSelfStabPipeline:
+    def test_stabilize_fault_detect_recover_reverify(self):
+        rng = make_rng(6)
+        graph = grid_graph(4, 5)
+        network = Network(graph)
+        protocol = MaxRootBfsProtocol()
+        scheme = SpanningTreePointerScheme()
+        detector = PlsDetector(scheme, protocol)
+
+        silent = run_until_silent(network, protocol).states
+        assert not detector.sweep(network, silent).alarmed
+
+        faulted = inject_faults(network, protocol, silent, 3, rng)
+        recovery = run_guarded(network, protocol, detector, faulted)
+        assert recovery.stabilized
+
+        # The recovered registers pass both detection and an independent
+        # adversarial check on the underlying configuration.
+        config = detector.configuration(network, recovery.states)
+        assert scheme.language.is_member(config)
+        certs = detector.certificates(network, recovery.states)
+        assert scheme.run(config, certs).all_accept
+
+    def test_detector_agrees_with_message_passing_verification(self):
+        rng = make_rng(7)
+        graph = connected_gnp(14, 0.25, rng)
+        network = Network(graph)
+        protocol = MaxRootBfsProtocol()
+        scheme = SpanningTreePointerScheme()
+        detector = PlsDetector(scheme, protocol)
+        states = run_until_silent(network, protocol).states
+        faulted = inject_faults(network, protocol, states, 2, rng)
+        report = detector.sweep(network, faulted)
+        config = detector.configuration(network, faulted)
+        certs = detector.certificates(network, faulted)
+        verdict, _ = distributed_verification(scheme, config, certs)
+        assert verdict.rejects == report.verdict.rejects
+
+
+class TestAdversarialEndToEnd:
+    def test_attack_with_cross_instance_pool(self):
+        """The strongest pool: certificates from many legal instances on
+        the same graph, including the marker-built ones."""
+        rng = make_rng(8)
+        graph = connected_gnp(10, 0.35, rng)
+        network = Network(graph)
+        scheme = SpanningTreePointerScheme()
+        related = [
+            scheme.language.member_configuration(graph, rng=make_rng(s))
+            for s in range(4)
+        ]
+        related.append(spanning_tree_marker(network).configuration(network))
+        bad = scheme.language.corrupted_configuration(graph, 3, rng=rng)
+        result = attack(scheme, bad, rng=rng, trials=60, related=related)
+        assert not result.fooled

@@ -1,0 +1,69 @@
+"""The public API surface stays importable and coherent."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.util",
+    "repro.graphs",
+    "repro.local",
+    "repro.core",
+    "repro.schemes",
+    "repro.lowerbounds",
+    "repro.selfstab",
+    "repro.algorithms",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("module", SUBPACKAGES)
+    def test_subpackages_import(self, module):
+        importlib.import_module(module)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module", SUBPACKAGES[:-1])
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module", SUBPACKAGES)
+    def test_modules_documented(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and mod.__doc__.strip()
+
+    def test_public_classes_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+
+class TestQuickstartContract:
+    def test_readme_quickstart_snippet(self):
+        from repro import SpanningTreePointerScheme, connected_gnp, make_rng
+        from repro.core.soundness import attack
+
+        rng = make_rng(1)
+        graph = connected_gnp(32, 0.2, rng)
+        scheme = SpanningTreePointerScheme()
+        config = scheme.language.member_configuration(graph, rng=rng)
+        assert scheme.run(config).all_accept
+        bad = scheme.language.corrupted_configuration(graph, 2, rng=rng)
+        assert not scheme.run(bad).all_accept
+        assert not attack(scheme, bad, rng=rng).fooled

@@ -1,0 +1,195 @@
+"""Tests for the bit-level codec."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.util.bits import (
+    BitReader,
+    BitWriter,
+    bit_length,
+    decode_obj,
+    elias_gamma,
+    elias_gamma_decode,
+    encode_obj,
+    fixed_uint,
+    fixed_uint_decode,
+    log2_ceil,
+    obj_bit_size,
+    zigzag,
+    zigzag_decode,
+)
+
+
+class TestPrimitives:
+    def test_bit_length_basics(self):
+        assert bit_length(0) == 1
+        assert bit_length(1) == 1
+        assert bit_length(2) == 2
+        assert bit_length(255) == 8
+        assert bit_length(256) == 9
+
+    def test_bit_length_rejects_negative(self):
+        with pytest.raises(EncodingError):
+            bit_length(-1)
+
+    def test_fixed_uint_roundtrip(self):
+        for width in (1, 3, 8, 16):
+            for value in (0, 1, (1 << width) - 1):
+                assert fixed_uint_decode(fixed_uint(value, width)) == value
+
+    def test_fixed_uint_width_is_exact(self):
+        assert len(fixed_uint(5, 10)) == 10
+
+    def test_fixed_uint_overflow(self):
+        with pytest.raises(EncodingError):
+            fixed_uint(4, 2)
+
+    def test_fixed_uint_rejects_bad_width(self):
+        with pytest.raises(EncodingError):
+            fixed_uint(0, 0)
+
+    def test_elias_gamma_known_values(self):
+        assert elias_gamma(1) == "1"
+        assert elias_gamma(2) == "010"
+        assert elias_gamma(3) == "011"
+        assert elias_gamma(5) == "00101"
+
+    def test_elias_gamma_rejects_nonpositive(self):
+        with pytest.raises(EncodingError):
+            elias_gamma(0)
+
+    def test_elias_gamma_length(self):
+        for v in (1, 2, 7, 100, 12345):
+            assert len(elias_gamma(v)) == 2 * int(math.log2(v)) + 1
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_elias_gamma_roundtrip(self, value):
+        decoded, pos = elias_gamma_decode(elias_gamma(value))
+        assert decoded == value
+        assert pos == len(elias_gamma(value))
+
+    def test_elias_gamma_decode_truncated(self):
+        with pytest.raises(EncodingError):
+            elias_gamma_decode("00")
+
+    @given(st.integers(min_value=-(10**9), max_value=10**9))
+    def test_zigzag_roundtrip(self, value):
+        assert zigzag_decode(zigzag(value)) == value
+
+    def test_zigzag_is_dense(self):
+        seen = {zigzag(v) for v in range(-5, 6)}
+        assert seen == set(range(11))
+
+    def test_log2_ceil(self):
+        assert log2_ceil(1) == 0
+        assert log2_ceil(2) == 1
+        assert log2_ceil(3) == 2
+        assert log2_ceil(1024) == 10
+
+    def test_log2_ceil_rejects_nonpositive(self):
+        with pytest.raises(EncodingError):
+            log2_ceil(0)
+
+
+class TestStreams:
+    def test_writer_reader_mixed(self):
+        writer = BitWriter()
+        writer.bit(True)
+        writer.uint(13, 6)
+        writer.nat(0)
+        writer.int(-7)
+        writer.gamma(9)
+        bits = writer.getvalue()
+        reader = BitReader(bits)
+        assert reader.bit() is True
+        assert reader.uint(6) == 13
+        assert reader.nat() == 0
+        assert reader.int() == -7
+        assert reader.gamma() == 9
+        assert reader.exhausted()
+
+    def test_reader_overrun(self):
+        reader = BitReader("101")
+        reader.raw(3)
+        with pytest.raises(EncodingError):
+            reader.raw(1)
+
+    def test_writer_raw_validation(self):
+        writer = BitWriter()
+        with pytest.raises(EncodingError):
+            writer.raw("10x")
+
+    def test_writer_len_tracks_bits(self):
+        writer = BitWriter()
+        writer.uint(0, 5)
+        writer.bit(False)
+        assert len(writer) == 6
+
+
+_atoms = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=12),
+    st.binary(max_size=8),
+)
+
+_objects = st.recursive(
+    _atoms,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.tuples(inner, inner),
+        st.dictionaries(st.integers(min_value=0, max_value=50), inner, max_size=3),
+        st.frozensets(st.integers(min_value=0, max_value=50), max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestGenericCodec:
+    @settings(max_examples=150)
+    @given(_objects)
+    def test_roundtrip(self, obj):
+        assert decode_obj(encode_obj(obj)) == obj
+
+    def test_floats_roundtrip(self):
+        for value in (0.0, -1.5, 3.141592653589793, 1e300):
+            assert decode_obj(encode_obj(value)) == value
+
+    def test_canonical_encoding_is_deterministic(self):
+        a = encode_obj({3: "x", 1: "y"})
+        b = encode_obj({1: "y", 3: "x"})
+        assert a == b
+
+    def test_size_monotone_in_content(self):
+        assert obj_bit_size((1, 2, 3)) > obj_bit_size((1,))
+
+    def test_trailing_garbage_rejected(self):
+        bits = encode_obj(42) + "0"
+        with pytest.raises(EncodingError):
+            decode_obj(bits)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_obj(object())
+
+    def test_bool_not_confused_with_int(self):
+        assert decode_obj(encode_obj(True)) is True
+        assert decode_obj(encode_obj(1)) == 1
+        assert encode_obj(True) != encode_obj(1)
+
+    def test_tuple_not_confused_with_list(self):
+        assert decode_obj(encode_obj((1, 2))) == (1, 2)
+        assert decode_obj(encode_obj([1, 2])) == [1, 2]
+        assert encode_obj((1, 2)) != encode_obj([1, 2])
+
+    def test_int_size_grows_logarithmically(self):
+        small = obj_bit_size(3)
+        large = obj_bit_size(3_000_000)
+        assert small < large < small + 50

@@ -1,0 +1,88 @@
+"""Tests for identifier assignment policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IdentityError
+from repro.util.idspace import (
+    adversarial_ids,
+    contiguous_ids,
+    id_domain_bits,
+    permuted_ids,
+    random_ids,
+    validate_ids,
+)
+from repro.util.rng import make_rng
+
+
+class TestContiguous:
+    def test_values(self):
+        assert contiguous_ids([0, 1, 2]) == {0: 1, 1: 2, 2: 3}
+
+    def test_empty(self):
+        assert contiguous_ids([]) == {}
+
+
+class TestPermuted:
+    def test_is_permutation(self):
+        ids = permuted_ids(list(range(20)), make_rng(1))
+        assert sorted(ids.values()) == list(range(1, 21))
+
+    def test_deterministic_under_seed(self):
+        a = permuted_ids(list(range(10)), make_rng(7))
+        b = permuted_ids(list(range(10)), make_rng(7))
+        assert a == b
+
+
+class TestRandomIds:
+    @given(st.integers(min_value=1, max_value=40))
+    def test_distinct_and_in_universe(self, n):
+        ids = random_ids(list(range(n)), universe=10 * n, rng=make_rng(n))
+        values = list(ids.values())
+        assert len(set(values)) == n
+        assert all(1 <= v <= 10 * n for v in values)
+
+    def test_universe_too_small(self):
+        with pytest.raises(IdentityError):
+            random_ids([0, 1, 2], universe=2)
+
+
+class TestAdversarial:
+    def test_takes_largest_ids(self):
+        ids = adversarial_ids([0, 1, 2], universe=100)
+        assert sorted(ids.values()) == [98, 99, 100]
+
+    def test_universe_too_small(self):
+        with pytest.raises(IdentityError):
+            adversarial_ids([0, 1, 2], universe=2)
+
+
+class TestValidate:
+    def test_accepts_good_assignment(self):
+        validate_ids([0, 1], {0: 5, 1: 9}, universe=10)
+
+    def test_rejects_missing_node(self):
+        with pytest.raises(IdentityError):
+            validate_ids([0, 1], {0: 5})
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(IdentityError):
+            validate_ids([0, 1], {0: 5, 1: 5})
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(IdentityError):
+            validate_ids([0], {0: 0})
+
+    def test_rejects_outside_universe(self):
+        with pytest.raises(IdentityError):
+            validate_ids([0], {0: 11}, universe=10)
+
+
+class TestDomainBits:
+    def test_bits(self):
+        assert id_domain_bits({0: 1}) == 1
+        assert id_domain_bits({0: 255, 1: 3}) == 8
+        assert id_domain_bits({}) == 0

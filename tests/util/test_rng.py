@@ -1,0 +1,54 @@
+"""Tests for the RNG discipline helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.rng import make_rng, sample_distinct, shuffled, spawn, weighted_choice
+
+
+class TestMakeRng:
+    def test_deterministic_for_seed(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_default_seed_is_fixed(self):
+        assert make_rng().random() == make_rng().random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+
+class TestSpawn:
+    def test_children_reproducible(self):
+        a = spawn(make_rng(9), salt=1).random()
+        b = spawn(make_rng(9), salt=1).random()
+        assert a == b
+
+    def test_salt_separates_children(self):
+        parent = make_rng(9)
+        a = spawn(parent, salt=1)
+        parent2 = make_rng(9)
+        b = spawn(parent2, salt=2)
+        assert a.random() != b.random()
+
+
+class TestSampling:
+    def test_sample_distinct(self):
+        values = sample_distinct(make_rng(1), 1, 100, 10)
+        assert len(set(values)) == 10
+        assert all(1 <= v <= 100 for v in values)
+
+    def test_sample_distinct_range_too_small(self):
+        with pytest.raises(ValueError):
+            sample_distinct(make_rng(1), 1, 3, 10)
+
+    def test_shuffled_preserves_input(self):
+        original = [1, 2, 3, 4]
+        result = shuffled(make_rng(2), original)
+        assert sorted(result) == original
+        assert original == [1, 2, 3, 4]
+
+    def test_weighted_choice_respects_support(self):
+        rng = make_rng(3)
+        picks = {weighted_choice(rng, ["a", "b"], [0.0, 1.0]) for _ in range(20)}
+        assert picks == {"b"}
