@@ -25,6 +25,12 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record.
 """
 
+from repro.approx import (
+    APPROX_SCHEME_BUILDERS,
+    ApproxScheme,
+    GapLanguage,
+    build_approx_scheme,
+)
 from repro.core import (
     CertificateAssignment,
     Configuration,
@@ -75,8 +81,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_SCHEME_FACTORIES",
+    "APPROX_SCHEME_BUILDERS",
     "AcyclicScheme",
     "AgreementScheme",
+    "ApproxScheme",
     "BfsTreeScheme",
     "BipartiteScheme",
     "CertificateAssignment",
@@ -85,6 +93,7 @@ __all__ = [
     "ConjunctionScheme",
     "DistributedLanguage",
     "DominatingSetScheme",
+    "GapLanguage",
     "Graph",
     "IndependentSetScheme",
     "IntersectionLanguage",
@@ -102,6 +111,7 @@ __all__ = [
     "Verdict",
     "Visibility",
     "binary_tree",
+    "build_approx_scheme",
     "complete_graph",
     "connected_gnp",
     "cycle_graph",

@@ -1,0 +1,182 @@
+"""Approximate proof labeling schemes: gap verification.
+
+This subsystem implements **α-APLS** — proof labeling schemes whose
+soundness is relaxed to a gap (after Emek & Gil 2020 and the
+error-sensitive line of Feuilloley & Fraigniaud 2017): the verifier must
+accept honest certificates on *yes*-instances and reject every
+certificate on *no*-instances that miss the predicate by the factor α,
+while anything may happen in between.  That slack is what makes
+optimization predicates ("this cover/matching/tree is good") certifiable
+with exponentially smaller proofs than exact verification.
+
+Layout:
+
+* :mod:`repro.approx.gap` — :class:`GapLanguage`, the promise-problem
+  counterpart of :class:`~repro.core.language.DistributedLanguage`;
+* :mod:`repro.approx.scheme` — :class:`ApproxScheme`, the base class
+  plugging gap languages into the existing prover/verifier engine;
+* :mod:`repro.approx.counters` — rounded counters, the bit-saving
+  aggregation primitive;
+* one module per concrete α-APLS (vertex cover, dominating set,
+  matching, diameter, spanning-tree weight);
+* :data:`APPROX_SCHEME_BUILDERS` — the registry.  Approximate schemes
+  are typically parametrised by an instance-derived budget (a diameter
+  bound, a cardinality or weight budget), so the registry holds
+  *builders* ``(graph, rng) -> ApproxScheme`` that fit those parameters
+  to a concrete graph, rather than the zero-argument factories of
+  ``repro.schemes.ALL_SCHEME_FACTORIES``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.approx.counters import (
+    counter_value,
+    is_counter,
+    mantissa_bits_for,
+    round_up_counter,
+)
+from repro.approx.diameter import ApproxDiameterScheme, GapDiameterLanguage
+from repro.approx.dominating_set import (
+    ApproxDominatingSetScheme,
+    GapDominatingSetLanguage,
+    greedy_dominating_set,
+)
+from repro.approx.gap import GapLanguage
+from repro.approx.matching import ApproxMatchingScheme, GapMaximumMatchingLanguage
+from repro.approx.mst_weight import ApproxTreeWeightScheme, GapTreeWeightLanguage
+from repro.approx.optima import maximum_matching_size, minimum_vertex_cover_size
+from repro.approx.scheme import ApproxScheme
+from repro.approx.vertex_cover import ApproxVertexCoverScheme, GapVertexCoverLanguage
+from repro.errors import SchemeError
+from repro.graphs.graph import Graph
+from repro.graphs.mst import mst_weight
+from repro.graphs.traversal import diameter
+from repro.util.rng import make_rng
+
+__all__ = [
+    "APPROX_SCHEME_BUILDERS",
+    "ApproxDiameterScheme",
+    "ApproxDominatingSetScheme",
+    "ApproxMatchingScheme",
+    "ApproxScheme",
+    "ApproxSchemeBuilder",
+    "ApproxTreeWeightScheme",
+    "ApproxVertexCoverScheme",
+    "GapDiameterLanguage",
+    "GapDominatingSetLanguage",
+    "GapLanguage",
+    "GapMaximumMatchingLanguage",
+    "GapTreeWeightLanguage",
+    "GapVertexCoverLanguage",
+    "build_approx_scheme",
+    "counter_value",
+    "greedy_dominating_set",
+    "is_counter",
+    "mantissa_bits_for",
+    "maximum_matching_size",
+    "minimum_vertex_cover_size",
+    "round_up_counter",
+]
+
+
+@dataclass(frozen=True)
+class ApproxSchemeBuilder:
+    """Registry entry: fits an α-APLS to a concrete graph.
+
+    ``build(graph, rng)`` derives any instance parameters (budgets,
+    bounds) from the graph and returns a ready scheme whose language
+    admits the graph as a yes-instance.
+    """
+
+    name: str
+    alpha: float
+    size_bound: str
+    weighted: bool
+    summary: str
+    build: Callable[[Graph, random.Random], ApproxScheme]
+
+
+def _build_vertex_cover(graph: Graph, rng: random.Random) -> ApproxScheme:
+    return ApproxVertexCoverScheme()
+
+
+def _build_dominating_set(graph: Graph, rng: random.Random) -> ApproxScheme:
+    # Budget from the deterministic greedy order, which the language's
+    # canonical labeling can always fall back to.
+    budget = max(1, len(greedy_dominating_set(graph, None)))
+    return ApproxDominatingSetScheme(GapDominatingSetLanguage(budget))
+
+
+def _build_matching(graph: Graph, rng: random.Random) -> ApproxScheme:
+    return ApproxMatchingScheme()
+
+
+def _build_diameter(graph: Graph, rng: random.Random) -> ApproxScheme:
+    return ApproxDiameterScheme(GapDiameterLanguage(max(1, diameter(graph))))
+
+
+def _build_tree_weight(graph: Graph, rng: random.Random) -> ApproxScheme:
+    if not graph.is_weighted:
+        raise SchemeError("approx-tree-weight needs a weighted graph")
+    return ApproxTreeWeightScheme(GapTreeWeightLanguage(mst_weight(graph)))
+
+
+#: Name -> builder for every shipped α-APLS.
+APPROX_SCHEME_BUILDERS: dict[str, ApproxSchemeBuilder] = {
+    "approx-vertex-cover": ApproxSchemeBuilder(
+        name="approx-vertex-cover",
+        alpha=2.0,
+        size_bound="O(log Delta)",
+        weighted=False,
+        summary="cover within 2x minimum via matching pointers",
+        build=_build_vertex_cover,
+    ),
+    "approx-dominating-set": ApproxSchemeBuilder(
+        name="approx-dominating-set",
+        alpha=2.0,
+        size_bound="O(log n)",
+        weighted=False,
+        summary="dominating set within 2x budget via rounded counters",
+        build=_build_dominating_set,
+    ),
+    "approx-matching": ApproxSchemeBuilder(
+        name="approx-matching",
+        alpha=2.0,
+        size_bound="O(log N)",
+        weighted=False,
+        summary="matching within 2x maximum via maximality echoes",
+        build=_build_matching,
+    ),
+    "approx-diameter": ApproxSchemeBuilder(
+        name="approx-diameter",
+        alpha=2.0,
+        size_bound="O(log n + log D)",
+        weighted=False,
+        summary="diameter within 2x bound via one BFS cone",
+        build=_build_diameter,
+    ),
+    "approx-tree-weight": ApproxSchemeBuilder(
+        name="approx-tree-weight",
+        alpha=2.0,
+        size_bound="O(log n + log log W)",
+        weighted=True,
+        summary="spanning-tree weight within 2x budget via rounded sums",
+        build=_build_tree_weight,
+    ),
+}
+
+
+def build_approx_scheme(
+    name: str, graph: Graph, rng: random.Random | None = None
+) -> ApproxScheme:
+    """Instantiate a registered α-APLS fitted to ``graph``."""
+    if name not in APPROX_SCHEME_BUILDERS:
+        raise SchemeError(
+            f"unknown approx scheme {name!r}; "
+            f"known: {sorted(APPROX_SCHEME_BUILDERS)}"
+        )
+    return APPROX_SCHEME_BUILDERS[name].build(graph, rng or make_rng())

@@ -1,0 +1,93 @@
+"""Rounded counters: the bit-saving engine of gap certification.
+
+The counting schemes (dominating-set size, spanning-tree weight)
+aggregate a sum up a tree: each node certifies an upper bound on its
+subtree's total, checked locally against its children's bounds.  Exact
+sums need ``Θ(log total)`` bits per node.  With an α gap to spend, the
+bound can instead be stored as a **rounded counter** — a floating-point
+number ``mantissa · 2^exponent`` with a short mantissa:
+
+* **soundness is exact**: the verifier compares *decoded* values, and
+  every accepted root still carries a true upper bound on the real sum —
+  rounding never helps an adversary;
+* **rounding taxes only completeness**: the honest prover rounds *up* at
+  every level, inflating the root bound by at most
+  ``(1 + 1/(2^(m-1) - 1))`` per tree level.  Choosing the mantissa width
+  ``m`` from the tree depth (:func:`mantissa_bits_for`) keeps the total
+  inflation within the α the gap grants.
+
+So a certificate that must survive comparison against ``α · budget``
+needs ``O(log depth + log log total)`` counter bits instead of
+``O(log total)`` — the quantitative heart of the approximate schemes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.errors import SchemeError
+
+__all__ = [
+    "counter_value",
+    "is_counter",
+    "mantissa_bits_for",
+    "round_up_counter",
+]
+
+
+def round_up_counter(value: int, mantissa_bits: int) -> tuple[int, int]:
+    """Smallest ``(mantissa, exponent)`` with ``mantissa < 2^m`` whose
+    decoded value ``mantissa · 2^exponent`` is ≥ ``value``.
+
+    Normalised: the exponent is the least one admitting an in-range
+    mantissa, so small values are represented exactly and large ones
+    within a relative error of ``1/(2^(m-1) - 1)``.
+    """
+    if mantissa_bits < 2:
+        raise SchemeError("rounded counters need a mantissa of >= 2 bits")
+    if value < 0:
+        raise SchemeError(f"counters are non-negative, got {value}")
+    if value == 0:
+        return (0, 0)
+    exponent = max(0, value.bit_length() - mantissa_bits)
+    mantissa = (value + (1 << exponent) - 1) >> exponent  # ceil division
+    if mantissa >> mantissa_bits:
+        # Rounding overflowed the mantissa range: shift one more.
+        exponent += 1
+        mantissa = (value + (1 << exponent) - 1) >> exponent
+    return (mantissa, exponent)
+
+
+def counter_value(counter: tuple[int, int]) -> int:
+    """Decode ``(mantissa, exponent)`` to the integer it upper-bounds."""
+    mantissa, exponent = counter
+    return mantissa << exponent
+
+
+def is_counter(obj: Any) -> bool:
+    """Shape check for adversary-supplied counters (verifier side)."""
+    return (
+        isinstance(obj, tuple)
+        and len(obj) == 2
+        and isinstance(obj[0], int)
+        and isinstance(obj[1], int)
+        and not isinstance(obj[0], bool)
+        and not isinstance(obj[1], bool)
+        and obj[0] >= 0
+        and 0 <= obj[1] <= 4096
+    )
+
+
+def mantissa_bits_for(depth: int, alpha: float = 2.0) -> int:
+    """Mantissa width keeping ``depth + 1`` levels of round-up within α.
+
+    Each level multiplies the honest bound by at most
+    ``1 + 1/(2^(m-1) - 1)``; this picks the least ``m`` with
+    ``(1 + 1/(2^(m-1) - 1))^(depth+1) <= alpha`` (via the sufficient
+    condition ``(depth+1)/(2^(m-1)-1) <= ln(alpha)``).
+    """
+    if alpha <= 1.0:
+        raise SchemeError(f"gap factor must exceed 1, got {alpha}")
+    needed = 1.0 + (depth + 1) / math.log(alpha)
+    return max(2, 1 + math.ceil(math.log2(needed)))

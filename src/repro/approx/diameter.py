@@ -1,0 +1,132 @@
+"""2-APLS for bounded diameter: one BFS cone instead of n distance maps.
+
+Exactly certifying "diameter ≤ D" is expensive — known proof-labeling
+lower bounds for exact diameter are near-linear in n, and the generic
+exact scheme here is the universal Θ(n²) one.  The gap version is the
+triangle inequality as a certificate:
+
+* **yes-instances** — ``diam(G) ≤ D`` (states carry nothing);
+* **no-instances** — ``diam(G) > 2·D``;
+* the scheme certifies a *single* BFS cone: ``(center uid, distance)``
+  with every distance ≤ D.
+
+Completeness: when ``diam ≤ D`` every node works as the center.
+Soundness: all-accept puts every node within ``D`` real hops of one
+common center, so any two nodes are within ``2D`` — the configuration
+cannot be a no-instance.  ``O(log n + log D)`` bits, and the α = 2 is
+exactly the triangle-inequality factor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.approx.gap import GapLanguage
+from repro.approx.scheme import ApproxScheme
+from repro.core.labeling import Configuration, Labeling
+from repro.core.verifier import LocalView
+from repro.errors import LanguageError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs, diameter, eccentricity
+from repro.util.rng import make_rng
+
+__all__ = ["GapDiameterLanguage", "ApproxDiameterScheme"]
+
+
+class GapDiameterLanguage(GapLanguage):
+    """Gap graph property: diameter ≤ D vs. diameter > 2·D."""
+
+    alpha = 2.0
+
+    def __init__(self, bound: int) -> None:
+        if bound < 1:
+            raise LanguageError(f"diameter bound must be positive, got {bound}")
+        self.bound = bound
+        self.name = f"gap-diameter<={bound}"
+
+    def is_yes(self, config: Configuration) -> bool:
+        if any(config.state(v) is not None for v in config.graph.nodes):
+            return False
+        return diameter(config.graph) <= self.bound
+
+    def is_no(self, config: Configuration) -> bool:
+        if any(config.state(v) is not None for v in config.graph.nodes):
+            return True
+        return diameter(config.graph) > self.alpha * self.bound
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        if diameter(graph) > self.bound:
+            raise LanguageError(f"graph diameter exceeds {self.bound}")
+        return Labeling.uniform(graph.nodes, None)
+
+    def no_configuration(
+        self,
+        graph: Graph,
+        rng: random.Random | None = None,
+        attempts: int = 64,
+    ) -> Configuration:
+        """A graph property cannot be relabeled across the gap: the
+        *graph itself* must be far (diameter > 2·D)."""
+        config = Configuration.build(graph)
+        if not self.is_no(config):
+            raise LanguageError(
+                f"graph diameter {diameter(graph)} is not beyond "
+                f"{self.alpha} * {self.bound}; supply a farther graph"
+            )
+        return config
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        return state is None
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        return ("noise", rng.randrange(4))
+
+
+class ApproxDiameterScheme(ApproxScheme):
+    """Certify one center's BFS cone of depth ≤ D."""
+
+    size_bound = "O(log n + log D) vs exact O(n^2)"
+
+    def __init__(self, language: GapDiameterLanguage) -> None:
+        super().__init__(language)
+        self.name = f"approx-diameter<={language.bound}"
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        graph = config.graph
+        center = min(
+            graph.nodes, key=lambda v: (eccentricity(graph, v), config.uid(v))
+        )
+        dist, _ = bfs(graph, center)
+        center_uid = config.uid(center)
+        return {v: (center_uid, dist.get(v, 0)) for v in graph.nodes}
+
+    def verify(self, view: LocalView) -> bool:
+        lang: GapDiameterLanguage = self.gap_language  # type: ignore[assignment]
+        if view.state is not None:
+            return False
+        cert = view.certificate
+        if not (isinstance(cert, tuple) and len(cert) == 2):
+            return False
+        center_uid, dist = cert
+        if not (isinstance(dist, int) and 0 <= dist <= lang.bound):
+            return False
+        for glimpse in view.neighbors:
+            g_cert = glimpse.certificate
+            if not (isinstance(g_cert, tuple) and len(g_cert) == 2):
+                return False
+            if g_cert[0] != center_uid:
+                return False
+        if dist == 0:
+            return view.uid == center_uid
+        return any(
+            isinstance(g.certificate, tuple)
+            and len(g.certificate) == 2
+            and g.certificate[1] == dist - 1
+            for g in view.neighbors
+        )

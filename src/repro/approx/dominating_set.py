@@ -1,0 +1,241 @@
+"""2-APLS for budgeted dominating sets: rounded tree counters.
+
+The predicate is *budgeted* optimization: "the marked set ``S``
+dominates the graph and ``|S| ≤ k``".  Domination is locally checkable
+for free (echo bits), but the cardinality bound is a global sum — the
+exact scheme aggregates exact subtree counts up a certified spanning
+tree.  The gap version replaces the exact counts with **rounded
+counters** (:mod:`repro.approx.counters`):
+
+* **yes-instances** — ``S`` dominates and ``|S| ≤ k``;
+* **no-instances** — ``S`` does not dominate (or is malformed), or
+  ``|S| > α·k``;
+* the verifier compares the root's decoded counter against ``α·k``.
+
+Soundness is exact — decoded counters still upper-bound the true count,
+so an accepted root proves ``|S| ≤ α·k``.  Rounding only inflates the
+*honest* root bound, by at most α when the mantissa width is chosen from
+the tree depth — which is exactly the slack the gap provides.  The
+counter shrinks from ``Θ(log k)`` to ``O(log depth + log log k)`` bits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.approx.counters import (
+    counter_value,
+    is_counter,
+    mantissa_bits_for,
+    round_up_counter,
+)
+from repro.approx.gap import GapLanguage
+from repro.approx.scheme import ApproxScheme
+from repro.core.labeling import Configuration, Labeling
+from repro.core.verifier import LocalView
+from repro.errors import LanguageError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs
+from repro.util.rng import make_rng
+
+__all__ = ["GapDominatingSetLanguage", "ApproxDominatingSetScheme"]
+
+
+def greedy_dominating_set(graph: Graph, rng: random.Random | None = None) -> set[int]:
+    """A greedy dominating set (node order optionally randomised)."""
+    order = list(graph.nodes)
+    if rng is not None:
+        rng.shuffle(order)
+    chosen: set[int] = set()
+    dominated: set[int] = set()
+    for v in order:
+        if v not in dominated:
+            chosen.add(v)
+            dominated.add(v)
+            dominated.update(graph.neighbors(v))
+    return chosen
+
+
+class GapDominatingSetLanguage(GapLanguage):
+    """Gap predicate: dominating and within budget vs. α over budget."""
+
+    def __init__(self, budget: int, alpha: float = 2.0) -> None:
+        if budget < 1:
+            raise LanguageError(f"budget must be positive, got {budget}")
+        if alpha <= 1.0:
+            raise LanguageError(f"gap factor must exceed 1, got {alpha}")
+        self.budget = budget
+        self.alpha = float(alpha)
+        self.name = f"gap-dominating-set<={budget}"
+
+    def _well_formed(self, config: Configuration) -> bool:
+        return all(
+            isinstance(config.state(v), bool) for v in config.graph.nodes
+        )
+
+    def _dominates(self, config: Configuration) -> bool:
+        graph = config.graph
+        return all(
+            config.state(v) or any(config.state(u) for u in graph.neighbors(v))
+            for v in graph.nodes
+        )
+
+    def _marked(self, config: Configuration) -> int:
+        return sum(1 for v in config.graph.nodes if config.state(v))
+
+    def is_yes(self, config: Configuration) -> bool:
+        return (
+            self._well_formed(config)
+            and self._dominates(config)
+            and self._marked(config) <= self.budget
+        )
+
+    def is_no(self, config: Configuration) -> bool:
+        if not self._well_formed(config) or not self._dominates(config):
+            return True
+        return self._marked(config) > self.alpha * self.budget
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        chosen = greedy_dominating_set(graph, rng)
+        if len(chosen) > self.budget:
+            # A shuffled greedy can overshoot a budget fitted to the
+            # deterministic order; fall back to that order.
+            chosen = greedy_dominating_set(graph, None)
+        if len(chosen) > self.budget:
+            raise LanguageError(
+                f"greedy dominating set ({len(chosen)}) exceeds budget "
+                f"{self.budget} on this graph"
+            )
+        return Labeling({v: v in chosen for v in graph.nodes})
+
+    def no_labeling(self, graph: Graph, rng: random.Random) -> dict | None:
+        if graph.n > self.alpha * self.budget and rng.random() < 0.5:
+            # A perfectly good dominating set that blows the budget.
+            return {v: True for v in graph.nodes}
+        # The empty set dominates nothing: a no-instance on any graph.
+        return {v: False for v in graph.nodes}
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        return isinstance(state, bool)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        return not state
+
+
+_TAG = "apx-ds"
+
+
+class ApproxDominatingSetScheme(ApproxScheme):
+    """Echo bits + certified spanning tree + rounded subtree counts."""
+
+    size_bound = "O(log n) tree + O(log depth + log log k) counter"
+
+    def __init__(self, language: GapDominatingSetLanguage) -> None:
+        super().__init__(language)
+        self.name = f"approx-dominating-set<={language.budget}"
+
+    # -- prover ---------------------------------------------------------------
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        graph = config.graph
+        root = min(graph.nodes, key=config.uid)
+        dist, parent = bfs(graph, root)
+        depth = max(dist.values(), default=0)
+        mantissa = mantissa_bits_for(depth, self.alpha)
+
+        children: dict[int, list[int]] = {v: [] for v in graph.nodes}
+        for v, p in parent.items():
+            if p is not None:
+                children[p].append(v)
+
+        counters: dict[int, tuple[int, int]] = {}
+        for v in sorted(graph.nodes, key=lambda u: -dist.get(u, 0)):
+            total = 1 if config.state(v) else 0
+            total += sum(counter_value(counters[c]) for c in children[v])
+            counters[v] = round_up_counter(total, mantissa)
+
+        root_uid = config.uid(root)
+        certs: dict[int, Any] = {}
+        for v in graph.nodes:
+            p = parent.get(v)
+            certs[v] = (
+                _TAG,
+                bool(config.state(v)),
+                root_uid,
+                dist.get(v, 0),
+                None if p is None else config.uid(p),
+                counters[v],
+            )
+        return certs
+
+    # -- verifier -------------------------------------------------------------
+
+    @staticmethod
+    def _parse(cert: Any) -> tuple | None:
+        if not (isinstance(cert, tuple) and len(cert) == 6 and cert[0] == _TAG):
+            return None
+        _, bit, root_uid, dist, parent_uid, counter = cert
+        if not isinstance(bit, bool):
+            return None
+        if not (isinstance(dist, int) and dist >= 0):
+            return None
+        if not is_counter(counter):
+            return None
+        return bit, root_uid, dist, parent_uid, counter
+
+    def verify(self, view: LocalView) -> bool:
+        lang: GapDominatingSetLanguage = self.gap_language  # type: ignore[assignment]
+        mine = self._parse(view.certificate)
+        if mine is None:
+            return False
+        bit, root_uid, dist, parent_uid, counter = mine
+        if not isinstance(view.state, bool) or bit != view.state:
+            return False
+
+        parsed = []
+        for glimpse in view.neighbors:
+            entry = self._parse(glimpse.certificate)
+            if entry is None:
+                return False
+            if entry[1] != root_uid:
+                return False  # everyone must agree on the tree's root
+            parsed.append(entry)
+
+        # Domination from truthful echoes.
+        if not bit and not any(entry[0] for entry in parsed):
+            return False
+
+        # Spanning-tree layer: root anchors, others name a real parent
+        # one hop closer.
+        if dist == 0:
+            if view.uid != root_uid or parent_uid is not None:
+                return False
+        else:
+            ok = any(
+                glimpse.uid == parent_uid and entry[2] == dist - 1
+                for glimpse, entry in zip(view.neighbors, parsed)
+            )
+            if not ok:
+                return False
+
+        # Counter layer: my bound covers my own bit plus every child's
+        # bound (children = neighbors whose parent pointer names me).
+        total = 1 if bit else 0
+        total += sum(
+            counter_value(entry[4])
+            for entry in parsed
+            if entry[3] == view.uid
+        )
+        if counter_value(counter) < total:
+            return False
+
+        # The root compares against the α-relaxed budget — the gap.
+        if dist == 0 and counter_value(counter) > lang.alpha * lang.budget:
+            return False
+        return True

@@ -1,0 +1,126 @@
+"""Gap languages: the promise problems behind approximate schemes.
+
+An *approximate proof labeling scheme* (α-APLS, after Emek–Gil 2020 and
+the error-sensitive line of Feuilloley–Fraigniaud 2017) relaxes exact
+verification to a **gap**: configurations are split into
+
+* **yes-instances** — the predicate holds (often: the configured object
+  is optimal, or meets a budget);
+* **no-instances** — the predicate fails by at least the approximation
+  factor ``α`` (the object is worse than ``α`` times the budget/optimum,
+  or is not even feasible);
+* a **don't-care gap** in between, where the verifier may answer either
+  way.
+
+Completeness is required on yes-instances, soundness only on
+no-instances.  Giving the verifier this slack is what buys exponentially
+smaller certificates for optimization predicates: certifying "this
+vertex cover is minimum" needs the universal Θ(n²) machinery, while
+certifying "this vertex cover is within factor 2 of minimum" costs a
+matching pointer per node.
+
+:class:`GapLanguage` extends :class:`~repro.core.language.DistributedLanguage`
+with ``is_yes`` / ``is_no`` and α.  ``is_member`` is aliased to
+``is_yes`` so that all existing engine machinery — canonical labelings,
+``member_configuration``, completeness checks — operates on
+yes-instances unchanged, and the gap-aware soundness adversary
+(:func:`repro.core.soundness.gap_attack`) targets
+:meth:`no_configuration`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import abstractmethod
+
+from repro.core.labeling import Configuration
+from repro.core.language import DistributedLanguage
+from repro.errors import LanguageError
+from repro.graphs.graph import Graph
+from repro.util.rng import make_rng
+
+__all__ = ["GapLanguage"]
+
+
+class GapLanguage(DistributedLanguage):
+    """A distributed language with a yes/no gap of factor ``alpha``.
+
+    Subclasses set :attr:`alpha` (> 1), implement :meth:`is_yes` and
+    :meth:`is_no`, and inherit the ``DistributedLanguage`` contract for
+    yes-instances (``canonical_labeling`` must produce one).  The two
+    predicates must be disjoint; everything in neither is the gap.
+    """
+
+    #: Approximation factor α > 1 separating yes- from no-instances.
+    alpha: float = 2.0
+
+    # -- the gap -------------------------------------------------------------
+
+    @abstractmethod
+    def is_yes(self, config: Configuration) -> bool:
+        """The predicate holds outright (completeness applies here)."""
+
+    @abstractmethod
+    def is_no(self, config: Configuration) -> bool:
+        """The predicate fails by factor ≥ α (soundness applies here)."""
+
+    def is_member(self, config: Configuration) -> bool:
+        """Members of the language proper are the yes-instances."""
+        return self.is_yes(config)
+
+    def in_gap(self, config: Configuration) -> bool:
+        """Neither yes nor no: the verifier owes nothing here."""
+        return not self.is_yes(config) and not self.is_no(config)
+
+    # -- no-instance construction --------------------------------------------
+
+    def no_labeling(self, graph: Graph, rng: random.Random) -> dict | None:
+        """States making ``graph`` a no-instance, or ``None`` if this
+        language cannot reach the gap's far side by relabeling alone
+        (graph properties override :meth:`no_configuration` instead)."""
+        return None
+
+    def no_configuration(
+        self,
+        graph: Graph,
+        rng: random.Random | None = None,
+        attempts: int = 64,
+    ) -> Configuration:
+        """A configuration on ``graph`` that is α-far (a no-instance).
+
+        Tries, in order: a language-specific :meth:`no_labeling`; random
+        corruption of a yes-instance, kept only when it crosses the whole
+        gap (plain corruption usually lands in the don't-care middle);
+        finally gives up with :class:`~repro.errors.LanguageError`.
+        """
+        rng = rng or make_rng()
+        direct = self.no_labeling(graph, rng)
+        if direct is not None:
+            config = Configuration.build(graph, direct)
+            if not self.is_no(config):
+                raise LanguageError(
+                    f"{self.name}: no_labeling produced a non-no-instance (bug)"
+                )
+            return config
+        base = self.member_configuration(graph, rng=rng)
+        for round_ in range(attempts):
+            corruptions = 1 + round_ * max(1, graph.n // 8) % max(2, graph.n)
+            corrupted = base.labeling.corrupted(
+                rng, min(corruptions, graph.n), self.random_corruption
+            )
+            config = base.with_labeling(corrupted)
+            if self.is_no(config):
+                return config
+        raise LanguageError(
+            f"{self.name}: failed to corrupt across the α={self.alpha} gap "
+            f"in {attempts} attempts"
+        )
+
+    # -- sanity --------------------------------------------------------------
+
+    def check_gap_consistency(self, config: Configuration) -> bool:
+        """The yes and no sets must be disjoint on every configuration."""
+        return not (self.is_yes(config) and self.is_no(config))
+
+    def __repr__(self) -> str:
+        return f"<gap-language {self.name} alpha={self.alpha}>"

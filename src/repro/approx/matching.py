@@ -1,0 +1,159 @@
+"""2-APLS for maximum matching: maximality as a local certificate.
+
+Exactly certifying "this matching is *maximum*" is globally rigid —
+augmenting paths are arbitrarily long, and the generic exact scheme is
+the universal Θ(n²) one.  The gap version leans on the folklore fact
+that any *maximal* matching is a 2-approximation of the maximum:
+
+* **yes-instances** — the partner-port states encode a valid matching
+  ``M`` that is maximal (no edge joins two unmatched nodes);
+* **no-instances** — the states do not encode a matching at all, or
+  ``α·|M| < ν(G)`` (the matching misses more than the α = 2 factor);
+* the certificate is the node's ``(uid, partner uid)`` echo.
+
+Local checks: echoes name their true owner (the uid is ground truth),
+partner claims are mutual, and an unmatched node must see *only* matched
+neighbors.  All-accept makes ``M`` a genuine maximal matching, hence
+``|M| ≥ ν/2`` — soundness across the gap with ``O(log N)`` bits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.approx.gap import GapLanguage
+from repro.approx.optima import maximum_matching_size
+from repro.approx.scheme import ApproxScheme
+from repro.core.labeling import Configuration, Labeling
+from repro.core.verifier import LocalView
+from repro.graphs.graph import Graph
+from repro.schemes.matching import greedy_matching
+
+__all__ = ["GapMaximumMatchingLanguage", "ApproxMatchingScheme"]
+
+
+class GapMaximumMatchingLanguage(GapLanguage):
+    """Gap predicate: maximal matching vs. below half of maximum."""
+
+    name = "gap-maximum-matching"
+    alpha = 2.0
+
+    def _valid_matching(self, config: Configuration) -> bool:
+        graph = config.graph
+        for v in graph.nodes:
+            if not self.validate_state(graph, v, config.state(v)):
+                return False
+        for v in graph.nodes:
+            state = config.state(v)
+            if state is None:
+                continue
+            mate = graph.neighbor_at(v, state)
+            mate_state = config.state(mate)
+            if mate_state is None or graph.neighbor_at(mate, mate_state) != v:
+                return False
+        return True
+
+    def _is_maximal(self, config: Configuration) -> bool:
+        graph = config.graph
+        unmatched = {v for v in graph.nodes if config.state(v) is None}
+        return not any(u in unmatched and v in unmatched for u, v in graph.edges())
+
+    def _size(self, config: Configuration) -> int:
+        return sum(
+            1 for v in config.graph.nodes if config.state(v) is not None
+        ) // 2
+
+    def is_yes(self, config: Configuration) -> bool:
+        return self._valid_matching(config) and self._is_maximal(config)
+
+    def is_no(self, config: Configuration) -> bool:
+        if not self._valid_matching(config):
+            return True
+        size = self._size(config)
+        if size == 0:
+            # α·0 < ν iff the graph has any edge at all.
+            return config.graph.num_edges > 0
+        return self.alpha * size < maximum_matching_size(config.graph)
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        partner = greedy_matching(graph, rng)
+        return Labeling(
+            {
+                v: (None if partner[v] is None else graph.port(v, partner[v]))
+                for v in graph.nodes
+            }
+        )
+
+    def no_labeling(self, graph: Graph, rng: random.Random) -> dict | None:
+        if graph.num_edges == 0:
+            return None  # nothing to miss: every valid matching is maximal
+        # The empty matching misses everything — the canonical far side.
+        return {v: None for v in graph.nodes}
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        if state is None:
+            return True
+        return isinstance(state, int) and 0 <= state < graph.degree(node)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        choices: list[Any] = [None] + list(range(8))
+        choices = [c for c in choices if c != state]
+        return rng.choice(choices)
+
+
+class ApproxMatchingScheme(ApproxScheme):
+    """Echo ``(uid, partner uid)``; unmatched nodes demand matched ones."""
+
+    name = "approx-matching"
+    size_bound = "O(log N) vs exact O(n^2)"
+
+    def __init__(self, language: GapMaximumMatchingLanguage | None = None) -> None:
+        super().__init__(language or GapMaximumMatchingLanguage())
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        graph = config.graph
+        certs: dict[int, Any] = {}
+        for v in graph.nodes:
+            state = config.state(v)
+            if isinstance(state, int) and 0 <= state < graph.degree(v):
+                partner_uid = config.uid(graph.neighbor_at(v, state))
+            else:
+                partner_uid = None
+            certs[v] = (config.uid(v), partner_uid)
+        return certs
+
+    def verify(self, view: LocalView) -> bool:
+        cert = view.certificate
+        if not (isinstance(cert, tuple) and len(cert) == 2):
+            return False
+        echo_uid, partner_uid = cert
+        if echo_uid != view.uid:
+            return False
+        state = view.state
+        if state is None:
+            if partner_uid is not None:
+                return False
+            # Maximality: every neighbor must be (truthfully) matched.
+            for glimpse in view.neighbors:
+                g_cert = glimpse.certificate
+                if not (isinstance(g_cert, tuple) and len(g_cert) == 2):
+                    return False
+                if g_cert[0] != glimpse.uid or g_cert[1] is None:
+                    return False
+            return True
+        if not (isinstance(state, int) and 0 <= state < view.degree):
+            return False
+        mate = view.neighbor_at(state)
+        if partner_uid != mate.uid:
+            return False
+        mate_cert = mate.certificate
+        if not (isinstance(mate_cert, tuple) and len(mate_cert) == 2):
+            return False
+        # Mutuality through the partner's own pinned echo.
+        return mate_cert[0] == mate.uid and mate_cert[1] == view.uid

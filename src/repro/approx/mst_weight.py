@@ -1,0 +1,254 @@
+"""2-APLS for spanning-tree weight: rounded weight aggregation.
+
+The predicate is budgeted optimization over a weighted graph: "the
+parent-port states form a spanning tree ``T`` with ``w(T) ≤ W``".  The
+exact machinery for MST-hood costs O(log² n) bits (the Borůvka trace of
+:mod:`repro.schemes.mst`); even the plain weight bound needs exact
+``Θ(log W_total)``-bit subtree sums.  The gap version:
+
+* **yes-instances** — the states form a spanning tree of weight ≤ W;
+* **no-instances** — the states do not form a spanning tree, or the
+  tree's weight exceeds α·W;
+* the certificate is the classic spanning-tree layer — root uid,
+  distance, a pinned echo of the parent pointer — plus a **rounded
+  counter** (:mod:`repro.approx.counters`) bounding the weight of the
+  node's subtree (its subtree's tree edges).
+
+Soundness is exact: decoded counters upper-bound true subtree weights
+edge by edge against ground-truth glimpse weights, so an accepted root
+proves ``w(T) ≤ α·W``.  Rounding inflates only the honest bound, within
+the α the gap grants, cutting the counter from ``Θ(log W_total)`` to
+``O(log depth + log log W_total)`` bits.  Integer weights are assumed
+(the experiment generators produce them); fractional weights are rounded
+up by the prover, which stays sound and costs completeness only on
+instances within one unit of the budget.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any
+
+from repro.approx.counters import (
+    counter_value,
+    is_counter,
+    mantissa_bits_for,
+    round_up_counter,
+)
+from repro.approx.gap import GapLanguage
+from repro.approx.scheme import ApproxScheme
+from repro.core.labeling import Configuration, Labeling
+from repro.core.verifier import LocalView
+from repro.errors import LanguageError
+from repro.graphs.graph import Graph
+from repro.graphs.mst import kruskal, mst_weight
+from repro.graphs.subgraphs import (
+    pointer_structure,
+    pointers_form_spanning_tree,
+    pointers_from_tree,
+)
+from repro.schemes.acyclic import pointers_from_ports
+
+__all__ = ["GapTreeWeightLanguage", "ApproxTreeWeightScheme"]
+
+
+class GapTreeWeightLanguage(GapLanguage):
+    """Gap predicate: spanning tree within weight budget vs. α over."""
+
+    weighted = True
+
+    def __init__(self, budget: float, alpha: float = 2.0) -> None:
+        if budget <= 0:
+            raise LanguageError(f"weight budget must be positive, got {budget}")
+        if alpha <= 1.0:
+            raise LanguageError(f"gap factor must exceed 1, got {alpha}")
+        self.budget = budget
+        self.alpha = float(alpha)
+        self.name = f"gap-tree-weight<={budget:g}"
+
+    def _tree_weight(self, config: Configuration) -> float | None:
+        """Weight of the state-encoded spanning tree, or ``None``."""
+        graph = config.graph
+        if not graph.is_weighted:
+            return None
+        for v in graph.nodes:
+            if not self.validate_state(graph, v, config.state(v)):
+                return None
+        pointers = pointers_from_ports(config)
+        if not pointers_form_spanning_tree(graph, pointers):
+            return None
+        return sum(
+            graph.weight(v, t) for v, t in pointers.items() if t is not None
+        )
+
+    def is_yes(self, config: Configuration) -> bool:
+        weight = self._tree_weight(config)
+        return weight is not None and weight <= self.budget
+
+    def is_no(self, config: Configuration) -> bool:
+        weight = self._tree_weight(config)
+        return weight is None or weight > self.alpha * self.budget
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        if not graph.is_weighted:
+            raise LanguageError("tree-weight language needs a weighted graph")
+        tree = kruskal(graph)
+        if mst_weight(graph, tree) > self.budget:
+            raise LanguageError(
+                f"even the MST exceeds the weight budget {self.budget:g}"
+            )
+        root = rng.randrange(graph.n) if rng is not None else 0
+        pointers = pointers_from_tree(graph, tree, root)
+        return Labeling(
+            {
+                v: None if p is None else graph.port(v, p)
+                for v, p in pointers.items()
+            }
+        )
+
+    def no_labeling(self, graph: Graph, rng: random.Random) -> dict | None:
+        # Prefer the interesting far side: a genuine spanning tree that
+        # is α-overweight (the maximum spanning tree, if heavy enough).
+        if graph.is_weighted:
+            heavy = kruskal(graph.with_weights({e: -graph.weight(*e) for e in graph.edges()}))
+            if mst_weight(graph, heavy) > self.alpha * self.budget:
+                root = rng.randrange(graph.n)
+                pointers = pointers_from_tree(graph, heavy, root)
+                return {
+                    v: None if p is None else graph.port(v, p)
+                    for v, p in pointers.items()
+                }
+        if graph.n < 2:
+            return None
+        # Fallback: no pointers at all — not a spanning tree.
+        return {v: None for v in graph.nodes}
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        if state is None:
+            return True
+        return isinstance(state, int) and 0 <= state < graph.degree(node)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        choices: list[Any] = [None] + list(range(6))
+        choices = [c for c in choices if c != state]
+        return rng.choice(choices)
+
+
+_TAG = "apx-tw"
+
+
+class ApproxTreeWeightScheme(ApproxScheme):
+    """Spanning-tree layer + rounded subtree-weight counters."""
+
+    size_bound = "O(log n + log log W) vs exact O(log^2 n)"
+
+    def __init__(self, language: GapTreeWeightLanguage) -> None:
+        super().__init__(language)
+        self.name = f"approx-tree-weight<={language.budget:g}"
+
+    # -- prover ---------------------------------------------------------------
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        graph = config.graph
+        pointers = pointers_from_ports(config)
+        structure = pointer_structure(pointers)
+        roots = sorted(structure.roots)
+        root = roots[0] if roots else 0
+        root_uid = config.uid(root)
+        depth = structure.depth
+
+        children: dict[int, list[int]] = {v: [] for v in graph.nodes}
+        for v, target in pointers.items():
+            if target is not None and v in depth:
+                children.setdefault(target, []).append(v)
+
+        max_depth = max(depth.values(), default=0)
+        mantissa = mantissa_bits_for(max_depth, self.alpha)
+        counters: dict[int, tuple[int, int]] = {}
+        for v in sorted(graph.nodes, key=lambda u: -depth.get(u, 0)):
+            total = 0
+            for child in children.get(v, []):
+                # ``get`` guards the best-effort path on pointer cycles,
+                # where the depth order above is not topological.
+                total += counter_value(counters.get(child, (0, 0)))
+                total += math.ceil(graph.weight(child, v)) if graph.is_weighted else 0
+            counters[v] = round_up_counter(total, mantissa)
+
+        certs: dict[int, Any] = {}
+        for v in graph.nodes:
+            target = pointers.get(v)
+            certs[v] = (
+                _TAG,
+                root_uid,
+                depth.get(v, 0),
+                None if target is None else config.uid(target),
+                counters.get(v, (0, 0)),
+            )
+        return certs
+
+    # -- verifier -------------------------------------------------------------
+
+    @staticmethod
+    def _parse(cert: Any) -> tuple | None:
+        if not (isinstance(cert, tuple) and len(cert) == 5 and cert[0] == _TAG):
+            return None
+        _, root_uid, dist, ptr_echo, counter = cert
+        if not (isinstance(dist, int) and dist >= 0):
+            return None
+        if not is_counter(counter):
+            return None
+        return root_uid, dist, ptr_echo, counter
+
+    def verify(self, view: LocalView) -> bool:
+        lang: GapTreeWeightLanguage = self.gap_language  # type: ignore[assignment]
+        mine = self._parse(view.certificate)
+        if mine is None:
+            return False
+        root_uid, dist, ptr_echo, counter = mine
+
+        parsed = []
+        for glimpse in view.neighbors:
+            entry = self._parse(glimpse.certificate)
+            if entry is None:
+                return False
+            if entry[0] != root_uid:
+                return False
+            if glimpse.weight is None:
+                return False  # a weight bound needs a weighted network
+            parsed.append(entry)
+
+        # Spanning-tree layer (the paper's Θ(log n) argument).
+        state = view.state
+        if state is None:
+            if ptr_echo is not None or dist != 0 or view.uid != root_uid:
+                return False
+        else:
+            if not (isinstance(state, int) and 0 <= state < view.degree):
+                return False
+            if dist == 0:
+                return False
+            parent = view.neighbor_at(state)
+            if ptr_echo != parent.uid:
+                return False  # the echo must truthfully name my pointer
+            if parsed[state][1] != dist - 1:
+                return False
+
+        # Counter layer: my bound covers every child subtree plus the
+        # ground-truth weight of the child edge itself.
+        total = 0.0
+        for glimpse, entry in zip(view.neighbors, parsed):
+            if entry[2] == view.uid:
+                total += counter_value(entry[3]) + glimpse.weight
+        if counter_value(counter) < total:
+            return False
+
+        # The root compares against the α-relaxed budget — the gap.
+        if dist == 0 and counter_value(counter) > lang.alpha * lang.budget:
+            return False
+        return True

@@ -1,0 +1,77 @@
+"""The approximate-scheme base class.
+
+An :class:`ApproxScheme` is a :class:`~repro.core.scheme.ProofLabelingScheme`
+whose language is a :class:`~repro.approx.gap.GapLanguage`:
+
+* **completeness** — on every yes-instance the honest prover convinces
+  every node (inherited unchanged; ``is_member`` is the yes-set);
+* **gap soundness** — on every *no*-instance (α-far) some node rejects,
+  no matter the certificates.  Inside the gap, anything goes.
+
+Each concrete scheme also names its **exact counterpart**: a scheme
+verifying the yes-predicate exactly, with no gap to lean on.  For
+optimization predicates that counterpart is generically the universal
+Θ(n²)-bit scheme (minimality is not locally checkable), which is
+precisely the comparison the ``experiment_t5_approx`` table draws —
+what the α of slack buys in certificate bits.
+"""
+
+from __future__ import annotations
+
+from repro.approx.gap import GapLanguage
+from repro.core.labeling import Configuration
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.universal import UniversalScheme
+from repro.errors import SchemeError
+
+__all__ = ["ApproxScheme"]
+
+
+class ApproxScheme(ProofLabelingScheme):
+    """Base class for α-APLS implementations.
+
+    Subclasses implement ``prove``/``verify`` as usual; the language must
+    be a :class:`GapLanguage`.  ``size_bound`` documents the approximate
+    certificate; :meth:`exact_counterpart` supplies the exact-verification
+    baseline for proof-size comparisons (default: the universal scheme on
+    the same yes-predicate).
+    """
+
+    def __init__(self, language: GapLanguage) -> None:
+        if not isinstance(language, GapLanguage):
+            raise SchemeError(
+                f"{type(self).__name__} needs a GapLanguage, got {language!r}"
+            )
+        super().__init__(language)
+
+    @property
+    def alpha(self) -> float:
+        """The approximation factor this scheme's soundness is gapped by."""
+        return self.gap_language.alpha
+
+    @property
+    def gap_language(self) -> GapLanguage:
+        """The language, typed as a gap language."""
+        language = self.language
+        assert isinstance(language, GapLanguage)
+        return language
+
+    def exact_counterpart(self) -> ProofLabelingScheme:
+        """A scheme deciding the yes-predicate exactly (no gap).
+
+        The default is the paper's universal scheme over the same
+        language — the generic price of exactness.  Subclasses with a
+        tighter natural exact baseline (e.g. exact counters instead of
+        rounded ones) override this.
+        """
+        return UniversalScheme(self.language)
+
+    def certifies(self, config: Configuration) -> bool:
+        """Honest prove + verify round-trip (convenience for reports)."""
+        return self.run(config).all_accept
+
+    def __repr__(self) -> str:
+        return (
+            f"<approx-scheme {self.name} alpha={self.alpha} "
+            f"for {self.language.name}>"
+        )

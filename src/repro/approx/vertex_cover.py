@@ -1,0 +1,199 @@
+"""2-APLS for vertex cover: a matching pointer per node.
+
+Exactly certifying "the marked set is a *minimum* vertex cover" is not
+locally checkable — the only general exact scheme is the universal
+Θ(n²)-bit one.  The gap relaxation is the textbook 2-approximation
+argument turned into a certificate (Emek–Gil style):
+
+* **yes-instances** — the marked set ``S`` is a vertex cover that is
+  *matching-certifiable*: ``S`` is exactly the endpoint set of some
+  matching ``M ⊆ G[S]``.  (The classic 2-approximation — endpoints of a
+  maximal matching — always produces such covers, and every such cover
+  has ``|S| = 2|M| ≤ 2·OPT``.)
+* **no-instances** — ``S`` is not a cover at all, or ``|S| > 2·OPT``.
+
+The certificate at a marked node is the *port* of its matching partner;
+every node also echoes its membership bit.  Local checks: echoes are
+truthful, unmarked nodes see only marked neighbors (the cover
+condition), and partner claims are mutual (ports cross-checked against
+the network's ground-truth back-ports).  If every node accepts, the
+marked set is a cover equal to the endpoints of a real matching, hence
+within factor 2 of minimum — soundness across the gap with
+``O(log Δ)``-bit certificates instead of Θ(n²).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.approx.gap import GapLanguage
+from repro.approx.optima import minimum_vertex_cover_size
+from repro.approx.scheme import ApproxScheme
+from repro.core.labeling import Configuration, Labeling
+from repro.core.verifier import LocalView
+from repro.graphs.graph import Graph
+from repro.util.rng import make_rng
+
+__all__ = ["GapVertexCoverLanguage", "ApproxVertexCoverScheme"]
+
+
+def _saturating_matching(
+    graph: Graph, marked: set[int], rng: random.Random | None = None
+) -> dict[int, int] | None:
+    """A matching within ``G[marked]`` covering every marked node.
+
+    Randomised greedy first (almost always enough for covers produced by
+    the 2-approximation), then exact backtracking over the lowest
+    unmatched marked node.  Returns a node -> partner map or ``None``.
+    """
+    rng = rng or make_rng(0)
+    inner_edges = [
+        (u, v) for u, v in graph.edges() if u in marked and v in marked
+    ]
+    for _ in range(8):
+        rng.shuffle(inner_edges)
+        partner: dict[int, int] = {}
+        for u, v in inner_edges:
+            if u not in partner and v not in partner:
+                partner[u] = v
+                partner[v] = u
+        if len(partner) == len(marked):
+            return partner
+
+    adjacency: dict[int, list[int]] = {v: [] for v in marked}
+    for u, v in inner_edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    matched: dict[int, int] = {}
+
+    def backtrack() -> bool:
+        free = next((v for v in sorted(marked) if v not in matched), None)
+        if free is None:
+            return True
+        for nb in adjacency[free]:
+            if nb not in matched:
+                matched[free] = nb
+                matched[nb] = free
+                if backtrack():
+                    return True
+                del matched[free]
+                del matched[nb]
+        return False
+
+    return dict(matched) if backtrack() else None
+
+
+class GapVertexCoverLanguage(GapLanguage):
+    """Gap predicate for 2-approximate minimum vertex cover."""
+
+    name = "gap-vertex-cover"
+    alpha = 2.0
+
+    def is_yes(self, config: Configuration) -> bool:
+        graph = config.graph
+        for v in graph.nodes:
+            if not isinstance(config.state(v), bool):
+                return False
+        if not all(config.state(u) or config.state(v) for u, v in graph.edges()):
+            return False
+        marked = {v for v in graph.nodes if config.state(v)}
+        return _saturating_matching(graph, marked) is not None
+
+    def is_no(self, config: Configuration) -> bool:
+        graph = config.graph
+        for v in graph.nodes:
+            if not isinstance(config.state(v), bool):
+                return True  # malformed states: not a cover of anything
+        if not all(config.state(u) or config.state(v) for u, v in graph.edges()):
+            return True
+        marked = sum(1 for v in graph.nodes if config.state(v))
+        return marked > self.alpha * minimum_vertex_cover_size(graph)
+
+    def canonical_labeling(
+        self,
+        graph: Graph,
+        ids: dict[int, int] | None = None,
+        rng: random.Random | None = None,
+    ) -> Labeling:
+        """The classic 2-approximation: endpoints of a greedy maximal
+        matching (always matching-certifiable by construction)."""
+        order = list(graph.edges())
+        if rng is not None:
+            rng.shuffle(order)
+        covered: set[int] = set()
+        for u, v in order:
+            if u not in covered and v not in covered:
+                covered.add(u)
+                covered.add(v)
+        return Labeling({v: v in covered for v in graph.nodes})
+
+    def no_labeling(self, graph: Graph, rng: random.Random) -> dict | None:
+        # Mark everything when that overshoots 2·OPT (the interesting
+        # far side: a real cover that is too fat); otherwise unmark
+        # everything (not a cover as soon as there is an edge).
+        if graph.num_edges == 0:
+            return None  # edgeless: every bool labeling is a yes-instance
+        if graph.n <= 24 and graph.n > self.alpha * minimum_vertex_cover_size(graph):
+            if rng.random() < 0.5:
+                return {v: True for v in graph.nodes}
+        return {v: False for v in graph.nodes}
+
+    def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
+        return isinstance(state, bool)
+
+    def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
+        return not state
+
+
+class ApproxVertexCoverScheme(ApproxScheme):
+    """Matching-pointer certificates: ``(membership echo, partner port)``."""
+
+    name = "approx-vertex-cover"
+    size_bound = "O(log Delta) vs exact O(n^2)"
+
+    def __init__(self, language: GapVertexCoverLanguage | None = None) -> None:
+        super().__init__(language or GapVertexCoverLanguage())
+
+    def prove(self, config: Configuration) -> dict[int, Any]:
+        graph = config.graph
+        marked = {
+            v for v in graph.nodes if isinstance(config.state(v), bool) and config.state(v)
+        }
+        partner = _saturating_matching(graph, marked) or {}
+        certs: dict[int, Any] = {}
+        for v in graph.nodes:
+            if v in marked and v in partner:
+                certs[v] = (True, graph.port(v, partner[v]))
+            else:
+                # Best-effort off the yes-set: echo the bit, claim nothing.
+                certs[v] = (bool(config.state(v)), None)
+        return certs
+
+    def verify(self, view: LocalView) -> bool:
+        cert = view.certificate
+        if not (isinstance(cert, tuple) and len(cert) == 2):
+            return False
+        echo, partner_port = cert
+        if not isinstance(view.state, bool) or echo != view.state:
+            return False
+        if not view.state:
+            if partner_port is not None:
+                return False
+            # Cover condition: every incident edge covered from the far side.
+            return all(
+                isinstance(g.certificate, tuple)
+                and len(g.certificate) == 2
+                and g.certificate[0] is True
+                for g in view.neighbors
+            )
+        # Marked: exhibit a mutual matching partner, itself marked.
+        if not (isinstance(partner_port, int) and 0 <= partner_port < view.degree):
+            return False
+        mate = view.neighbor_at(partner_port)
+        mate_cert = mate.certificate
+        if not (isinstance(mate_cert, tuple) and len(mate_cert) == 2):
+            return False
+        # The partner is marked and points back through this very edge
+        # (its back-port is network ground truth, so mutuality is real).
+        return mate_cert[0] is True and mate_cert[1] == mate.back_port

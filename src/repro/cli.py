@@ -3,9 +3,12 @@
 Gives downstream users one-line access to the library's main entry
 points without writing Python:
 
-* ``list-schemes`` — the scheme registry with bounds and visibility;
+* ``list-schemes`` — the scheme registry (exact and approximate) with
+  bounds and visibility;
 * ``certify`` — build a legal configuration on a chosen family, prove
   it, verify it, report the proof size;
+* ``approx-certify`` — fit an approximate (gap) scheme to an instance,
+  certify it, and compare its proof size against exact verification;
 * ``attack`` — corrupt a configuration and run the budgeted adversary;
 * ``experiment`` — run one experiment id (or ``all``) and print its
   regenerated table;
@@ -19,7 +22,10 @@ import sys
 from typing import Callable, Sequence
 
 from repro.analysis import experiments as _experiments
+from repro.approx import APPROX_SCHEME_BUILDERS, build_approx_scheme
 from repro.core.soundness import attack as run_attack
+from repro.core.soundness import gap_attack as run_gap_attack
+from repro.errors import LanguageError
 from repro.graphs.generators import FAMILIES
 from repro.graphs.weighted import weighted_copy
 from repro.schemes import ALL_SCHEME_FACTORIES
@@ -32,6 +38,7 @@ _EXPERIMENTS: dict[str, Callable] = {
     "t2": _experiments.experiment_t2_soundness,
     "t3": _experiments.experiment_t3_universal,
     "t4": _experiments.experiment_t4_verification_cost,
+    "t5": _experiments.experiment_t5_approx,
     "f1": _experiments.experiment_f1_st_scaling,
     "f2": _experiments.experiment_f2_mst_scaling,
     "f3": _experiments.experiment_f3_lower_bound,
@@ -55,6 +62,21 @@ def build_parser() -> argparse.ArgumentParser:
     certify.add_argument("--family", choices=sorted(FAMILIES), default="gnp_sparse")
     certify.add_argument("--n", type=int, default=32)
     certify.add_argument("--seed", type=int, default=0)
+
+    approx = sub.add_parser(
+        "approx-certify",
+        help="fit + certify an approximate (gap) scheme; compare with exact",
+    )
+    approx.add_argument("scheme", choices=sorted(APPROX_SCHEME_BUILDERS))
+    approx.add_argument("--family", choices=sorted(FAMILIES), default="gnp_sparse")
+    approx.add_argument("--n", type=int, default=24)
+    approx.add_argument("--seed", type=int, default=0)
+    approx.add_argument(
+        "--attack",
+        action="store_true",
+        help="also gap-attack an α-far no-instance",
+    )
+    approx.add_argument("--trials", type=int, default=60)
 
     attack = sub.add_parser("attack", help="corrupt an instance and attack it")
     attack.add_argument("scheme", choices=sorted(ALL_SCHEME_FACTORIES))
@@ -88,12 +110,19 @@ def _make_instance(args) -> tuple:
 
 
 def _cmd_list_schemes(args) -> int:
-    width = max(len(name) for name in ALL_SCHEME_FACTORIES)
+    names = list(ALL_SCHEME_FACTORIES) + list(APPROX_SCHEME_BUILDERS)
+    width = max(len(name) for name in names)
     for name in sorted(ALL_SCHEME_FACTORIES):
         scheme = ALL_SCHEME_FACTORIES[name]()
         print(
             f"{name:<{width}}  language={scheme.language.name:<24} "
             f"bound={scheme.size_bound:<28} visibility={scheme.visibility.value}"
+        )
+    for name in sorted(APPROX_SCHEME_BUILDERS):
+        entry = APPROX_SCHEME_BUILDERS[name]
+        print(
+            f"{name:<{width}}  alpha={entry.alpha:<27g}"
+            f"bound={entry.size_bound:<28} {entry.summary}"
         )
     return 0
 
@@ -109,6 +138,46 @@ def _cmd_certify(args) -> int:
           f"{assignment.total_bits / max(1, graph.n):.1f})")
     print(f"verification: all accept = {verdict.all_accept}")
     return 0 if verdict.all_accept else 1
+
+
+def _cmd_approx_certify(args) -> int:
+    rng = make_rng(args.seed)
+    entry = APPROX_SCHEME_BUILDERS[args.scheme]
+    graph = FAMILIES[args.family](args.n, rng)
+    if entry.weighted:
+        graph = weighted_copy(graph, rng)
+    scheme = build_approx_scheme(args.scheme, graph, rng)
+    try:
+        config = scheme.language.member_configuration(graph, rng=rng)
+    except LanguageError as error:
+        raise SystemExit(f"no yes-instance on this graph: {error}")
+    assignment = scheme.assignment(config)
+    verdict = scheme.run(config)
+    exact = scheme.exact_counterpart()
+    exact_bits = exact.proof_size_bits(config)
+    print(f"graph: {graph!r}")
+    print(f"scheme: {scheme.name} (alpha={scheme.alpha:g}, {scheme.size_bound})")
+    print(f"approx proof size: {assignment.max_bits} bits (mean "
+          f"{assignment.total_bits / max(1, graph.n):.1f})")
+    print(f"exact proof size:  {exact_bits} bits ({exact.name})")
+    print(f"gap saving: {exact_bits / max(1, assignment.max_bits):.1f}x")
+    print(f"verification: all accept = {verdict.all_accept}")
+    code = 0 if verdict.all_accept else 1
+    if args.attack:
+        try:
+            bad = scheme.gap_language.no_configuration(graph, rng=rng)
+        except LanguageError as error:
+            print(f"gap attack skipped: {error}")
+            return code
+        result = run_gap_attack(
+            scheme, bad, rng=rng, trials=args.trials, related=[config]
+        )
+        print(f"gap attack on an α-far no-instance: fooled = {result.fooled}; "
+              f"minimum rejecting nodes reached: {result.min_rejects} "
+              f"({result.evaluations} evaluations)")
+        if result.fooled:
+            code = 1
+    return code
 
 
 def _cmd_attack(args) -> int:
@@ -150,6 +219,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "list-schemes": _cmd_list_schemes,
         "certify": _cmd_certify,
+        "approx-certify": _cmd_approx_certify,
         "attack": _cmd_attack,
         "experiment": _cmd_experiment,
         "report": _cmd_report,

@@ -22,11 +22,18 @@ would have produced.  Schemes document their best-effort behaviour.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.core.labeling import Configuration
 from repro.core.language import DistributedLanguage
-from repro.core.verifier import LocalView, Verdict, Visibility, decide
+from repro.core.verifier import (
+    LocalView,
+    Verdict,
+    Visibility,
+    build_views,
+    decide,
+    refresh_views,
+)
 from repro.errors import SchemeError
 from repro.util.bits import obj_bit_size
 
@@ -121,14 +128,47 @@ class ProofLabelingScheme(ABC):
         self,
         config: Configuration,
         certificates: Mapping[int, Any] | None = None,
+        views: Mapping[int, LocalView] | None = None,
     ) -> Verdict:
-        """Verify ``config`` under the given (default: honest) certificates."""
+        """Verify ``config`` under the given (default: honest) certificates.
+
+        ``views`` (see :func:`repro.core.verifier.decide`) lets callers
+        that re-verify many related assignments reuse prebuilt views.
+        """
         if certificates is None:
             certificates = self.prove(config)
         return decide(
             self.verify,
             config,
             certificates,
+            visibility=self.visibility,
+            radius=self.radius,
+            views=views,
+        )
+
+    def build_views(
+        self, config: Configuration, certificates: Mapping[int, Any]
+    ) -> dict[int, LocalView]:
+        """Prebuilt views for :meth:`run`'s fast path, under this
+        scheme's visibility and radius."""
+        return build_views(
+            config, certificates, visibility=self.visibility, radius=self.radius
+        )
+
+    def refresh_views(
+        self,
+        config: Configuration,
+        certificates: Mapping[int, Any],
+        views: Mapping[int, LocalView],
+        changed: Iterable[int],
+    ) -> dict[int, LocalView]:
+        """Views under ``certificates`` given ``views`` of an assignment
+        differing only at ``changed`` nodes (shares untouched views)."""
+        return refresh_views(
+            config,
+            certificates,
+            views,
+            changed,
             visibility=self.visibility,
             radius=self.radius,
         )

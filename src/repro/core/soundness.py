@@ -41,6 +41,7 @@ __all__ = [
     "attack",
     "completeness_holds",
     "exhaustive_attack",
+    "gap_attack",
     "greedy_attack",
     "harvest_pool",
     "mutate_certificate",
@@ -149,8 +150,9 @@ def _evaluate(
     scheme: ProofLabelingScheme,
     config: Configuration,
     certs: Mapping[int, Any],
+    views: Mapping[int, Any] | None = None,
 ) -> Verdict:
-    return scheme.run(config, certificates=certs)
+    return scheme.run(config, certificates=certs, views=views)
 
 
 def random_attack(
@@ -173,18 +175,21 @@ def random_attack(
         pool = [None]
     nodes = list(config.graph.nodes)
     best = dict(scheme.prove(config))
-    best_verdict = _evaluate(scheme, config, best)
+    best_views = scheme.build_views(config, best)
+    best_verdict = _evaluate(scheme, config, best, views=best_views)
     evaluations = 1
     for _ in range(trials):
         if best_verdict.all_accept:
             break
         candidate = dict(best)
-        for node in rng.sample(nodes, k=max(1, rng.randrange(1, max(2, len(nodes) // 2)))):
+        changed = rng.sample(nodes, k=max(1, rng.randrange(1, max(2, len(nodes) // 2))))
+        for node in changed:
             candidate[node] = rng.choice(pool)
-        verdict = _evaluate(scheme, config, candidate)
+        views = scheme.refresh_views(config, candidate, best_views, changed)
+        verdict = _evaluate(scheme, config, candidate, views=views)
         evaluations += 1
         if verdict.reject_count < best_verdict.reject_count:
-            best, best_verdict = candidate, verdict
+            best, best_verdict, best_views = candidate, verdict, views
     return AttackResult(
         fooled=best_verdict.all_accept,
         min_rejects=best_verdict.reject_count,
@@ -208,7 +213,8 @@ def greedy_attack(
         pool = [None]
     graph = config.graph
     best = dict(scheme.prove(config))
-    best_verdict = _evaluate(scheme, config, best)
+    best_views = scheme.build_views(config, best)
+    best_verdict = _evaluate(scheme, config, best, views=best_views)
     evaluations = 1
     for _ in range(max_passes):
         if best_verdict.all_accept:
@@ -224,10 +230,13 @@ def greedy_attack(
                     continue
                 candidate = dict(best)
                 candidate[node] = cert
-                verdict = _evaluate(scheme, config, candidate)
+                # Single-node change: only the views that can see ``node``
+                # are rebuilt — the adversary's hot loop.
+                views = scheme.refresh_views(config, candidate, best_views, [node])
+                verdict = _evaluate(scheme, config, candidate, views=views)
                 evaluations += 1
                 if verdict.reject_count < best_verdict.reject_count:
-                    best, best_verdict = candidate, verdict
+                    best, best_verdict, best_views = candidate, verdict, views
                     improved = True
                     break
         if not improved:
@@ -298,3 +307,36 @@ def attack(
     if not result.fooled:
         result = result.merge(greedy_attack(scheme, config, rng, pool=pool))
     return result
+
+
+def gap_attack(
+    scheme: ProofLabelingScheme,
+    config: Configuration,
+    rng: random.Random | None = None,
+    trials: int = 100,
+    related: Iterable[Configuration] = (),
+) -> AttackResult:
+    """The budgeted adversary against a *gap* (approximate) scheme.
+
+    Gap soundness only promises rejection on configurations that miss
+    the predicate by the scheme's approximation factor — the language's
+    *no-instances*.  An adversary that fools the verifier inside the gap
+    (neither a yes- nor a no-instance) has broken nothing, so counting it
+    as a violation would be a false alarm.  This wrapper therefore
+    refuses to attack anything but a genuine no-instance: the caller must
+    hand it a configuration that is α-far from the predicate.
+
+    The language is duck-typed: anything exposing ``is_no`` (see
+    :class:`repro.approx.GapLanguage`) qualifies.
+    """
+    is_no = getattr(scheme.language, "is_no", None)
+    if is_no is None:
+        raise SchemeError(
+            f"{scheme.language.name} has no gap (no is_no); use attack()"
+        )
+    if not is_no(config):
+        raise SchemeError(
+            f"{scheme.language.name}: configuration is not a no-instance; "
+            "gap soundness says nothing about it"
+        )
+    return attack(scheme, config, rng=rng, trials=trials, related=related)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.core.labeling import Configuration
 from repro.errors import SchemeError
@@ -39,9 +39,11 @@ __all__ = [
     "NeighborGlimpse",
     "Verdict",
     "Visibility",
+    "affected_nodes",
     "build_view",
     "build_views",
     "decide",
+    "refresh_views",
 ]
 
 
@@ -111,10 +113,16 @@ class LocalView:
         return self.neighbors[port]
 
     def neighbor_by_uid(self, uid: int) -> NeighborGlimpse | None:
-        for glimpse in self.neighbors:
-            if glimpse.uid == uid:
-                return glimpse
-        return None
+        # Hot path for pointer-chasing verifiers: a lazily built
+        # uid -> glimpse map replaces the linear scan.  First-wins on
+        # duplicate uids, matching the original scan order.
+        index = self.__dict__.get("_uid_index")
+        if index is None:
+            index = {}
+            for glimpse in self.neighbors:
+                index.setdefault(glimpse.uid, glimpse)
+            object.__setattr__(self, "_uid_index", index)
+        return index.get(uid)
 
     def neighbor_uids(self) -> frozenset[int]:
         return frozenset(g.uid for g in self.neighbors)
@@ -154,6 +162,104 @@ def _ball_nodes(graph: Graph, center: int, radius: int) -> dict[int, int]:
     return dist
 
 
+class _Scaffold:
+    """Per-configuration data shared by every node's view construction.
+
+    Hoists everything a view needs that does not depend on the focal
+    node — uid table, port lists in uid space, the weighted flag — so
+    building all ``n`` views touches each edge a constant number of
+    times instead of re-enumerating ``graph.edges()`` per node
+    (previously O(n·m) for ``radius > 1``).
+    """
+
+    __slots__ = ("config", "graph", "weighted", "uid", "uid_ports")
+
+    def __init__(self, config: Configuration) -> None:
+        self.config = config
+        self.graph = config.graph
+        self.weighted = self.graph.is_weighted
+        self.uid = [config.uid(v) for v in self.graph.nodes]
+        self.uid_ports: dict[int, tuple[int, ...]] | None = None
+
+    def ports_by_uid(self) -> dict[int, tuple[int, ...]]:
+        """uid -> uids of all neighbors in port order (built once)."""
+        if self.uid_ports is None:
+            uid = self.uid
+            self.uid_ports = {
+                uid[v]: tuple(uid[nb] for nb in self.graph.neighbors(v))
+                for v in self.graph.nodes
+            }
+        return self.uid_ports
+
+    def view(
+        self,
+        certificates: Mapping[int, Any],
+        node: int,
+        visibility: Visibility,
+        radius: int,
+    ) -> LocalView:
+        graph, config, uid = self.graph, self.config, self.uid
+        full = visibility is Visibility.FULL
+        weighted = self.weighted
+        glimpses = []
+        for port, nb in enumerate(graph.neighbors(node)):
+            glimpses.append(
+                NeighborGlimpse(
+                    port=port,
+                    uid=uid[nb],
+                    certificate=certificates.get(nb),
+                    state=config.state(nb) if full else None,
+                    weight=graph.weight(node, nb) if weighted else None,
+                    back_port=graph.port(nb, node),
+                )
+            )
+        ball = None
+        if radius > 1:
+            dist = _ball_nodes(graph, node, radius)
+            members = {
+                uid[v]: (
+                    d,
+                    certificates.get(v),
+                    config.state(v) if full else None,
+                )
+                for v, d in dist.items()
+            }
+            # Induced edges via adjacency of ball members: O(ball volume)
+            # instead of a scan over all m graph edges.
+            edges = tuple(
+                (uid[u], uid[v], graph.weight(u, v) if weighted else None)
+                for u in dist
+                for v in graph.neighbors(u)
+                if u < v and v in dist
+            )
+            all_ports = self.ports_by_uid()
+            ports = {uid[v]: all_ports[uid[v]] for v in dist}
+            ball = BallView(radius=radius, members=members, edges=edges, ports=ports)
+        return LocalView(
+            uid=uid[node],
+            degree=graph.degree(node),
+            state=config.state(node),
+            certificate=certificates.get(node),
+            neighbors=tuple(glimpses),
+            ball=ball,
+        )
+
+
+def _scaffold_for(config: Configuration) -> _Scaffold:
+    """The configuration's view scaffold, built once and cached.
+
+    Configurations are immutable, so the scaffold (uid table, port
+    lists) is a pure function of the object; caching it on the instance
+    keeps the adversaries' refresh-one-view loop free of repeated O(n)
+    setup.
+    """
+    scaffold = config.__dict__.get("_view_scaffold")
+    if scaffold is None:
+        scaffold = _Scaffold(config)
+        object.__setattr__(config, "_view_scaffold", scaffold)
+    return scaffold
+
+
 def build_view(
     config: Configuration,
     certificates: Mapping[int, Any],
@@ -162,49 +268,7 @@ def build_view(
     radius: int = 1,
 ) -> LocalView:
     """Construct the verification-round view of a single node."""
-    graph = config.graph
-    weighted = graph.is_weighted
-    glimpses = []
-    for port, nb in enumerate(graph.neighbors(node)):
-        glimpses.append(
-            NeighborGlimpse(
-                port=port,
-                uid=config.uid(nb),
-                certificate=certificates.get(nb),
-                state=config.state(nb) if visibility is Visibility.FULL else None,
-                weight=graph.weight(node, nb) if weighted else None,
-                back_port=graph.port(nb, node),
-            )
-        )
-    ball = None
-    if radius > 1:
-        dist = _ball_nodes(graph, node, radius)
-        members = {
-            config.uid(v): (
-                d,
-                certificates.get(v),
-                config.state(v) if visibility is Visibility.FULL else None,
-            )
-            for v, d in dist.items()
-        }
-        edges = tuple(
-            (config.uid(u), config.uid(v), graph.weight(u, v) if weighted else None)
-            for u, v in graph.edges()
-            if u in dist and v in dist
-        )
-        ports = {
-            config.uid(v): tuple(config.uid(nb) for nb in graph.neighbors(v))
-            for v in dist
-        }
-        ball = BallView(radius=radius, members=members, edges=edges, ports=ports)
-    return LocalView(
-        uid=config.uid(node),
-        degree=graph.degree(node),
-        state=config.state(node),
-        certificate=certificates.get(node),
-        neighbors=tuple(glimpses),
-        ball=ball,
-    )
+    return _scaffold_for(config).view(certificates, node, visibility, radius)
 
 
 def build_views(
@@ -214,10 +278,47 @@ def build_views(
     radius: int = 1,
 ) -> dict[int, LocalView]:
     """Views for every node (keys are node indices)."""
+    scaffold = _scaffold_for(config)
     return {
-        v: build_view(config, certificates, v, visibility, radius)
+        v: scaffold.view(certificates, v, visibility, radius)
         for v in config.graph.nodes
     }
+
+
+def affected_nodes(graph: Graph, changed: Iterable[int], radius: int = 1) -> set[int]:
+    """Nodes whose radius-``radius`` view can see any changed node.
+
+    These are exactly the nodes within distance ``radius`` of a change —
+    the set of views that must be rebuilt when only the certificates of
+    ``changed`` differ.
+    """
+    affected: set[int] = set()
+    for node in changed:
+        affected.update(_ball_nodes(graph, node, radius))
+    return affected
+
+
+def refresh_views(
+    config: Configuration,
+    certificates: Mapping[int, Any],
+    views: Mapping[int, LocalView],
+    changed: Iterable[int],
+    visibility: Visibility = Visibility.KKP,
+    radius: int = 1,
+) -> dict[int, LocalView]:
+    """Views under new certificates, rebuilding only what changed.
+
+    ``views`` must be the views of the same configuration under
+    certificates that differ from ``certificates`` only at ``changed``
+    nodes.  Returns a fresh dict (the input mapping is not mutated);
+    untouched views are shared, which is what makes re-verification after
+    a handful of certificate edits cheap for the soundness adversaries.
+    """
+    updated = dict(views)
+    scaffold = _scaffold_for(config)
+    for node in affected_nodes(config.graph, changed, radius):
+        updated[node] = scaffold.view(certificates, node, visibility, radius)
+    return updated
 
 
 def decide(
@@ -226,15 +327,23 @@ def decide(
     certificates: Mapping[int, Any],
     visibility: Visibility = Visibility.KKP,
     radius: int = 1,
+    views: Mapping[int, LocalView] | None = None,
 ) -> Verdict:
     """Run ``verify(view) -> bool`` at every node and fold the verdict.
 
     A verifier that raises is treated as rejecting at that node — a
     malformed certificate must never crash verification into acceptance.
+
+    ``views`` is a fast path for callers that re-verify many closely
+    related assignments (the soundness adversaries): prebuilt views — for
+    instance from :func:`build_views` plus :func:`refresh_views` — are
+    used as-is instead of being rebuilt from the certificates.
     """
+    if views is None:
+        views = build_views(config, certificates, visibility, radius)
     accepts: set[int] = set()
     rejects: set[int] = set()
-    for node, view in build_views(config, certificates, visibility, radius).items():
+    for node, view in views.items():
         try:
             ok = bool(verify(view))
         except Exception:

@@ -37,6 +37,7 @@ from repro.schemes.vertex_cover import VertexCoverLanguage, VertexCoverScheme
 
 __all__ = [
     "ALL_SCHEME_FACTORIES",
+    "APPROX_SCHEME_BUILDERS",
     "AcyclicLanguage",
     "AcyclicScheme",
     "AgreementLanguage",
@@ -87,3 +88,20 @@ ALL_SCHEME_FACTORIES: dict[str, Callable[[], ProofLabelingScheme]] = {
     "matching": MatchingScheme,
     "vertex-cover": VertexCoverScheme,
 }
+
+
+def __getattr__(name: str):
+    """Lazy bridge to the approximate-scheme registry.
+
+    The α-APLS registry (``repro.approx``) is re-exported here so the
+    scheme surface is one-stop, but the approx modules themselves import
+    submodules of this package — a lazy attribute breaks the cycle.
+    Approximate schemes are graph-parametrised, so the registry holds
+    builders ``(graph, rng) -> ApproxScheme`` instead of zero-argument
+    factories; they are therefore kept out of ``ALL_SCHEME_FACTORIES``.
+    """
+    if name == "APPROX_SCHEME_BUILDERS":
+        from repro.approx import APPROX_SCHEME_BUILDERS
+
+        return APPROX_SCHEME_BUILDERS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,6 +14,7 @@ from repro.analysis.experiments import (
     experiment_t2_soundness,
     experiment_t3_universal,
     experiment_t4_verification_cost,
+    experiment_t5_approx,
 )
 from repro.analysis.tables import ExperimentResult, format_table
 from repro.util.rng import make_rng
@@ -83,6 +84,17 @@ class TestExperimentsRun:
         result = experiment_t4_verification_cost(n=10, rng=make_rng(6))
         assert len(result.rows) == len(ALL_SCHEME_FACTORIES)
         assert all(row[1] == 1 for row in result.rows)  # one round each
+
+    def test_t5(self):
+        from repro.approx import APPROX_SCHEME_BUILDERS
+
+        result = experiment_t5_approx(
+            sizes=(10,), families=("gnp_sparse",), rng=make_rng(9)
+        )
+        assert len(result.rows) == len(APPROX_SCHEME_BUILDERS)
+        for row in result.rows:
+            assert row[4] < row[5]  # approx bits strictly below exact bits
+        assert any("strictly smaller" in n and "True" in n for n in result.notes)
 
     def test_f5(self):
         result = experiment_f5_idspace(

@@ -1,0 +1,126 @@
+"""Property-style checks for every shipped α-APLS.
+
+Completeness: honest certificates on a yes-instance convince every node,
+across a zoo of graph families and seeds.  Gap soundness: the budgeted
+adversary never reaches zero rejections on an α-far no-instance.  Size:
+the approximate certificate beats the exact counterpart.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx import (
+    APPROX_SCHEME_BUILDERS,
+    ApproxDiameterScheme,
+    ApproxDominatingSetScheme,
+    ApproxTreeWeightScheme,
+    GapDiameterLanguage,
+    GapDominatingSetLanguage,
+    GapTreeWeightLanguage,
+    build_approx_scheme,
+)
+from repro.core.soundness import gap_attack
+from repro.graphs.generators import (
+    connected_gnp,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.mst import mst_weight
+from repro.graphs.weighted import weighted_copy
+from repro.util.rng import make_rng, spawn
+
+FAMILIES = {
+    "path": lambda n, rng: path_graph(n),
+    "cycle": lambda n, rng: cycle_graph(max(3, n)),
+    "star": lambda n, rng: star_graph(n),
+    "grid": lambda n, rng: grid_graph(3, max(1, n // 3)),
+    "tree": random_tree,
+    "gnp": lambda n, rng: connected_gnp(n, 0.3, rng),
+}
+
+
+def _instance(name, family, n, seed):
+    rng = make_rng(seed)
+    entry = APPROX_SCHEME_BUILDERS[name]
+    graph = FAMILIES[family](n, spawn(rng, 1))
+    if entry.weighted:
+        graph = weighted_copy(graph, spawn(rng, 2))
+    scheme = build_approx_scheme(name, graph, spawn(rng, 3))
+    return scheme, graph, rng
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("name", sorted(APPROX_SCHEME_BUILDERS))
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_honest_certificates_accept_everywhere(self, name, family, seed):
+        scheme, graph, rng = _instance(name, family, n=13, seed=seed)
+        config = scheme.language.member_configuration(graph, rng=spawn(rng, 4))
+        verdict = scheme.run(config)
+        assert verdict.all_accept, f"{name}/{family}: rejects {sorted(verdict.rejects)}"
+
+
+class TestGapSoundness:
+    @pytest.mark.parametrize(
+        "name", ["approx-vertex-cover", "approx-dominating-set",
+                 "approx-matching", "approx-tree-weight"],
+    )
+    @pytest.mark.parametrize("family", ["path", "gnp", "tree"])
+    def test_budgeted_adversary_never_fools(self, name, family):
+        scheme, graph, rng = _instance(name, family, n=10, seed=11)
+        member = scheme.language.member_configuration(graph, rng=spawn(rng, 4))
+        bad = scheme.gap_language.no_configuration(graph, rng=spawn(rng, 5))
+        outcome = gap_attack(
+            scheme, bad, rng=spawn(rng, 6), trials=40, related=[member]
+        )
+        assert not outcome.fooled
+        assert outcome.min_rejects >= 1
+
+    def test_diameter_adversary_never_fools(self):
+        lang = GapDiameterLanguage(2)
+        bad = lang.no_configuration(path_graph(12), rng=make_rng(0))
+        outcome = gap_attack(ApproxDiameterScheme(lang), bad, rng=make_rng(1), trials=40)
+        assert not outcome.fooled
+
+    def test_oversized_dominating_set_rejected(self):
+        """The interesting far side: a true dominating set over α·budget."""
+        graph = star_graph(12)  # greedy/optimal dominating set: the hub
+        lang = GapDominatingSetLanguage(budget=1)
+        scheme = ApproxDominatingSetScheme(lang)
+        bad = lang.member_configuration(graph).with_labeling(
+            {v: True for v in graph.nodes}
+        )
+        assert lang.is_no(bad)
+        outcome = gap_attack(scheme, bad, rng=make_rng(2), trials=40)
+        assert not outcome.fooled
+
+    def test_overweight_tree_rejected(self):
+        """A genuine spanning tree whose weight blows the α budget."""
+        rng = make_rng(3)
+        graph = weighted_copy(connected_gnp(10, 0.5, rng), rng)
+        lang = GapTreeWeightLanguage(budget=mst_weight(graph))
+        scheme = ApproxTreeWeightScheme(lang)
+        bad = lang.no_configuration(graph, rng=rng)
+        if lang._tree_weight(bad) is not None:  # got the overweight tree
+            outcome = gap_attack(scheme, bad, rng=rng, trials=40)
+            assert not outcome.fooled
+
+
+class TestSizeComparison:
+    @pytest.mark.parametrize("name", sorted(APPROX_SCHEME_BUILDERS))
+    @pytest.mark.parametrize("family", ["gnp", "tree"])
+    def test_approx_beats_exact(self, name, family):
+        scheme, graph, rng = _instance(name, family, n=14, seed=7)
+        config = scheme.language.member_configuration(graph, rng=spawn(rng, 4))
+        approx_bits = scheme.proof_size_bits(config)
+        exact_bits = scheme.exact_counterpart().proof_size_bits(config)
+        assert approx_bits < exact_bits
+
+    @pytest.mark.parametrize("name", sorted(APPROX_SCHEME_BUILDERS))
+    def test_alpha_exposed(self, name):
+        scheme, _, _ = _instance(name, "gnp", n=10, seed=5)
+        assert scheme.alpha == APPROX_SCHEME_BUILDERS[name].alpha > 1.0

@@ -1,0 +1,76 @@
+"""Rounded-counter properties: never under, bounded over."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx.counters import (
+    counter_value,
+    is_counter,
+    mantissa_bits_for,
+    round_up_counter,
+)
+from repro.errors import SchemeError
+from repro.util.rng import make_rng
+
+
+class TestRoundUp:
+    @pytest.mark.parametrize("mantissa", [2, 3, 5, 8])
+    def test_never_underestimates(self, mantissa):
+        rng = make_rng(1)
+        for _ in range(500):
+            value = rng.randrange(0, 1 << rng.randrange(1, 40))
+            counter = round_up_counter(value, mantissa)
+            assert counter_value(counter) >= value
+
+    @pytest.mark.parametrize("mantissa", [3, 5, 8])
+    def test_relative_error_bound(self, mantissa):
+        rng = make_rng(2)
+        slack = 1.0 + 1.0 / ((1 << (mantissa - 1)) - 1)
+        for _ in range(500):
+            value = 1 + rng.randrange(1 << rng.randrange(1, 40))
+            counter = round_up_counter(value, mantissa)
+            assert counter_value(counter) <= value * slack
+
+    def test_mantissa_stays_in_range(self):
+        for value in [0, 1, 7, 8, 255, 256, 12345, (1 << 60) - 1]:
+            mantissa, _ = round_up_counter(value, 4)
+            assert 0 <= mantissa < 16
+
+    def test_small_values_exact(self):
+        for value in range(16):
+            assert counter_value(round_up_counter(value, 5)) == value
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SchemeError):
+            round_up_counter(5, 1)
+        with pytest.raises(SchemeError):
+            round_up_counter(-1, 4)
+
+
+class TestShapeCheck:
+    def test_accepts_real_counters(self):
+        assert is_counter(round_up_counter(1234, 4))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [None, 7, (1,), (1, 2, 3), (-1, 0), (1, -1), (True, 0), (1.5, 0), (1, 99999)],
+    )
+    def test_rejects_malformed(self, bad):
+        assert not is_counter(bad)
+
+
+class TestMantissaBudget:
+    def test_accumulated_inflation_within_alpha(self):
+        """A depth-long chain of round-ups stays within the gap factor."""
+        for depth in [0, 1, 5, 20, 100]:
+            for alpha in [1.5, 2.0, 3.0]:
+                mantissa = mantissa_bits_for(depth, alpha)
+                total = 1_000_000
+                bound = total
+                for _ in range(depth + 1):
+                    bound = counter_value(round_up_counter(bound, mantissa))
+                assert bound <= alpha * total
+
+    def test_grows_slowly_with_depth(self):
+        assert mantissa_bits_for(1000) <= mantissa_bits_for(1) + 10

@@ -1,0 +1,105 @@
+"""The gap-language contract: disjoint sides, usable generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx import (
+    APPROX_SCHEME_BUILDERS,
+    GapDiameterLanguage,
+    GapDominatingSetLanguage,
+    GapVertexCoverLanguage,
+    build_approx_scheme,
+)
+from repro.core.soundness import gap_attack
+from repro.errors import LanguageError, SchemeError
+from repro.graphs.generators import connected_gnp, path_graph
+from repro.graphs.weighted import weighted_copy
+from repro.schemes import LeaderScheme
+from repro.util.rng import make_rng
+
+
+def _fitted(name, n=12, seed=3):
+    rng = make_rng(seed)
+    entry = APPROX_SCHEME_BUILDERS[name]
+    graph = connected_gnp(n, 0.3, rng)
+    if entry.weighted:
+        graph = weighted_copy(graph, rng)
+    return build_approx_scheme(name, graph, rng), graph, rng
+
+
+class TestGapContract:
+    @pytest.mark.parametrize("name", sorted(APPROX_SCHEME_BUILDERS))
+    def test_member_configuration_is_yes(self, name):
+        scheme, graph, rng = _fitted(name)
+        config = scheme.language.member_configuration(graph, rng=rng)
+        lang = scheme.gap_language
+        assert lang.is_yes(config)
+        assert not lang.is_no(config)
+        assert lang.check_gap_consistency(config)
+
+    @pytest.mark.parametrize(
+        "name", ["approx-vertex-cover", "approx-dominating-set",
+                 "approx-matching", "approx-tree-weight"],
+    )
+    def test_no_configuration_is_no(self, name):
+        scheme, graph, rng = _fitted(name)
+        bad = scheme.gap_language.no_configuration(graph, rng=rng)
+        lang = scheme.gap_language
+        assert lang.is_no(bad)
+        assert not lang.is_yes(bad)
+        assert lang.check_gap_consistency(bad)
+
+    def test_diameter_no_instance_needs_far_graph(self):
+        lang = GapDiameterLanguage(2)
+        with pytest.raises(LanguageError):
+            lang.no_configuration(path_graph(4), rng=make_rng(0))
+        bad = lang.no_configuration(path_graph(10), rng=make_rng(0))
+        assert lang.is_no(bad)
+
+    def test_gap_between_sides_exists(self):
+        """A cover that is neither optimal-shaped nor α-far sits in the gap."""
+        lang = GapVertexCoverLanguage()
+        graph = path_graph(5)  # OPT = 2
+        # Mark {1, 2, 3}: a cover of size 3 <= 2*OPT, but node 2 has both
+        # neighbors in the cover, so no matching saturates the marks.
+        config = lang.member_configuration(graph).with_labeling(
+            {0: False, 1: True, 2: True, 3: True, 4: False}
+        )
+        assert lang.in_gap(config)
+
+
+class TestGapAttackGuards:
+    def test_rejects_exact_schemes(self):
+        scheme = LeaderScheme()
+        graph = connected_gnp(8, 0.3, make_rng(1))
+        config = scheme.language.member_configuration(graph, rng=make_rng(2))
+        with pytest.raises(SchemeError):
+            gap_attack(scheme, config)
+
+    def test_rejects_yes_instances(self):
+        scheme, graph, rng = _fitted("approx-vertex-cover")
+        config = scheme.language.member_configuration(graph, rng=rng)
+        with pytest.raises(SchemeError):
+            gap_attack(scheme, config, rng=rng)
+
+    def test_rejects_gap_instances(self):
+        lang = GapVertexCoverLanguage()
+        graph = path_graph(5)
+        config = lang.member_configuration(graph).with_labeling(
+            {0: False, 1: True, 2: True, 3: True, 4: False}
+        )
+        from repro.approx import ApproxVertexCoverScheme
+
+        with pytest.raises(SchemeError):
+            gap_attack(ApproxVertexCoverScheme(lang), config)
+
+
+class TestBudgetValidation:
+    def test_dominating_set_budget_positive(self):
+        with pytest.raises(LanguageError):
+            GapDominatingSetLanguage(0)
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(LanguageError):
+            GapDominatingSetLanguage(3, alpha=1.0)

@@ -1,0 +1,108 @@
+"""The prebuilt-view fast path must be indistinguishable from rebuilds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.labeling import Configuration
+from repro.core.verifier import (
+    Visibility,
+    affected_nodes,
+    build_view,
+    build_views,
+    decide,
+    refresh_views,
+)
+from repro.graphs.generators import connected_gnp, cycle_graph, grid_graph
+from repro.schemes import SpanningTreePointerScheme
+from repro.util.rng import make_rng
+
+
+def _config(n=14, seed=5):
+    rng = make_rng(seed)
+    graph = connected_gnp(n, 0.3, rng)
+    scheme = SpanningTreePointerScheme()
+    config = scheme.language.member_configuration(graph, rng=rng)
+    return scheme, config, rng
+
+
+class TestRefreshViews:
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    @pytest.mark.parametrize("visibility", [Visibility.KKP, Visibility.FULL])
+    def test_refresh_equals_full_rebuild(self, radius, visibility):
+        scheme, config, rng = _config()
+        certs = dict(scheme.prove(config))
+        views = build_views(config, certs, visibility, radius)
+        for trial in range(10):
+            changed = rng.sample(list(config.graph.nodes), k=rng.randrange(1, 4))
+            for node in changed:
+                certs[node] = ("mutant", trial, node)
+            views = refresh_views(config, certs, views, changed, visibility, radius)
+            rebuilt = build_views(config, certs, visibility, radius)
+            assert views == rebuilt
+
+    def test_affected_nodes_is_the_ball(self):
+        graph = grid_graph(4, 4)
+        assert affected_nodes(graph, [5], radius=1) == {1, 4, 5, 6, 9}
+        assert affected_nodes(graph, [0], radius=2) == {0, 1, 2, 4, 5, 8}
+
+    def test_input_views_not_mutated(self):
+        scheme, config, _ = _config()
+        certs = dict(scheme.prove(config))
+        views = build_views(config, certs)
+        snapshot = dict(views)
+        certs[0] = "changed"
+        refresh_views(config, certs, views, [0])
+        assert views == snapshot
+
+    def test_decide_uses_prebuilt_views(self):
+        scheme, config, _ = _config()
+        certs = scheme.prove(config)
+        views = build_views(config, certs)
+        direct = decide(scheme.verify, config, certs)
+        via_views = decide(scheme.verify, config, certs, views=views)
+        assert direct == via_views
+
+    def test_scheme_run_with_views_matches(self):
+        scheme, config, _ = _config()
+        certs = dict(scheme.prove(config))
+        certs[3] = ("bogus",)
+        views = scheme.build_views(config, certs)
+        assert scheme.run(config, certs, views=views) == scheme.run(config, certs)
+
+
+class TestBallScaffolding:
+    def test_ball_edges_match_induced_subgraph(self):
+        """Neighbor-based ball edges equal the old full-edge-scan set."""
+        rng = make_rng(9)
+        graph = connected_gnp(16, 0.3, rng)
+        config = Configuration.build(graph)
+        certs = {v: v for v in graph.nodes}
+        for node in graph.nodes:
+            view = build_view(config, certs, node, radius=3)
+            ball_uids = set(view.ball.members)
+            expected = {
+                (config.uid(u), config.uid(v))
+                for u, v in graph.edges()
+                if config.uid(u) in ball_uids and config.uid(v) in ball_uids
+            }
+            assert {(u, v) for u, v, _ in view.ball.edges} == expected
+
+
+class TestNeighborByUid:
+    def test_finds_and_misses(self):
+        graph = cycle_graph(6)
+        config = Configuration.build(graph, ids={v: 100 + v for v in graph.nodes})
+        view = build_view(config, {v: None for v in graph.nodes}, 0)
+        assert view.neighbor_by_uid(101).uid == 101
+        assert view.neighbor_by_uid(105).uid == 105
+        assert view.neighbor_by_uid(999) is None
+
+    def test_repeated_lookups_consistent(self):
+        graph = grid_graph(3, 3)
+        config = Configuration.build(graph)
+        view = build_view(config, {v: None for v in graph.nodes}, 4)
+        first = [view.neighbor_by_uid(config.uid(nb)) for nb in graph.neighbors(4)]
+        second = [view.neighbor_by_uid(config.uid(nb)) for nb in graph.neighbors(4)]
+        assert first == second
+        assert all(g is not None for g in first)

@@ -25,6 +25,15 @@ class TestCommands:
         assert "mst" in out
         assert "Theta(log n)" in out
 
+    def test_list_schemes_includes_approx(self, capsys):
+        from repro.approx import APPROX_SCHEME_BUILDERS
+
+        assert main(["list-schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in APPROX_SCHEME_BUILDERS:
+            assert name in out
+        assert "alpha=2" in out
+
     def test_certify_accepts(self, capsys):
         code = main(["certify", "spanning-tree-ptr", "--n", "16", "--seed", "3"])
         assert code == 0
@@ -39,6 +48,31 @@ class TestCommands:
         with pytest.raises(SystemExit):
             # bipartite on a family that is generally non-bipartite
             main(["certify", "bipartite", "--family", "gnp_dense", "--n", "13"])
+
+    def test_approx_certify_accepts(self, capsys):
+        code = main(["approx-certify", "approx-vertex-cover", "--n", "16", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all accept = True" in out
+        assert "gap saving" in out
+
+    def test_approx_certify_weighted_scheme(self, capsys):
+        assert main(["approx-certify", "approx-tree-weight", "--n", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "approx proof size" in out
+        assert "exact proof size" in out
+
+    def test_approx_certify_attack_never_fooled(self, capsys):
+        code = main(
+            ["approx-certify", "approx-matching", "--n", "12",
+             "--attack", "--trials", "20", "--seed", "1"]
+        )
+        assert code == 0
+        assert "fooled = False" in capsys.readouterr().out
+
+    def test_approx_certify_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["approx-certify", "no-such-scheme"])
 
     def test_attack_never_fooled(self, capsys):
         code = main(

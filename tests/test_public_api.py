@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.selfstab",
     "repro.algorithms",
     "repro.analysis",
+    "repro.approx",
     "repro.cli",
 ]
 
