@@ -1,0 +1,37 @@
+"""F4b — fault-injection sweep over the incremental detection engine.
+
+Extension workload: corrupt exactly k registers of certified silent
+systems across an n × fault-count × detector grid (exact schemes on live
+protocols, approximate schemes on frozen certified states) and verify
+every burst twice — incrementally through a DetectionSession and from
+scratch.  Regenerated: detection/false-positive counts, view-build
+accounting (the incremental engine's O(ball(k)) vs O(n) claim), and
+guarded recovery cost.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_f4b_fault_sweep
+
+
+def test_fig4b_fault_sweep(benchmark, report):
+    result = benchmark.pedantic(
+        experiment_f4b_fault_sweep,
+        kwargs=dict(sizes=(32, 128), fault_counts=(1, 2, 4), seeds_per_cell=3),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    assert result.rows
+    col = result.headers.index
+    for row in result.rows:
+        # One-round detection on every burst that actually obliges an
+        # alarm (gap-region bursts owe nothing and are excluded).
+        assert row[col("detected")] == row[col("illegal")]
+        assert row[col("false neg")] == 0
+    # The incremental engine's acceptance bar: at n=128 every sweep of a
+    # small burst must build >= 3x fewer views than a full rebuild.
+    large = [row for row in result.rows if row[col("n")] == 128]
+    assert large
+    for row in large:
+        assert row[col("view ratio")] >= 3.0, f"incremental win too small: {row}"

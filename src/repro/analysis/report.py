@@ -17,6 +17,7 @@ from repro.analysis.experiments import (
     experiment_f2_mst_scaling,
     experiment_f3_lower_bound,
     experiment_f4_selfstab,
+    experiment_f4b_fault_sweep,
     experiment_f5_idspace,
     experiment_f6_radius_tradeoff,
     experiment_t1_proof_sizes,
@@ -121,6 +122,28 @@ _SECTIONS = (
         "(latency 0 rounds); guarded local correction contains small "
         "faults and escalates to the global reset when local progress "
         "stalls — recovery always reaches certified silence.",
+    ),
+    (
+        "F4b — fault-injection sweep over the incremental detection engine "
+        "(extension)",
+        "Claim: silent self-stabilization makes re-verification the "
+        "forever-running hot path, so detection must stay sound *and* "
+        "cheap under repetition.  The campaign corrupts exactly k "
+        "registers of certified silent systems across an n × k × "
+        "detector grid — live protocols for the exact tree/leader "
+        "schemes, frozen certified states for the approximate (gap) "
+        "schemes — and sweeps each burst both incrementally "
+        "(DetectionSession, O(ball(k)) view rebuilds) and from scratch "
+        "(O(n)).",
+        lambda: experiment_f4b_fault_sweep(
+            sizes=(32, 64), fault_counts=(1, 2, 4), seeds_per_cell=5,
+            rng=make_rng(10),
+        ),
+        "incremental and full sweeps agree on every verdict; every "
+        "burst that leaves the language alarms on the first sweep (zero "
+        "false negatives); stale-certificate false positives are "
+        "reported separately; the view-construction ratio grows with n "
+        "exactly as the O(ball(k)) vs O(n) analysis predicts.",
     ),
     (
         "T4 — verification cost",

@@ -12,6 +12,9 @@ points without writing Python:
 * ``attack`` — corrupt a configuration and run the budgeted adversary;
 * ``experiment`` — run one experiment id (or ``all``) and print its
   regenerated table;
+* ``selfstab-sweep`` — the fault-injection campaign: corrupt certified
+  silent systems across an n × fault-count × detector grid and verify
+  detection through the incremental sweep engine;
 * ``report`` — rewrite EXPERIMENTS.md from fresh runs.
 """
 
@@ -29,6 +32,7 @@ from repro.errors import LanguageError
 from repro.graphs.generators import FAMILIES
 from repro.graphs.weighted import weighted_copy
 from repro.schemes import ALL_SCHEME_FACTORIES
+from repro.selfstab import SWEEP_DETECTORS
 from repro.util.rng import make_rng
 
 __all__ = ["build_parser", "main"]
@@ -43,6 +47,7 @@ _EXPERIMENTS: dict[str, Callable] = {
     "f2": _experiments.experiment_f2_mst_scaling,
     "f3": _experiments.experiment_f3_lower_bound,
     "f4": _experiments.experiment_f4_selfstab,
+    "f4b": _experiments.experiment_f4b_fault_sweep,
     "f5": _experiments.experiment_f5_idspace,
     "f6": _experiments.experiment_f6_radius_tradeoff,
 }
@@ -88,6 +93,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="run one experiment id")
     experiment.add_argument("which", choices=sorted(_EXPERIMENTS) + ["all"])
+
+    sweep = sub.add_parser(
+        "selfstab-sweep",
+        help="fault-injection campaign over the incremental detection engine",
+    )
+    sweep.add_argument(
+        "--detector",
+        action="append",
+        choices=sorted(SWEEP_DETECTORS),
+        help="detector scheme (repeatable; default: all)",
+    )
+    sweep.add_argument(
+        "--n",
+        type=int,
+        action="append",
+        help="network size (repeatable; default: 32 64)",
+    )
+    sweep.add_argument(
+        "--faults",
+        type=int,
+        action="append",
+        help="fault burst size (repeatable; default: 1 2 4)",
+    )
+    sweep.add_argument("--runs", type=int, default=5, help="seeds per grid cell")
+    sweep.add_argument("--seed", type=int, default=4242)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("--output", default="EXPERIMENTS.md")
@@ -208,6 +238,22 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_selfstab_sweep(args) -> int:
+    result = _experiments.experiment_f4b_fault_sweep(
+        sizes=tuple(args.n) if args.n else (32, 64),
+        fault_counts=tuple(args.faults) if args.faults else (1, 2, 4),
+        detectors=tuple(args.detector) if args.detector else None,
+        seeds_per_cell=args.runs,
+        rng=make_rng(args.seed),
+    )
+    print(result.to_table())
+    # detected and false_neg partition the illegal runs, so missed
+    # detections are exactly the false-negative tally.
+    false_neg = result.headers.index("false neg")
+    missed = sum(row[false_neg] for row in result.rows)
+    return 1 if missed else 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import main as report_main
 
@@ -222,6 +268,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "approx-certify": _cmd_approx_certify,
         "attack": _cmd_attack,
         "experiment": _cmd_experiment,
+        "selfstab-sweep": _cmd_selfstab_sweep,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -166,7 +166,15 @@ class Configuration:
     def with_labeling(self, labeling: Labeling | Mapping[int, Any]) -> "Configuration":
         if not isinstance(labeling, Labeling):
             labeling = Labeling(labeling)
-        return Configuration(graph=self.graph, labeling=labeling, ids=dict(self.ids))
+        config = Configuration(graph=self.graph, labeling=labeling, ids=dict(self.ids))
+        # The verifier's cached view scaffold depends only on the graph
+        # and ids, both shared with the derived configuration; handing it
+        # down keeps incremental re-verification (detection sessions,
+        # soundness adversaries) free of per-round O(n) rebuilds.
+        scaffold = self.__dict__.get("_view_scaffold")
+        if scaffold is not None:
+            object.__setattr__(config, "_view_scaffold", scaffold)
+        return config
 
     def with_ids(self, ids: Mapping[int, int]) -> "Configuration":
         return Configuration(graph=self.graph, labeling=self.labeling, ids=dict(ids))

@@ -38,12 +38,14 @@ __all__ = [
     "LocalView",
     "NeighborGlimpse",
     "Verdict",
+    "ViewSet",
     "Visibility",
     "affected_nodes",
     "build_view",
     "build_views",
     "decide",
     "refresh_views",
+    "view_build_count",
 ]
 
 
@@ -147,6 +149,59 @@ class Verdict:
         return f"Verdict(accept={len(self.accepts)}, reject={len(self.rejects)})"
 
 
+# Total LocalView constructions since import — the unit the incremental
+# engine is judged by.  Read it via :func:`view_build_count` before and
+# after an operation to count the views it built; the benchmark suite
+# uses the delta to certify that incremental sweeps rebuild O(ball(k))
+# views, not O(n).
+_VIEW_BUILDS = 0
+
+
+def view_build_count() -> int:
+    """Monotone counter of :class:`LocalView` constructions."""
+    return _VIEW_BUILDS
+
+
+class ViewSet(dict):
+    """Views keyed by node, tagged with the parameters they were built under.
+
+    A plain ``dict`` of views carries no record of the ``visibility`` and
+    ``radius`` it was built with, so handing it back to
+    :func:`decide`/:func:`refresh_views` under different parameters would
+    silently produce wrong verdicts.  ``ViewSet`` (what
+    :func:`build_views` and :func:`refresh_views` actually return) tags
+    the dict; the consumers raise :class:`~repro.errors.SchemeError` on a
+    mismatch.  Untagged mappings are still accepted unchecked, for
+    callers that assemble views by hand.
+    """
+
+    __slots__ = ("visibility", "radius")
+
+    def __init__(
+        self,
+        views: Mapping[int, "LocalView"],
+        visibility: Visibility,
+        radius: int,
+    ) -> None:
+        super().__init__(views)
+        self.visibility = visibility
+        self.radius = radius
+
+
+def _check_view_tags(
+    views: Mapping[int, "LocalView"], visibility: Visibility, radius: int
+) -> None:
+    """Reject reuse of views built under different parameters."""
+    if isinstance(views, ViewSet) and (
+        views.visibility is not visibility or views.radius != radius
+    ):
+        raise SchemeError(
+            f"views built under visibility={views.visibility.value} "
+            f"radius={views.radius} reused under "
+            f"visibility={visibility.value} radius={radius}"
+        )
+
+
 def _ball_nodes(graph: Graph, center: int, radius: int) -> dict[int, int]:
     """Nodes within ``radius`` of ``center`` with their distances."""
     frontier = {center}
@@ -163,19 +218,26 @@ def _ball_nodes(graph: Graph, center: int, radius: int) -> dict[int, int]:
 
 
 class _Scaffold:
-    """Per-configuration data shared by every node's view construction.
+    """Per-(graph, ids) data shared by every node's view construction.
 
     Hoists everything a view needs that does not depend on the focal
     node — uid table, port lists in uid space, the weighted flag — so
     building all ``n`` views touches each edge a constant number of
     times instead of re-enumerating ``graph.edges()`` per node
     (previously O(n·m) for ``radius > 1``).
+
+    The scaffold is deliberately *labeling-independent*: it captures only
+    the graph and the identifier assignment, and takes the configuration
+    (for states) as an argument to :meth:`view`.  That is what lets
+    :meth:`Configuration.with_labeling` propagate a cached scaffold to
+    derived configurations, keeping incremental re-verification loops
+    (the soundness adversaries, ``selfstab`` detection sessions) free of
+    per-round O(n) setup.
     """
 
-    __slots__ = ("config", "graph", "weighted", "uid", "uid_ports")
+    __slots__ = ("graph", "weighted", "uid", "uid_ports")
 
     def __init__(self, config: Configuration) -> None:
-        self.config = config
         self.graph = config.graph
         self.weighted = self.graph.is_weighted
         self.uid = [config.uid(v) for v in self.graph.nodes]
@@ -193,12 +255,15 @@ class _Scaffold:
 
     def view(
         self,
+        config: Configuration,
         certificates: Mapping[int, Any],
         node: int,
         visibility: Visibility,
         radius: int,
     ) -> LocalView:
-        graph, config, uid = self.graph, self.config, self.uid
+        global _VIEW_BUILDS
+        _VIEW_BUILDS += 1
+        graph, uid = self.graph, self.uid
         full = visibility is Visibility.FULL
         weighted = self.weighted
         glimpses = []
@@ -249,9 +314,10 @@ def _scaffold_for(config: Configuration) -> _Scaffold:
     """The configuration's view scaffold, built once and cached.
 
     Configurations are immutable, so the scaffold (uid table, port
-    lists) is a pure function of the object; caching it on the instance
-    keeps the adversaries' refresh-one-view loop free of repeated O(n)
-    setup.
+    lists) is a pure function of the graph and ids; caching it on the
+    instance keeps the adversaries' refresh-one-view loop free of
+    repeated O(n) setup, and ``with_labeling`` shares it across derived
+    configurations.
     """
     scaffold = config.__dict__.get("_view_scaffold")
     if scaffold is None:
@@ -268,7 +334,7 @@ def build_view(
     radius: int = 1,
 ) -> LocalView:
     """Construct the verification-round view of a single node."""
-    return _scaffold_for(config).view(certificates, node, visibility, radius)
+    return _scaffold_for(config).view(config, certificates, node, visibility, radius)
 
 
 def build_views(
@@ -276,13 +342,18 @@ def build_views(
     certificates: Mapping[int, Any],
     visibility: Visibility = Visibility.KKP,
     radius: int = 1,
-) -> dict[int, LocalView]:
-    """Views for every node (keys are node indices)."""
+) -> ViewSet:
+    """Views for every node (keys are node indices), tagged with the
+    visibility/radius they were built under."""
     scaffold = _scaffold_for(config)
-    return {
-        v: scaffold.view(certificates, v, visibility, radius)
-        for v in config.graph.nodes
-    }
+    return ViewSet(
+        {
+            v: scaffold.view(config, certificates, v, visibility, radius)
+            for v in config.graph.nodes
+        },
+        visibility,
+        radius,
+    )
 
 
 def affected_nodes(graph: Graph, changed: Iterable[int], radius: int = 1) -> set[int]:
@@ -305,19 +376,27 @@ def refresh_views(
     changed: Iterable[int],
     visibility: Visibility = Visibility.KKP,
     radius: int = 1,
-) -> dict[int, LocalView]:
-    """Views under new certificates, rebuilding only what changed.
+) -> ViewSet:
+    """Views under new certificates/states, rebuilding only what changed.
 
-    ``views`` must be the views of the same configuration under
-    certificates that differ from ``certificates`` only at ``changed``
-    nodes.  Returns a fresh dict (the input mapping is not mutated);
+    ``views`` must be views of a configuration with the same graph and
+    ids whose certificates *and states* differ from
+    ``(config, certificates)`` only at ``changed`` nodes.  (Passing a
+    sibling configuration — e.g. from
+    :meth:`~repro.core.labeling.Configuration.with_labeling` — is how the
+    ``selfstab`` detection sessions track register changes.)  Returns a
+    fresh tagged :class:`ViewSet` (the input mapping is not mutated);
     untouched views are shared, which is what makes re-verification after
-    a handful of certificate edits cheap for the soundness adversaries.
+    a handful of edits cost O(ball(changed)) instead of O(n).
+
+    Raises :class:`~repro.errors.SchemeError` if ``views`` is a tagged
+    :class:`ViewSet` built under a different visibility or radius.
     """
-    updated = dict(views)
+    _check_view_tags(views, visibility, radius)
+    updated = ViewSet(views, visibility, radius)
     scaffold = _scaffold_for(config)
     for node in affected_nodes(config.graph, changed, radius):
-        updated[node] = scaffold.view(certificates, node, visibility, radius)
+        updated[node] = scaffold.view(config, certificates, node, visibility, radius)
     return updated
 
 
@@ -335,12 +414,18 @@ def decide(
     malformed certificate must never crash verification into acceptance.
 
     ``views`` is a fast path for callers that re-verify many closely
-    related assignments (the soundness adversaries): prebuilt views — for
-    instance from :func:`build_views` plus :func:`refresh_views` — are
-    used as-is instead of being rebuilt from the certificates.
+    related assignments (the soundness adversaries, the ``selfstab``
+    detection sessions): prebuilt views — for instance from
+    :func:`build_views` plus :func:`refresh_views` — are used as-is
+    instead of being rebuilt from the certificates.  A tagged
+    :class:`ViewSet` built under a different visibility or radius raises
+    :class:`~repro.errors.SchemeError` instead of silently producing a
+    wrong verdict; untagged mappings are trusted.
     """
     if views is None:
         views = build_views(config, certificates, visibility, radius)
+    else:
+        _check_view_tags(views, visibility, radius)
     accepts: set[int] = set()
     rejects: set[int] = set()
     for node, view in views.items():

@@ -39,6 +39,7 @@ class Network:
                 raise SimulationError(f"inputs missing for nodes {missing[:5]}")
             self.inputs = {v: inputs[v] for v in graph.nodes}
         self._uid_to_node = {uid: node for node, uid in self.ids.items()}
+        self._contexts: dict[int, NodeContext] | None = None
 
     @property
     def n(self) -> int:
@@ -67,4 +68,15 @@ class Network:
         )
 
     def contexts(self) -> dict[int, NodeContext]:
-        return {v: self.context(v) for v in self.graph.nodes}
+        """Every node's context, built once and cached.
+
+        :class:`NodeContext` is immutable and a pure function of the
+        network's graph, ids, and inputs, none of which change after
+        construction — so the simulator loops (``synchronous_round``,
+        detection sweeps, recovery runs) share one dict instead of
+        allocating ``n`` contexts per round.  Callers must treat the
+        returned mapping as read-only.
+        """
+        if self._contexts is None:
+            self._contexts = {v: self.context(v) for v in self.graph.nodes}
+        return self._contexts

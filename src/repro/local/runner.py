@@ -26,7 +26,8 @@ class RunResult:
 
     ``outputs`` holds each node's :class:`Halted` payload; ``states`` the
     final (pre-halt) states, useful for debugging; message statistics
-    cover the whole run.
+    cover every *delivered* message of the run (sends addressed to
+    already-halted nodes are dropped and not counted).
     """
 
     outputs: dict[int, Any]
@@ -52,6 +53,13 @@ def run_synchronous(
     the *current* state; messages are delivered simultaneously; all active
     nodes then update their state from their inbox.  A node that returns
     :class:`Halted` stops sending and receiving from the next round on.
+
+    Messages addressed to a halted node are **dropped at delivery and
+    excluded from the message statistics**: a halted node no longer
+    participates in the communication round, so counting traffic it can
+    never read would inflate the reported communication cost (the T4
+    tables).  Sending to a halted neighbor is not an error — in the
+    LOCAL model a sender cannot know its neighbor halted.
 
     Raises :class:`~repro.errors.SimulationError` if any node sends on an
     invalid port or if the round budget is exceeded.
@@ -86,6 +94,8 @@ def run_synchronous(
                 if message is None:
                     continue
                 target = graph.neighbor_at(v, port)
+                if target not in active:
+                    continue  # dropped: halted receivers are off the air
                 back_port = graph.port(target, v)
                 inboxes[target][back_port] = message
                 message_count += 1

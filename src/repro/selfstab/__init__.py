@@ -1,7 +1,15 @@
-"""Self-stabilization: state model, max-root BFS protocol, PLS detection
-and reset experiments."""
+"""Self-stabilization: state model, protocols, PLS detection (one-shot
+and incremental), reset experiments, and fault-injection campaigns."""
 
-from repro.selfstab.detector import DetectionReport, PlsDetector
+from repro.selfstab.campaign import (
+    SWEEP_DETECTORS,
+    CampaignInstance,
+    FrozenCertifiedProtocol,
+    SweepRecord,
+    build_campaign_instance,
+    fault_sweep_campaign,
+)
+from repro.selfstab.detector import DetectionReport, DetectionSession, PlsDetector
 from repro.selfstab.model import (
     SelfStabProtocol,
     StabilizationTrace,
@@ -11,21 +19,32 @@ from repro.selfstab.model import (
 from repro.selfstab.leader_protocol import SilentLeaderProtocol
 from repro.selfstab.protocol import MaxRootBfsProtocol
 from repro.selfstab.reset import (
+    FaultInjection,
     RecoveryTrace,
     inject_faults,
+    inject_faults_report,
     run_guarded,
     run_with_global_reset,
 )
 
 __all__ = [
+    "CampaignInstance",
     "DetectionReport",
+    "DetectionSession",
+    "FaultInjection",
+    "FrozenCertifiedProtocol",
     "MaxRootBfsProtocol",
     "PlsDetector",
     "RecoveryTrace",
+    "SWEEP_DETECTORS",
     "SelfStabProtocol",
     "SilentLeaderProtocol",
     "StabilizationTrace",
+    "SweepRecord",
+    "build_campaign_instance",
+    "fault_sweep_campaign",
     "inject_faults",
+    "inject_faults_report",
     "run_guarded",
     "run_until_silent",
     "run_with_global_reset",

@@ -134,3 +134,45 @@ class TestNetwork:
     def test_default_ids_contiguous(self):
         net = Network(path_graph(3))
         assert net.ids == {0: 1, 1: 2, 2: 3}
+
+
+class HaltAtRound(SynchronousAlgorithm):
+    """Broadcast every round; node 0 halts immediately, others at round 2.
+
+    After round 0 every message node 1 sends toward node 0 is addressed
+    to a halted receiver and must be dropped *and excluded* from the
+    message statistics.
+    """
+
+    name = "halt-at-round"
+
+    def init_state(self, ctx):
+        return None
+
+    def send(self, ctx, state, round_index):
+        return {port: "ping" for port in range(ctx.degree)}
+
+    def receive(self, ctx, state, inbox, round_index):
+        if ctx.node == 0 or round_index >= 2:
+            return Halted(round_index)
+        return state
+
+
+class TestHaltedReceivers:
+    def test_messages_to_halted_nodes_not_counted(self):
+        # Path 0-1-2: round 0 all send (4 messages). Rounds 1 and 2:
+        # nodes 1 and 2 send 2 messages each toward each other, plus one
+        # each round from 1 toward halted 0 — dropped, not counted.
+        result = run_synchronous(Network(path_graph(3)), HaltAtRound())
+        assert result.rounds == 3
+        assert result.message_count == 4 + 2 + 2
+
+    def test_bits_match_counted_messages(self):
+        from repro.util.bits import obj_bit_size
+
+        result = run_synchronous(Network(path_graph(3)), HaltAtRound())
+        assert result.message_bits == result.message_count * obj_bit_size("ping")
+
+    def test_cached_contexts_are_shared(self):
+        net = Network(path_graph(3))
+        assert net.contexts() is net.contexts()

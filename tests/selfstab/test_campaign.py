@@ -1,0 +1,200 @@
+"""The fault-injection campaign and its frozen certified detectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs.generators import connected_gnp
+from repro.graphs.weighted import weighted_copy
+from repro.local.network import Network
+from repro.schemes.spanning_tree import SpanningTreePointerScheme
+from repro.selfstab import (
+    FrozenCertifiedProtocol,
+    PlsDetector,
+    SWEEP_DETECTORS,
+    build_campaign_instance,
+    fault_sweep_campaign,
+    inject_faults_report,
+    run_guarded,
+    run_until_silent,
+)
+from repro.util.rng import make_rng
+
+
+class TestFrozenCertifiedProtocol:
+    def _frozen(self, seed=1, n=14):
+        rng = make_rng(seed)
+        graph = connected_gnp(n, 0.3, rng)
+        scheme = SpanningTreePointerScheme()
+        config = scheme.language.member_configuration(graph, rng=rng)
+        return Network(graph), FrozenCertifiedProtocol(scheme, config), scheme
+
+    def test_initial_states_are_certified_silence(self):
+        network, protocol, scheme = self._frozen()
+        detector = PlsDetector(scheme, protocol)
+        trace = run_until_silent(network, protocol)
+        assert trace.silent and trace.rounds == 1  # identity rule: instant
+        report = detector.sweep(network, trace.states)
+        assert report.legitimate and not report.alarmed
+
+    def test_corruption_is_detected_and_locally_reset(self):
+        network, protocol, scheme = self._frozen(seed=2)
+        detector = PlsDetector(scheme, protocol)
+        rng = make_rng(3)
+        states = run_until_silent(network, protocol).states
+        injection = inject_faults_report(network, protocol, states, 2, rng)
+        report = detector.sweep(network, injection.states)
+        if not report.legitimate:
+            assert report.alarmed
+        recovery = run_guarded(network, protocol, detector, injection.states)
+        assert recovery.stabilized
+        final = detector.sweep(network, recovery.states)
+        assert final.legitimate and not final.alarmed
+
+    def test_register_decomposition(self):
+        network, protocol, scheme = self._frozen(seed=4)
+        ctx = network.context(0)
+        state = protocol.initial_state(ctx)
+        assert protocol.output(ctx, state) == state[0]
+        assert protocol.certificate(ctx, state) == state[1]
+        assert protocol.output(ctx, "garbage") is None
+        assert protocol.certificate(ctx, 17) is None
+
+
+class TestCampaignRegistry:
+    def test_every_detector_builds_and_certifies(self):
+        rng = make_rng(5)
+        graph = connected_gnp(16, 0.25, rng)
+        for name in SWEEP_DETECTORS:
+            instance = build_campaign_instance(name, graph, make_rng(6))
+            states = run_until_silent(instance.network, instance.protocol).states
+            session = instance.detector.session(instance.network, states)
+            assert session.verify().all_accept, name
+
+    def test_unknown_detector_raises(self):
+        graph = connected_gnp(8, 0.4, make_rng(7))
+        with pytest.raises(SimulationError):
+            build_campaign_instance("no-such-detector", graph, make_rng(8))
+
+    def test_approx_tree_weight_gets_weighted_graph(self):
+        graph = connected_gnp(12, 0.3, make_rng(9))
+        instance = build_campaign_instance("approx-tree-weight", graph, make_rng(10))
+        assert instance.network.graph.is_weighted
+
+
+class TestFaultSweepCampaign:
+    def test_small_grid_detects_everything(self):
+        records = fault_sweep_campaign(
+            sizes=(14,),
+            fault_counts=(1, 2),
+            detectors=("st-pointer", "approx-dominating-set"),
+            seeds_per_cell=2,
+            rng=make_rng(11),
+        )
+        assert len(records) == 4
+        for record in records:
+            assert record.detected == record.illegal_runs
+            assert record.false_negatives == 0
+            assert record.full_views == 14.0  # full rebuild = n views/sweep
+            assert record.incremental_views <= record.full_views
+
+    def test_campaign_is_deterministic(self):
+        kwargs = dict(
+            sizes=(12,), fault_counts=(1,), detectors=("st-pointer",),
+            seeds_per_cell=2,
+        )
+        a = fault_sweep_campaign(rng=make_rng(12), **kwargs)
+        b = fault_sweep_campaign(rng=make_rng(12), **kwargs)
+        assert a == b
+
+
+class TestGapSemantics:
+    """Bursts in a gap detector's don't-care region owe no detection."""
+
+    def _register_blind_gap_detector(self, monkeypatch):
+        from repro.approx.gap import GapLanguage
+        from repro.core.labeling import Labeling
+        from repro.core.scheme import ProofLabelingScheme
+        from repro.selfstab.campaign import CampaignInstance, SWEEP_DETECTORS
+
+        class WideGapLanguage(GapLanguage):
+            """Yes iff every state is "ok"; never a no-instance."""
+
+            name = "wide-gap"
+
+            def is_yes(self, config):
+                return all(
+                    config.state(v) == "ok" for v in config.graph.nodes
+                )
+
+            def is_no(self, config):
+                return False  # the whole complement is the gap
+
+            def canonical_labeling(self, graph, ids=None, rng=None):
+                return Labeling({v: "ok" for v in graph.nodes})
+
+            def random_corruption(self, node, state, rng):
+                return "bad"
+
+        class BlindScheme(ProofLabelingScheme):
+            """Accepts everything — legal only because nothing is α-far."""
+
+            name = "blind-gap"
+
+            def prove(self, config):
+                return {v: 0 for v in config.graph.nodes}
+
+            def verify(self, view):
+                return True
+
+        def build(graph, rng):
+            scheme = BlindScheme(WideGapLanguage())
+            config = scheme.language.member_configuration(graph, rng=rng)
+            protocol = FrozenCertifiedProtocol(scheme, config)
+            return CampaignInstance(
+                network=Network(graph),
+                protocol=protocol,
+                detector=PlsDetector(scheme, protocol),
+            )
+
+        monkeypatch.setitem(SWEEP_DETECTORS, "blind-gap", build)
+
+    def test_gap_bursts_are_not_false_negatives(self, monkeypatch):
+        self._register_blind_gap_detector(monkeypatch)
+        records = fault_sweep_campaign(
+            sizes=(10,),
+            fault_counts=(1, 2),
+            detectors=("blind-gap",),
+            seeds_per_cell=4,
+            rng=make_rng(17),
+        )
+        total_gap = sum(r.gap_runs for r in records)
+        for record in records:
+            # Nothing is ever α-far, so no burst may count as illegal —
+            # and the never-alarming verifier must not be charged a
+            # false negative for don't-care configurations.
+            assert record.illegal_runs == 0
+            assert record.detected == 0
+            assert record.false_negatives == 0
+        # Output-corrupting bursts do land in the gap and are tallied.
+        assert total_gap >= 1
+
+
+class TestExperimentF4b:
+    def test_experiment_runs_and_notes_ratio(self):
+        from repro.analysis.experiments import experiment_f4b_fault_sweep
+
+        result = experiment_f4b_fault_sweep(
+            sizes=(12,),
+            fault_counts=(1,),
+            detectors=("st-pointer", "leader"),
+            seeds_per_cell=2,
+            rng=make_rng(13),
+        )
+        assert len(result.rows) == 2
+        col = result.headers.index
+        for row in result.rows:
+            assert row[col("detected")] == row[col("illegal")]
+            assert row[col("false neg")] == 0
+        assert any("fewer views" in note for note in result.notes)

@@ -1,0 +1,363 @@
+"""Incremental detection sessions: equivalence, guards, fault campaigns.
+
+The central property: a :class:`DetectionSession` fed any sequence of
+register mutations must be verdict-identical to a fresh from-scratch
+sweep at every step — while building O(ball(changed)) views instead of
+O(n).  Plus regression tests for the accounting/detection bugfixes that
+shipped with the incremental engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.verifier import Visibility, view_build_count
+from repro.errors import SchemeError, SimulationError
+from repro.graphs.generators import connected_gnp, cycle_graph, path_graph
+from repro.local.network import Network
+from repro.schemes.bfs_tree import BfsTreeScheme
+from repro.schemes.leader import LeaderScheme
+from repro.schemes.spanning_tree import SpanningTreePointerScheme
+from repro.selfstab import (
+    MaxRootBfsProtocol,
+    PlsDetector,
+    SilentLeaderProtocol,
+    inject_faults,
+    inject_faults_report,
+    run_guarded,
+    run_until_silent,
+    run_with_global_reset,
+    synchronous_round,
+)
+from repro.selfstab.model import SelfStabProtocol
+from repro.util.rng import make_rng
+
+
+class WideSpanningTreeScheme(SpanningTreePointerScheme):
+    """The pointer scheme run under FULL visibility at radius 2.
+
+    The verifier ignores the extra material, so verdicts match the base
+    scheme — but building and refreshing its views exercises the ball
+    scaffolding and the FULL state plumbing of the incremental path.
+    """
+
+    visibility = Visibility.FULL
+    radius = 2
+
+
+def _certified_system(seed, n=16, protocol=None, scheme=None):
+    rng = make_rng(seed)
+    graph = connected_gnp(n, 0.25, rng)
+    network = Network(graph)
+    protocol = protocol or MaxRootBfsProtocol()
+    detector = PlsDetector(scheme or SpanningTreePointerScheme(), protocol)
+    states = run_until_silent(network, protocol).states
+    return rng, network, protocol, detector, states
+
+
+class TestSessionEquivalence:
+    """Incremental sweeps must be indistinguishable from full sweeps."""
+
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_randomized_fault_campaign(self, seed):
+        rng, network, protocol, detector, states = _certified_system(seed)
+        session = detector.session(network, states)
+        current = dict(states)
+        for burst in range(4):
+            k = 1 + (seed + burst) % 3
+            injection = inject_faults_report(network, protocol, current, k, rng)
+            current = injection.states
+            incremental = session.sweep(current, changed=injection.victims)
+            fresh = detector.sweep(network, current)
+            assert incremental.verdict == fresh.verdict
+            assert incremental.legitimate == fresh.legitimate
+
+    @pytest.mark.parametrize(
+        "scheme_factory",
+        [SpanningTreePointerScheme, BfsTreeScheme, WideSpanningTreeScheme],
+        ids=["st-kkp-r1", "bfs-kkp-r1", "st-full-r2"],
+    )
+    def test_across_visibilities_and_radii(self, scheme_factory):
+        rng, network, protocol, detector, states = _certified_system(
+            77, scheme=scheme_factory()
+        )
+        session = detector.session(network, states)
+        current = dict(states)
+        for burst in range(5):
+            injection = inject_faults_report(network, protocol, current, 2, rng)
+            current = injection.states
+            incremental = session.sweep(current, changed=injection.victims)
+            fresh = detector.sweep(network, current)
+            assert incremental.verdict == fresh.verdict
+
+    def test_leader_protocol_session(self):
+        rng, network, protocol, detector, states = _certified_system(
+            5, protocol=SilentLeaderProtocol(), scheme=LeaderScheme()
+        )
+        session = detector.session(network, states)
+        current = dict(states)
+        for burst in range(4):
+            injection = inject_faults_report(network, protocol, current, 1, rng)
+            current = injection.states
+            assert (
+                session.sweep(current, changed=injection.victims).verdict
+                == detector.sweep(network, current).verdict
+            )
+
+    def test_implicit_diff_matches_explicit_changed(self):
+        rng, network, protocol, detector, states = _certified_system(9)
+        injection = inject_faults_report(network, protocol, states, 3, rng)
+        explicit = detector.session(network, states)
+        implicit = detector.session(network, states)
+        a = explicit.sweep(injection.states, changed=injection.victims)
+        b = implicit.sweep(injection.states)  # diffs all registers itself
+        assert a.verdict == b.verdict
+
+    def test_sweep_on_unchanged_registers_is_view_free(self):
+        _, network, protocol, detector, states = _certified_system(3)
+        session = detector.session(network, states)
+        session.sweep(check_membership=False)
+        before = view_build_count()
+        report = session.sweep(states, check_membership=False)
+        assert view_build_count() == before  # nothing changed, nothing rebuilt
+        assert not report.alarmed
+
+    def test_incremental_sweep_builds_ball_not_n(self):
+        rng, network, protocol, detector, states = _certified_system(21, n=40)
+        session = detector.session(network, states)
+        injection = inject_faults_report(network, protocol, states, 1, rng)
+        before = view_build_count()
+        session.sweep(injection.states, changed=injection.victims, check_membership=False)
+        built = view_build_count() - before
+        victim = injection.victims[0]
+        ball = 1 + network.graph.degree(victim)
+        assert built <= ball < network.graph.n
+
+    def test_skipped_membership_reports_none(self):
+        _, network, protocol, detector, states = _certified_system(4)
+        report = detector.session(network, states).sweep(check_membership=False)
+        assert report.legitimate is None
+        assert not report.false_negative and not report.false_positive
+
+
+class TestViewReuseGuard:
+    """Mismatched view reuse must raise, not mis-verify (satellite guard)."""
+
+    def test_refresh_views_rejects_mismatched_radius(self):
+        scheme = SpanningTreePointerScheme()
+        rng = make_rng(1)
+        graph = connected_gnp(12, 0.3, rng)
+        config = scheme.language.member_configuration(graph, rng=rng)
+        certs = dict(scheme.prove(config))
+        from repro.core.verifier import build_views, decide, refresh_views
+
+        views = build_views(config, certs, Visibility.KKP, radius=1)
+        with pytest.raises(SchemeError):
+            refresh_views(config, certs, views, [0], Visibility.KKP, radius=2)
+        with pytest.raises(SchemeError):
+            refresh_views(config, certs, views, [0], Visibility.FULL, radius=1)
+        with pytest.raises(SchemeError):
+            decide(scheme.verify, config, certs, Visibility.FULL, 1, views=views)
+        # Matching parameters still pass.
+        refresh_views(config, certs, views, [0], Visibility.KKP, radius=1)
+        decide(scheme.verify, config, certs, Visibility.KKP, 1, views=views)
+
+    def test_scheme_level_mismatch_raises(self):
+        rng = make_rng(2)
+        graph = connected_gnp(12, 0.3, rng)
+        narrow = SpanningTreePointerScheme()
+        wide = WideSpanningTreeScheme()
+        config = narrow.language.member_configuration(graph, rng=rng)
+        certs = dict(narrow.prove(config))
+        views = narrow.build_views(config, certs)
+        with pytest.raises(SchemeError):
+            wide.run(config, certs, views=views)
+
+    def test_plain_dicts_still_accepted(self):
+        scheme = SpanningTreePointerScheme()
+        rng = make_rng(3)
+        graph = cycle_graph(6)
+        config = scheme.language.member_configuration(graph, rng=rng)
+        certs = dict(scheme.prove(config))
+        views = dict(scheme.build_views(config, certs))  # strips the tag
+        assert scheme.run(config, certs, views=views) == scheme.run(config, certs)
+
+
+class StickyProtocol(SelfStabProtocol):
+    """Degenerate state space: random_state almost always returns 0."""
+
+    name = "sticky"
+
+    def initial_state(self, ctx):
+        return 0
+
+    def random_state(self, ctx, rng):
+        return 0 if rng.random() < 0.9 else 1
+
+    def step(self, ctx, state, neighbor_states):
+        return state
+
+    def output(self, ctx, state):
+        return state
+
+    def certificate(self, ctx, state):
+        return state
+
+
+class TestInjectFaults:
+    """Regression: the injection must corrupt exactly ``count`` registers."""
+
+    def test_exact_count_under_degenerate_sampler(self):
+        network = Network(path_graph(10))
+        protocol = StickyProtocol()
+        states = {v: 0 for v in network.graph.nodes}
+        for seed in range(20):
+            injection = inject_faults_report(
+                network, protocol, states, 3, make_rng(seed)
+            )
+            changed = [v for v in states if injection.states[v] != states[v]]
+            assert sorted(changed) == sorted(injection.victims)
+            assert len(injection.victims) == 3
+
+    def test_impossible_count_raises(self):
+        class Constant(StickyProtocol):
+            name = "constant"
+
+            def random_state(self, ctx, rng):
+                return 0
+
+        network = Network(path_graph(4))
+        states = {v: 0 for v in network.graph.nodes}
+        with pytest.raises(SimulationError):
+            inject_faults_report(network, Constant(), states, 1, make_rng(0))
+
+    def test_count_larger_than_network_raises(self):
+        network = Network(path_graph(4))
+        states = {v: 0 for v in network.graph.nodes}
+        with pytest.raises(SimulationError):
+            inject_faults_report(network, StickyProtocol(), states, 5, make_rng(0))
+
+    def test_wrapper_returns_states_only(self):
+        network = Network(path_graph(8))
+        protocol = StickyProtocol()
+        states = {v: 0 for v in network.graph.nodes}
+        faulted = inject_faults(network, protocol, states, 2, make_rng(1))
+        assert sum(1 for v in states if faulted[v] != states[v]) == 2
+
+
+class TestResetAccounting:
+    """Regression: the global reset must charge its own writes."""
+
+    def test_reset_write_is_charged(self):
+        rng = make_rng(6)
+        graph = connected_gnp(16, 0.25, rng)
+        network = Network(graph)
+        protocol = MaxRootBfsProtocol()
+        detector = PlsDetector(SpanningTreePointerScheme(), protocol)
+        states = run_until_silent(network, protocol).states
+        faulted = inject_faults(network, protocol, states, 5, rng)
+        trace = run_with_global_reset(network, protocol, detector, faulted)
+        assert trace.stabilized
+        # Round 0 is the reset write: every register it actually rewrote.
+        clean = {
+            v: protocol.initial_state(network.context(v)) for v in graph.nodes
+        }
+        expected = sum(1 for v in graph.nodes if clean[v] != faulted[v])
+        assert trace.moves_per_round[0] == expected
+        assert expected > 0
+        # Rounds = reset round + protocol rounds to silence.
+        assert trace.rounds == len(trace.moves_per_round)
+
+    def test_guarded_escalation_rounds_are_consistent(self):
+        # Drive run_guarded into escalation with patience=1 and check the
+        # merged trace: detection rounds strictly increasing, moves list
+        # aligned with the round count.
+        rng = make_rng(8)
+        graph = connected_gnp(16, 0.25, rng)
+        network = Network(graph)
+        protocol = MaxRootBfsProtocol()
+        detector = PlsDetector(SpanningTreePointerScheme(), protocol)
+        states = run_until_silent(network, protocol).states
+        faulted = inject_faults(network, protocol, states, 6, rng)
+        trace = run_guarded(network, protocol, detector, faulted, patience=1)
+        assert trace.escalated and trace.stabilized
+        rounds_seen = [r for r, _ in trace.detections]
+        assert rounds_seen == sorted(set(rounds_seen))  # no duplicate rounds
+        assert trace.rounds == len(trace.moves_per_round)
+
+    def test_wedged_escalation_has_no_duplicate_detection(self):
+        class Wedged(StickyProtocol):
+            """Illegal, unmovable: step and reset both keep state 1."""
+
+            name = "wedged"
+
+            def initial_state(self, ctx):
+                return 1
+
+            def step(self, ctx, state, neighbor_states):
+                return state
+
+            def output(self, ctx, state):
+                return None  # never a spanning tree: every node rootlike
+
+            def certificate(self, ctx, state):
+                return (0, 0)
+
+        network = Network(path_graph(6))
+        protocol = Wedged()
+        detector = PlsDetector(SpanningTreePointerScheme(), protocol)
+        states = {v: 1 for v in network.graph.nodes}
+        with pytest.raises(SimulationError):
+            # The global reset cannot fix a protocol whose clean state is
+            # illegal — but on the way there, the wedged round must not
+            # have double-counted (covered by escalation test above).
+            run_guarded(network, protocol, detector, states, patience=10)
+
+
+class TestActiveSetScheduling:
+    def test_partial_round_matches_full_round_on_quiescent_rest(self):
+        rng = make_rng(11)
+        graph = connected_gnp(14, 0.3, rng)
+        network = Network(graph)
+        protocol = MaxRootBfsProtocol()
+        silent = run_until_silent(network, protocol).states
+        injection = inject_faults_report(network, protocol, silent, 2, rng)
+        # Nodes outside the victims' closed neighborhood are quiescent:
+        # stepping only the affected region equals a full round.
+        active = set(injection.victims)
+        for v in injection.victims:
+            active.update(graph.neighbors(v))
+        full = synchronous_round(network, protocol, injection.states)
+        partial = synchronous_round(network, protocol, injection.states, active=active)
+        assert partial == full
+
+    def test_run_until_silent_trace_unchanged_by_scheduling(self):
+        # The active-set runner must produce the exact same trace as the
+        # naive step-everyone implementation.
+        rng = make_rng(12)
+        graph = connected_gnp(14, 0.3, rng)
+        network = Network(graph)
+        protocol = MaxRootBfsProtocol()
+        contexts = network.contexts()
+        chaos = {
+            v: protocol.random_state(contexts[v], rng) for v in graph.nodes
+        }
+        trace = run_until_silent(network, protocol, chaos, max_rounds=2000)
+
+        current = dict(chaos)
+        naive_changes = []
+        while True:
+            nxt = synchronous_round(network, protocol, current)
+            naive_changes.append(
+                sum(1 for v in current if nxt[v] != current[v])
+            )
+            current = nxt
+            if naive_changes[-1] == 0:
+                break
+        assert trace.changes_per_round == naive_changes
+        assert trace.states == current

@@ -97,3 +97,28 @@ class TestCommands:
         target = tmp_path / "EXP.md"
         assert report_module.main([str(target)]) == 0
         assert target.read_text() == "# stub report\n"
+
+
+class TestSelfstabSweep:
+    def test_sweep_runs_clean(self, capsys):
+        code = main(
+            ["selfstab-sweep", "--n", "12", "--faults", "1", "--runs", "2",
+             "--detector", "st-pointer", "--seed", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "F4b" in out
+        assert "view ratio" in out
+        assert "false negatives observed: 0" in out
+
+    def test_sweep_accepts_approx_detectors(self, capsys):
+        code = main(
+            ["selfstab-sweep", "--n", "10", "--faults", "1", "--runs", "1",
+             "--detector", "approx-dominating-set"]
+        )
+        assert code == 0
+        assert "approx-dominating-set" in capsys.readouterr().out
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["selfstab-sweep", "--detector", "bogus"])
