@@ -19,9 +19,9 @@ def test_table1_proof_sizes(benchmark, report):
         rounds=1,
     )
     report(result)
-    from repro.schemes import ALL_SCHEME_FACTORIES
+    from repro.core import catalog
 
-    assert len(result.rows) == len(ALL_SCHEME_FACTORIES) * 4
+    assert len(result.rows) == len(catalog.specs(kind="exact")) * 4
     # Shape check: spanning-tree bits grow sub-linearly (doubling n far
     # less than doubles the certificate).
     st_rows = [r for r in result.rows if r[0] == "spanning-tree-ptr"]

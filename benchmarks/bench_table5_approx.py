@@ -18,15 +18,22 @@ def test_table5_approx(benchmark, report):
     result = benchmark.pedantic(
         experiment_t5_approx,
         kwargs=dict(
-            sizes=(12, 20), families=("gnp_sparse", "random_tree"), rng=make_rng(9)
+            sizes=(12, 20), families=("gnp_sparse", "random_tree"),
+            eps_values=(0.25, 1.0, 3.0), rng=make_rng(9)
         ),
         iterations=1,
         rounds=1,
     )
     report(result)
-    from repro.approx import APPROX_SCHEME_BUILDERS
+    from repro.core import catalog
 
-    assert len(result.rows) == len(APPROX_SCHEME_BUILDERS) * 2 * 2
+    # One (family, n) grid per approx spec, times the eps sweep for the
+    # (1+eps)-parametrised counter families.
+    sweeps = sum(
+        3 if spec.has_param("eps") else 1
+        for spec in catalog.specs(kind="approx")
+    )
+    assert len(result.rows) == sweeps * 2 * 2
     # The acceptance claim: approximate certificates strictly smaller
     # than their exact counterparts, on every family in the sweep.
     for row in result.rows:

@@ -25,12 +25,9 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record.
 """
 
-from repro.approx import (
-    APPROX_SCHEME_BUILDERS,
-    ApproxScheme,
-    GapLanguage,
-    build_approx_scheme,
-)
+import warnings as _warnings
+
+from repro.approx import ApproxScheme, GapLanguage
 from repro.core import (
     CertificateAssignment,
     Configuration,
@@ -40,10 +37,14 @@ from repro.core import (
     Labeling,
     LocalView,
     NeighborGlimpse,
+    ParamSpec,
     ProofLabelingScheme,
+    SchemeSpec,
     UniversalScheme,
     Verdict,
     Visibility,
+    catalog,
+    register_scheme,
 )
 from repro.graphs import (
     Graph,
@@ -61,7 +62,6 @@ from repro.graphs import (
 )
 from repro.local import Network, run_synchronous
 from repro.schemes import (
-    ALL_SCHEME_FACTORIES,
     AcyclicScheme,
     AgreementScheme,
     BfsTreeScheme,
@@ -104,7 +104,9 @@ __all__ = [
     "MstScheme",
     "NeighborGlimpse",
     "Network",
+    "ParamSpec",
     "ProofLabelingScheme",
+    "SchemeSpec",
     "SpanningTreeListScheme",
     "SpanningTreePointerScheme",
     "UniversalScheme",
@@ -112,6 +114,7 @@ __all__ = [
     "Visibility",
     "binary_tree",
     "build_approx_scheme",
+    "catalog",
     "complete_graph",
     "connected_gnp",
     "cycle_graph",
@@ -121,7 +124,38 @@ __all__ = [
     "path_graph",
     "random_regular",
     "random_tree",
+    "register_scheme",
     "run_synchronous",
     "star_graph",
     "weighted_copy",
 ]
+
+
+def __getattr__(name: str):
+    """Deprecation shims for the pre-catalog registry re-exports."""
+    if name == "ALL_SCHEME_FACTORIES":
+        _warnings.warn(
+            "repro.ALL_SCHEME_FACTORIES is deprecated; use "
+            "repro.core.catalog (catalog.names()/specs()/build()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.schemes import _legacy_scheme_factories
+
+        return _legacy_scheme_factories()
+    if name == "APPROX_SCHEME_BUILDERS":
+        _warnings.warn(
+            "repro.APPROX_SCHEME_BUILDERS is deprecated; use "
+            "repro.core.catalog (catalog.names('approx')/build()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.approx import _legacy_approx_builders
+
+        return _legacy_approx_builders()
+    if name == "build_approx_scheme":
+        # The function itself warns when called.
+        from repro.approx import build_approx_scheme
+
+        return build_approx_scheme
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

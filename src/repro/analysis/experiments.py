@@ -14,14 +14,13 @@ import random
 from typing import Iterable, Sequence
 
 from repro.analysis.tables import ExperimentResult
+from repro.core import catalog
 from repro.core.measure import CURVES, best_curve, fit_affine, proof_size_sweep
 from repro.core.soundness import attack, completeness_holds
 from repro.core.universal import UniversalScheme
-from repro.core.verifier import Visibility
 from repro.graphs.generators import (
     connected_gnp,
     cycle_graph,
-    grid_graph,
     path_graph,
     random_tree,
 )
@@ -35,14 +34,7 @@ from repro.lowerbounds.crossing import (
     pointer_cycle_attack,
     two_root_path_attack,
 )
-from repro.schemes import (
-    ALL_SCHEME_FACTORIES,
-    AgreementLanguage,
-    AgreementScheme,
-    LeaderScheme,
-    MstScheme,
-    SpanningTreePointerScheme,
-)
+from repro.schemes import AgreementLanguage, AgreementScheme
 from repro.schemes.regular import RegularSubgraphLanguage
 from repro.selfstab import (
     MaxRootBfsProtocol,
@@ -73,14 +65,6 @@ __all__ = [
 ]
 
 
-def _suitable_graph(scheme_name: str, n: int, rng: random.Random):
-    """A connected test graph the scheme's language supports."""
-    if scheme_name == "bipartite":
-        side = max(1, int(math.isqrt(n)))
-        return grid_graph(side, max(1, n // side))
-    return connected_gnp(n, min(0.6, 3.0 / max(3, n)), rng)
-
-
 # ---------------------------------------------------------------------------
 # T1 — the results summary table.
 # ---------------------------------------------------------------------------
@@ -90,31 +74,34 @@ def experiment_t1_proof_sizes(
     sizes: Sequence[int] = (16, 32, 64, 128),
     rng: random.Random | None = None,
 ) -> ExperimentResult:
-    """Measured proof size per scheme per n, with the claimed bound."""
+    """Measured proof size per exact scheme per n, with the claimed bound.
+
+    Iterates the catalog's exact specs; each spec's ``sample_graph``
+    owns the family choice (grids for bipartiteness) and the weighted
+    copy.  The universal scheme has its own table (T3).
+    """
     rng = rng or make_rng(101)
     result = ExperimentResult(
         experiment="T1: proof sizes",
         headers=("scheme", "bound", "n", "proof bits", "bits/log2(n)"),
     )
-    for name, factory in ALL_SCHEME_FACTORIES.items():
-        scheme = factory()
+    for spec in catalog.specs(kind="exact"):
         points = []
         for n in sizes:
-            graph = _suitable_graph(name, n, spawn(rng, n))
-            if scheme.language.weighted:
-                graph = weighted_copy(graph, spawn(rng, n + 1))
+            graph = spec.sample_graph(n, spawn(rng, n))
+            scheme = spec.build(graph=graph, rng=spawn(rng, n + 1))
             config = scheme.language.member_configuration(graph, rng=spawn(rng, n + 2))
             bits = scheme.proof_size_bits(config)
             points.append((graph.n, float(bits)))
             result.add(
-                scheme.name,
-                scheme.size_bound,
+                spec.name,
+                spec.size_bound,
                 graph.n,
                 bits,
                 bits / math.log2(max(2, graph.n)),
             )
         curve, scale, rmse = best_curve(points)
-        result.note(f"{scheme.name}: best-fit shape ~ {scale:.1f} * {curve} (rmse {rmse:.2f})")
+        result.note(f"{spec.name}: best-fit shape ~ {scale:.1f} * {curve} (rmse {rmse:.2f})")
     return result
 
 
@@ -136,11 +123,9 @@ def experiment_t2_soundness(
         headers=("scheme", "complete", "corruptions", "fooled", "min rejects", "evals"),
     )
     sound_everywhere = True
-    for name, factory in ALL_SCHEME_FACTORIES.items():
-        scheme = factory()
-        graph = _suitable_graph(name, n, spawn(rng, 1))
-        if scheme.language.weighted:
-            graph = weighted_copy(graph, spawn(rng, 2))
+    for spec in catalog.specs(kind="exact"):
+        graph = spec.sample_graph(n, spawn(rng, 1))
+        scheme = spec.build(graph=graph, rng=spawn(rng, 2))
         member = scheme.language.member_configuration(graph, rng=spawn(rng, 3))
         complete = completeness_holds(scheme, member)
         for k in corruption_levels:
@@ -149,7 +134,7 @@ def experiment_t2_soundness(
                     graph, corruptions=k, rng=spawn(rng, 10 + k)
                 )
             except Exception:
-                result.add(scheme.name, complete, k, "-", "-", 0)
+                result.add(spec.name, complete, k, "-", "-", 0)
                 continue
             outcome = attack(
                 scheme, bad, rng=spawn(rng, 100 + k),
@@ -157,7 +142,7 @@ def experiment_t2_soundness(
             )
             sound_everywhere &= not outcome.fooled
             result.add(
-                scheme.name, complete, k, outcome.fooled,
+                spec.name, complete, k, outcome.fooled,
                 outcome.min_rejects, outcome.evaluations,
             )
     result.note(
@@ -178,7 +163,7 @@ def experiment_f1_st_scaling(
 ) -> ExperimentResult:
     """Spanning-tree proof size ~ c log n across graph families."""
     rng = rng or make_rng(303)
-    scheme = SpanningTreePointerScheme()
+    scheme = catalog.build("spanning-tree-ptr")
     families = {
         "path": lambda n, r: path_graph(n),
         "cycle": lambda n, r: cycle_graph(max(3, n)),
@@ -211,7 +196,7 @@ def experiment_f2_mst_scaling(
 ) -> ExperimentResult:
     """MST proof size ~ c log² n; Borůvka phases <= ceil(log2 n)."""
     rng = rng or make_rng(404)
-    scheme = MstScheme()
+    scheme = catalog.build("mst")
     result = ExperimentResult(
         experiment="F2: MST proof-size scaling",
         headers=("n", "proof bits", "bits/log2^2(n)", "phases", "ceil(log2 n)"),
@@ -330,7 +315,7 @@ def experiment_f4_selfstab(
 ) -> ExperimentResult:
     """Detection latency and recovery cost under transient faults."""
     protocol = MaxRootBfsProtocol()
-    detector_scheme = SpanningTreePointerScheme()
+    detector_scheme = catalog.build("spanning-tree-ptr")
     result = ExperimentResult(
         experiment="F4: self-stabilization with PLS detection",
         headers=(
@@ -511,22 +496,27 @@ def experiment_t4_verification_cost(
     n: int = 24,
     rng: random.Random | None = None,
 ) -> ExperimentResult:
-    """One round; message bits per edge ≈ the two endpoint certificates."""
+    """One round; message bits per edge ≈ the two endpoint certificates.
+
+    Covers the catalog's radius-1 exact specs: the message simulator
+    realises the paper's single-exchange round, which wider-radius
+    schemes (``coarse-acyclic``) by construction do not fit.
+    """
     rng = rng or make_rng(606)
     result = ExperimentResult(
         experiment="T4: verification communication cost",
         headers=("scheme", "rounds", "messages", "total bits", "bits/edge", "proof bits"),
     )
-    for name, factory in ALL_SCHEME_FACTORIES.items():
-        scheme = factory()
-        graph = _suitable_graph(name, n, spawn(rng, 1))
-        if scheme.language.weighted:
-            graph = weighted_copy(graph, spawn(rng, 2))
+    for spec in catalog.specs(kind="exact"):
+        if spec.radius != 1:
+            continue
+        graph = spec.sample_graph(n, spawn(rng, 1))
+        scheme = spec.build(graph=graph, rng=spawn(rng, 2))
         config = scheme.language.member_configuration(graph, rng=spawn(rng, 3))
         verdict, run = distributed_verification(scheme, config)
         assert verdict.all_accept
         result.add(
-            scheme.name,
+            spec.name,
             run.rounds,
             run.message_count,
             run.message_bits,
@@ -545,19 +535,24 @@ def experiment_t4_verification_cost(
 def experiment_t5_approx(
     sizes: Sequence[int] = (12, 20),
     families: Sequence[str] = ("gnp_sparse", "random_tree"),
+    eps_values: Sequence[float] = (0.25, 1.0, 3.0),
     rng: random.Random | None = None,
 ) -> ExperimentResult:
-    """Approximate vs. exact proof sizes and verification cost.
+    """Approximate vs. exact proof sizes, with the ε sweep.
 
-    For every registered α-APLS and graph family: fit the scheme to a
-    yes-instance, verify the honest certificates everywhere, and compare
-    the approximate proof size (and one-round message cost) against the
-    scheme's exact counterpart — generically the universal scheme, the
-    only exact verifier these optimization predicates admit.  The gap
-    claim (Emek–Gil 2020): approximation buys exponentially smaller
-    certificates.
+    For every approx spec in the catalog and graph family: fit the
+    scheme to a yes-instance, verify the honest certificates everywhere,
+    and compare the approximate proof size (and one-round message cost)
+    against the scheme's exact counterpart — generically the universal
+    scheme, the only exact verifier these optimization predicates admit.
+    The gap claim (Emek–Gil 2020): approximation buys exponentially
+    smaller certificates.
+
+    Specs declaring an ``eps`` parameter — the (1+ε)-parametrised
+    counter families — are additionally swept over ``eps_values``
+    (α = 1 + ε), charting the size/α tradeoff the catalog's parameter
+    API exists for: tighter gaps need wider counter mantissas.
     """
-    from repro.approx import APPROX_SCHEME_BUILDERS
     from repro.graphs.generators import FAMILIES
 
     rng = rng or make_rng(909)
@@ -569,34 +564,58 @@ def experiment_t5_approx(
         ),
     )
     always_smaller = True
-    for index, (name, entry) in enumerate(APPROX_SCHEME_BUILDERS.items()):
+    for index, spec in enumerate(catalog.specs(kind="approx")):
+        eps_axis: Sequence[float | None] = (
+            tuple(eps_values) if spec.has_param("eps") else (None,)
+        )
+        tradeoff: dict[float, int] = {}
         for fi, fname in enumerate(families):
             for n in sizes:
                 # Deterministic salt: str hash() is process-randomized
-                # and would break table reproducibility.
-                seed = index * 10_000 + fi * 1_000 + n
+                # and would break table reproducibility.  The graph is
+                # shared across the eps axis so the sweep compares
+                # counter widths, not sampling noise.
+                seed = index * 100_000 + fi * 1_000 + n
                 graph = FAMILIES[fname](n, spawn(rng, seed))
-                if entry.weighted:
+                if spec.weighted:
                     graph = weighted_copy(graph, spawn(rng, seed + 1))
-                scheme = entry.build(graph, spawn(rng, seed + 2))
-                config = scheme.language.member_configuration(
-                    graph, rng=spawn(rng, seed + 3)
-                )
-                assert scheme.run(config).all_accept
-                approx_bits = scheme.proof_size_bits(config)
-                exact_bits = scheme.exact_counterpart().proof_size_bits(config)
-                always_smaller &= approx_bits < exact_bits
-                _, run = distributed_verification(scheme, config)
-                result.add(
-                    entry.name,
-                    entry.alpha,
-                    fname,
-                    graph.n,
-                    approx_bits,
-                    exact_bits,
-                    exact_bits / max(1, approx_bits),
-                    run.message_bits / max(1, graph.num_edges),
-                )
+                for eps in eps_axis:
+                    # Fixed salts across the axis: only eps varies.
+                    overrides = {} if eps is None else {"eps": eps}
+                    scheme = spec.build(
+                        graph=graph, rng=spawn(rng, seed + 2), **overrides
+                    )
+                    config = scheme.language.member_configuration(
+                        graph, rng=spawn(rng, seed + 3)
+                    )
+                    assignment = scheme.assignment(config)
+                    assert scheme.run(config, assignment).all_accept
+                    approx_bits = assignment.max_bits
+                    exact_bits = scheme.exact_counterpart().proof_size_bits(config)
+                    always_smaller &= approx_bits < exact_bits
+                    _, run = distributed_verification(scheme, config)
+                    result.add(
+                        spec.name,
+                        scheme.alpha,
+                        fname,
+                        graph.n,
+                        approx_bits,
+                        exact_bits,
+                        exact_bits / max(1, approx_bits),
+                        run.message_bits / max(1, graph.num_edges),
+                    )
+                    if eps is not None and fname == families[0] and n == max(sizes):
+                        tradeoff[scheme.alpha] = assignment.total_bits
+        if tradeoff:
+            points = ", ".join(
+                f"alpha={a:g}: {bits}" for a, bits in sorted(tradeoff.items())
+            )
+            result.note(
+                f"{spec.name} size/alpha tradeoff at n={max(sizes)} "
+                f"({families[0]}), total certificate bits: {points} "
+                f"(same graph across the axis; the counter mantissa width "
+                f"is chosen from the tree depth and alpha)"
+            )
     result.note(
         "exact counterpart: the universal scheme on the same yes-predicate "
         "(optimality is not locally checkable exactly)"
@@ -632,11 +651,11 @@ def experiment_f5_idspace(
         config = scheme.language.member_configuration(graph, rng=spawn(rng, domain % 1009))
         result.add(scheme.name, domain, round(math.log2(domain), 1), scheme.proof_size_bits(config))
     for universe in universes:
-        scheme_st = SpanningTreePointerScheme()
+        scheme_st = catalog.build("spanning-tree-ptr")
         ids = random_ids(list(graph.nodes), universe, spawn(rng, universe % 2011))
         config = scheme_st.language.member_configuration(graph, ids=ids, rng=spawn(rng, 5))
         result.add(scheme_st.name, universe, round(math.log2(universe), 1), scheme_st.proof_size_bits(config))
-        scheme_ld = LeaderScheme()
+        scheme_ld = catalog.build("leader")
         config = scheme_ld.language.member_configuration(graph, ids=ids, rng=spawn(rng, 6))
         result.add(scheme_ld.name, universe, round(math.log2(universe), 1), scheme_ld.proof_size_bits(config))
     result.note("agreement proof size ~ value bits; tree schemes ~ log(universe) for the root id")

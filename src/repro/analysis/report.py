@@ -154,7 +154,8 @@ _SECTIONS = (
         "bits/edge tracks certificate size plus fixed framing.",
     ),
     (
-        "T5 — approximate schemes vs. exact verification (extension)",
+        "T5 — approximate schemes vs. exact verification, with the ε sweep "
+        "(extension)",
         "Claim (Emek–Gil 2020; Feuilloley–Fraigniaud 2017, beyond the "
         "source paper): relaxing soundness to a factor-α gap — reject "
         "only configurations that miss the predicate by α — certifies "
@@ -162,15 +163,22 @@ _SECTIONS = (
         "dominating set, maximal matching, 2-approximate diameter, "
         "spanning-tree weight) with exponentially smaller certificates "
         "than exact verification, whose generic price is the universal "
-        "Θ(n²) scheme.",
+        "Θ(n²) scheme.  The (1+ε)-parametrised counter families "
+        "(dominating set, tree weight) are additionally swept over "
+        "ε ∈ {0.25, 1, 3} — α ∈ {1.25, 2, 4} — to chart the size/α "
+        "tradeoff: a tighter gap forces a wider rounded-counter "
+        "mantissa.",
         lambda: experiment_t5_approx(
-            sizes=(12, 20), families=("gnp_sparse", "random_tree"), rng=make_rng(9)
+            sizes=(12, 20), families=("gnp_sparse", "random_tree"),
+            eps_values=(0.25, 1.0, 3.0), rng=make_rng(9)
         ),
         "every α-APLS certificate is strictly smaller than its exact "
-        "counterpart on both families, by one to two orders of "
-        "magnitude, while honest verification still accepts everywhere "
-        "and the gap adversaries (T5 tests) never fool a verifier on an "
-        "α-far instance.",
+        "counterpart on both families — at every swept ε — by one to "
+        "two orders of magnitude, while honest verification still "
+        "accepts everywhere and the gap adversaries (T5 tests) never "
+        "fool a verifier on an α-far instance; the per-family tradeoff "
+        "notes record total certificate bits at each α on a fixed "
+        "instance.",
     ),
     (
         "F5 — domain and identifier-universe dependence",

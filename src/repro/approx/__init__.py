@@ -18,18 +18,26 @@ Layout:
 * :mod:`repro.approx.counters` — rounded counters, the bit-saving
   aggregation primitive;
 * one module per concrete α-APLS (vertex cover, dominating set,
-  matching, diameter, spanning-tree weight);
-* :data:`APPROX_SCHEME_BUILDERS` — the registry.  Approximate schemes
-  are typically parametrised by an instance-derived budget (a diameter
-  bound, a cardinality or weight budget), so the registry holds
-  *builders* ``(graph, rng) -> ApproxScheme`` that fit those parameters
-  to a concrete graph, rather than the zero-argument factories of
-  ``repro.schemes.ALL_SCHEME_FACTORIES``.
+  matching, diameter, spanning-tree weight).
+
+Every scheme registers in the unified catalog
+(:mod:`repro.core.catalog`); graph-fitted builders derive instance
+budgets (a diameter bound, a cardinality or weight budget) from the
+graph passed to ``catalog.build(name, graph=...)``.  The two
+counter-based schemes form the **(1+ε)-parametrised APLS family**: their
+rounded counters accept any gap α = 1 + ε (``eps`` is a declared
+catalog parameter), trading certificate bits against approximation
+slack — the mantissa width grows as ε shrinks
+(:func:`~repro.approx.counters.mantissa_bits_for`).
+
+``APPROX_SCHEME_BUILDERS`` and :func:`build_approx_scheme` remain as
+deprecated views over the catalog.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -51,6 +59,9 @@ from repro.approx.mst_weight import ApproxTreeWeightScheme, GapTreeWeightLanguag
 from repro.approx.optima import maximum_matching_size, minimum_vertex_cover_size
 from repro.approx.scheme import ApproxScheme
 from repro.approx.vertex_cover import ApproxVertexCoverScheme, GapVertexCoverLanguage
+from repro.core import catalog
+from repro.core.catalog import ParamSpec, register_scheme
+from repro.core.verifier import Visibility
 from repro.errors import SchemeError
 from repro.graphs.graph import Graph
 from repro.graphs.mst import mst_weight
@@ -83,13 +94,110 @@ __all__ = [
 ]
 
 
+# ---------------------------------------------------------------------------
+# Catalog registrations.
+# ---------------------------------------------------------------------------
+
+
+@register_scheme(
+    "approx-vertex-cover",
+    kind="approx",
+    summary="cover within 2x minimum via matching pointers",
+)
+def _build_vertex_cover(graph, rng, **_params):
+    return ApproxVertexCoverScheme()
+
+
+@register_scheme(
+    "approx-matching",
+    kind="approx",
+    summary="matching within 2x maximum via maximality echoes",
+)
+def _build_matching(graph, rng, **_params):
+    return ApproxMatchingScheme()
+
+
+@register_scheme(
+    "approx-diameter",
+    kind="approx",
+    summary="diameter within 2x bound via one BFS cone",
+    graph_fitted=True,
+    size_bound="O(log n + log D) vs exact O(n^2)",
+    visibility=Visibility.KKP,
+    radius=1,
+    weighted=False,
+    alpha=2.0,
+)
+def _build_diameter(graph, rng, **_params):
+    return ApproxDiameterScheme(GapDiameterLanguage(max(1, diameter(graph))))
+
+
+#: ε for the (1+ε)-parametrised counter families: gap α = 1 + ε.  The
+#: default ε = 1 reproduces the classic α = 2 schemes.
+_EPS_PARAM = ParamSpec(
+    "eps",
+    1.0,
+    doc="gap slack: soundness applies beyond alpha = 1 + eps",
+    minimum=0.0,
+    exclusive=True,
+)
+
+
+@register_scheme(
+    "approx-dominating-set",
+    kind="approx",
+    summary="dominating set within (1+eps)x budget via rounded counters",
+    graph_fitted=True,
+    size_bound="O(log n) tree + O(log depth + log log k) counter",
+    visibility=Visibility.KKP,
+    radius=1,
+    weighted=False,
+    alpha=2.0,
+    params=(_EPS_PARAM,),
+)
+def _build_dominating_set(graph, rng, *, eps=1.0):
+    # Budget from the deterministic greedy order, which the language's
+    # canonical labeling can always fall back to.
+    budget = max(1, len(greedy_dominating_set(graph, None)))
+    return ApproxDominatingSetScheme(
+        GapDominatingSetLanguage(budget, alpha=1.0 + eps)
+    )
+
+
+@register_scheme(
+    "approx-tree-weight",
+    kind="approx",
+    summary="spanning-tree weight within (1+eps)x budget via rounded sums",
+    graph_fitted=True,
+    size_bound="O(log n + log log W) vs exact O(log^2 n)",
+    visibility=Visibility.KKP,
+    radius=1,
+    weighted=True,
+    alpha=2.0,
+    params=(_EPS_PARAM,),
+)
+def _build_tree_weight(graph, rng, *, eps=1.0):
+    if not graph.is_weighted:
+        raise SchemeError("approx-tree-weight needs a weighted graph")
+    return ApproxTreeWeightScheme(
+        GapTreeWeightLanguage(mst_weight(graph), alpha=1.0 + eps)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deprecated views over the catalog.
+# ---------------------------------------------------------------------------
+
+
 @dataclass(frozen=True)
 class ApproxSchemeBuilder:
-    """Registry entry: fits an α-APLS to a concrete graph.
+    """Legacy registry entry: fits an α-APLS to a concrete graph.
 
     ``build(graph, rng)`` derives any instance parameters (budgets,
     bounds) from the graph and returns a ready scheme whose language
-    admits the graph as a yes-instance.
+    admits the graph as a yes-instance.  Kept for the deprecated
+    ``APPROX_SCHEME_BUILDERS`` view; new code reads
+    :class:`repro.core.catalog.SchemeSpec` instead.
     """
 
     name: str
@@ -100,83 +208,61 @@ class ApproxSchemeBuilder:
     build: Callable[[Graph, random.Random], ApproxScheme]
 
 
-def _build_vertex_cover(graph: Graph, rng: random.Random) -> ApproxScheme:
-    return ApproxVertexCoverScheme()
+_legacy_builders_cache: dict[str, ApproxSchemeBuilder] | None = None
 
 
-def _build_dominating_set(graph: Graph, rng: random.Random) -> ApproxScheme:
-    # Budget from the deterministic greedy order, which the language's
-    # canonical labeling can always fall back to.
-    budget = max(1, len(greedy_dominating_set(graph, None)))
-    return ApproxDominatingSetScheme(GapDominatingSetLanguage(budget))
+def _legacy_approx_builders() -> dict[str, ApproxSchemeBuilder]:
+    """The old builder dict, rebuilt from the catalog's approx specs.
 
-
-def _build_matching(graph: Graph, rng: random.Random) -> ApproxScheme:
-    return ApproxMatchingScheme()
-
-
-def _build_diameter(graph: Graph, rng: random.Random) -> ApproxScheme:
-    return ApproxDiameterScheme(GapDiameterLanguage(max(1, diameter(graph))))
-
-
-def _build_tree_weight(graph: Graph, rng: random.Random) -> ApproxScheme:
-    if not graph.is_weighted:
-        raise SchemeError("approx-tree-weight needs a weighted graph")
-    return ApproxTreeWeightScheme(GapTreeWeightLanguage(mst_weight(graph)))
-
-
-#: Name -> builder for every shipped α-APLS.
-APPROX_SCHEME_BUILDERS: dict[str, ApproxSchemeBuilder] = {
-    "approx-vertex-cover": ApproxSchemeBuilder(
-        name="approx-vertex-cover",
-        alpha=2.0,
-        size_bound="O(log Delta)",
-        weighted=False,
-        summary="cover within 2x minimum via matching pointers",
-        build=_build_vertex_cover,
-    ),
-    "approx-dominating-set": ApproxSchemeBuilder(
-        name="approx-dominating-set",
-        alpha=2.0,
-        size_bound="O(log n)",
-        weighted=False,
-        summary="dominating set within 2x budget via rounded counters",
-        build=_build_dominating_set,
-    ),
-    "approx-matching": ApproxSchemeBuilder(
-        name="approx-matching",
-        alpha=2.0,
-        size_bound="O(log N)",
-        weighted=False,
-        summary="matching within 2x maximum via maximality echoes",
-        build=_build_matching,
-    ),
-    "approx-diameter": ApproxSchemeBuilder(
-        name="approx-diameter",
-        alpha=2.0,
-        size_bound="O(log n + log D)",
-        weighted=False,
-        summary="diameter within 2x bound via one BFS cone",
-        build=_build_diameter,
-    ),
-    "approx-tree-weight": ApproxSchemeBuilder(
-        name="approx-tree-weight",
-        alpha=2.0,
-        size_bound="O(log n + log log W)",
-        weighted=True,
-        summary="spanning-tree weight within 2x budget via rounded sums",
-        build=_build_tree_weight,
-    ),
-}
+    Memoised so repeated accesses share one mutable dict, like the old
+    module-level registry did.
+    """
+    global _legacy_builders_cache
+    if _legacy_builders_cache is None:
+        _legacy_builders_cache = {
+            spec.name: ApproxSchemeBuilder(
+                name=spec.name,
+                alpha=spec.alpha,
+                size_bound=spec.size_bound,
+                weighted=spec.weighted,
+                summary=spec.summary,
+                build=lambda graph, rng, _name=spec.name: catalog.build(
+                    _name, graph=graph, rng=rng
+                ),
+            )
+            for spec in catalog.specs(kind="approx")
+        }
+    return _legacy_builders_cache
 
 
 def build_approx_scheme(
     name: str, graph: Graph, rng: random.Random | None = None
 ) -> ApproxScheme:
-    """Instantiate a registered α-APLS fitted to ``graph``."""
-    if name not in APPROX_SCHEME_BUILDERS:
+    """Deprecated: instantiate a registered α-APLS fitted to ``graph``.
+
+    Use ``repro.core.catalog.build(name, graph=..., rng=...)``.
+    """
+    warnings.warn(
+        "build_approx_scheme is deprecated; use repro.core.catalog.build("
+        "name, graph=..., rng=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if name not in catalog.names(kind="approx"):
         raise SchemeError(
             f"unknown approx scheme {name!r}; "
-            f"known: {sorted(APPROX_SCHEME_BUILDERS)}"
+            f"known: {catalog.names(kind='approx')}"
         )
-    return APPROX_SCHEME_BUILDERS[name].build(graph, rng or make_rng())
+    return catalog.build(name, graph=graph, rng=rng or make_rng())
+
+
+def __getattr__(name: str):
+    if name == "APPROX_SCHEME_BUILDERS":
+        warnings.warn(
+            "repro.approx.APPROX_SCHEME_BUILDERS is deprecated; use "
+            "repro.core.catalog (catalog.names('approx')/build()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _legacy_approx_builders()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

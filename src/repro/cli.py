@@ -3,35 +3,40 @@
 Gives downstream users one-line access to the library's main entry
 points without writing Python:
 
-* ``list-schemes`` — the scheme registry (exact and approximate) with
-  bounds and visibility;
-* ``certify`` — build a legal configuration on a chosen family, prove
-  it, verify it, report the proof size;
-* ``approx-certify`` — fit an approximate (gap) scheme to an instance,
-  certify it, and compare its proof size against exact verification;
-* ``attack`` — corrupt a configuration and run the budgeted adversary;
+* ``list-schemes`` — the unified scheme catalog (exact, approximate and
+  universal) with kinds, parameters, bounds and visibility;
+* ``certify`` — build a legal configuration for *any* registered scheme
+  name, prove it, verify it, report the proof size; approximate schemes
+  additionally report the exact-counterpart comparison, and ``--param
+  eps=0.5``-style overrides reach the (1+ε)-parametrised families;
+* ``attack`` — corrupt an instance (or construct an α-far no-instance
+  for gap schemes) and run the budgeted adversary;
 * ``experiment`` — run one experiment id (or ``all``) and print its
   regenerated table;
 * ``selfstab-sweep`` — the fault-injection campaign: corrupt certified
   silent systems across an n × fault-count × detector grid and verify
   detection through the incremental sweep engine;
 * ``report`` — rewrite EXPERIMENTS.md from fresh runs.
+
+Every scheme is instantiated through :func:`repro.core.catalog.build`;
+the CLI holds no registry of its own.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.analysis import experiments as _experiments
-from repro.approx import APPROX_SCHEME_BUILDERS, build_approx_scheme
+from repro.approx.scheme import ApproxScheme
+from repro.core import catalog
 from repro.core.soundness import attack as run_attack
 from repro.core.soundness import gap_attack as run_gap_attack
-from repro.errors import LanguageError
+from repro.errors import CatalogError, LanguageError
 from repro.graphs.generators import FAMILIES
+from repro.graphs.graph import Graph
 from repro.graphs.weighted import weighted_copy
-from repro.schemes import ALL_SCHEME_FACTORIES
 from repro.selfstab import SWEEP_DETECTORS
 from repro.util.rng import make_rng
 
@@ -60,36 +65,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-schemes", help="list the scheme registry")
+    sub.add_parser("list-schemes", help="list the unified scheme catalog")
 
-    certify = sub.add_parser("certify", help="prove + verify a legal instance")
-    certify.add_argument("scheme", choices=sorted(ALL_SCHEME_FACTORIES))
-    certify.add_argument("--family", choices=sorted(FAMILIES), default="gnp_sparse")
+    certify = sub.add_parser(
+        "certify",
+        help="prove + verify a legal instance of any registered scheme",
+    )
+    certify.add_argument("scheme", choices=sorted(catalog.names()))
+    certify.add_argument(
+        "--family",
+        choices=sorted(FAMILIES),
+        default=None,
+        help="graph family (default: the scheme's own sampler)",
+    )
     certify.add_argument("--n", type=int, default=32)
     certify.add_argument("--seed", type=int, default=0)
-
-    approx = sub.add_parser(
-        "approx-certify",
-        help="fit + certify an approximate (gap) scheme; compare with exact",
+    certify.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override a declared scheme parameter, e.g. --param eps=0.5 "
+        "(repeatable; see list-schemes for declared parameters)",
     )
-    approx.add_argument("scheme", choices=sorted(APPROX_SCHEME_BUILDERS))
-    approx.add_argument("--family", choices=sorted(FAMILIES), default="gnp_sparse")
-    approx.add_argument("--n", type=int, default=24)
-    approx.add_argument("--seed", type=int, default=0)
-    approx.add_argument(
+    certify.add_argument(
         "--attack",
         action="store_true",
-        help="also gap-attack an α-far no-instance",
+        help="also attack an illegal (exact) or α-far (gap) instance",
     )
-    approx.add_argument("--trials", type=int, default=60)
+    certify.add_argument("--trials", type=int, default=60)
 
     attack = sub.add_parser("attack", help="corrupt an instance and attack it")
-    attack.add_argument("scheme", choices=sorted(ALL_SCHEME_FACTORIES))
-    attack.add_argument("--family", choices=sorted(FAMILIES), default="gnp_sparse")
+    attack.add_argument("scheme", choices=sorted(catalog.names()))
+    attack.add_argument("--family", choices=sorted(FAMILIES), default=None)
     attack.add_argument("--n", type=int, default=24)
-    attack.add_argument("--corruptions", type=int, default=2)
+    attack.add_argument(
+        "--corruptions",
+        type=int,
+        default=2,
+        help="corrupted registers (exact schemes; gap schemes build an "
+        "α-far no-instance instead)",
+    )
     attack.add_argument("--trials", type=int, default=100)
     attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE"
+    )
 
     experiment = sub.add_parser("experiment", help="run one experiment id")
     experiment.add_argument("which", choices=sorted(_EXPERIMENTS) + ["all"])
@@ -125,12 +146,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_param_overrides(pairs: Sequence[str]) -> dict[str, str]:
+    overrides: dict[str, str] = {}
+    for item in pairs:
+        name, sep, value = item.partition("=")
+        if not sep or not name or not value:
+            raise SystemExit(f"--param expects NAME=VALUE, got {item!r}")
+        overrides[name] = value
+    return overrides
+
+
 def _make_instance(args) -> tuple:
+    """(rng, fitted scheme, graph) for certify/attack, via the catalog."""
+    spec = catalog.get(args.scheme)
+    overrides = _parse_param_overrides(args.param)
     rng = make_rng(args.seed)
-    scheme = ALL_SCHEME_FACTORIES[args.scheme]()
-    graph = FAMILIES[args.family](args.n, rng)
-    if scheme.language.weighted:
-        graph = weighted_copy(graph, rng)
+    if args.family is None:
+        graph = spec.sample_graph(args.n, rng)
+    else:
+        graph = FAMILIES[args.family](args.n, rng)
+        if spec.weighted:
+            graph = weighted_copy(graph, rng)
+    try:
+        scheme = catalog.build(args.scheme, graph=graph, rng=rng, **overrides)
+    except CatalogError as error:
+        raise SystemExit(str(error))
     if not scheme.language.supports_graph(graph):
         raise SystemExit(
             f"{scheme.language.name} is not constructible on this graph; "
@@ -139,70 +179,96 @@ def _make_instance(args) -> tuple:
     return rng, scheme, graph
 
 
+def _describe(spec) -> str:
+    alpha = f"{spec.alpha:g}" if spec.alpha is not None else "-"
+    params = (
+        ",".join(f"{p.name}={p.default:g}" for p in spec.params)
+        if spec.params
+        else "-"
+    )
+    return (
+        f"kind={spec.kind:<9} alpha={alpha:<5} params={params:<9} "
+        f"bound={spec.size_bound:<44} visibility={spec.visibility.value:<4} "
+        f"{spec.summary}"
+    )
+
+
 def _cmd_list_schemes(args) -> int:
-    names = list(ALL_SCHEME_FACTORIES) + list(APPROX_SCHEME_BUILDERS)
-    width = max(len(name) for name in names)
-    for name in sorted(ALL_SCHEME_FACTORIES):
-        scheme = ALL_SCHEME_FACTORIES[name]()
-        print(
-            f"{name:<{width}}  language={scheme.language.name:<24} "
-            f"bound={scheme.size_bound:<28} visibility={scheme.visibility.value}"
-        )
-    for name in sorted(APPROX_SCHEME_BUILDERS):
-        entry = APPROX_SCHEME_BUILDERS[name]
-        print(
-            f"{name:<{width}}  alpha={entry.alpha:<27g}"
-            f"bound={entry.size_bound:<28} {entry.summary}"
-        )
+    specs = catalog.specs()
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        print(f"{spec.name:<{width}}  {_describe(spec)}")
     return 0
 
 
+def _scheme_line(scheme, spec) -> str:
+    if isinstance(scheme, ApproxScheme):
+        return (
+            f"scheme: {scheme.name} (kind={spec.kind}, "
+            f"alpha={scheme.alpha:g}, {scheme.size_bound})"
+        )
+    return f"scheme: {scheme.name} (kind={spec.kind}, {scheme.size_bound})"
+
+
+def _attack_instance(
+    scheme, graph: Graph, rng, corruptions: int
+) -> tuple[Any, Any]:
+    """(no-instance, related member) for the budgeted adversary."""
+    member = scheme.language.member_configuration(graph, rng=rng)
+    if isinstance(scheme, ApproxScheme):
+        bad = scheme.gap_language.no_configuration(graph, rng=rng)
+    else:
+        bad = scheme.language.corrupted_configuration(
+            graph, corruptions=corruptions, rng=rng
+        )
+    return bad, member
+
+
 def _cmd_certify(args) -> int:
+    spec = catalog.get(args.scheme)
     rng, scheme, graph = _make_instance(args)
-    config = scheme.language.member_configuration(graph, rng=rng)
-    assignment = scheme.assignment(config)
-    verdict = scheme.run(config)
-    print(f"graph: {graph!r}")
-    print(f"scheme: {scheme.name} ({scheme.size_bound})")
-    print(f"proof size: {assignment.max_bits} bits (mean "
-          f"{assignment.total_bits / max(1, graph.n):.1f})")
-    print(f"verification: all accept = {verdict.all_accept}")
-    return 0 if verdict.all_accept else 1
-
-
-def _cmd_approx_certify(args) -> int:
-    rng = make_rng(args.seed)
-    entry = APPROX_SCHEME_BUILDERS[args.scheme]
-    graph = FAMILIES[args.family](args.n, rng)
-    if entry.weighted:
-        graph = weighted_copy(graph, rng)
-    scheme = build_approx_scheme(args.scheme, graph, rng)
     try:
         config = scheme.language.member_configuration(graph, rng=rng)
     except LanguageError as error:
         raise SystemExit(f"no yes-instance on this graph: {error}")
     assignment = scheme.assignment(config)
-    verdict = scheme.run(config)
-    exact = scheme.exact_counterpart()
-    exact_bits = exact.proof_size_bits(config)
+    verdict = scheme.run(config, assignment)
     print(f"graph: {graph!r}")
-    print(f"scheme: {scheme.name} (alpha={scheme.alpha:g}, {scheme.size_bound})")
-    print(f"approx proof size: {assignment.max_bits} bits (mean "
+    print(_scheme_line(scheme, spec))
+    if args.param:
+        print(f"params: {' '.join(args.param)}")
+    print(f"proof size: {assignment.max_bits} bits (mean "
           f"{assignment.total_bits / max(1, graph.n):.1f})")
-    print(f"exact proof size:  {exact_bits} bits ({exact.name})")
-    print(f"gap saving: {exact_bits / max(1, assignment.max_bits):.1f}x")
+    if isinstance(scheme, ApproxScheme):
+        exact = scheme.exact_counterpart()
+        exact_bits = exact.proof_size_bits(config)
+        print(f"exact proof size: {exact_bits} bits ({exact.name})")
+        print(f"gap saving: {exact_bits / max(1, assignment.max_bits):.1f}x")
     print(f"verification: all accept = {verdict.all_accept}")
     code = 0 if verdict.all_accept else 1
     if args.attack:
         try:
-            bad = scheme.gap_language.no_configuration(graph, rng=rng)
-        except LanguageError as error:
-            print(f"gap attack skipped: {error}")
+            if isinstance(scheme, ApproxScheme):
+                bad = scheme.gap_language.no_configuration(graph, rng=rng)
+            else:
+                bad = scheme.language.corrupted_configuration(
+                    graph, corruptions=2, rng=rng
+                )
+        except Exception as error:
+            print(f"attack skipped: {error}")
             return code
-        result = run_gap_attack(
+        runner = (
+            run_gap_attack if isinstance(scheme, ApproxScheme) else run_attack
+        )
+        result = runner(
             scheme, bad, rng=rng, trials=args.trials, related=[config]
         )
-        print(f"gap attack on an α-far no-instance: fooled = {result.fooled}; "
+        target = (
+            "an α-far no-instance"
+            if isinstance(scheme, ApproxScheme)
+            else "a corrupted instance"
+        )
+        print(f"attack on {target}: fooled = {result.fooled}; "
               f"minimum rejecting nodes reached: {result.min_rejects} "
               f"({result.evaluations} evaluations)")
         if result.fooled:
@@ -212,16 +278,12 @@ def _cmd_approx_certify(args) -> int:
 
 def _cmd_attack(args) -> int:
     rng, scheme, graph = _make_instance(args)
-    member = scheme.language.member_configuration(graph, rng=rng)
     try:
-        bad = scheme.language.corrupted_configuration(
-            graph, corruptions=args.corruptions, rng=rng
-        )
+        bad, member = _attack_instance(scheme, graph, rng, args.corruptions)
     except Exception as error:
-        raise SystemExit(f"could not corrupt: {error}")
-    result = run_attack(
-        scheme, bad, rng=rng, trials=args.trials, related=[member]
-    )
+        raise SystemExit(f"could not build a no-instance: {error}")
+    runner = run_gap_attack if isinstance(scheme, ApproxScheme) else run_attack
+    result = runner(scheme, bad, rng=rng, trials=args.trials, related=[member])
     print(f"graph: {graph!r}, corruptions: {args.corruptions}")
     print(f"adversary evaluations: {result.evaluations}")
     print(f"fooled: {result.fooled}; minimum rejecting nodes reached: "
@@ -265,7 +327,6 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "list-schemes": _cmd_list_schemes,
         "certify": _cmd_certify,
-        "approx-certify": _cmd_approx_certify,
         "attack": _cmd_attack,
         "experiment": _cmd_experiment,
         "selfstab-sweep": _cmd_selfstab_sweep,

@@ -1,5 +1,7 @@
 """The proof-labeling-scheme framework (the paper's contribution)."""
 
+from repro.core import catalog
+from repro.core.catalog import ParamSpec, SchemeSpec, register_scheme
 from repro.core.composition import ConjunctionScheme, IntersectionLanguage
 from repro.core.labeling import Configuration, Labeling
 from repro.core.language import DistributedLanguage
@@ -36,7 +38,9 @@ __all__ = [
     "Labeling",
     "LocalView",
     "NeighborGlimpse",
+    "ParamSpec",
     "ProofLabelingScheme",
+    "SchemeSpec",
     "SizeRow",
     "UniversalScheme",
     "Verdict",
@@ -45,6 +49,7 @@ __all__ = [
     "best_curve",
     "build_view",
     "build_views",
+    "catalog",
     "completeness_holds",
     "decide",
     "exhaustive_attack",
@@ -52,4 +57,5 @@ __all__ = [
     "greedy_attack",
     "proof_size_sweep",
     "random_attack",
+    "register_scheme",
 ]

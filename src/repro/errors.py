@@ -49,6 +49,16 @@ class SchemeError(ReproError):
     """
 
 
+class CatalogError(SchemeError):
+    """Raised by the scheme catalog for registry misuse.
+
+    Examples: building an unknown scheme name, overriding an undeclared
+    parameter, registering two specs under one name, building a
+    graph-fitted scheme without a graph.  Subclasses
+    :class:`SchemeError` so catch-all scheme handling keeps working.
+    """
+
+
 class SimulationError(ReproError):
     """Raised by the LOCAL-model simulator for protocol violations.
 

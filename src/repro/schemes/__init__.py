@@ -1,12 +1,29 @@
 """Concrete languages and their proof-labeling schemes.
 
-One module per language family; ``ALL_SCHEME_FACTORIES`` enumerates the
-default scheme constructors for sweep-style experiments.
+One module per language family.  Every scheme registers a
+:class:`~repro.core.catalog.SchemeSpec` in the unified catalog
+(:mod:`repro.core.catalog`), which is the one instantiation path::
+
+    from repro.core import catalog
+    scheme = catalog.build("spanning-tree-ptr")
+
+The legacy ``ALL_SCHEME_FACTORIES`` registry is kept as a deprecated
+view over the catalog's exact specs (see the module ``__getattr__``).
 """
 
+from __future__ import annotations
+
+import functools
+import math
+import random
+import warnings
 from typing import Callable
 
+from repro.core import catalog
+from repro.core.catalog import ParamSpec, register_scheme
 from repro.core.scheme import ProofLabelingScheme
+from repro.graphs.generators import grid_graph
+from repro.graphs.graph import Graph
 from repro.schemes.acyclic import AcyclicLanguage, AcyclicScheme
 from repro.schemes.agreement import AgreementLanguage, AgreementScheme
 from repro.schemes.bfs_tree import BfsTreeLanguage, BfsTreeScheme
@@ -72,36 +89,148 @@ __all__ = [
     "regular_universal_scheme",
 ]
 
-#: Default scheme constructors for the sweep experiments (T1).
-ALL_SCHEME_FACTORIES: dict[str, Callable[[], ProofLabelingScheme]] = {
-    "agreement": AgreementScheme,
-    "leader": LeaderScheme,
-    "acyclic": AcyclicScheme,
-    "spanning-tree-ptr": SpanningTreePointerScheme,
-    "spanning-tree-list": SpanningTreeListScheme,
-    "bfs-tree": BfsTreeScheme,
-    "mst": MstScheme,
-    "coloring-echo": ColoringEchoScheme,
-    "bipartite": BipartiteScheme,
-    "independent-set": IndependentSetScheme,
-    "dominating-set": DominatingSetScheme,
-    "matching": MatchingScheme,
-    "vertex-cover": VertexCoverScheme,
-}
+
+# ---------------------------------------------------------------------------
+# Catalog registrations.  Metadata (bound, visibility, radius, weighted)
+# is probed from a default-built instance, so it can never drift from
+# the scheme classes.
+# ---------------------------------------------------------------------------
+
+
+def _register_exact(name: str, factory: Callable[[], ProofLabelingScheme],
+                    summary: str, sampler=None) -> None:
+    def _build(graph, rng, **_params):
+        return factory()
+
+    register_scheme(name, kind="exact", summary=summary, sampler=sampler)(_build)
+
+
+def _grid_sampler(n: int, rng: random.Random) -> Graph:
+    """A grid of ~n nodes — bipartite, so 2-colorability is constructible."""
+    side = max(1, int(math.isqrt(n)))
+    return grid_graph(side, max(1, n // side))
+
+
+_register_exact("agreement", AgreementScheme,
+                "all nodes hold one common value")
+_register_exact("leader", LeaderScheme,
+                "exactly one leader, certified by its id")
+_register_exact("acyclic", AcyclicScheme,
+                "pointer forest via exact depth counters")
+_register_exact("spanning-tree-ptr", SpanningTreePointerScheme,
+                "parent pointers form a spanning tree (root id + distance)")
+_register_exact("spanning-tree-list", SpanningTreeListScheme,
+                "edge lists form a spanning tree")
+_register_exact("bfs-tree", BfsTreeScheme,
+                "parent pointers form a BFS tree")
+_register_exact("mst", MstScheme,
+                "parent pointers form the MST (Boruvka trace)")
+_register_exact("coloring-echo", ColoringEchoScheme,
+                "proper coloring via echoed neighbor colors")
+_register_exact("bipartite", BipartiteScheme,
+                "2-colorability witness", sampler=_grid_sampler)
+_register_exact("independent-set", IndependentSetScheme,
+                "marked set is independent")
+_register_exact("dominating-set", DominatingSetScheme,
+                "marked set dominates the graph")
+_register_exact("matching", MatchingScheme,
+                "marked edges form a matching")
+_register_exact("vertex-cover", VertexCoverScheme,
+                "marked set covers every edge")
+
+
+@register_scheme(
+    "coarse-acyclic",
+    kind="exact",
+    summary="acyclicity via coarse depth/t counters at verification radius t",
+    params=(
+        ParamSpec(
+            "t", 2, doc="verification radius (bits shrink as log(n/t))",
+            minimum=1,
+        ),
+    ),
+)
+def _build_coarse_acyclic(graph, rng, *, t=2):
+    return CoarseAcyclicScheme(int(t))
+
+
+@register_scheme(
+    "universal-regular",
+    kind="universal",
+    summary="the generic Theta(n^2) scheme on the regular-subgraph language",
+)
+def _build_universal_regular(graph, rng, **_params):
+    return regular_universal_scheme()
+
+
+# ---------------------------------------------------------------------------
+# Deprecated views over the catalog.
+# ---------------------------------------------------------------------------
+
+#: The names the pre-catalog ``ALL_SCHEME_FACTORIES`` dict carried; the
+#: deprecated view reproduces exactly this surface (newer catalog-only
+#: entries such as ``coarse-acyclic`` are not retrofitted into it).
+_LEGACY_EXACT_NAMES = (
+    "agreement",
+    "leader",
+    "acyclic",
+    "spanning-tree-ptr",
+    "spanning-tree-list",
+    "bfs-tree",
+    "mst",
+    "coloring-echo",
+    "bipartite",
+    "independent-set",
+    "dominating-set",
+    "matching",
+    "vertex-cover",
+)
+
+
+_legacy_factories_cache: dict[str, Callable[[], ProofLabelingScheme]] | None = None
+
+
+def _legacy_scheme_factories() -> dict[str, Callable[[], ProofLabelingScheme]]:
+    """The old zero-arg-factory dict, rebuilt from the catalog.
+
+    Memoised so repeated accesses share one mutable dict, like the old
+    module-level registry did.
+    """
+    global _legacy_factories_cache
+    if _legacy_factories_cache is None:
+        _legacy_factories_cache = {
+            name: functools.partial(catalog.build, name)
+            for name in _LEGACY_EXACT_NAMES
+        }
+    return _legacy_factories_cache
 
 
 def __getattr__(name: str):
-    """Lazy bridge to the approximate-scheme registry.
+    """Deprecation shims for the pre-catalog registries.
 
-    The α-APLS registry (``repro.approx``) is re-exported here so the
-    scheme surface is one-stop, but the approx modules themselves import
-    submodules of this package — a lazy attribute breaks the cycle.
-    Approximate schemes are graph-parametrised, so the registry holds
-    builders ``(graph, rng) -> ApproxScheme`` instead of zero-argument
-    factories; they are therefore kept out of ``ALL_SCHEME_FACTORIES``.
+    ``ALL_SCHEME_FACTORIES`` and the re-exported
+    ``APPROX_SCHEME_BUILDERS`` now live in :mod:`repro.core.catalog`;
+    these aliases keep old callers working while warning them off.  The
+    approx registry stays a lazy attribute for the historical reason
+    too: the approx modules import submodules of this package, and a
+    lazy attribute breaks the cycle.
     """
+    if name == "ALL_SCHEME_FACTORIES":
+        warnings.warn(
+            "repro.schemes.ALL_SCHEME_FACTORIES is deprecated; use "
+            "repro.core.catalog (catalog.names()/specs()/build()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _legacy_scheme_factories()
     if name == "APPROX_SCHEME_BUILDERS":
-        from repro.approx import APPROX_SCHEME_BUILDERS
+        warnings.warn(
+            "repro.schemes.APPROX_SCHEME_BUILDERS is deprecated; use "
+            "repro.core.catalog (catalog.names('approx')/build()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.approx import _legacy_approx_builders
 
-        return APPROX_SCHEME_BUILDERS
+        return _legacy_approx_builders()
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
+from repro.core import catalog
 from repro.core.labeling import Configuration
 from repro.core.scheme import ProofLabelingScheme
 from repro.core.verifier import view_build_count
@@ -133,24 +134,23 @@ def _live_instance(
 
 
 def _build_st_pointer(graph: Graph, rng: random.Random) -> CampaignInstance:
-    from repro.schemes.spanning_tree import SpanningTreePointerScheme
     from repro.selfstab.protocol import MaxRootBfsProtocol
 
-    return _live_instance(graph, MaxRootBfsProtocol(), SpanningTreePointerScheme())
+    return _live_instance(
+        graph, MaxRootBfsProtocol(), catalog.build("spanning-tree-ptr")
+    )
 
 
 def _build_bfs_tree(graph: Graph, rng: random.Random) -> CampaignInstance:
-    from repro.schemes.bfs_tree import BfsTreeScheme
     from repro.selfstab.protocol import MaxRootBfsProtocol
 
-    return _live_instance(graph, MaxRootBfsProtocol(), BfsTreeScheme())
+    return _live_instance(graph, MaxRootBfsProtocol(), catalog.build("bfs-tree"))
 
 
 def _build_leader(graph: Graph, rng: random.Random) -> CampaignInstance:
-    from repro.schemes.leader import LeaderScheme
     from repro.selfstab.leader_protocol import SilentLeaderProtocol
 
-    return _live_instance(graph, SilentLeaderProtocol(), LeaderScheme())
+    return _live_instance(graph, SilentLeaderProtocol(), catalog.build("leader"))
 
 
 def _frozen_instance(
@@ -167,17 +167,13 @@ def _frozen_instance(
 
 
 def _build_approx_tree_weight(graph: Graph, rng: random.Random) -> CampaignInstance:
-    from repro.approx import APPROX_SCHEME_BUILDERS
-
     weighted = weighted_copy(graph, spawn(rng, 11))
-    scheme = APPROX_SCHEME_BUILDERS["approx-tree-weight"].build(weighted, rng)
+    scheme = catalog.build("approx-tree-weight", graph=weighted, rng=rng)
     return _frozen_instance(weighted, scheme, rng)
 
 
 def _build_approx_dominating_set(graph: Graph, rng: random.Random) -> CampaignInstance:
-    from repro.approx import APPROX_SCHEME_BUILDERS
-
-    scheme = APPROX_SCHEME_BUILDERS["approx-dominating-set"].build(graph, rng)
+    scheme = catalog.build("approx-dominating-set", graph=graph, rng=rng)
     return _frozen_instance(graph, scheme, rng)
 
 

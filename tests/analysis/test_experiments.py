@@ -38,8 +38,10 @@ class TestTables:
 
 class TestExperimentsRun:
     def test_t1(self):
+        from repro.core import catalog
+
         result = experiment_t1_proof_sizes(sizes=(8, 12), rng=make_rng(1))
-        assert len(result.rows) >= 20  # all schemes x sizes
+        assert len(result.rows) == len(catalog.specs(kind="exact")) * 2
         assert any("best-fit" in n for n in result.notes)
 
     def test_t2(self):
@@ -79,22 +81,34 @@ class TestExperimentsRun:
             assert row[2] == 0  # detection latency: first sweep
 
     def test_t4(self):
-        from repro.schemes import ALL_SCHEME_FACTORIES
+        from repro.core import catalog
 
         result = experiment_t4_verification_cost(n=10, rng=make_rng(6))
-        assert len(result.rows) == len(ALL_SCHEME_FACTORIES)
+        radius_one = [s for s in catalog.specs(kind="exact") if s.radius == 1]
+        assert len(result.rows) == len(radius_one)
         assert all(row[1] == 1 for row in result.rows)  # one round each
 
     def test_t5(self):
-        from repro.approx import APPROX_SCHEME_BUILDERS
+        from repro.core import catalog
 
         result = experiment_t5_approx(
             sizes=(10,), families=("gnp_sparse",), rng=make_rng(9)
         )
-        assert len(result.rows) == len(APPROX_SCHEME_BUILDERS)
+        # One row per approx spec, times the three-point eps sweep for
+        # the (1+eps)-parametrised counter families.
+        expected = sum(
+            3 if spec.has_param("eps") else 1
+            for spec in catalog.specs(kind="approx")
+        )
+        assert len(result.rows) == expected
         for row in result.rows:
             assert row[4] < row[5]  # approx bits strictly below exact bits
+        swept_alphas = {
+            row[1] for row in result.rows if row[0] == "approx-tree-weight"
+        }
+        assert len(swept_alphas) >= 3  # the eps sweep really varies alpha
         assert any("strictly smaller" in n and "True" in n for n in result.notes)
+        assert any("tradeoff" in n for n in result.notes)
 
     def test_f5(self):
         result = experiment_f5_idspace(

@@ -11,15 +11,14 @@ from __future__ import annotations
 import pytest
 
 from repro.approx import (
-    APPROX_SCHEME_BUILDERS,
     ApproxDiameterScheme,
     ApproxDominatingSetScheme,
     ApproxTreeWeightScheme,
     GapDiameterLanguage,
     GapDominatingSetLanguage,
     GapTreeWeightLanguage,
-    build_approx_scheme,
 )
+from repro.core import catalog
 from repro.core.soundness import gap_attack
 from repro.graphs.generators import (
     connected_gnp,
@@ -43,18 +42,18 @@ FAMILIES = {
 }
 
 
-def _instance(name, family, n, seed):
+def _instance(name, family, n, seed, **params):
     rng = make_rng(seed)
-    entry = APPROX_SCHEME_BUILDERS[name]
+    spec = catalog.get(name)
     graph = FAMILIES[family](n, spawn(rng, 1))
-    if entry.weighted:
+    if spec.weighted:
         graph = weighted_copy(graph, spawn(rng, 2))
-    scheme = build_approx_scheme(name, graph, spawn(rng, 3))
+    scheme = catalog.build(name, graph=graph, rng=spawn(rng, 3), **params)
     return scheme, graph, rng
 
 
 class TestCompleteness:
-    @pytest.mark.parametrize("name", sorted(APPROX_SCHEME_BUILDERS))
+    @pytest.mark.parametrize("name", catalog.names(kind="approx"))
     @pytest.mark.parametrize("family", sorted(FAMILIES))
     @pytest.mark.parametrize("seed", [0, 1])
     def test_honest_certificates_accept_everywhere(self, name, family, seed):
@@ -111,7 +110,7 @@ class TestGapSoundness:
 
 
 class TestSizeComparison:
-    @pytest.mark.parametrize("name", sorted(APPROX_SCHEME_BUILDERS))
+    @pytest.mark.parametrize("name", catalog.names(kind="approx"))
     @pytest.mark.parametrize("family", ["gnp", "tree"])
     def test_approx_beats_exact(self, name, family):
         scheme, graph, rng = _instance(name, family, n=14, seed=7)
@@ -120,7 +119,64 @@ class TestSizeComparison:
         exact_bits = scheme.exact_counterpart().proof_size_bits(config)
         assert approx_bits < exact_bits
 
-    @pytest.mark.parametrize("name", sorted(APPROX_SCHEME_BUILDERS))
+    @pytest.mark.parametrize("name", catalog.names(kind="approx"))
     def test_alpha_exposed(self, name):
         scheme, _, _ = _instance(name, "gnp", n=10, seed=5)
-        assert scheme.alpha == APPROX_SCHEME_BUILDERS[name].alpha > 1.0
+        assert scheme.alpha == catalog.get(name).alpha > 1.0
+
+
+class TestEpsFamilies:
+    """The (1+ε)-parametrised counter families stay complete and sound
+    away from the classic ε = 1 (α = 2) point."""
+
+    @pytest.mark.parametrize("name", ["approx-dominating-set", "approx-tree-weight"])
+    @pytest.mark.parametrize("eps", [0.25, 3.0])
+    def test_completeness_across_eps(self, name, eps):
+        scheme, graph, rng = _instance(name, "gnp", n=13, seed=2, eps=eps)
+        assert scheme.alpha == 1.0 + eps
+        config = scheme.language.member_configuration(graph, rng=spawn(rng, 4))
+        assert scheme.run(config).all_accept
+
+    @pytest.mark.parametrize("name", ["approx-dominating-set", "approx-tree-weight"])
+    @pytest.mark.parametrize("eps", [0.25, 3.0])
+    def test_gap_soundness_across_eps(self, name, eps):
+        scheme, graph, rng = _instance(name, "gnp", n=10, seed=11, eps=eps)
+        member = scheme.language.member_configuration(graph, rng=spawn(rng, 4))
+        from repro.errors import LanguageError
+
+        try:
+            bad = scheme.gap_language.no_configuration(graph, rng=spawn(rng, 5))
+        except LanguageError:
+            pytest.skip("no alpha-far instance reachable on this graph")
+        outcome = gap_attack(
+            scheme, bad, rng=spawn(rng, 6), trials=30, related=[member]
+        )
+        assert not outcome.fooled
+
+    def test_tighter_eps_widens_the_mantissa(self):
+        """Shrinking ε tightens the gap the honest round-up must fit in,
+        so the chosen mantissa width is monotone non-increasing in α."""
+        from repro.approx.counters import mantissa_bits_for
+
+        for depth in (2, 8, 32):
+            widths = [
+                mantissa_bits_for(depth, 1.0 + eps)
+                for eps in (0.1, 0.25, 1.0, 3.0)
+            ]
+            assert widths == sorted(widths, reverse=True)
+            assert widths[0] > widths[-1]
+
+    def test_tighter_eps_tightens_the_accepted_root_bound(self):
+        """The α the verifier enforces really is 1 + ε: an accepted root
+        certifies weight ≤ (1+ε)·budget, so smaller ε certifies more."""
+        scheme_tight, graph, rng = _instance(
+            "approx-tree-weight", "gnp", n=16, seed=9, eps=0.1
+        )
+        scheme_loose = catalog.build(
+            "approx-tree-weight", graph=graph, rng=spawn(rng, 3), eps=3.0
+        )
+        budget = scheme_tight.gap_language.budget
+        assert scheme_loose.gap_language.budget == budget
+        assert (
+            scheme_tight.alpha * budget < scheme_loose.alpha * budget
+        )

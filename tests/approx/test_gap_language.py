@@ -5,12 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.approx import (
-    APPROX_SCHEME_BUILDERS,
     GapDiameterLanguage,
     GapDominatingSetLanguage,
     GapVertexCoverLanguage,
-    build_approx_scheme,
 )
+from repro.core import catalog
 from repro.core.soundness import gap_attack
 from repro.errors import LanguageError, SchemeError
 from repro.graphs.generators import connected_gnp, path_graph
@@ -19,17 +18,17 @@ from repro.schemes import LeaderScheme
 from repro.util.rng import make_rng
 
 
-def _fitted(name, n=12, seed=3):
+def _fitted(name, n=12, seed=3, **params):
     rng = make_rng(seed)
-    entry = APPROX_SCHEME_BUILDERS[name]
+    spec = catalog.get(name)
     graph = connected_gnp(n, 0.3, rng)
-    if entry.weighted:
+    if spec.weighted:
         graph = weighted_copy(graph, rng)
-    return build_approx_scheme(name, graph, rng), graph, rng
+    return catalog.build(name, graph=graph, rng=rng, **params), graph, rng
 
 
 class TestGapContract:
-    @pytest.mark.parametrize("name", sorted(APPROX_SCHEME_BUILDERS))
+    @pytest.mark.parametrize("name", catalog.names(kind="approx"))
     def test_member_configuration_is_yes(self, name):
         scheme, graph, rng = _fitted(name)
         config = scheme.language.member_configuration(graph, rng=rng)

@@ -1,0 +1,180 @@
+"""The unified scheme catalog: registry-wide properties and the API.
+
+Every registered spec must build a working scheme on its own
+``sample_graph`` (completeness: honest certificates convince every
+node), and the metadata a spec declares — kind, visibility, radius,
+size bound, α, weighted — must match the scheme it builds.  The second
+half pins the parameter machinery: declared defaults, validation, CLI
+string coercion, and the registration error paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx.scheme import ApproxScheme
+from repro.core import catalog
+from repro.core.catalog import KINDS, ParamSpec, SchemeSpec, register_scheme
+from repro.core.scheme import ProofLabelingScheme
+from repro.errors import CatalogError
+from repro.util.rng import make_rng, spawn
+
+ALL_NAMES = catalog.names()
+
+
+class TestRegistryWideProperties:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_builds_and_completes_on_own_sample_graph(self, name):
+        rng = make_rng(hash(name) & 0xFFFFFF)
+        spec = catalog.get(name)
+        graph = spec.sample_graph(14, spawn(rng, 1))
+        scheme = catalog.build(name, graph=graph, rng=spawn(rng, 2))
+        assert isinstance(scheme, ProofLabelingScheme)
+        config = scheme.language.member_configuration(graph, rng=spawn(rng, 3))
+        verdict = scheme.run(config)
+        assert verdict.all_accept, f"{name}: rejects {sorted(verdict.rejects)}"
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_declared_metadata_matches_built_scheme(self, name):
+        spec = catalog.get(name)
+        graph = spec.sample_graph(12, make_rng(7))
+        scheme = catalog.build(name, graph=graph, rng=make_rng(8))
+        assert scheme.visibility is spec.visibility
+        assert scheme.radius == spec.radius
+        assert scheme.size_bound == spec.size_bound
+        assert scheme.language.weighted == spec.weighted
+        if spec.kind == "approx":
+            assert isinstance(scheme, ApproxScheme)
+            assert scheme.alpha == spec.alpha > 1.0
+        else:
+            assert spec.alpha is None
+            assert not isinstance(scheme, ApproxScheme)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_sample_graph_honours_weightedness(self, name):
+        spec = catalog.get(name)
+        graph = spec.sample_graph(10, make_rng(3))
+        if spec.weighted:
+            assert graph.is_weighted
+
+    def test_kind_partition_covers_registry(self):
+        by_kind = [name for kind in KINDS for name in catalog.names(kind)]
+        assert sorted(by_kind) == sorted(ALL_NAMES)
+        assert len(set(ALL_NAMES)) == len(ALL_NAMES)
+
+    def test_expected_population(self):
+        assert len(catalog.names(kind="exact")) >= 14
+        assert len(catalog.names(kind="approx")) >= 5
+        assert "universal-regular" in catalog.names(kind="universal")
+        # The (1+eps)-parametrised counter families.
+        eps_families = [
+            s.name for s in catalog.specs(kind="approx") if s.has_param("eps")
+        ]
+        assert sorted(eps_families) == [
+            "approx-dominating-set",
+            "approx-tree-weight",
+        ]
+
+
+class TestBuildApi:
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(CatalogError, match="unknown scheme"):
+            catalog.build("no-such-scheme")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CatalogError, match="unknown scheme kind"):
+            catalog.specs(kind="bogus")
+
+    def test_graph_fitted_specs_require_a_graph(self):
+        with pytest.raises(CatalogError, match="graph-fitted"):
+            catalog.build("approx-tree-weight")
+
+    def test_graph_agnostic_specs_build_without_a_graph(self):
+        scheme = catalog.build("spanning-tree-ptr")
+        assert scheme.name == "spanning-tree-ptr"
+        assert isinstance(catalog.build("approx-vertex-cover"), ApproxScheme)
+
+    def test_weighted_spec_rejects_unweighted_graph(self):
+        from repro.graphs.generators import path_graph
+
+        with pytest.raises(CatalogError, match="weighted"):
+            catalog.build("approx-tree-weight", graph=path_graph(6))
+
+    def test_eps_override_changes_alpha(self):
+        spec = catalog.get("approx-dominating-set")
+        graph = spec.sample_graph(12, make_rng(1))
+        assert catalog.build(
+            "approx-dominating-set", graph=graph, eps=0.5
+        ).alpha == 1.5
+        # CLI-style string values coerce through the same path.
+        assert catalog.build(
+            "approx-dominating-set", graph=graph, eps="0.5"
+        ).alpha == 1.5
+
+    def test_undeclared_param_rejected(self):
+        spec = catalog.get("approx-dominating-set")
+        graph = spec.sample_graph(10, make_rng(2))
+        with pytest.raises(CatalogError, match="no parameter"):
+            catalog.build("approx-dominating-set", graph=graph, gamma=2)
+        with pytest.raises(CatalogError, match="no parameter"):
+            catalog.build("leader", eps=0.5)
+
+    def test_param_bounds_enforced(self):
+        spec = catalog.get("approx-tree-weight")
+        graph = spec.sample_graph(10, make_rng(3))
+        with pytest.raises(CatalogError, match="must exceed"):
+            catalog.build("approx-tree-weight", graph=graph, eps=0.0)
+        with pytest.raises(CatalogError, match="at least"):
+            catalog.build("coarse-acyclic", t=0)
+
+    def test_int_param_rejects_fractions(self):
+        with pytest.raises(CatalogError, match="integer"):
+            catalog.build("coarse-acyclic", t=2.5)
+        # Integral floats and strings are accepted.
+        assert catalog.build("coarse-acyclic", t="4").radius == 4
+
+    def test_non_numeric_param_rejected(self):
+        with pytest.raises(CatalogError, match="number"):
+            catalog.build("coarse-acyclic", t="four")
+
+
+class TestParamSpec:
+    def test_defaults_fix_the_type(self):
+        p = ParamSpec("t", 2)
+        assert p.coerce("3") == 3 and isinstance(p.coerce("3"), int)
+        q = ParamSpec("eps", 1.0)
+        assert q.coerce(2) == 2.0 and isinstance(q.coerce(2), float)
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(CatalogError):
+            ParamSpec("t", 2).coerce(True)
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(CatalogError, match="already registered"):
+            register_scheme("leader", kind="exact", summary="dup")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CatalogError, match="kind"):
+            register_scheme("x-new", kind="fuzzy", summary="?")
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(CatalogError, match="duplicate parameter"):
+            register_scheme(
+                "x-new",
+                kind="exact",
+                summary="?",
+                params=(ParamSpec("a", 1), ParamSpec("a", 2)),
+            )
+
+    def test_graph_fitted_specs_must_declare_metadata(self):
+        with pytest.raises(CatalogError, match="declare"):
+            register_scheme(
+                "x-new", kind="approx", summary="?", graph_fitted=True
+            )(lambda graph, rng: None)
+
+    def test_spec_repr_is_informative(self):
+        spec = catalog.get("mst")
+        assert isinstance(spec, SchemeSpec)
+        assert "mst" in repr(spec)

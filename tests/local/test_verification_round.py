@@ -7,7 +7,7 @@ import pytest
 from repro.graphs.generators import connected_gnp, grid_graph
 from repro.graphs.weighted import weighted_copy
 from repro.local.verification_round import distributed_verification
-from repro.schemes import ALL_SCHEME_FACTORIES
+from repro.core import catalog
 from repro.util.rng import make_rng
 
 
@@ -18,11 +18,13 @@ def _config_for(scheme, rng):
     return scheme.language.member_configuration(graph, rng=rng)
 
 
-@pytest.mark.parametrize("name", sorted(ALL_SCHEME_FACTORIES))
+@pytest.mark.parametrize(
+    "name", [s.name for s in catalog.specs(kind="exact") if s.radius == 1]
+)
 class TestAgainstDirectEngine:
     def test_verdicts_match_on_members(self, name):
         rng = make_rng(42)
-        scheme = ALL_SCHEME_FACTORIES[name]()
+        scheme = catalog.build(name)
         config = _config_for(scheme, rng)
         certs = scheme.prove(config)
         distributed, run = distributed_verification(scheme, config, certs)
@@ -33,7 +35,7 @@ class TestAgainstDirectEngine:
 
     def test_verdicts_match_on_corrupted(self, name):
         rng = make_rng(43)
-        scheme = ALL_SCHEME_FACTORIES[name]()
+        scheme = catalog.build(name)
         config = _config_for(scheme, rng)
         try:
             bad = scheme.language.corrupted_configuration(
@@ -51,7 +53,7 @@ class TestAgainstDirectEngine:
 class TestMessageCost:
     def test_bits_scale_with_certificates(self):
         rng = make_rng(7)
-        scheme = ALL_SCHEME_FACTORIES["spanning-tree-ptr"]()
+        scheme = catalog.build("spanning-tree-ptr")
         config = _config_for(scheme, rng)
         _, run = distributed_verification(scheme, config)
         # Two messages per edge, each carrying at least the certificate.

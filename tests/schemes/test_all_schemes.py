@@ -1,7 +1,7 @@
 """Cross-cutting properties every scheme must satisfy.
 
 These are the paper's two defining conditions, machine-checked for every
-scheme in the registry over several graph families and random seeds:
+exact scheme in the catalog over several graph families and random seeds:
 
 * completeness — honest certificates convince every node on members;
 * soundness (experimental) — on corrupted members, the budgeted
@@ -24,7 +24,7 @@ from repro.graphs.generators import (
     random_tree,
 )
 from repro.graphs.weighted import weighted_copy
-from repro.schemes import ALL_SCHEME_FACTORIES
+from repro.core import catalog
 from repro.util.rng import make_rng
 
 FAMILIES = {
@@ -46,11 +46,11 @@ def _prepare(scheme, family, n, rng):
 
 
 @pytest.mark.parametrize("family", sorted(FAMILIES))
-@pytest.mark.parametrize("name", sorted(ALL_SCHEME_FACTORIES))
+@pytest.mark.parametrize("name", catalog.names(kind="exact"))
 class TestCompleteness:
     def test_all_nodes_accept_members(self, name, family):
         rng = make_rng(hash((name, family)) & 0xFFFFFF)
-        scheme = ALL_SCHEME_FACTORIES[name]()
+        scheme = catalog.build(name)
         graph = _prepare(scheme, family, 12, rng)
         if not scheme.language.supports_graph(graph):
             pytest.skip("language not constructible on this family")
@@ -58,11 +58,11 @@ class TestCompleteness:
         assert completeness_holds(scheme, config)
 
 
-@pytest.mark.parametrize("name", sorted(ALL_SCHEME_FACTORIES))
+@pytest.mark.parametrize("name", catalog.names(kind="exact"))
 class TestDetection:
     def test_honest_certificates_detect_corruption(self, name):
         rng = make_rng(hash(name) & 0xFFFFFF)
-        scheme = ALL_SCHEME_FACTORIES[name]()
+        scheme = catalog.build(name)
         graph = _prepare(scheme, "gnp", 12, rng)
         if not scheme.language.supports_graph(graph):
             pytest.skip("language not constructible here")
@@ -75,7 +75,7 @@ class TestDetection:
 
     def test_adversary_never_fools(self, name):
         rng = make_rng(hash((name, "attack")) & 0xFFFFFF)
-        scheme = ALL_SCHEME_FACTORIES[name]()
+        scheme = catalog.build(name)
         graph = _prepare(scheme, "gnp", 10, rng)
         if not scheme.language.supports_graph(graph):
             pytest.skip("language not constructible here")
@@ -104,7 +104,7 @@ class TestPropertyBased:
         """For random graphs, sizes and corruption counts: corrupted
         spanning-tree configurations are rejected somewhere."""
         rng = make_rng(seed)
-        scheme = ALL_SCHEME_FACTORIES["spanning-tree-ptr"]()
+        scheme = catalog.build("spanning-tree-ptr")
         graph = connected_gnp(n, 0.4, rng)
         try:
             bad = scheme.language.corrupted_configuration(
@@ -126,7 +126,7 @@ class TestPropertyBased:
     def test_mst_completeness_property(self, seed, n):
         """Honest MST certificates verify on random weighted graphs."""
         rng = make_rng(seed)
-        scheme = ALL_SCHEME_FACTORIES["mst"]()
+        scheme = catalog.build("mst")
         graph = weighted_copy(connected_gnp(n, 0.5, rng), rng)
         config = scheme.language.member_configuration(graph, rng=rng)
         assert completeness_holds(scheme, config)
@@ -142,7 +142,7 @@ class TestPropertyBased:
     )
     def test_leader_completeness_property(self, seed, n):
         rng = make_rng(seed)
-        scheme = ALL_SCHEME_FACTORIES["leader"]()
+        scheme = catalog.build("leader")
         graph = connected_gnp(n, 0.35, rng)
         config = scheme.language.member_configuration(graph, rng=rng)
         assert completeness_holds(scheme, config)

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core import catalog
 
 
 class TestParser:
@@ -16,24 +19,44 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["certify", "no-such-scheme"])
 
+    def test_approx_names_are_plain_certify_choices(self):
+        args = build_parser().parse_args(["certify", "approx-vertex-cover"])
+        assert args.scheme == "approx-vertex-cover"
 
-class TestCommands:
-    def test_list_schemes(self, capsys):
+
+class TestListSchemes:
+    def test_every_registered_name_listed(self, capsys):
         assert main(["list-schemes"]) == 0
         out = capsys.readouterr().out
+        for name in catalog.names():
+            assert name in out
         assert "spanning-tree-ptr" in out
         assert "mst" in out
         assert "Theta(log n)" in out
+        assert "alpha=2" in out
+        assert "eps=1" in out  # declared parameters are rendered
 
-    def test_list_schemes_includes_approx(self, capsys):
-        from repro.approx import APPROX_SCHEME_BUILDERS
-
+    def test_fields_are_separated(self, capsys):
+        """Regression: approx rows used to concatenate ``alpha=...`` and
+        ``bound=...`` with no separator between the two fields."""
         assert main(["list-schemes"]) == 0
         out = capsys.readouterr().out
-        for name in APPROX_SCHEME_BUILDERS:
-            assert name in out
-        assert "alpha=2" in out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert lines
+        for line in lines:
+            assert re.search(r"alpha=\S+\s", line), line
+            assert not re.search(r"alpha=\S*bound=", line), line
+            assert " bound=" in line
 
+    def test_kinds_rendered_uniformly(self, capsys):
+        assert main(["list-schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "kind=exact" in out
+        assert "kind=approx" in out
+        assert "kind=universal" in out
+
+
+class TestCertify:
     def test_certify_accepts(self, capsys):
         code = main(["certify", "spanning-tree-ptr", "--n", "16", "--seed", "3"])
         assert code == 0
@@ -49,31 +72,62 @@ class TestCommands:
             # bipartite on a family that is generally non-bipartite
             main(["certify", "bipartite", "--family", "gnp_dense", "--n", "13"])
 
-    def test_approx_certify_accepts(self, capsys):
-        code = main(["approx-certify", "approx-vertex-cover", "--n", "16", "--seed", "3"])
+    def test_certify_defaults_to_supported_family(self, capsys):
+        # No --family: the spec's own sampler must pick a bipartite graph.
+        assert main(["certify", "bipartite", "--n", "12"]) == 0
+        assert "all accept = True" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("name", catalog.names())
+    def test_certify_succeeds_for_every_registered_name(self, name, capsys):
+        """The acceptance criterion: one uniform path for all kinds."""
+        assert main(["certify", name, "--n", "14", "--seed", "5"]) == 0
+        assert "all accept = True" in capsys.readouterr().out
+
+    def test_certify_approx_reports_gap_saving(self, capsys):
+        code = main(["certify", "approx-vertex-cover", "--n", "16", "--seed", "3"])
         assert code == 0
         out = capsys.readouterr().out
         assert "all accept = True" in out
         assert "gap saving" in out
-
-    def test_approx_certify_weighted_scheme(self, capsys):
-        assert main(["approx-certify", "approx-tree-weight", "--n", "12"]) == 0
-        out = capsys.readouterr().out
-        assert "approx proof size" in out
         assert "exact proof size" in out
 
-    def test_approx_certify_attack_never_fooled(self, capsys):
+    def test_certify_param_override_reaches_the_scheme(self, capsys):
         code = main(
-            ["approx-certify", "approx-matching", "--n", "12",
+            ["certify", "approx-tree-weight", "--n", "12", "--param", "eps=0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alpha=1.5" in out
+        assert "params: eps=0.5" in out
+
+    def test_certify_unknown_param_exits(self):
+        with pytest.raises(SystemExit):
+            main(["certify", "approx-tree-weight", "--n", "10",
+                  "--param", "bogus=3"])
+
+    def test_certify_malformed_param_exits(self):
+        with pytest.raises(SystemExit):
+            main(["certify", "approx-tree-weight", "--n", "10",
+                  "--param", "eps"])
+
+    def test_certify_attack_exact_never_fooled(self, capsys):
+        code = main(
+            ["certify", "leader", "--n", "12", "--attack", "--trials", "20",
+             "--seed", "2"]
+        )
+        assert code == 0
+        assert "fooled = False" in capsys.readouterr().out
+
+    def test_certify_attack_approx_never_fooled(self, capsys):
+        code = main(
+            ["certify", "approx-matching", "--n", "12",
              "--attack", "--trials", "20", "--seed", "1"]
         )
         assert code == 0
         assert "fooled = False" in capsys.readouterr().out
 
-    def test_approx_certify_unknown_scheme_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["approx-certify", "no-such-scheme"])
 
+class TestAttack:
     def test_attack_never_fooled(self, capsys):
         code = main(
             ["attack", "leader", "--n", "12", "--trials", "20", "--seed", "2"]
@@ -81,6 +135,16 @@ class TestCommands:
         assert code == 0
         assert "fooled: False" in capsys.readouterr().out
 
+    def test_attack_gap_scheme_uses_no_instance(self, capsys):
+        code = main(
+            ["attack", "approx-vertex-cover", "--n", "10", "--trials", "20",
+             "--seed", "4"]
+        )
+        assert code == 0
+        assert "fooled: False" in capsys.readouterr().out
+
+
+class TestOtherCommands:
     def test_experiment_runs(self, capsys):
         assert main(["experiment", "f6"]) == 0
         out = capsys.readouterr().out

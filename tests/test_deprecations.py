@@ -1,0 +1,164 @@
+"""The pre-catalog registries stay usable — and warn.
+
+``ALL_SCHEME_FACTORIES`` and ``APPROX_SCHEME_BUILDERS`` are deprecated
+views over :mod:`repro.core.catalog`; these tests pin both halves of
+that contract: the alias behaviour (same names, same call shapes, same
+objects out) and the :class:`DeprecationWarning` on access.  Internal
+``repro.*`` code must not trip these shims — CI runs the suite with
+``-W error::DeprecationWarning:repro`` to enforce it.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import catalog
+from repro.core.scheme import ProofLabelingScheme
+from repro.util.rng import make_rng
+
+#: The exact surface the old dicts exposed.
+LEGACY_EXACT = [
+    "acyclic",
+    "agreement",
+    "bfs-tree",
+    "bipartite",
+    "coloring-echo",
+    "dominating-set",
+    "independent-set",
+    "leader",
+    "matching",
+    "mst",
+    "spanning-tree-list",
+    "spanning-tree-ptr",
+    "vertex-cover",
+]
+LEGACY_APPROX = [
+    "approx-diameter",
+    "approx-dominating-set",
+    "approx-matching",
+    "approx-tree-weight",
+    "approx-vertex-cover",
+]
+
+
+class TestAllSchemeFactoriesShim:
+    def test_access_warns(self):
+        import repro.schemes
+
+        with pytest.warns(DeprecationWarning, match="ALL_SCHEME_FACTORIES"):
+            repro.schemes.ALL_SCHEME_FACTORIES
+
+    def test_alias_behaviour_pinned(self):
+        import repro.schemes
+
+        with pytest.warns(DeprecationWarning):
+            factories = repro.schemes.ALL_SCHEME_FACTORIES
+        assert sorted(factories) == LEGACY_EXACT
+        # Zero-arg factories, exactly like the old dict of classes —
+        # catalog-only additions (coarse-acyclic) are not retrofitted.
+        scheme = factories["mst"]()
+        assert isinstance(scheme, ProofLabelingScheme)
+        assert scheme.name == catalog.build("mst").name
+        assert "coarse-acyclic" not in factories
+
+    def test_reexport_through_schemes_package_warns(self):
+        import repro.schemes
+
+        with pytest.warns(DeprecationWarning, match="APPROX_SCHEME_BUILDERS"):
+            builders = repro.schemes.APPROX_SCHEME_BUILDERS
+        assert sorted(builders) == LEGACY_APPROX
+
+
+class TestApproxBuildersShim:
+    def test_access_warns(self):
+        import repro.approx
+
+        with pytest.warns(DeprecationWarning, match="APPROX_SCHEME_BUILDERS"):
+            repro.approx.APPROX_SCHEME_BUILDERS
+
+    def test_alias_behaviour_pinned(self):
+        import repro.approx
+
+        with pytest.warns(DeprecationWarning):
+            builders = repro.approx.APPROX_SCHEME_BUILDERS
+        assert sorted(builders) == LEGACY_APPROX
+        entry = builders["approx-dominating-set"]
+        # The old dataclass surface: metadata plus build(graph, rng).
+        assert entry.alpha == 2.0
+        assert entry.weighted is False
+        spec = catalog.get("approx-dominating-set")
+        assert entry.size_bound == spec.size_bound
+        assert entry.summary == spec.summary
+        rng = make_rng(5)
+        graph = spec.sample_graph(10, rng)
+        scheme = entry.build(graph, rng)
+        assert scheme.alpha == 2.0
+        assert scheme.run(
+            scheme.language.member_configuration(graph, rng=rng)
+        ).all_accept
+
+    def test_build_approx_scheme_warns_and_forwards(self):
+        from repro.approx import build_approx_scheme
+        from repro.errors import SchemeError
+
+        spec = catalog.get("approx-vertex-cover")
+        graph = spec.sample_graph(10, make_rng(1))
+        with pytest.warns(DeprecationWarning, match="build_approx_scheme"):
+            scheme = build_approx_scheme("approx-vertex-cover", graph)
+        assert scheme.alpha == 2.0
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SchemeError, match="unknown approx scheme"):
+                build_approx_scheme("leader", graph)
+
+
+class TestTopLevelReexports:
+    def test_repro_all_scheme_factories_warns(self):
+        import repro
+
+        with pytest.warns(DeprecationWarning, match="ALL_SCHEME_FACTORIES"):
+            factories = repro.ALL_SCHEME_FACTORIES
+        assert sorted(factories) == LEGACY_EXACT
+
+    def test_repro_approx_builders_warns(self):
+        import repro
+
+        with pytest.warns(DeprecationWarning, match="APPROX_SCHEME_BUILDERS"):
+            builders = repro.APPROX_SCHEME_BUILDERS
+        assert sorted(builders) == LEGACY_APPROX
+
+    def test_unknown_attribute_still_raises(self):
+        import repro
+        import repro.approx
+        import repro.schemes
+
+        for module in (repro, repro.schemes, repro.approx):
+            with pytest.raises(AttributeError):
+                module.no_such_attribute_xyz
+
+
+class TestInternalCodeIsClean:
+    def test_package_import_emits_no_deprecation_warning(self):
+        """``import repro`` (and the CLI parser build) must not touch the
+        shims — the same property CI enforces suite-wide with
+        ``-W error::DeprecationWarning:repro``."""
+        code = (
+            "import warnings\n"
+            "warnings.filterwarnings('error', category=DeprecationWarning,"
+            " module=r'repro')\n"
+            "import repro\n"
+            "import repro.cli\n"
+            "repro.cli.build_parser()\n"
+            "from repro.core import catalog\n"
+            "catalog.build('leader')\n"
+            "print('clean')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "clean" in result.stdout
