@@ -28,6 +28,13 @@ paper-vs-measured record.
 import warnings as _warnings
 
 from repro.approx import ApproxScheme, GapLanguage
+from repro.errorsensitive import (
+    DistanceResult,
+    ErrorSensitiveSpanningTreeScheme,
+    distance_to_language,
+    error_sensitivity_report,
+    measure_scheme_sensitivity,
+)
 from repro.core import (
     CertificateAssignment,
     Configuration,
@@ -91,8 +98,10 @@ __all__ = [
     "ColoringEchoScheme",
     "Configuration",
     "ConjunctionScheme",
+    "DistanceResult",
     "DistributedLanguage",
     "DominatingSetScheme",
+    "ErrorSensitiveSpanningTreeScheme",
     "GapLanguage",
     "Graph",
     "IndependentSetScheme",
@@ -118,9 +127,12 @@ __all__ = [
     "complete_graph",
     "connected_gnp",
     "cycle_graph",
+    "distance_to_language",
+    "error_sensitivity_report",
     "grid_graph",
     "hypercube",
     "make_rng",
+    "measure_scheme_sensitivity",
     "path_graph",
     "random_regular",
     "random_tree",

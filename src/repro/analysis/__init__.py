@@ -1,4 +1,10 @@
-"""Experiment harness: one function per table/figure, plain-text reports."""
+"""Experiment harness: the paper-vs-measured record.
+
+One function per table/figure id (T1–T5, F1–F6, ES), each regenerating
+its table from seeded runs; ``analysis.report`` renders the whole
+record.  The book in ``docs/EXPERIMENTS.md`` documents every id with
+its reproduction command.
+"""
 
 from repro.analysis.experiments import (
     experiment_f1_st_scaling,

@@ -72,6 +72,20 @@ class GapLanguage(DistributedLanguage):
         """Neither yes nor no: the verifier owes nothing here."""
         return not self.is_yes(config) and not self.is_no(config)
 
+    def classify(self, config: Configuration) -> str:
+        """``"yes"``, ``"no"``, or ``"gap"`` — the promise-problem region.
+
+        The one place gap ground truth is decided; the fault campaigns
+        and the error-sensitivity sweeps both use it so that a burst
+        landing in the don't-care region is never misread as a detection
+        obligation.
+        """
+        if self.is_no(config):
+            return "no"
+        if self.is_yes(config):
+            return "yes"
+        return "gap"
+
     # -- no-instance construction --------------------------------------------
 
     def no_labeling(self, graph: Graph, rng: random.Random) -> dict | None:

@@ -16,7 +16,11 @@ points without writing Python:
 * ``selfstab-sweep`` — the fault-injection campaign: corrupt certified
   silent systems across an n × fault-count × detector grid and verify
   detection through the incremental sweep engine;
-* ``report`` — rewrite EXPERIMENTS.md from fresh runs.
+* ``error-profile`` — measure one scheme's error-sensitivity
+  (Feuilloley–Fraigniaud 2017): rejection counts against edit distance
+  over corruption sweeps and adversarial patterns, with the estimated β;
+* ``report`` — rewrite the measured record (``EXPERIMENTS.md`` in the
+  current directory, or ``--output``) from fresh runs.
 
 Every scheme is instantiated through :func:`repro.core.catalog.build`;
 the CLI holds no registry of its own.
@@ -43,6 +47,7 @@ from repro.util.rng import make_rng
 __all__ = ["build_parser", "main"]
 
 _EXPERIMENTS: dict[str, Callable] = {
+    "es": _experiments.experiment_es_sensitivity,
     "t1": _experiments.experiment_t1_proof_sizes,
     "t2": _experiments.experiment_t2_soundness,
     "t3": _experiments.experiment_t3_universal,
@@ -140,7 +145,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--runs", type=int, default=5, help="seeds per grid cell")
     sweep.add_argument("--seed", type=int, default=4242)
 
-    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    profile = sub.add_parser(
+        "error-profile",
+        help="measure a scheme's error-sensitivity (rejections vs. distance)",
+    )
+    profile.add_argument("scheme", choices=sorted(catalog.names()))
+    profile.add_argument("--n", type=int, default=24)
+    profile.add_argument(
+        "--distance",
+        type=int,
+        action="append",
+        help="corruption distance (repeatable; default: 1 2 4 8 16)",
+    )
+    profile.add_argument("--samples", type=int, default=2,
+                         help="corrupted configurations per distance")
+    profile.add_argument("--trials", type=int, default=24,
+                         help="adversarial attack budget per configuration")
+    profile.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report",
+        help="regenerate the measured record (default: ./EXPERIMENTS.md)",
+    )
     report.add_argument("--output", default="EXPERIMENTS.md")
 
     return parser
@@ -186,10 +212,11 @@ def _describe(spec) -> str:
         if spec.params
         else "-"
     )
+    es = catalog.error_sensitivity_label(spec.error_sensitive)
     return (
         f"kind={spec.kind:<9} alpha={alpha:<5} params={params:<9} "
-        f"bound={spec.size_bound:<44} visibility={spec.visibility.value:<4} "
-        f"{spec.summary}"
+        f"es={es:<3} bound={spec.size_bound:<44} "
+        f"visibility={spec.visibility.value:<4} {spec.summary}"
     )
 
 
@@ -316,6 +343,40 @@ def _cmd_selfstab_sweep(args) -> int:
     return 1 if missed else 0
 
 
+def _cmd_error_profile(args) -> int:
+    from repro.errorsensitive import measure_scheme_sensitivity
+
+    sensitivity = measure_scheme_sensitivity(
+        args.scheme,
+        n=args.n,
+        distances=tuple(args.distance) if args.distance else (1, 2, 4, 8, 16),
+        samples_per_distance=args.samples,
+        attack_trials=args.trials,
+        rng=make_rng(args.seed),
+    )
+    print(f"scheme: {sensitivity.scheme} "
+          f"(declared error-sensitive: "
+          f"{catalog.error_sensitivity_label(sensitivity.declared)})")
+    header = (f"{'kind':<8} {'edits':>5} {'dist':>7} {'stale':>6} "
+              f"{'min rejects':>11} {'beta_d':>7}")
+    print(header)
+    print("-" * len(header))
+    for s in sensitivity.samples:
+        dist = f"{s.dist_lower}..{s.dist_upper}" if s.dist_lower != s.dist_upper \
+            else str(s.dist_lower)
+        print(f"{s.kind:<8} {s.injected:>5} {dist:>7} {s.stale_rejects:>6} "
+              f"{s.min_rejects:>11} {s.beta_bound:>7.3f}")
+    if sensitivity.skipped:
+        print(f"({sensitivity.skipped} corruption bursts skipped: stayed "
+              f"legal or landed in the gap region)")
+    print(f"beta^ = {sensitivity.beta:.3f} rejections/edit "
+          f"(threshold {sensitivity.threshold:g})")
+    print(f"classification: {sensitivity.classification}")
+    # A scheme declared error-sensitive that measures otherwise is a
+    # regression; everything else is informational.
+    return 0 if sensitivity.matches_declaration else 1
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import main as report_main
 
@@ -330,6 +391,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "attack": _cmd_attack,
         "experiment": _cmd_experiment,
         "selfstab-sweep": _cmd_selfstab_sweep,
+        "error-profile": _cmd_error_profile,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -1,4 +1,9 @@
-"""The proof-labeling-scheme framework (the paper's contribution)."""
+"""The proof-labeling-scheme framework — the source paper's core model.
+
+Configurations, distributed languages, prover/one-round-verifier pairs,
+the soundness adversaries, the universal scheme, and the scheme catalog
+(the registry every other layer instantiates schemes through).
+"""
 
 from repro.core import catalog
 from repro.core.catalog import ParamSpec, SchemeSpec, register_scheme

@@ -49,11 +49,22 @@ __all__ = [
     "ParamSpec",
     "SchemeSpec",
     "build",
+    "error_sensitivity_label",
     "get",
     "names",
     "register_scheme",
     "specs",
 ]
+
+
+def error_sensitivity_label(declared: bool | None) -> str:
+    """Render a :attr:`SchemeSpec.error_sensitive` declaration uniformly.
+
+    One mapping for every surface (``list-schemes``, ``error-profile``,
+    the ES experiment table): ``yes``/``no`` where a proof or
+    counterexample is known, ``?`` where classification is empirical.
+    """
+    return {True: "yes", False: "no"}.get(declared, "?")
 
 #: The three scheme flavours the catalog distinguishes.  ``exact``
 #: schemes verify their language outright, ``approx`` schemes verify a
@@ -63,7 +74,7 @@ KINDS = ("exact", "approx", "universal")
 
 #: Packages whose import populates the registry (each runs its
 #: ``register_scheme`` calls at import time).
-_PROVIDER_MODULES = ("repro.schemes", "repro.approx")
+_PROVIDER_MODULES = ("repro.schemes", "repro.approx", "repro.errorsensitive")
 
 
 @dataclass(frozen=True)
@@ -153,6 +164,14 @@ class SchemeSpec:
     alpha: float | None = None
     #: True when the builder derives instance parameters from the graph.
     graph_fitted: bool = False
+    #: Declared error-sensitivity (Feuilloley–Fraigniaud 2017): ``True``
+    #: when every configuration at edit distance d from the language
+    #: keeps ≥ β·d nodes rejecting under *any* certificates, ``False``
+    #: when a known construction beats that (e.g. the pointer-encoded
+    #: spanning tree's sliding counters), ``None`` when unclassified.
+    #: ``repro.errorsensitive`` measures β̂ empirically and the ES
+    #: experiment cross-checks these declarations.
+    error_sensitive: bool | None = None
     params: tuple[ParamSpec, ...] = ()
     #: Graph sampler for sweeps/CLI defaults; ``None`` uses sparse G(n,p).
     sampler: Callable[[int, random.Random], Graph] | None = field(
@@ -258,6 +277,7 @@ def register_scheme(
     radius: int | None = None,
     weighted: bool | None = None,
     alpha: float | None = None,
+    error_sensitive: bool | None = None,
 ):
     """Decorator registering ``builder(graph, rng, **params)`` as a spec.
 
@@ -313,6 +333,7 @@ def register_scheme(
             weighted=bool(weighted),
             alpha=alpha,
             graph_fitted=graph_fitted,
+            error_sensitive=error_sensitive,
             params=tuple(params),
             sampler=sampler,
         )

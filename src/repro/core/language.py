@@ -74,6 +74,19 @@ class DistributedLanguage(ABC):
         """Format check for a single state (syntactic, not semantic)."""
         return True
 
+    def state_space(self, graph: Graph, node: int) -> tuple[Any, ...] | None:
+        """The node's *complete* finite state domain, or ``None``.
+
+        Languages over small per-node alphabets (booleans, parent ports)
+        return every syntactically valid state here, which is what lets
+        :func:`repro.errorsensitive.distance_to_language` run a genuinely
+        exhaustive edit-distance search on small instances.  ``None``
+        (the default) means the domain is unbounded or impractically
+        large; distance search then falls back to harvested candidates
+        and certified bounds.
+        """
+        return None
+
     def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
         """A plausible corrupted state for corruption experiments.
 

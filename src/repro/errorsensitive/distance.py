@@ -1,0 +1,194 @@
+"""Edit distance from a configuration to a distributed language.
+
+The error-sensitivity framework of Feuilloley–Fraigniaud (*Error-
+Sensitive Proof-Labeling Schemes*, PODC 2017) grades soundness by how
+*far* an illegal configuration is from the language: the number of
+rejecting nodes should scale with the minimum number of register edits
+needed to re-enter it.  This module supplies that metric.
+
+``distance_to_language`` returns a :class:`DistanceResult` carrying a
+**certified** bracket ``[lower, upper]``:
+
+* ``upper`` is witnessed — the result carries a member labeling at
+  exactly that Hamming distance, found by scanning several canonical
+  members and then greedily reverting edits back toward the measured
+  configuration while membership survives;
+* ``lower`` counts the nodes whose states are not even syntactically
+  valid (each must change), and is at least 1 off-language;
+* on small instances whose language implements the complete
+  :meth:`~repro.core.language.DistributedLanguage.state_space` hook, an
+  iterative-deepening exhaustive search over edit subsets tightens the
+  bracket to the exact distance (``exact=True``).
+
+Distances are measured in *register edits* (node states).  Edge edits
+reduce to register edits in this framework: every language here encodes
+its subgraph/structure in the node states (parent ports, port sets), so
+editing an edge of the described object means editing the O(1) incident
+registers — the metric the corruption experiments actually apply.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.labeling import Configuration, Labeling
+from repro.core.language import DistributedLanguage
+from repro.errors import LanguageError
+from repro.util.rng import make_rng, spawn
+
+__all__ = ["DistanceResult", "distance_to_language"]
+
+
+@dataclass(frozen=True)
+class DistanceResult:
+    """A certified bracket on the edit distance to a language.
+
+    ``witness`` is a member labeling at Hamming distance exactly
+    ``upper`` from the measured configuration.  ``exact`` is True when
+    the bracket collapsed — either the certified bounds met on their
+    own, or the exhaustive search (complete state spaces, within budget)
+    proved no closer member exists.  Both bounds are certified either
+    way: ``upper`` by the witness, ``lower`` by the invalid-state count.
+    """
+
+    lower: int
+    upper: int
+    exact: bool
+    witness: Labeling | None
+    evaluations: int
+
+    @property
+    def tight(self) -> bool:
+        return self.lower == self.upper
+
+    def __repr__(self) -> str:
+        kind = "exact" if self.exact else "bounds"
+        return f"DistanceResult({self.lower}..{self.upper}, {kind})"
+
+
+def _greedy_witness(
+    config: Configuration,
+    language: DistributedLanguage,
+    rng: random.Random,
+    seeds: int,
+    anchors: Iterable[Labeling],
+) -> tuple[Labeling, int]:
+    """(member labeling, membership checks spent), greedily close to config.
+
+    Starts from the nearest of ``seeds`` canonical members and any
+    ``anchors`` (caller-known member labelings — e.g. the uncorrupted
+    base of a corruption sweep, which pins the bound at the corruption
+    count), then reverts one edited node at a time back to the measured
+    state wherever membership survives — every kept reversion shrinks
+    the certified upper bound by one.
+    """
+    evaluations = 0
+    best: Labeling | None = None
+    best_dist = -1
+    candidates: list[Labeling] = []
+    for anchor in anchors:
+        evaluations += 1
+        if language.is_member(config.with_labeling(anchor)):
+            candidates.append(anchor)
+    for attempt in range(max(1, seeds)):
+        try:
+            candidates.append(
+                language.canonical_labeling(
+                    config.graph, ids=dict(config.ids), rng=spawn(rng, attempt)
+                )
+            )
+        except LanguageError:
+            continue
+    for candidate in candidates:
+        dist = config.labeling.hamming_distance(candidate)
+        if best is None or dist < best_dist:
+            best, best_dist = candidate, dist
+    if best is None:
+        raise LanguageError(
+            f"{language.name}: no canonical member to bound distance from"
+        )
+    for node in sorted(config.graph.nodes):
+        state = config.state(node)
+        if best[node] == state:
+            continue
+        trial = best.with_state(node, state)
+        evaluations += 1
+        if language.is_member(config.with_labeling(trial)):
+            best = trial
+    return best, evaluations
+
+
+def distance_to_language(
+    config: Configuration,
+    language: DistributedLanguage,
+    mode: str = "auto",
+    exact_limit: int = 8,
+    seeds: int = 4,
+    rng: random.Random | None = None,
+    budget: int = 200_000,
+    anchors: Iterable[Labeling] = (),
+) -> DistanceResult:
+    """Certified edit distance from ``config`` to ``language``.
+
+    ``mode`` is ``"greedy"`` (bounds only), ``"exact"`` (demand the
+    exhaustive search), or ``"auto"`` (exhaustive when ``config.n <=
+    exact_limit``).  The exhaustive search requires the language to
+    expose complete per-node domains via ``state_space``; without them
+    (or past ``budget`` membership checks) the certified bracket is
+    returned with ``exact=False``.  ``anchors`` are caller-known member
+    labelings that seed the witness search (non-members are ignored).
+    """
+    if mode not in ("auto", "exact", "greedy"):
+        raise LanguageError(f"unknown distance mode {mode!r}")
+    rng = rng or make_rng()
+    evaluations = 1
+    if language.is_member(config):
+        return DistanceResult(0, 0, True, config.labeling, evaluations)
+    graph = config.graph
+    invalid = sum(
+        1
+        for v in graph.nodes
+        if not language.validate_state(graph, v, config.state(v))
+    )
+    witness, spent = _greedy_witness(config, language, rng, seeds, anchors)
+    evaluations += spent
+    upper = config.labeling.hamming_distance(witness)
+    lower = min(max(1, invalid), upper)
+
+    want_exact = mode == "exact" or (mode == "auto" and graph.n <= exact_limit)
+    if not want_exact or lower == upper:
+        return DistanceResult(lower, upper, lower == upper, witness, evaluations)
+
+    domains = _domains(language, graph)
+    if domains is None:
+        return DistanceResult(lower, upper, False, witness, evaluations)
+
+    nodes = sorted(graph.nodes)
+    for k in range(lower, upper):
+        for subset in itertools.combinations(nodes, k):
+            alternatives = [
+                [s for s in domains[v] if s != config.state(v)] for v in subset
+            ]
+            for combo in itertools.product(*alternatives):
+                evaluations += 1
+                if evaluations > budget:
+                    return DistanceResult(lower, upper, False, witness, evaluations)
+                trial = config.labeling.with_states(dict(zip(subset, combo)))
+                if language.is_member(config.with_labeling(trial)):
+                    return DistanceResult(k, k, True, trial, evaluations)
+    # No member below the greedy witness's distance: it is optimal.
+    return DistanceResult(upper, upper, True, witness, evaluations)
+
+
+def _domains(language: DistributedLanguage, graph) -> dict[int, tuple] | None:
+    """Complete per-node state domains, or ``None`` if any is unbounded."""
+    domains = {}
+    for v in graph.nodes:
+        space = language.state_space(graph, v)
+        if space is None:
+            return None
+        domains[v] = space
+    return domains

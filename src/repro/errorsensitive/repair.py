@@ -1,0 +1,67 @@
+"""The error-sensitivity repair: re-encode, then certify redundantly.
+
+``spanning-tree-ptr`` is *not* error-sensitive, and no scheme for the
+pointer encoding can be: glue the left half of a path pointing toward a
+left root onto a right half pointing toward a right root, hand the left
+region the honest certificates of the left-rooted member and the right
+region those of the right-rooted member, and every node outside the
+O(1)-wide seam sees exactly what it would see in a fully legal run — so
+completeness forces it to accept.  The configuration is Θ(n) edits from
+any spanning tree, yet O(1) nodes reject.  (This is the
+Feuilloley–Fraigniaud 2017 negative argument;
+``repro.errorsensitive.report`` builds the construction as the
+``spanning-tree-ptr`` adversarial pattern.)
+
+The FF17 repair changes the *encoding* before the scheme: describe the
+tree by the **set of incident tree edges** at each node (the
+``spanning-tree-list`` language) instead of a single parent pointer.
+Mixing two differently rooted trees is then no longer far from the
+language — on a path the union of both orientations lists every edge,
+which is again a spanning tree — and every genuinely far configuration
+owes its distance to many *locally checkable* defects: an edited port
+set breaks the mutual-listing invariant with a specific neighbor, and
+either the echo lies (the edited node rejects its own certificate) or
+the neighbor's echo is truthful (the mutuality check rejects).  Each
+edit therefore pins a rejection inside its own radius-1 ball, and
+rejections scale as Ω(d/Δ) — error-sensitivity by redundancy.
+
+:class:`ErrorSensitiveSpanningTreeScheme` packages that conversion and
+registers it as ``es-spanning-tree``; the ES experiment measures its β
+next to the unrepaired pointer scheme's collapse.
+"""
+
+from __future__ import annotations
+
+from repro.core.catalog import register_scheme
+from repro.core.verifier import Visibility
+from repro.schemes.spanning_tree import SpanningTreeListScheme
+
+__all__ = ["ErrorSensitiveSpanningTreeScheme"]
+
+
+class ErrorSensitiveSpanningTreeScheme(SpanningTreeListScheme):
+    """Spanning tree, repaired for error-sensitivity (FF17).
+
+    The verifier is the list scheme's — root agreement, distance
+    counters, echo truthfulness, mutual listing, and the
+    every-listed-edge-is-a-tree-edge check — under KKP visibility, where
+    the echoes are what make a neighbor's register corruption locally
+    visible.  What makes this a *repair* rather than a new scheme is the
+    encoding conversion documented in the module docstring: the
+    certified object is the same (a spanning tree), but each edit of its
+    description now contradicts a check within one hop of the edit.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(visibility=Visibility.KKP)
+        self.name = "es-spanning-tree"
+
+
+@register_scheme(
+    "es-spanning-tree",
+    kind="exact",
+    summary="error-sensitive spanning tree: list re-encoding + echoes (FF17)",
+    error_sensitive=True,
+)
+def _build_es_spanning_tree(graph, rng, **_params):
+    return ErrorSensitiveSpanningTreeScheme()

@@ -1,0 +1,382 @@
+"""Error-sensitivity measurement: β̂ estimation over corruption sweeps.
+
+Feuilloley–Fraigniaud (PODC 2017) call a proof-labeling scheme
+*error-sensitive* when there is a constant β > 0 such that every
+configuration at edit distance d from the language keeps at least β·d
+nodes rejecting — under **every** certificate assignment.  This module
+estimates β empirically, per catalog scheme:
+
+1. freeze a certified member configuration
+   (:class:`~repro.selfstab.campaign.FrozenCertifiedProtocol`) and open
+   an incremental :class:`~repro.selfstab.detector.DetectionSession`;
+2. for each target distance d, corrupt exactly d registers
+   (:func:`~repro.selfstab.reset.inject_faults_report`) and sweep
+   incrementally — the honest-but-stale rejection count;
+3. bracket the configuration's true edit distance
+   (:func:`~repro.errorsensitive.distance.distance_to_language`,
+   anchored at the uncorrupted member);
+4. push the rejection count down adversarially
+   (:func:`~repro.errorsensitive.decider.min_rejections`);
+5. take β̂ = min over samples of ``min_rejects / dist_upper``.
+
+Random corruption alone cannot *refute* sensitivity — the damning
+configurations are structured.  :data:`FAR_PATTERNS` therefore registers
+per-scheme adversarial constructions with exactly known distance; the
+``spanning-tree-ptr`` pattern glues two oppositely rooted path halves
+(Θ(n) edits from the language, O(1) rejections), which is what lets the
+report demonstrate the FF17 negative next to its registered repair
+(``es-spanning-tree``, see :mod:`repro.errorsensitive.repair`).
+
+Classification is empirical on the sensitive side (*no sampled
+configuration fell below β̂·dist*) and certified on the negative side
+(a pattern of exactly known distance beat the threshold even with the
+optimistic distance bound).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.approx.gap import GapLanguage
+from repro.core import catalog
+from repro.core.catalog import SchemeSpec
+from repro.core.labeling import Configuration
+from repro.errors import LanguageError, SchemeError, SimulationError
+from repro.errorsensitive.decider import count_rejections, min_rejections
+from repro.errorsensitive.distance import distance_to_language
+from repro.graphs.generators import path_graph
+from repro.local.network import Network
+from repro.selfstab.campaign import FrozenCertifiedProtocol
+from repro.selfstab.detector import PlsDetector
+from repro.selfstab.model import run_until_silent
+from repro.selfstab.reset import inject_faults_report
+from repro.util.rng import make_rng, spawn
+
+__all__ = [
+    "BETA_THRESHOLD",
+    "ErrorSensitivityReport",
+    "FAR_PATTERNS",
+    "SchemeSensitivity",
+    "SensitivitySample",
+    "error_sensitivity_report",
+    "measure_scheme_sensitivity",
+]
+
+#: Default β below which a scheme is not considered error-sensitive.
+#: FF17 only ask for *some* constant; 0.2 rejections per edit is a
+#: pragmatic floor that cleanly separates the measured populations
+#: (schemes with per-edit local defects sit near β̂ ≈ 1, the pointer
+#: counterexample collapses to β̂ = O(1/n)).
+BETA_THRESHOLD = 0.2
+
+
+@dataclass(frozen=True)
+class SensitivitySample:
+    """One corrupted configuration's measurements.
+
+    ``kind`` is ``"random"`` (register-fault injection) or ``"pattern"``
+    (a registered adversarial construction, whose distance bracket is
+    exact by construction).  ``injected`` is the corruption knob — the
+    number of corrupted registers, or the pattern's distance.
+    """
+
+    kind: str
+    injected: int
+    dist_lower: int
+    dist_upper: int
+    #: Rejections under the honest-but-stale certificates (the
+    #: incremental detection sweep's verdict).
+    stale_rejects: int
+    #: Adversarial minimum over the attacked certificate assignments.
+    min_rejects: int
+    evaluations: int
+
+    @property
+    def beta_bound(self) -> float:
+        """Certified-conservative sensitivity ratio (distance from above)."""
+        return self.min_rejects / max(1, self.dist_upper)
+
+    @property
+    def beta_optimistic(self) -> float:
+        """Ratio against the distance *lower* bound — an overestimate;
+        a scheme is refuted only when even this falls below threshold."""
+        return self.min_rejects / max(1, self.dist_lower)
+
+
+@dataclass(frozen=True)
+class SchemeSensitivity:
+    """One scheme's measured error-sensitivity profile."""
+
+    scheme: str
+    declared: bool | None
+    samples: tuple[SensitivitySample, ...]
+    #: Corruption bursts skipped because they landed in a gap scheme's
+    #: don't-care region (no rejection obligation) or stayed legal.
+    skipped: int
+    threshold: float = BETA_THRESHOLD
+
+    @property
+    def beta(self) -> float:
+        """β̂ — the conservative estimate: min rejections per edit."""
+        return min((s.beta_bound for s in self.samples), default=0.0)
+
+    @property
+    def beta_ceiling(self) -> float:
+        return min((s.beta_optimistic for s in self.samples), default=0.0)
+
+    @property
+    def classification(self) -> str:
+        if not self.samples:
+            return "unmeasured"
+        if self.beta_ceiling < self.threshold:
+            return "not-error-sensitive"
+        if self.beta >= self.threshold:
+            return "error-sensitive"
+        return "inconclusive"
+
+    @property
+    def matches_declaration(self) -> bool:
+        """Measured classification does not contradict the catalog claim.
+
+        Only a *definitive* opposite verdict contradicts: an unmeasured
+        or inconclusive profile (too few obliging samples, wide distance
+        brackets) is compatible with any declaration.
+        """
+        if self.declared is None:
+            return True
+        contradiction = (
+            "not-error-sensitive" if self.declared else "error-sensitive"
+        )
+        return self.classification != contradiction
+
+
+@dataclass(frozen=True)
+class ErrorSensitivityReport:
+    """Per-scheme sensitivity profiles over (a slice of) the catalog."""
+
+    entries: tuple[SchemeSensitivity, ...]
+    threshold: float = BETA_THRESHOLD
+
+    def entry(self, name: str) -> SchemeSensitivity:
+        for e in self.entries:
+            if e.scheme == name:
+                return e
+        raise SchemeError(f"no sensitivity entry for {name!r}")
+
+    @property
+    def classified(self) -> dict[str, str]:
+        return {e.scheme: e.classification for e in self.entries}
+
+    @property
+    def mismatches(self) -> list[str]:
+        """Schemes whose measurement contradicts their declaration."""
+        return [e.scheme for e in self.entries if not e.matches_declaration]
+
+
+# ---------------------------------------------------------------------------
+# Adversarial far-but-quiet patterns.
+# ---------------------------------------------------------------------------
+
+
+def _pointer_mix_pattern(
+    n: int, rng: random.Random
+) -> tuple[Configuration, int, list[Configuration]]:
+    """The FF17 counterexample for pointer-encoded spanning trees.
+
+    On a path, glue a left half oriented toward a left root onto a right
+    half oriented toward a right root.  Every member of the pointer
+    language on a path is a root-k orientation, so the exact edit
+    distance is computed by enumerating all n of them — it is ~n/2 —
+    while the honest best-effort certificates already leave only the
+    second root rejecting, and certificate splicing cannot do worse.
+    Returns ``(config, exact_distance, related_members)``; the related
+    members arm the adversary's certificate pool with both orientations.
+    """
+    graph = path_graph(n)
+    half = n // 2
+    states: dict[int, object] = {0: None, n - 1: None}
+    for v in range(1, half):
+        states[v] = graph.port(v, v - 1)
+    for v in range(half, n - 1):
+        states[v] = graph.port(v, v + 1)
+    config = Configuration.build(graph, states)
+
+    def rooted(k: int) -> dict[int, object]:
+        member: dict[int, object] = {k: None}
+        for v in range(k):
+            member[v] = graph.port(v, v + 1)
+        for v in range(k + 1, n):
+            member[v] = graph.port(v, v - 1)
+        return member
+
+    members = [rooted(k) for k in range(n)]
+    distance = min(
+        sum(1 for v in range(n) if m[v] != states[v]) for m in members
+    )
+    related = [config.with_labeling(members[0]), config.with_labeling(members[-1])]
+    return config, distance, related
+
+
+#: scheme name -> (n, rng) -> (config, exact distance, related members).
+#: Structured constructions that random corruption cannot stumble into;
+#: a scheme's β̂ is the minimum over random *and* pattern samples.
+FAR_PATTERNS: dict[
+    str,
+    Callable[[int, random.Random], tuple[Configuration, int, list[Configuration]]],
+] = {
+    "spanning-tree-ptr": _pointer_mix_pattern,
+}
+
+
+# ---------------------------------------------------------------------------
+# Measurement.
+# ---------------------------------------------------------------------------
+
+
+def measure_scheme_sensitivity(
+    scheme: str | SchemeSpec,
+    n: int = 24,
+    distances: Sequence[int] = (1, 2, 4, 8, 16),
+    samples_per_distance: int = 2,
+    attack_trials: int = 24,
+    rng: random.Random | None = None,
+    threshold: float = BETA_THRESHOLD,
+) -> SchemeSensitivity:
+    """Measure one catalog scheme's error-sensitivity profile.
+
+    Runs the randomized register-corruption sweep described in the
+    module docstring plus the scheme's :data:`FAR_PATTERNS` construction
+    (if registered).  Gap schemes only owe rejections on genuine
+    no-instances, so bursts landing in the don't-care region (or staying
+    legal) are skipped and tallied.
+    """
+    spec = catalog.get(scheme) if isinstance(scheme, str) else scheme
+    rng = rng or make_rng(1717)
+    if spec.kind == "universal":
+        n = min(n, 14)  # Θ(n²) certificates: the local decoder dominates
+    graph = spec.sample_graph(n, spawn(rng, 1))
+    fitted = spec.build(graph=graph, rng=spawn(rng, 2))
+    language = fitted.language
+    member = language.member_configuration(graph, rng=spawn(rng, 3))
+    certificates = fitted.prove(member)
+
+    network = Network(graph)
+    protocol = FrozenCertifiedProtocol(fitted, member, certificates)
+    silent = run_until_silent(network, protocol).states
+    session = PlsDetector(fitted, protocol).session(network, silent)
+
+    samples: list[SensitivitySample] = []
+    skipped = 0
+    for d in distances:
+        if d > graph.n:
+            continue
+        for index in range(samples_per_distance):
+            cell_rng = spawn(rng, d * 1000 + index)
+            injection = inject_faults_report(network, protocol, silent, d, cell_rng)
+            report = session.sweep(
+                injection.states, changed=injection.victims, check_membership=False
+            )
+            stale = report.verdict.reject_count
+            config = session.config
+            session.update(silent, changed=injection.victims)  # restore
+            if isinstance(language, GapLanguage):
+                obliged = language.classify(config) == "no"
+            else:
+                obliged = not language.is_member(config)
+            if not obliged:
+                skipped += 1
+                continue
+            dist = distance_to_language(
+                config,
+                language,
+                mode="greedy",
+                rng=spawn(cell_rng, 5),
+                anchors=(member.labeling,),
+            )
+            outcome = min_rejections(
+                fitted, config, rng=spawn(cell_rng, 6),
+                trials=attack_trials, related=[member],
+            )
+            samples.append(
+                SensitivitySample(
+                    kind="random",
+                    injected=len(injection.victims),
+                    dist_lower=dist.lower,
+                    dist_upper=dist.upper,
+                    stale_rejects=stale,
+                    min_rejects=outcome.min_rejects,
+                    evaluations=dist.evaluations + outcome.evaluations,
+                )
+            )
+
+    pattern = FAR_PATTERNS.get(spec.name)
+    if pattern is not None:
+        config, exact_dist, related = pattern(max(n, 16), spawn(rng, 77))
+        pattern_scheme = spec.build(graph=config.graph, rng=spawn(rng, 78))
+        stale = count_rejections(pattern_scheme, config)
+        outcome = min_rejections(
+            pattern_scheme, config, rng=spawn(rng, 79),
+            trials=attack_trials, related=related,
+        )
+        samples.append(
+            SensitivitySample(
+                kind="pattern",
+                injected=exact_dist,
+                dist_lower=exact_dist,
+                dist_upper=exact_dist,
+                stale_rejects=stale,
+                min_rejects=outcome.min_rejects,
+                evaluations=outcome.evaluations,
+            )
+        )
+
+    return SchemeSensitivity(
+        scheme=spec.name,
+        declared=spec.error_sensitive,
+        samples=tuple(samples),
+        skipped=skipped,
+        threshold=threshold,
+    )
+
+
+def error_sensitivity_report(
+    names: Iterable[str] | None = None,
+    n: int = 24,
+    distances: Sequence[int] = (1, 2, 4, 8, 16),
+    samples_per_distance: int = 2,
+    attack_trials: int = 24,
+    rng: random.Random | None = None,
+    threshold: float = BETA_THRESHOLD,
+) -> ErrorSensitivityReport:
+    """Sensitivity profiles for every named (default: all) catalog scheme."""
+    rng = rng or make_rng(2024)
+    names = list(names) if names is not None else catalog.names()
+    entries = []
+    for index, name in enumerate(names):
+        try:
+            entries.append(
+                measure_scheme_sensitivity(
+                    name,
+                    n=n,
+                    distances=distances,
+                    samples_per_distance=samples_per_distance,
+                    attack_trials=attack_trials,
+                    rng=spawn(rng, index),
+                    threshold=threshold,
+                )
+            )
+        except (LanguageError, SimulationError):
+            # A scheme whose language cannot be frozen/corrupted on the
+            # sampled family still appears, as unmeasured.
+            entries.append(
+                SchemeSensitivity(
+                    scheme=name,
+                    declared=catalog.get(name).error_sensitive,
+                    samples=(),
+                    skipped=0,
+                    threshold=threshold,
+                )
+            )
+    return ErrorSensitivityReport(entries=tuple(entries), threshold=threshold)

@@ -1,4 +1,9 @@
-"""Synchronous LOCAL-model simulator: networks, algorithms, round runner."""
+"""Synchronous LOCAL-model simulator (the paper's computation model).
+
+Networks with identities and ports, message-passing algorithms, the
+round runner, and the distributed verification round that realises the
+paper's single certificate exchange as actual messages.
+"""
 
 from repro.local.algorithm import Halted, NodeContext, SynchronousAlgorithm, broadcast
 from repro.local.network import Network

@@ -1,5 +1,10 @@
-"""Executable lower-bound machinery: truncated schemes, cut-and-plug
-adversaries, and exhaustive replay checks."""
+"""Executable lower-bound machinery (the paper's Ω(log n) theorem).
+
+The source paper proves no o(log n)-bit scheme certifies spanning
+trees via a cut-and-plug counting argument; this package *runs* that
+argument — budget-truncated schemes, pointer-cycle and two-root-path
+splicing adversaries, and exhaustive replay checks on small instances.
+"""
 
 from repro.lowerbounds.bruteforce import (
     all_legal_configurations,

@@ -98,11 +98,15 @@ __all__ = [
 
 
 def _register_exact(name: str, factory: Callable[[], ProofLabelingScheme],
-                    summary: str, sampler=None) -> None:
+                    summary: str, sampler=None,
+                    error_sensitive: bool | None = None) -> None:
     def _build(graph, rng, **_params):
         return factory()
 
-    register_scheme(name, kind="exact", summary=summary, sampler=sampler)(_build)
+    register_scheme(
+        name, kind="exact", summary=summary, sampler=sampler,
+        error_sensitive=error_sensitive,
+    )(_build)
 
 
 def _grid_sampler(n: int, rng: random.Random) -> Graph:
@@ -117,10 +121,21 @@ _register_exact("leader", LeaderScheme,
                 "exactly one leader, certified by its id")
 _register_exact("acyclic", AcyclicScheme,
                 "pointer forest via exact depth counters")
+# Declared non-error-sensitive: the pointer encoding lets an adversary
+# glue two oppositely rooted trees (or slide the distance counters along
+# a reversed segment) so that a configuration Θ(n) edits from the
+# language keeps all but O(1) nodes accepting — the Feuilloley–
+# Fraigniaud 2017 counterexample, exercised by repro.errorsensitive.
 _register_exact("spanning-tree-ptr", SpanningTreePointerScheme,
-                "parent pointers form a spanning tree (root id + distance)")
+                "parent pointers form a spanning tree (root id + distance)",
+                error_sensitive=False)
+# The list encoding is the error-sensitive one (echo truthfulness ×
+# mutual listing pins a rejection inside each edited node's 1-ball);
+# repro.errorsensitive registers the same construction as the named
+# FF17 repair `es-spanning-tree` and measures β̂ for both.
 _register_exact("spanning-tree-list", SpanningTreeListScheme,
-                "edge lists form a spanning tree")
+                "edge lists form a spanning tree",
+                error_sensitive=True)
 _register_exact("bfs-tree", BfsTreeScheme,
                 "parent pointers form a BFS tree")
 _register_exact("mst", MstScheme,

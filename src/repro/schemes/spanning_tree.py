@@ -82,6 +82,9 @@ class SpanningTreePointerLanguage(DistributedLanguage):
             return True
         return isinstance(state, int) and 0 <= state < graph.degree(node)
 
+    def state_space(self, graph: Graph, node: int) -> tuple[Any, ...]:
+        return (None, *range(graph.degree(node)))
+
     def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
         choices: list[Any] = [None] + list(range(6))
         choices = [c for c in choices if c != state]
@@ -183,6 +186,16 @@ class SpanningTreeListLanguage(DistributedLanguage):
             return False
         return all(
             isinstance(p, int) and 0 <= p < graph.degree(node) for p in state
+        )
+
+    def state_space(self, graph: Graph, node: int) -> tuple[Any, ...] | None:
+        degree = graph.degree(node)
+        if degree > 6:  # 2^deg subsets: exhaustive search caps out here
+            return None
+        ports = list(range(degree))
+        return tuple(
+            frozenset(p for p in ports if mask >> p & 1)
+            for mask in range(1 << degree)
         )
 
     def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:

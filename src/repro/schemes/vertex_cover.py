@@ -55,6 +55,9 @@ class VertexCoverLanguage(DistributedLanguage):
     def validate_state(self, graph: Graph, node: int, state: Any) -> bool:
         return isinstance(state, bool)
 
+    def state_space(self, graph: Graph, node: int) -> tuple[Any, ...]:
+        return (False, True)
+
     def random_corruption(self, node: int, state: Any, rng: random.Random) -> Any:
         return not state
 

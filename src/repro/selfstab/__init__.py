@@ -1,5 +1,13 @@
-"""Self-stabilization: state model, protocols, PLS detection (one-shot
-and incremental), reset experiments, and fault-injection campaigns."""
+"""Self-stabilization: the source paper's motivating application.
+
+Korman–Kutten–Peleg present proof labeling schemes as the detection
+half of silent self-stabilization: a scheme's one-round verifier
+re-checks the configuration forever and any illegal state alarms within
+one round.  This package reproduces that loop — state model, silent
+protocols whose registers embed certificates, PLS detection (one-shot
+and incremental :class:`DetectionSession` sweeps), guarded/global reset
+recovery, and the fault-injection campaigns.
+"""
 
 from repro.selfstab.campaign import (
     SWEEP_DETECTORS,

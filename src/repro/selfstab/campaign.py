@@ -330,12 +330,8 @@ def fault_sweep_campaign(
                     language = instance.detector.scheme.language
                     config = session.config
                     if isinstance(language, GapLanguage):
-                        if language.is_no(config):
-                            truth = "illegal"
-                        elif language.is_yes(config):
-                            truth = "legal"
-                        else:
-                            truth = "gap"
+                        region = language.classify(config)
+                        truth = {"no": "illegal", "yes": "legal"}.get(region, "gap")
                     else:
                         truth = "legal" if language.is_member(config) else "illegal"
                     if truth == "legal":

@@ -163,6 +163,45 @@ class TestOtherCommands:
         assert target.read_text() == "# stub report\n"
 
 
+class TestErrorProfile:
+    def test_profiles_the_non_sensitive_pointer_scheme(self, capsys):
+        code = main(
+            ["error-profile", "spanning-tree-ptr", "--n", "16",
+             "--distance", "4", "--samples", "1", "--trials", "8"]
+        )
+        # Classification (not-error-sensitive) matches the declaration.
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "classification: not-error-sensitive" in out
+        assert "pattern" in out
+        assert "beta^" in out
+
+    def test_profiles_the_repair(self, capsys):
+        code = main(
+            ["error-profile", "es-spanning-tree", "--n", "16",
+             "--distance", "2", "--distance", "4", "--samples", "2",
+             "--trials", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "classification: error-sensitive" in out
+        assert "declared error-sensitive: yes" in out
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["error-profile", "bogus"])
+
+    def test_es_metadata_rendered_in_list_schemes(self, capsys):
+        assert main(["list-schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "es-spanning-tree" in out
+        for line in out.splitlines():
+            if line.startswith("spanning-tree-ptr"):
+                assert "es=no" in line
+            if line.startswith("es-spanning-tree"):
+                assert "es=yes" in line
+
+
 class TestSelfstabSweep:
     def test_sweep_runs_clean(self, capsys):
         code = main(

@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.algorithms",
     "repro.analysis",
     "repro.approx",
+    "repro.errorsensitive",
     "repro.cli",
 ]
 
