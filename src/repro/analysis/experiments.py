@@ -38,10 +38,14 @@ from repro.schemes import AgreementLanguage, AgreementScheme
 from repro.schemes.regular import RegularSubgraphLanguage
 from repro.selfstab import (
     MaxRootBfsProtocol,
+    PartialDaemon,
     PlsDetector,
     SWEEP_DETECTORS,
+    SynchronousDaemon,
+    adversary_campaign,
     fault_sweep_campaign,
     inject_faults,
+    message_path_view_reduction,
     run_guarded,
     run_until_silent,
     run_with_global_reset,
@@ -50,6 +54,12 @@ from repro.util.idspace import random_ids
 from repro.util.rng import make_rng, spawn
 
 __all__ = [
+    "ADV_HEADERS",
+    "ES_HEADERS",
+    "F4B_HEADERS",
+    "F4_HEADERS",
+    "T5_HEADERS",
+    "experiment_adversary_latency",
     "experiment_es_sensitivity",
     "experiment_f1_st_scaling",
     "experiment_f2_mst_scaling",
@@ -64,6 +74,38 @@ __all__ = [
     "experiment_t4_verification_cost",
     "experiment_t5_approx",
 ]
+
+
+# Column schemas of the tables with committed snapshots under
+# benchmarks/results/.  Single source for the experiment functions AND
+# for benchmarks/check_results.py, which fails CI when a committed
+# snapshot no longer matches the schema its experiment produces.
+F4_HEADERS = (
+    "k faults", "runs", "detect latency", "mean rejects",
+    "guarded rounds", "guarded moves", "escalated",
+    "global rounds", "global moves",
+)
+F4B_HEADERS = (
+    "detector", "n", "k faults", "illegal", "gap", "detected",
+    "false neg", "false pos", "mean rejects",
+    "views incr", "views full", "view ratio",
+    "recovery rounds", "recovery moves",
+)
+ES_HEADERS = (
+    "scheme", "declared", "kind", "edits", "dist",
+    "stale rejects", "min rejects", "beta_d",
+)
+T5_HEADERS = (
+    "scheme", "alpha", "family", "n",
+    "approx bits", "exact bits", "ratio", "msg bits/edge",
+)
+ADV_HEADERS = (
+    "adversary", "detector", "n", "k faults", "daemon",
+    "illegal", "gap", "legal", "detected",
+    "mean rejects", "min rejects",
+    "lat min", "lat med", "lat p95", "lat max",
+    "contained", "containment rounds", "honest moves",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -319,11 +361,7 @@ def experiment_f4_selfstab(
     detector_scheme = catalog.build("spanning-tree-ptr")
     result = ExperimentResult(
         experiment="F4: self-stabilization with PLS detection",
-        headers=(
-            "k faults", "runs", "detect latency", "mean rejects",
-            "guarded rounds", "guarded moves", "escalated",
-            "global rounds", "global moves",
-        ),
+        headers=F4_HEADERS,
     )
     for k in fault_counts:
         latencies: list[int] = []
@@ -400,12 +438,7 @@ def experiment_f4b_fault_sweep(
     )
     result = ExperimentResult(
         experiment="F4b: fault-injection sweep (incremental detection)",
-        headers=(
-            "detector", "n", "k faults", "illegal", "gap", "detected",
-            "false neg", "false pos", "mean rejects",
-            "views incr", "views full", "view ratio",
-            "recovery rounds", "recovery moves",
-        ),
+        headers=F4B_HEADERS,
     )
     missed = 0
     in_gap = 0
@@ -438,6 +471,132 @@ def experiment_f4b_fault_sweep(
     result.note(
         "false positives are stale-certificate alarms: the output stayed "
         "legal but the corrupted proof no longer matches it"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# ADV — adversarial fault placement and detection-latency distributions.
+# ---------------------------------------------------------------------------
+
+
+def experiment_adversary_latency(
+    sizes: Sequence[int] = (32, 128),
+    fault_counts: Sequence[int] = (1, 4),
+    detectors: Sequence[str] = (
+        "st-pointer", "bfs-tree", "approx-dominating-set", "es-spanning-tree",
+    ),
+    adversaries: Sequence[str] = ("random", "targeted", "byzantine"),
+    daemon_p: float = 0.3,
+    seeds_per_cell: int = 3,
+    rng: random.Random | None = None,
+) -> ExperimentResult:
+    """Adversary × detector grid with detection-latency distributions.
+
+    Three fault-placement strategies (uniform random, greedy targeted,
+    persistently-lying Byzantine) stress four detectors — the FF17
+    non-error-sensitive ``spanning-tree-ptr`` (as ``st-pointer``), the
+    BFS tree, an approximate gap detector, and the error-sensitive
+    repair — under a partial-activation daemon (each node verifies with
+    probability ``daemon_p`` per round; ``daemon_p >= 1`` is the
+    synchronous daemon, where every latency is exactly one round).
+
+    The claims the table must exhibit: the targeted adversary reaches
+    strictly fewer rejecting nodes than random at equal fault budget on
+    ``st-pointer`` (quiet corruption exists — the scheme is not
+    error-sensitive) and therefore strictly longer detection latencies
+    under partial activation; Byzantine registers are *contained* by
+    frozen certified detectors but leak through protocols that adopt
+    lies.  A closing note measures the incremental message-passing
+    simulator (``run_synchronous`` reuse) against full rebuilds at the
+    largest ``n``.
+    """
+    rng = rng or make_rng(2626)
+    daemon = SynchronousDaemon() if daemon_p >= 1.0 else PartialDaemon(daemon_p)
+    records = adversary_campaign(
+        sizes=tuple(sizes),
+        fault_counts=tuple(fault_counts),
+        detectors=tuple(detectors),
+        adversaries=tuple(adversaries),
+        daemon=daemon,
+        seeds_per_cell=seeds_per_cell,
+        rng=spawn(rng, 1),
+    )
+    result = ExperimentResult(
+        experiment="ADV: adversarial fault placement and detection latency",
+        headers=ADV_HEADERS,
+    )
+    for r in records:
+        result.add(
+            r.adversary, r.detector, r.n, r.faults, r.daemon,
+            r.illegal_runs, r.gap_runs, r.legal_runs, r.detected,
+            r.mean_rejects, r.min_rejects,
+            r.latency.minimum, r.latency.median, r.latency.p95,
+            r.latency.maximum,
+            r.contained, r.mean_containment_rounds, r.mean_honest_moves,
+        )
+
+    def cell_means(adversary: str, detector: str):
+        cells = {}
+        for r in records:
+            if r.adversary == adversary and r.detector == detector and r.illegal_runs:
+                cells[(r.n, r.faults)] = (r.mean_rejects, r.latency.mean)
+        return cells
+
+    random_cells = cell_means("random", "st-pointer")
+    targeted_cells = cell_means("targeted", "st-pointer")
+    shared = sorted(set(random_cells) & set(targeted_cells))
+    if shared:
+        quieter = [
+            key for key in shared
+            if targeted_cells[key][0] < random_cells[key][0]
+        ]
+        pairs = ", ".join(
+            f"n={n} k={k}: {targeted_cells[(n, k)][0]:.1f} vs "
+            f"{random_cells[(n, k)][0]:.1f}"
+            for n, k in shared
+        )
+        result.note(
+            f"targeted vs random mean rejections on st-pointer "
+            f"(spanning-tree-ptr, the FF17 non-ES scheme): {pairs} — "
+            f"targeted strictly quieter in {len(quieter)}/{len(shared)} cells"
+        )
+        slower = [
+            key for key in shared
+            if targeted_cells[key][1] > random_cells[key][1]
+        ]
+        result.note(
+            f"quieter corruption is slower to catch under {daemon.name}: "
+            f"targeted latency exceeds random in {len(slower)}/{len(shared)} "
+            "st-pointer cells"
+        )
+    byz = [r for r in records if r.adversary == "byzantine" and r.illegal_runs]
+    if byz:
+        frozen = [r for r in byz if r.detector in
+                  ("approx-dominating-set", "es-spanning-tree")]
+        live = [r for r in byz if r.detector in ("st-pointer", "bfs-tree")]
+        result.note(
+            "byzantine containment: frozen certified detectors contain "
+            f"{sum(r.contained for r in frozen)}/"
+            f"{sum(r.illegal_runs for r in frozen)} runs; live protocols "
+            f"(lie adoption) contain {sum(r.contained for r in live)}/"
+            f"{sum(r.illegal_runs for r in live)}"
+        )
+    largest = max(sizes)
+    incremental, full = message_path_view_reduction(
+        n=largest, faults=max(fault_counts), rng=spawn(rng, 2)
+    )
+    result.note(
+        f"incremental message-passing simulator at n={largest}: resweep "
+        f"after {max(fault_counts)} register faults rebuilt "
+        f"{incremental:.1f} views vs {full:.1f} for a full run "
+        f"({full / max(1.0, incremental):.1f}x fewer; run_synchronous "
+        "session reuse, verdicts identical)"
+    )
+    result.note(
+        "latency columns are distributions over illegal runs (min/median/"
+        "p95/max rounds until an activated node alarmed); a one-shot "
+        "burst under the synchronous daemon is always caught in 1 round"
     )
     return result
 
@@ -559,10 +718,7 @@ def experiment_t5_approx(
     rng = rng or make_rng(909)
     result = ExperimentResult(
         experiment="T5: approximate vs exact proof sizes",
-        headers=(
-            "scheme", "alpha", "family", "n",
-            "approx bits", "exact bits", "ratio", "msg bits/edge",
-        ),
+        headers=T5_HEADERS,
     )
     always_smaller = True
     for index, spec in enumerate(catalog.specs(kind="approx")):
@@ -671,10 +827,7 @@ def experiment_es_sensitivity(
     )
     result = ExperimentResult(
         experiment="ES: error-sensitive soundness",
-        headers=(
-            "scheme", "declared", "kind", "edits", "dist",
-            "stale rejects", "min rejects", "beta_d",
-        ),
+        headers=ES_HEADERS,
     )
     declared_label = catalog.error_sensitivity_label
     for entry in report.entries:

@@ -29,7 +29,6 @@ from repro.core.verifier import LocalView
 from repro.errors import LanguageError
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs, diameter, eccentricity
-from repro.util.rng import make_rng
 
 __all__ = ["GapDiameterLanguage", "ApproxDiameterScheme"]
 

@@ -37,7 +37,6 @@ from repro.core.verifier import LocalView
 from repro.errors import LanguageError
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs
-from repro.util.rng import make_rng
 
 __all__ = ["GapDominatingSetLanguage", "ApproxDominatingSetScheme"]
 

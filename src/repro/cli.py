@@ -15,7 +15,10 @@ points without writing Python:
   regenerated table;
 * ``selfstab-sweep`` — the fault-injection campaign: corrupt certified
   silent systems across an n × fault-count × detector grid and verify
-  detection through the incremental sweep engine;
+  detection through the incremental sweep engine; ``--adversary
+  {random,targeted,byzantine}`` and ``--daemon-p`` switch to the
+  adversary-latency campaign (targeted/Byzantine fault placement,
+  partial-activation daemons, latency distributions);
 * ``error-profile`` — measure one scheme's error-sensitivity
   (Feuilloley–Fraigniaud 2017): rejection counts against edit distance
   over corruption sweeps and adversarial patterns, with the estimated β;
@@ -41,12 +44,13 @@ from repro.errors import CatalogError, LanguageError
 from repro.graphs.generators import FAMILIES
 from repro.graphs.graph import Graph
 from repro.graphs.weighted import weighted_copy
-from repro.selfstab import SWEEP_DETECTORS
+from repro.selfstab import ADVERSARIES, SWEEP_DETECTORS
 from repro.util.rng import make_rng
 
 __all__ = ["build_parser", "main"]
 
 _EXPERIMENTS: dict[str, Callable] = {
+    "adv": _experiments.experiment_adversary_latency,
     "es": _experiments.experiment_es_sensitivity,
     "t1": _experiments.experiment_t1_proof_sizes,
     "t2": _experiments.experiment_t2_soundness,
@@ -144,6 +148,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--runs", type=int, default=5, help="seeds per grid cell")
     sweep.add_argument("--seed", type=int, default=4242)
+    sweep.add_argument(
+        "--adversary",
+        choices=sorted(ADVERSARIES),
+        default=None,
+        help="fault-placement strategy; selecting one (or --daemon-p) "
+        "switches to the adversary-latency campaign (experiment adv) "
+        "instead of the classic random-burst sweep",
+    )
+    sweep.add_argument(
+        "--daemon-p",
+        type=float,
+        default=None,
+        metavar="P",
+        help="partial-activation daemon: each node verifies with "
+        "probability P per round (default 0.3 for the adversary "
+        "campaign; 1.0 = synchronous daemon)",
+    )
 
     profile = sub.add_parser(
         "error-profile",
@@ -328,6 +349,26 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_selfstab_sweep(args) -> int:
+    if args.adversary is not None or args.daemon_p is not None:
+        result = _experiments.experiment_adversary_latency(
+            sizes=tuple(args.n) if args.n else (32,),
+            fault_counts=tuple(args.faults) if args.faults else (1, 2, 4),
+            detectors=tuple(args.detector)
+            if args.detector
+            else ("st-pointer", "bfs-tree", "approx-dominating-set",
+                  "es-spanning-tree"),
+            adversaries=(args.adversary or "random",),
+            daemon_p=args.daemon_p if args.daemon_p is not None else 0.3,
+            seeds_per_cell=args.runs,
+            rng=make_rng(args.seed),
+        )
+        print(result.to_table())
+        undetected = sum(
+            row[result.headers.index("illegal")]
+            - row[result.headers.index("detected")]
+            for row in result.rows
+        )
+        return 1 if undetected else 0
     result = _experiments.experiment_f4b_fault_sweep(
         sizes=tuple(args.n) if args.n else (32, 64),
         fault_counts=tuple(args.faults) if args.faults else (1, 2, 4),

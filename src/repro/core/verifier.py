@@ -44,6 +44,7 @@ __all__ = [
     "build_view",
     "build_views",
     "decide",
+    "record_view_build",
     "refresh_views",
     "view_build_count",
 ]
@@ -160,6 +161,19 @@ _VIEW_BUILDS = 0
 def view_build_count() -> int:
     """Monotone counter of :class:`LocalView` constructions."""
     return _VIEW_BUILDS
+
+
+def record_view_build(count: int = 1) -> None:
+    """Charge ``count`` view constructions to the global counter.
+
+    The message-passing simulator assembles :class:`LocalView` objects
+    itself (from real inboxes rather than through the scaffold), so it
+    reports its constructions here — keeping ``view_build_count`` the
+    single audited cost unit across the direct engine and the
+    distributed one.
+    """
+    global _VIEW_BUILDS
+    _VIEW_BUILDS += count
 
 
 class ViewSet(dict):

@@ -67,6 +67,22 @@ class Network:
             port_weights=weights,
         )
 
+    def update_input(self, node: int, value: Any) -> None:
+        """Rewrite one node's input, patching the cached context.
+
+        The incremental verification sessions re-verify the same network
+        under register files that differ at a handful of nodes; rebuilding
+        the whole ``Network`` (and its context cache) for each resweep
+        would defeat the reuse.  Only the changed node's context is
+        replaced, so mappings previously returned by :meth:`contexts`
+        observe the update in place.
+        """
+        if node not in self.inputs:
+            raise SimulationError(f"no node {node} in this network")
+        self.inputs[node] = value
+        if self._contexts is not None:
+            self._contexts[node] = self.context(node)
+
     def contexts(self) -> dict[int, NodeContext]:
         """Every node's context, built once and cached.
 

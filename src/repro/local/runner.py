@@ -5,19 +5,39 @@ Runs a :class:`~repro.local.algorithm.SynchronousAlgorithm` on a
 budget runs out, which raises — silent non-termination is a bug, not a
 result).  Message counts and total message *bits* (canonical codec) are
 accounted so experiments can report communication costs.
+
+Incremental re-execution
+------------------------
+The self-stabilization story re-runs the *same* verification algorithm
+over register files that differ at a handful of nodes, forever.  A
+from-scratch :func:`run_synchronous` pays O(n) sends and receives per
+sweep regardless of how little changed.  :class:`SimulationSession`
+is the message-passing analogue of
+:class:`~repro.selfstab.detector.DetectionSession`: it caches one full
+run round by round — entry states, outgoing messages, inboxes, halt
+pattern — and :meth:`~SimulationSession.rerun` re-executes only the
+nodes a declared change can reach.  A change at node ``v`` re-runs
+``v``'s sends; receivers whose inbox actually changed re-run their
+receive; a receive whose new state differs propagates to the next
+round.  Work is therefore O(ball(changed)) per round, and the result is
+round-for-round identical to a fresh run (outputs, message counts,
+message bits — the property tests pin this).  A rerun that diverges
+from the cached *halt pattern* falls back to a fresh full run: halting
+changes which messages are dropped, and patching that incrementally is
+not worth the bookkeeping.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from repro.errors import SimulationError
 from repro.local.algorithm import Halted, SynchronousAlgorithm
 from repro.local.network import Network
 from repro.util.bits import obj_bit_size
 
-__all__ = ["RunResult", "run_synchronous"]
+__all__ = ["RunResult", "SimulationSession", "run_synchronous"]
 
 
 @dataclass
@@ -118,3 +138,232 @@ def run_synchronous(
         message_bits=message_bits,
         states=states,
     )
+
+
+@dataclass
+class _RoundCache:
+    """Everything one round of a cached run needs to be re-executed locally."""
+
+    #: Nodes active at the start of the round.
+    active: frozenset[int]
+    #: Entry state per active node (mutated as reruns advance the baseline).
+    entry: dict[int, Any]
+    #: Outgoing messages per sender: port -> message (``None``s filtered).
+    sends: dict[int, dict[int, Any]]
+    #: Inbox per active receiver: back-port -> message.
+    inboxes: dict[int, dict[int, Any]]
+    #: Nodes whose receive returned :class:`Halted` this round.
+    halted: set[int]
+
+
+class SimulationSession:
+    """Cached synchronous run that can be incrementally re-executed.
+
+    Construction runs ``algorithm`` to completion (same semantics as
+    :func:`run_synchronous`) while recording per-round entry states,
+    messages, and the halt pattern.  :meth:`rerun` then advances the
+    cache to a *modified* algorithm — typically the same verification
+    round over registers that changed at a declared set of nodes — and
+    returns the run result, re-executing only nodes the change can
+    reach.  The session is its own baseline: consecutive ``rerun`` calls
+    diff against the previous rerun, exactly like
+    :class:`~repro.selfstab.detector.DetectionSession` diffs register
+    files.
+
+    ``changed`` must cover every node whose *algorithm-visible data*
+    (certificates baked into the algorithm, inputs patched through
+    :meth:`~repro.local.network.Network.update_input`) differs from the
+    previous run; the session takes care of downstream propagation
+    through messages.  Understating it yields stale results — the same
+    contract ``DetectionSession.update`` has.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        algorithm: SynchronousAlgorithm,
+        max_rounds: int = 10_000,
+        count_bits: bool = True,
+    ) -> None:
+        self.network = network
+        self.max_rounds = max_rounds
+        self.count_bits = count_bits
+        self._run_full(algorithm)
+
+    # -- full (re)builds ------------------------------------------------------
+
+    def _run_full(self, algorithm: SynchronousAlgorithm) -> None:
+        """Execute ``algorithm`` from scratch, rebuilding every cache."""
+        graph = self.network.graph
+        contexts = self.network.contexts()
+        self._algorithm = algorithm
+        self._rounds_cache: list[_RoundCache] = []
+        self._outputs: dict[int, Any] = {}
+        self._final_states: dict[int, Any] = {}
+        self._message_count = 0
+        self._message_bits = 0
+
+        states = {v: algorithm.init_state(contexts[v]) for v in graph.nodes}
+        active: set[int] = set(graph.nodes)
+        rounds = 0
+        while active:
+            if rounds >= self.max_rounds:
+                raise SimulationError(
+                    f"{algorithm.name}: {len(active)} nodes still active after "
+                    f"{self.max_rounds} rounds"
+                )
+            cache = _RoundCache(
+                active=frozenset(active),
+                entry={v: states[v] for v in active},
+                sends={},
+                inboxes={v: {} for v in active},
+                halted=set(),
+            )
+            for v in sorted(active):
+                outgoing = self._outgoing(algorithm, contexts[v], states[v], rounds)
+                cache.sends[v] = outgoing
+                for port, message in outgoing.items():
+                    target = graph.neighbor_at(v, port)
+                    if target not in active:
+                        continue  # dropped: halted receivers are off the air
+                    cache.inboxes[target][graph.port(target, v)] = message
+                    self._message_count += 1
+                    if self.count_bits:
+                        self._message_bits += obj_bit_size(message)
+            for v in sorted(active):
+                result = algorithm.receive(
+                    contexts[v], states[v], cache.inboxes[v], rounds
+                )
+                if isinstance(result, Halted):
+                    cache.halted.add(v)
+                    self._outputs[v] = result.output
+                    self._final_states[v] = states[v]
+                    active.discard(v)
+                else:
+                    states[v] = result
+            self._rounds_cache.append(cache)
+            rounds += 1
+
+    def _outgoing(
+        self, algorithm: SynchronousAlgorithm, ctx, state: Any, round_index: int
+    ) -> dict[int, Any]:
+        """One node's validated, ``None``-filtered messages for a round."""
+        outgoing: dict[int, Any] = {}
+        for port, message in algorithm.send(ctx, state, round_index).items():
+            if not 0 <= port < ctx.degree:
+                raise SimulationError(
+                    f"{algorithm.name}: node {ctx.node} sent on invalid port {port}"
+                )
+            if message is None:
+                continue
+            outgoing[port] = message
+        return outgoing
+
+    # -- results --------------------------------------------------------------
+
+    @property
+    def rounds(self) -> int:
+        return len(self._rounds_cache)
+
+    def result(self) -> RunResult:
+        """The cached run's result (fresh copies of the mutable parts)."""
+        return RunResult(
+            outputs=dict(self._outputs),
+            rounds=self.rounds,
+            message_count=self._message_count,
+            message_bits=self._message_bits,
+            states=dict(self._final_states),
+        )
+
+    # -- incremental re-execution ---------------------------------------------
+
+    def rerun(
+        self,
+        algorithm: SynchronousAlgorithm | None = None,
+        changed: Iterable[int] = (),
+    ) -> RunResult:
+        """Advance the cache to ``algorithm`` and return the run result.
+
+        ``algorithm`` defaults to the cached one (for callers that mutate
+        the algorithm's data in place); ``changed`` names the nodes whose
+        algorithm-visible data differs from the previous run.  Only nodes
+        reachable from a change — changed senders, receivers whose inbox
+        differs, nodes whose propagated state differs — are re-executed;
+        everything else is served from the cache.
+        """
+        algorithm = algorithm if algorithm is not None else self._algorithm
+        self._algorithm = algorithm
+        dirty_alg = set(changed)
+        if not dirty_alg:
+            return self.result()
+        graph = self.network.graph
+        contexts = self.network.contexts()
+        count_delta = 0
+        bits_delta = 0
+
+        # Round-0 entry states come from the algorithm, so a changed node
+        # may start differently.
+        dirty_state: set[int] = set()
+        first = self._rounds_cache[0]
+        for v in sorted(dirty_alg & first.active):
+            entry = algorithm.init_state(contexts[v])
+            if entry != first.entry[v]:
+                first.entry[v] = entry
+                dirty_state.add(v)
+
+        for round_index, cache in enumerate(self._rounds_cache):
+            resend = (dirty_alg | dirty_state) & cache.active
+            inbox_dirty: set[int] = set()
+            for v in sorted(resend):
+                outgoing = self._outgoing(
+                    algorithm, contexts[v], cache.entry[v], round_index
+                )
+                previous = cache.sends[v]
+                for port in set(previous) | set(outgoing):
+                    missing = object()
+                    old = previous.get(port, missing)
+                    new = outgoing.get(port, missing)
+                    if old is not missing and new is not missing and old == new:
+                        continue
+                    target = graph.neighbor_at(v, port)
+                    if target not in cache.active:
+                        continue  # dropped either way, never accounted
+                    back_port = graph.port(target, v)
+                    inbox = cache.inboxes[target]
+                    if old is not missing:
+                        count_delta -= 1
+                        if self.count_bits:
+                            bits_delta -= obj_bit_size(old)
+                        del inbox[back_port]
+                    if new is not missing:
+                        count_delta += 1
+                        if self.count_bits:
+                            bits_delta += obj_bit_size(new)
+                        inbox[back_port] = new
+                    inbox_dirty.add(target)
+                cache.sends[v] = outgoing
+            next_dirty: set[int] = set()
+            for v in sorted((inbox_dirty | dirty_alg | dirty_state) & cache.active):
+                entry = cache.entry[v]
+                result = algorithm.receive(
+                    contexts[v], entry, cache.inboxes[v], round_index
+                )
+                if isinstance(result, Halted) != (v in cache.halted):
+                    # The halt pattern diverged: message drops change from
+                    # this round on, so incremental patching is off the
+                    # table.  Rebuild from scratch (still correct).
+                    self._run_full(algorithm)
+                    return self.result()
+                if v in cache.halted:
+                    self._outputs[v] = result.output
+                    self._final_states[v] = entry
+                else:
+                    following = self._rounds_cache[round_index + 1]
+                    if result != following.entry[v]:
+                        following.entry[v] = result
+                        next_dirty.add(v)
+            dirty_state = next_dirty
+
+        self._message_count += count_delta
+        self._message_bits += bits_delta
+        return self.result()

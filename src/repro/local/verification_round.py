@@ -10,6 +10,25 @@ its :class:`~repro.core.verifier.LocalView` from the inbox, and decides.
 Because the runner accounts message bits with the canonical codec, this
 is how the experiments measure the *communication cost of verification*
 (T4): one round, and per edge roughly the two endpoint certificates.
+
+Radius-``t`` schemes (``coarse-acyclic``) verify over a distance-``t``
+ball; :class:`BallGatherRound` realises that as ``t`` rounds of
+knowledge flooding, after which every node assembles a
+:class:`~repro.core.verifier.BallView` from what actually arrived.
+
+Incremental resweeps
+--------------------
+Self-stabilizing detection re-runs the same verification round over
+near-identical register files forever.  :class:`VerificationSession`
+keeps the network, the certificates, and the simulator's
+:class:`~repro.local.runner.SimulationSession` between sweeps: a
+resweep after ``k`` register changes re-executes (and rebuilds the
+:class:`~repro.core.verifier.LocalView` of) only the nodes within the
+scheme's radius of a change — the message-passing twin of
+:class:`~repro.selfstab.detector.DetectionSession`.  View constructions
+are charged to :func:`~repro.core.verifier.view_build_count` either
+way, so the saving is measurable in the same audited unit as the direct
+engine's.
 """
 
 from __future__ import annotations
@@ -18,16 +37,29 @@ from typing import Any, Mapping
 
 from repro.core.labeling import Configuration
 from repro.core.scheme import ProofLabelingScheme
-from repro.core.verifier import LocalView, NeighborGlimpse, Verdict, Visibility
+from repro.core.verifier import (
+    BallView,
+    LocalView,
+    NeighborGlimpse,
+    Verdict,
+    Visibility,
+    record_view_build,
+)
+from repro.errors import SimulationError
 from repro.local.algorithm import Halted, NodeContext, SynchronousAlgorithm
 from repro.local.network import Network
-from repro.local.runner import RunResult, run_synchronous
+from repro.local.runner import RunResult, SimulationSession, run_synchronous
 
-__all__ = ["VerificationRound", "distributed_verification"]
+__all__ = [
+    "BallGatherRound",
+    "VerificationRound",
+    "VerificationSession",
+    "distributed_verification",
+]
 
 
 class VerificationRound(SynchronousAlgorithm):
-    """One exchange, then a local decision."""
+    """One exchange, then a local decision (the paper's radius-1 model)."""
 
     name = "verification-round"
 
@@ -78,6 +110,7 @@ class VerificationRound(SynchronousAlgorithm):
                     back_port=back_port,
                 )
             )
+        record_view_build()
         view = LocalView(
             uid=ctx.uid,
             degree=ctx.degree,
@@ -90,6 +123,164 @@ class VerificationRound(SynchronousAlgorithm):
         except Exception:
             ok = False
         return Halted(ok)
+
+
+class BallGatherRound(SynchronousAlgorithm):
+    """Radius-``t`` verification: ``t`` flooding rounds, then a decision.
+
+    Each round every node broadcasts everything it knows so far — per
+    discovered uid: distance estimate, certificate, state (FULL
+    visibility only), the uid's neighbors in port order, and incident
+    edge weights.  After ``t`` rounds a node knows exactly its
+    distance-``t`` ball and assembles the
+    :class:`~repro.core.verifier.BallView` the scheme's verifier
+    expects.  Port-order ground truth for a member at distance exactly
+    ``t`` may not have arrived (it leaves the member one round after its
+    existence does); verifiers only chase pointers through nodes at
+    distance < ``t``, which always have it.
+    """
+
+    name = "ball-gather-round"
+
+    def __init__(
+        self,
+        scheme: ProofLabelingScheme,
+        certificates: Mapping[int, Any],
+        network: Network,
+    ) -> None:
+        if scheme.radius < 2:
+            raise SimulationError(
+                f"{scheme.name}: radius-{scheme.radius} verification uses "
+                "VerificationRound, not the ball gather"
+            )
+        self.scheme = scheme
+        self.certificates = dict(certificates)
+        self._network = network
+
+    def _self_entry(self, ctx: NodeContext, ports: tuple[int, ...] | None) -> tuple:
+        full = self.scheme.visibility is Visibility.FULL
+        weights = ctx.port_weights if ctx.port_weights is not None else None
+        return (
+            0,
+            self.certificates.get(ctx.node),
+            ctx.input if full else None,
+            ports,
+            weights,
+        )
+
+    def init_state(self, ctx: NodeContext) -> Any:
+        # Knowledge: uid -> (dist, cert, state, port_uids, port_weights).
+        # A node does not yet know its neighbors' uids, so its own
+        # port-order entry starts unknown and is filled by round 0.
+        return {ctx.uid: self._self_entry(ctx, None)}
+
+    def send(self, ctx: NodeContext, state: Any, round_index: int) -> Mapping[int, Any]:
+        return {port: (ctx.uid, port, state) for port in range(ctx.degree)}
+
+    def receive(
+        self,
+        ctx: NodeContext,
+        state: Any,
+        inbox: Mapping[int, Any],
+        round_index: int,
+    ) -> Any:
+        radius = self.scheme.radius
+        knowledge: dict[int, tuple] = dict(state)
+        port_uids: list[int] = []
+        for port in range(ctx.degree):
+            uid, _back_port, nb_knowledge = inbox[port]
+            port_uids.append(uid)
+            for member, (dist, cert, nb_state, ports, weights) in nb_knowledge.items():
+                entry = (dist + 1, cert, nb_state, ports, weights)
+                if dist + 1 > radius:
+                    continue
+                known = knowledge.get(member)
+                if known is None or entry[0] < known[0]:
+                    knowledge[member] = entry
+                elif known[3] is None and ports is not None:
+                    knowledge[member] = (known[0], known[1], known[2], ports, weights)
+        # Ground truth learned from the channel: my own port order.
+        knowledge[ctx.uid] = self._self_entry(ctx, tuple(port_uids))
+        if round_index + 1 < radius:
+            return knowledge
+        return Halted(self._decide(ctx, knowledge, inbox))
+
+    def _decide(
+        self,
+        ctx: NodeContext,
+        knowledge: Mapping[int, tuple],
+        inbox: Mapping[int, Any],
+    ) -> bool:
+        members = {
+            uid: (dist, cert, nb_state)
+            for uid, (dist, cert, nb_state, _ports, _weights) in knowledge.items()
+        }
+        ports = {
+            uid: entry[3]
+            for uid, entry in knowledge.items()
+            if entry[3] is not None
+        }
+        edges = []
+        for uid, entry in sorted(knowledge.items()):
+            if entry[3] is None:
+                continue
+            weights = entry[4]
+            for index, other in enumerate(entry[3]):
+                if other not in members:
+                    continue
+                pair = (uid, other) if uid < other else (other, uid)
+                weight = weights[index] if weights is not None else None
+                edges.append((pair[0], pair[1], weight))
+        ball = BallView(
+            radius=self.scheme.radius,
+            members=members,
+            edges=tuple(sorted(set(edges), key=lambda e: (e[0], e[1]))),
+            ports=ports,
+        )
+        glimpses = []
+        for port in range(ctx.degree):
+            uid, back_port, _knowledge = inbox[port]
+            dist, cert, nb_state = members[uid]
+            weight = ctx.port_weights[port] if ctx.port_weights is not None else None
+            glimpses.append(
+                NeighborGlimpse(
+                    port=port,
+                    uid=uid,
+                    certificate=cert,
+                    state=nb_state,
+                    weight=weight,
+                    back_port=back_port,
+                )
+            )
+        record_view_build()
+        view = LocalView(
+            uid=ctx.uid,
+            degree=ctx.degree,
+            state=ctx.input,
+            certificate=self.certificates.get(ctx.node),
+            neighbors=tuple(glimpses),
+            ball=ball,
+        )
+        try:
+            return bool(self.scheme.verify(view))
+        except Exception:
+            return False
+
+
+def _verification_algorithm(
+    scheme: ProofLabelingScheme,
+    certificates: Mapping[int, Any],
+    network: Network,
+) -> SynchronousAlgorithm:
+    if scheme.radius > 1:
+        return BallGatherRound(scheme, certificates, network)
+    return VerificationRound(scheme, certificates, network)
+
+
+def _verdict_from(result: RunResult) -> Verdict:
+    accepts = frozenset(v for v, ok in result.outputs.items() if ok)
+    rejects = frozenset(v for v, ok in result.outputs.items() if not ok)
+    return Verdict(accepts=accepts, rejects=rejects)
 
 
 def distributed_verification(
@@ -105,8 +296,90 @@ def distributed_verification(
     if certificates is None:
         certificates = scheme.prove(config)
     network = Network(config.graph, ids=config.ids, inputs=dict(config.labeling))
-    algorithm = VerificationRound(scheme, certificates, network)
+    algorithm = _verification_algorithm(scheme, certificates, network)
     result = run_synchronous(network, algorithm)
-    accepts = frozenset(v for v, ok in result.outputs.items() if ok)
-    rejects = frozenset(v for v, ok in result.outputs.items() if not ok)
-    return Verdict(accepts=accepts, rejects=rejects), result
+    return _verdict_from(result), result
+
+
+class VerificationSession:
+    """Incremental distributed verification over a mutable register file.
+
+    The message-simulator twin of
+    :class:`~repro.selfstab.detector.DetectionSession`: one network, one
+    certificate table, one cached :class:`~repro.local.runner.SimulationSession`;
+    each :meth:`resweep` patches the declared changes into the network
+    inputs and the certificate table, then re-executes only the nodes
+    the change can reach.  Verdicts are round-for-round identical to a
+    fresh :func:`distributed_verification` of the same registers (the
+    property tests pin this) at O(ball(changed)) re-executed nodes —
+    and, in :func:`~repro.core.verifier.view_build_count` units,
+    O(ball(changed)) view constructions instead of ``n``.
+    """
+
+    def __init__(
+        self,
+        scheme: ProofLabelingScheme,
+        config: Configuration,
+        certificates: Mapping[int, Any] | None = None,
+    ) -> None:
+        self.scheme = scheme
+        certs = dict(certificates) if certificates is not None else scheme.prove(config)
+        self.network = Network(
+            config.graph, ids=config.ids, inputs=dict(config.labeling)
+        )
+        self._algorithm = _verification_algorithm(scheme, certs, self.network)
+        self._sim = SimulationSession(self.network, self._algorithm)
+
+    @property
+    def certificates(self) -> dict[int, Any]:
+        """The certificate table the current verdict was computed under."""
+        return dict(self._algorithm.certificates)
+
+    def verdict(self) -> Verdict:
+        return _verdict_from(self._sim.result())
+
+    def result(self) -> RunResult:
+        return self._sim.result()
+
+    def resweep(
+        self,
+        states: Mapping[int, Any] | None = None,
+        certificates: Mapping[int, Any] | None = None,
+        changed: Any = None,
+    ) -> tuple[Verdict, RunResult]:
+        """Re-verify after localized register changes.
+
+        ``states`` (output labels) and ``certificates`` give the new
+        values — either full tables or just the changed entries;
+        ``changed`` optionally names a superset of the changed nodes so
+        the diff does not have to scan all ``n`` registers.  Nodes whose
+        state and certificate both match the session's snapshot cost
+        nothing.
+        """
+        candidates = (
+            sorted(set(changed))
+            if changed is not None
+            else sorted(self.network.graph.nodes)
+        )
+        certs = self._algorithm.certificates
+        touched: list[int] = []
+        for v in candidates:
+            dirty = False
+            if (
+                states is not None
+                and v in states
+                and states[v] != self.network.inputs[v]
+            ):
+                self.network.update_input(v, states[v])
+                dirty = True
+            if (
+                certificates is not None
+                and v in certificates
+                and certificates[v] != certs.get(v)
+            ):
+                certs[v] = certificates[v]
+                dirty = True
+            if dirty:
+                touched.append(v)
+        result = self._sim.rerun(changed=touched)
+        return _verdict_from(result), result

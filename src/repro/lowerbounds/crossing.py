@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.core.labeling import Configuration, Labeling
+from repro.core.labeling import Configuration
 from repro.core.soundness import completeness_holds
 from repro.core.verifier import Verdict
 from repro.errors import AttackError

@@ -37,7 +37,7 @@ from typing import Any
 from repro.core.labeling import Configuration, Labeling
 from repro.core.language import DistributedLanguage
 from repro.core.scheme import ProofLabelingScheme
-from repro.core.verifier import LocalView, NeighborGlimpse
+from repro.core.verifier import LocalView
 from repro.errors import LanguageError
 from repro.graphs.graph import Graph, edge_key
 from repro.graphs.mst import boruvka_trace, kruskal

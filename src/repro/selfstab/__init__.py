@@ -15,6 +15,7 @@ from repro.selfstab.campaign import (
     FrozenCertifiedProtocol,
     SweepRecord,
     build_campaign_instance,
+    classify_truth,
     fault_sweep_campaign,
 )
 from repro.selfstab.detector import DetectionReport, DetectionSession, PlsDetector
@@ -34,25 +35,62 @@ from repro.selfstab.reset import (
     run_guarded,
     run_with_global_reset,
 )
+from repro.selfstab.adversary import (
+    ADVERSARIES,
+    Adversary,
+    AdversaryRecord,
+    ByzantineAdversary,
+    ContainmentReport,
+    Daemon,
+    DetectionLatency,
+    LatencyDistribution,
+    PartialDaemon,
+    RandomAdversary,
+    SynchronousDaemon,
+    TargetedAdversary,
+    adversary_campaign,
+    build_adversary,
+    measure_detection_latency,
+    message_path_view_reduction,
+    run_contained,
+)
 
 __all__ = [
+    "ADVERSARIES",
+    "Adversary",
+    "AdversaryRecord",
+    "ByzantineAdversary",
     "CampaignInstance",
+    "ContainmentReport",
+    "Daemon",
+    "DetectionLatency",
     "DetectionReport",
     "DetectionSession",
     "FaultInjection",
     "FrozenCertifiedProtocol",
+    "LatencyDistribution",
     "MaxRootBfsProtocol",
+    "PartialDaemon",
     "PlsDetector",
+    "RandomAdversary",
     "RecoveryTrace",
     "SWEEP_DETECTORS",
     "SelfStabProtocol",
     "SilentLeaderProtocol",
     "StabilizationTrace",
     "SweepRecord",
+    "SynchronousDaemon",
+    "TargetedAdversary",
+    "adversary_campaign",
+    "build_adversary",
     "build_campaign_instance",
+    "classify_truth",
     "fault_sweep_campaign",
     "inject_faults",
     "inject_faults_report",
+    "measure_detection_latency",
+    "message_path_view_reduction",
+    "run_contained",
     "run_guarded",
     "run_until_silent",
     "run_with_global_reset",

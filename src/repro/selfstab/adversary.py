@@ -1,0 +1,822 @@
+"""Adversarial fault placement for the self-stabilization campaigns.
+
+The fault campaigns of :mod:`repro.selfstab.campaign` historically
+injected *uniform random* register corruption — the weakest adversary
+there is.  Feuilloley–Fraigniaud (PODC 2017) show that schemes differ
+precisely on adversarially *placed* errors (their far-but-quiet
+patterns keep whole configurations alive on O(1) rejections), and the
+Korman–Kutten–Peleg detection guarantee is a worst-case claim, so the
+campaigns should be stressed by the strongest registers-only adversary
+we can build.  This module supplies three:
+
+* :class:`RandomAdversary` — the historical behaviour, bit-compatible
+  with the old in-line injection (same rng stream, same victims);
+* :class:`TargetedAdversary` — a greedy search for the ``k``-register
+  corruption that *minimizes* the detector's rejection count while
+  still leaving the language: candidate registers come from the
+  protocol's state space, from **replaying other nodes' registers**
+  (the register-level form of the certificate replay that powers
+  :func:`repro.errorsensitive.decider.min_rejections`), from crossing
+  output and certificate halves of frozen registers, and — when the
+  detector's scheme has a registered
+  :data:`repro.errorsensitive.report.FAR_PATTERNS` construction that
+  fits the graph — from the pattern's far-but-quiet labeling;
+* :class:`ByzantineAdversary` — ``k`` persistently lying registers
+  that re-corrupt themselves every round.  One-shot detection is
+  meaningless against it (the lie returns the moment it is repaired);
+  what a scheme owes instead is **containment**: alarms pinned inside
+  the lying registers' verification radius and no churn beyond it,
+  which :func:`run_contained` measures.
+
+Daemon models and latency
+-------------------------
+Detection latency is only interesting under partial activation: the
+synchronous daemon runs every verifier every round, so any illegal
+configuration is caught in exactly one round.  Under
+:class:`PartialDaemon` each node is activated independently with
+probability ``p`` per round, and the time to the first *activated
+rejecting* node is geometric in the rejection count — which is exactly
+where a targeted adversary (fewer rejecting nodes) buys measurably
+longer latencies.  :func:`adversary_campaign` aggregates per-run
+:class:`DetectionLatency` records into full
+:class:`LatencyDistribution` statistics (min/median/p95/max), not just
+means.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.verifier import affected_nodes, view_build_count
+from repro.errors import SimulationError
+from repro.graphs.generators import connected_gnp
+from repro.selfstab.campaign import (
+    CampaignInstance,
+    build_campaign_instance,
+    classify_truth,
+)
+from repro.selfstab.model import run_until_silent, synchronous_round
+from repro.selfstab.reset import FaultInjection, inject_faults_report, run_guarded
+from repro.util.rng import make_rng, spawn
+
+__all__ = [
+    "ADVERSARIES",
+    "Adversary",
+    "AdversaryRecord",
+    "ByzantineAdversary",
+    "ContainmentReport",
+    "Daemon",
+    "DetectionLatency",
+    "LatencyDistribution",
+    "PartialDaemon",
+    "RandomAdversary",
+    "SynchronousDaemon",
+    "TargetedAdversary",
+    "adversary_campaign",
+    "build_adversary",
+    "measure_detection_latency",
+    "message_path_view_reduction",
+    "run_contained",
+]
+
+
+# ---------------------------------------------------------------------------
+# Adversary strategies.
+# ---------------------------------------------------------------------------
+
+
+class Adversary(ABC):
+    """A fault-placement strategy over a certified silent system.
+
+    ``corrupt`` rewrites exactly ``count`` registers of ``states`` and
+    reports the victims (the
+    :class:`~repro.selfstab.reset.FaultInjection` contract).  Persistent
+    adversaries additionally implement :meth:`recorrupt`, which the
+    detection and containment loops call every round to refresh the
+    lies.
+    """
+
+    name: str = "adversary"
+    #: Persistent adversaries re-corrupt their victims every round;
+    #: detection against them is a containment problem, not a one-shot.
+    persistent: bool = False
+
+    @abstractmethod
+    def corrupt(
+        self,
+        instance: CampaignInstance,
+        states: Mapping[int, Any],
+        count: int,
+        rng: random.Random,
+    ) -> FaultInjection:
+        """Corrupt exactly ``count`` registers of ``states``."""
+
+    def recorrupt(
+        self,
+        instance: CampaignInstance,
+        states: Mapping[int, Any],
+        victims: Sequence[int],
+        rng: random.Random,
+    ) -> dict[int, Any]:
+        """Refresh the victims' lies for the next round (persistent only)."""
+        raise SimulationError(f"{self.name} is not a persistent adversary")
+
+
+class RandomAdversary(Adversary):
+    """Uniform random corruption — the historical campaign behaviour.
+
+    Delegates to :func:`~repro.selfstab.reset.inject_faults_report`
+    with the caller's rng, so campaigns driven by this adversary are
+    bit-identical to the pre-adversary-engine ones (same victims, same
+    drawn states, same downstream statistics).
+    """
+
+    name = "random"
+
+    def corrupt(
+        self,
+        instance: CampaignInstance,
+        states: Mapping[int, Any],
+        count: int,
+        rng: random.Random,
+    ) -> FaultInjection:
+        return inject_faults_report(
+            instance.network, instance.protocol, states, count, rng
+        )
+
+
+class TargetedAdversary(Adversary):
+    """Greedy search for the quietest ``k``-register corruption.
+
+    One victim is chosen per step.  For each step the adversary samples
+    ``search_width`` candidate nodes and, per node, a candidate-register
+    pool: fresh ``random_state`` draws, whole registers replayed from
+    other nodes, and — for ``(output, certificate)``-shaped registers —
+    crossed splices of the two halves.  Candidates are scored with an
+    incremental :class:`~repro.selfstab.detector.DetectionSession`
+    (O(ball(1)) views per probe) and ranked by rejection count; the
+    best-ranked candidate whose configuration actually leaves the
+    language wins, so the search optimizes *illegal-but-quiet* — the
+    KKP adversary's real objective — and membership is only evaluated
+    lazily down the ranking.
+
+    When the detector's scheme has a registered far-but-quiet pattern
+    (:data:`repro.errorsensitive.report.FAR_PATTERNS`) that fits the
+    instance's graph, the pattern's labeling joins the candidate pool:
+    corrupting *toward* a known quiet configuration is the strongest
+    seed there is (the glued-orientations pattern keeps a whole path on
+    one rejection).
+    """
+
+    name = "targeted"
+
+    def __init__(
+        self,
+        search_width: int = 6,
+        draws_per_node: int = 3,
+        splice_pool: int = 3,
+    ) -> None:
+        self.search_width = search_width
+        self.draws_per_node = draws_per_node
+        self.splice_pool = splice_pool
+
+    def _pattern_states(
+        self, instance: CampaignInstance, rng: random.Random
+    ) -> dict[int, Any] | None:
+        """The scheme's FAR_PATTERNS labeling on this graph, if it fits."""
+        from repro.errorsensitive.report import FAR_PATTERNS
+
+        pattern = FAR_PATTERNS.get(instance.detector.scheme.name)
+        if pattern is None:
+            return None
+        graph = instance.network.graph
+        degrees = sorted(graph.degree(v) for v in graph.nodes)
+        if graph.n < 4 or degrees != [1, 1] + [2] * (graph.n - 2):
+            return None  # patterns are path constructions
+        try:
+            config, _distance, _related = pattern(graph.n, rng)
+        except Exception:
+            return None
+        if config.graph.n != graph.n:
+            return None
+        return {v: config.state(v) for v in config.graph.nodes}
+
+    def _candidates(
+        self,
+        instance: CampaignInstance,
+        states: Mapping[int, Any],
+        node: int,
+        pattern: Mapping[int, Any] | None,
+        rng: random.Random,
+    ) -> list[Any]:
+        protocol = instance.protocol
+        contexts = instance.network.contexts()
+        current = states[node]
+        pool: list[Any] = []
+
+        def add(candidate: Any) -> None:
+            if candidate != current and candidate not in pool:
+                pool.append(candidate)
+
+        for _ in range(self.draws_per_node):
+            add(protocol.random_state(contexts[node], rng))
+        others = [v for v in sorted(states) if v != node]
+        for _ in range(min(self.splice_pool, len(others))):
+            donor = others[rng.randrange(len(others))]
+            add(states[donor])
+            # Crossed splices for (output, certificate) registers: keep
+            # my output with the donor's certificate and vice versa —
+            # the register-level certificate replay of min_rejections.
+            if (
+                isinstance(current, tuple)
+                and isinstance(states[donor], tuple)
+                and len(current) == 2
+                and len(states[donor]) == 2
+            ):
+                add((current[0], states[donor][1]))
+                add((states[donor][0], current[1]))
+        if pattern is not None and isinstance(current, tuple) and len(current) == 2:
+            # Move this node's output toward the far-but-quiet pattern,
+            # keeping the certified half plausible.
+            add((pattern[node], current[1]))
+        return pool
+
+    def corrupt(
+        self,
+        instance: CampaignInstance,
+        states: Mapping[int, Any],
+        count: int,
+        rng: random.Random,
+    ) -> FaultInjection:
+        network, detector = instance.network, instance.detector
+        language = detector.scheme.language
+        if count > network.graph.n:
+            raise SimulationError(
+                f"cannot corrupt {count} of {network.graph.n} registers"
+            )
+        pattern = self._pattern_states(instance, spawn(rng, 23))
+        session = detector.session(network, states)
+        current = dict(states)
+        victims: list[int] = []
+        for _step in range(count):
+            free = [v for v in sorted(current) if v not in victims]
+            sampled = (
+                free
+                if len(free) <= self.search_width
+                else rng.sample(free, self.search_width)
+            )
+            scored: list[tuple[int, int, int, Any]] = []
+            order = 0
+            for node in sorted(sampled):
+                for candidate in self._candidates(
+                    instance, current, node, pattern, rng
+                ):
+                    trial = dict(current)
+                    trial[node] = candidate
+                    report = session.sweep(
+                        trial, changed=[node], check_membership=False
+                    )
+                    scored.append(
+                        (report.verdict.reject_count, order, node, candidate)
+                    )
+                    order += 1
+                    session.update(current, changed=[node])  # restore
+            if not scored:
+                raise SimulationError(
+                    f"{self.name}: no differing candidate register at any of "
+                    f"{len(sampled)} nodes"
+                )
+            scored.sort(key=lambda item: (item[0], item[1]))
+            chosen: tuple[int, int, int, Any] | None = None
+            # Lazy membership: walk the ranking until a candidate that
+            # actually leaves the language (an exact detector must be
+            # obliged to alarm; a gap detector, to be α-far).
+            for rejects, order, node, candidate in scored:
+                trial = dict(current)
+                trial[node] = candidate
+                session.update(trial, changed=[node])
+                truth = classify_truth(language, session.config)
+                session.update(current, changed=[node])
+                if truth == "illegal":
+                    chosen = (rejects, order, node, candidate)
+                    break
+            if chosen is None:
+                chosen = scored[0]
+            _, _, node, candidate = chosen
+            current[node] = candidate
+            victims.append(node)
+            session.update(current, changed=[node])
+        return FaultInjection(states=current, victims=tuple(sorted(victims)))
+
+
+class ByzantineAdversary(Adversary):
+    """``k`` persistently lying registers, re-corrupted every round.
+
+    Victim placement delegates to a one-shot ``chooser`` (default
+    :class:`RandomAdversary`; a :class:`TargetedAdversary` chooser
+    yields quiet Byzantine registers).  Every subsequent round
+    :meth:`recorrupt` rewrites each victim with a fresh
+    ``random_state`` draw — repairing a Byzantine register is
+    pointless, so recovery loops must *contain* it instead
+    (:func:`run_contained`).
+    """
+
+    name = "byzantine"
+    persistent = True
+
+    def __init__(self, chooser: Adversary | None = None) -> None:
+        self.chooser = chooser if chooser is not None else RandomAdversary()
+
+    def corrupt(
+        self,
+        instance: CampaignInstance,
+        states: Mapping[int, Any],
+        count: int,
+        rng: random.Random,
+    ) -> FaultInjection:
+        return self.chooser.corrupt(instance, states, count, rng)
+
+    def recorrupt(
+        self,
+        instance: CampaignInstance,
+        states: Mapping[int, Any],
+        victims: Sequence[int],
+        rng: random.Random,
+    ) -> dict[int, Any]:
+        contexts = instance.network.contexts()
+        refreshed = dict(states)
+        for node in sorted(victims):
+            refreshed[node] = instance.protocol.random_state(contexts[node], rng)
+        return refreshed
+
+
+#: CLI-facing registry: name -> zero-argument adversary factory.
+ADVERSARIES: dict[str, Callable[[], Adversary]] = {
+    "random": RandomAdversary,
+    "targeted": TargetedAdversary,
+    "byzantine": ByzantineAdversary,
+}
+
+
+def build_adversary(name: str) -> Adversary:
+    """Instantiate a registered adversary by name."""
+    try:
+        factory = ADVERSARIES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown adversary {name!r}; known: {sorted(ADVERSARIES)}"
+        ) from None
+    return factory()
+
+
+# ---------------------------------------------------------------------------
+# Daemon models.
+# ---------------------------------------------------------------------------
+
+
+class Daemon(ABC):
+    """Which nodes evaluate their verifier in a given round."""
+
+    name: str = "daemon"
+
+    @abstractmethod
+    def activation(
+        self, nodes: Sequence[int], round_index: int, rng: random.Random
+    ) -> set[int]:
+        """The set of nodes activated this round."""
+
+
+class SynchronousDaemon(Daemon):
+    """Every node, every round — detection latency is always one round."""
+
+    name = "synchronous"
+
+    def activation(
+        self, nodes: Sequence[int], round_index: int, rng: random.Random
+    ) -> set[int]:
+        return set(nodes)
+
+
+class PartialDaemon(Daemon):
+    """Independent activation with probability ``p`` per node per round."""
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p <= 1.0:
+            raise SimulationError(f"activation probability must be in (0, 1]: {p}")
+        self.p = p
+        self.name = f"partial(p={p:g})"
+
+    def activation(
+        self, nodes: Sequence[int], round_index: int, rng: random.Random
+    ) -> set[int]:
+        return {v for v in nodes if rng.random() < self.p}
+
+
+# ---------------------------------------------------------------------------
+# Latency records and distributions.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DetectionLatency:
+    """One run's time-to-first-alarm under a daemon."""
+
+    #: Verification rounds until an activated node rejected (1 = the
+    #: very first sweep caught it); equals the round cap when undetected.
+    rounds: int
+    detected: bool
+    #: Rejecting nodes in the round the alarm fired (the daemon saw at
+    #: least one of them).
+    rejecting: int
+
+
+@dataclass(frozen=True)
+class LatencyDistribution:
+    """Distribution summary of detection latencies (in rounds)."""
+
+    count: int
+    minimum: int
+    median: float
+    p95: float
+    maximum: int
+    mean: float
+
+    @staticmethod
+    def from_rounds(rounds: Sequence[int]) -> "LatencyDistribution":
+        if not rounds:
+            return LatencyDistribution(0, 0, 0.0, 0.0, 0, 0.0)
+        ordered = sorted(rounds)
+        n = len(ordered)
+        if n % 2:
+            median = float(ordered[n // 2])
+        else:
+            median = (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+        p95_index = max(0, -(-95 * n // 100) - 1)  # ceil(0.95 n) - 1
+        return LatencyDistribution(
+            count=n,
+            minimum=ordered[0],
+            median=median,
+            p95=float(ordered[p95_index]),
+            maximum=ordered[-1],
+            mean=sum(ordered) / n,
+        )
+
+
+def measure_detection_latency(
+    instance: CampaignInstance,
+    session,
+    states: Mapping[int, Any],
+    victims: Sequence[int],
+    adversary: Adversary,
+    daemon: Daemon,
+    rng: random.Random,
+    max_rounds: int = 64,
+) -> tuple[DetectionLatency, dict[int, Any]]:
+    """Rounds until an activated node alarms, under ``daemon``.
+
+    ``session`` must already be at ``states`` (the caller swept the
+    corruption).  Persistent adversaries refresh their victims' lies
+    between rounds — their rejection set moves, so each round re-sweeps
+    incrementally.  Returns the latency record and the register file at
+    the end of the measurement (== ``states`` for one-shot adversaries).
+    """
+    nodes = sorted(instance.network.graph.nodes)
+    current = dict(states)
+    for round_index in range(max_rounds):
+        verdict = session.verify()
+        active = daemon.activation(nodes, round_index, rng)
+        seen = active & verdict.rejects
+        if seen:
+            return (
+                DetectionLatency(
+                    rounds=round_index + 1,
+                    detected=True,
+                    rejecting=verdict.reject_count,
+                ),
+                current,
+            )
+        if adversary.persistent:
+            current = adversary.recorrupt(instance, current, victims, rng)
+            session.update(current, changed=victims)
+    return DetectionLatency(rounds=max_rounds, detected=False, rejecting=0), current
+
+
+# ---------------------------------------------------------------------------
+# Byzantine containment.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ContainmentReport:
+    """Outcome of a guarded run against persistently lying registers."""
+
+    #: Rounds until the honest region went quiet (or the cap).
+    rounds: int
+    #: Honest registers stopped changing and every alarm sat within the
+    #: victims' verification radius.
+    contained: bool
+    #: Honest register changes over the run (work leaked past the lie).
+    honest_moves: int
+    #: Alarmed nodes outside the containment zone in the final round.
+    escaped_alarms: int
+
+
+def run_contained(
+    instance: CampaignInstance,
+    session,
+    states: Mapping[int, Any],
+    victims: Sequence[int],
+    rng: random.Random,
+    max_rounds: int = 256,
+    quiet_rounds: int = 2,
+    adversary: Adversary | None = None,
+) -> ContainmentReport:
+    """Guarded correction against Byzantine registers.
+
+    Every round: the victims re-corrupt themselves — via ``adversary``'s
+    :meth:`~Adversary.recorrupt` (default: a fresh
+    :class:`ByzantineAdversary`), so the containment run measures the
+    same lie model the caller's campaign used; honest rejecting nodes
+    execute one protocol move (or a local reset when the move is a
+    no-op), exactly as in :func:`~repro.selfstab.reset.run_guarded`.
+    The run is **contained** when ``quiet_rounds`` consecutive rounds
+    change no honest register and every rejecting node lies within the
+    scheme's verification radius of a victim (the containment zone):
+    the lie is still there, still alarmed on, but pinned.  A protocol
+    that *adopts* lies (max-root BFS adopting a bogus root claim)
+    leaks moves beyond the zone and fails containment — which is the
+    point of measuring it.
+    """
+    network, protocol, detector = (
+        instance.network,
+        instance.protocol,
+        instance.detector,
+    )
+    adversary = adversary if adversary is not None else ByzantineAdversary()
+    contexts = network.contexts()
+    zone = affected_nodes(network.graph, victims, detector.scheme.radius)
+    victim_set = set(victims)
+    current = dict(states)
+    session.update(current, changed=victims)
+    honest_moves = 0
+    quiet = 0
+    for round_index in range(max_rounds):
+        verdict = session.verify()
+        honest_rejects = set(verdict.rejects) - victim_set
+        stepped = synchronous_round(network, protocol, current, active=honest_rejects)
+        moved: list[int] = []
+        nxt = dict(current)
+        for v in sorted(honest_rejects):
+            if stepped[v] != current[v]:
+                nxt[v] = stepped[v]
+                moved.append(v)
+            else:
+                reset = protocol.initial_state(contexts[v])
+                if reset != current[v]:
+                    nxt[v] = reset
+                    moved.append(v)
+        honest_moves += len(moved)
+        quiet = 0 if moved else quiet + 1
+        if quiet >= quiet_rounds:
+            escaped = sorted(set(verdict.rejects) - zone)
+            return ContainmentReport(
+                rounds=round_index + 1,
+                contained=not escaped,
+                honest_moves=honest_moves,
+                escaped_alarms=len(escaped),
+            )
+        # The lie refreshes; honest corrections land simultaneously.
+        nxt = adversary.recorrupt(instance, nxt, victims, rng)
+        changed = set(moved) | victim_set
+        current = nxt
+        session.update(current, changed=changed)
+    verdict = session.verify()
+    escaped = sorted(set(verdict.rejects) - zone)
+    return ContainmentReport(
+        rounds=max_rounds,
+        contained=False,
+        honest_moves=honest_moves,
+        escaped_alarms=len(escaped),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The campaign.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdversaryRecord:
+    """Aggregate of one (adversary, detector, n, k) campaign cell."""
+
+    adversary: str
+    detector: str
+    n: int
+    faults: int
+    daemon: str
+    #: Bursts obliging an alarm / landing in a gap region / staying legal.
+    illegal_runs: int
+    gap_runs: int
+    legal_runs: int
+    #: Illegal bursts whose alarm the daemon observed within the cap.
+    detected: int
+    undetected: int
+    #: Rejection counts over illegal bursts (the adversary minimizes
+    #: these; the mean is what the targeted-vs-random claim compares).
+    mean_rejects: float
+    min_rejects: int
+    latency: LatencyDistribution
+    #: Byzantine cells only: contained runs and mean rounds/moves to
+    #: containment (0 for one-shot adversaries).
+    contained: int
+    mean_containment_rounds: float
+    mean_honest_moves: float
+
+
+def adversary_campaign(
+    sizes: Sequence[int] = (32,),
+    fault_counts: Sequence[int] = (1, 2, 4),
+    detectors: Sequence[str] = ("st-pointer", "bfs-tree"),
+    adversaries: Sequence[str | Adversary] = ("random", "targeted", "byzantine"),
+    daemon: Daemon | None = None,
+    seeds_per_cell: int = 5,
+    rng: random.Random | None = None,
+    latency_cap: int = 64,
+) -> list[AdversaryRecord]:
+    """Run the adversary × detector × n × k detection campaign.
+
+    For every cell and seed: build the certified silent system, let the
+    adversary place its ``k``-register corruption, classify the ground
+    truth with gap semantics, then measure detection latency under the
+    daemon (default: :class:`PartialDaemon` with p = 0.3 — the
+    synchronous daemon makes every latency exactly one round).
+    One-shot adversaries finish with a guarded recovery that inherits
+    the campaign's :class:`~repro.selfstab.detector.DetectionSession`;
+    Byzantine cells run :func:`run_contained` instead.
+    """
+    daemon = daemon if daemon is not None else PartialDaemon(0.3)
+    rng = rng or make_rng(2626)
+    built = [
+        adversary if isinstance(adversary, Adversary) else build_adversary(adversary)
+        for adversary in adversaries
+    ]
+    records: list[AdversaryRecord] = []
+    for adversary_index, adversary in enumerate(built):
+        for detector_index, name in enumerate(detectors):
+            for n in sizes:
+                for k in fault_counts:
+                    illegal = gap_runs = legal = detected = 0
+                    rejects: list[int] = []
+                    latencies: list[int] = []
+                    containment_rounds: list[int] = []
+                    honest_moves: list[int] = []
+                    contained = 0
+                    for seed in range(seeds_per_cell):
+                        # Non-overlapping bit fields: cells never share a
+                        # salt, whatever sizes/budgets the caller passes.
+                        salt = (
+                            (adversary_index << 56)
+                            | (detector_index << 48)
+                            | (n << 16)
+                            | (k << 8)
+                            | seed
+                        )
+                        cell_rng = spawn(rng, salt)
+                        graph = connected_gnp(n, 3.0 / n, cell_rng)
+                        instance = build_campaign_instance(name, graph, cell_rng)
+                        silent = run_until_silent(
+                            instance.network, instance.protocol
+                        ).states
+                        injection = adversary.corrupt(instance, silent, k, cell_rng)
+                        session = instance.detector.session(instance.network, silent)
+                        session.update(injection.states, changed=injection.victims)
+                        truth = classify_truth(
+                            instance.detector.scheme.language, session.config
+                        )
+                        if truth == "legal":
+                            legal += 1
+                            continue
+                        if truth == "gap":
+                            gap_runs += 1
+                            continue
+                        illegal += 1
+                        rejects.append(session.verify().reject_count)
+                        latency, current = measure_detection_latency(
+                            instance,
+                            session,
+                            injection.states,
+                            injection.victims,
+                            adversary,
+                            daemon,
+                            cell_rng,
+                            max_rounds=latency_cap,
+                        )
+                        detected += latency.detected
+                        latencies.append(latency.rounds)
+                        if adversary.persistent:
+                            outcome = run_contained(
+                                instance,
+                                session,
+                                current,
+                                injection.victims,
+                                cell_rng,
+                                adversary=adversary,
+                            )
+                            contained += outcome.contained
+                            containment_rounds.append(outcome.rounds)
+                            honest_moves.append(outcome.honest_moves)
+                        else:
+                            run_guarded(
+                                instance.network,
+                                instance.protocol,
+                                instance.detector,
+                                current,
+                                session=session,
+                            )
+                    mean = lambda xs: sum(xs) / len(xs) if xs else 0.0  # noqa: E731
+                    records.append(
+                        AdversaryRecord(
+                            adversary=adversary.name,
+                            detector=name,
+                            n=n,
+                            faults=k,
+                            daemon=daemon.name,
+                            illegal_runs=illegal,
+                            gap_runs=gap_runs,
+                            legal_runs=legal,
+                            detected=detected,
+                            undetected=illegal - detected,
+                            mean_rejects=mean(rejects),
+                            min_rejects=min(rejects) if rejects else 0,
+                            latency=LatencyDistribution.from_rounds(latencies),
+                            contained=contained,
+                            mean_containment_rounds=mean(containment_rounds),
+                            mean_honest_moves=mean(honest_moves),
+                        )
+                    )
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Message-simulator reuse measurement.
+# ---------------------------------------------------------------------------
+
+
+def message_path_view_reduction(
+    n: int = 128,
+    faults: int = 2,
+    detector: str = "st-pointer",
+    rng: random.Random | None = None,
+) -> tuple[float, float]:
+    """(incremental, full) LocalView builds per resweep on the message path.
+
+    Builds a certified silent system, opens an incremental
+    :class:`~repro.local.verification_round.VerificationSession`,
+    injects a fault burst, and counts the
+    :func:`~repro.core.verifier.view_build_count` delta of the
+    incremental resweep against a from-scratch
+    :func:`~repro.local.verification_round.distributed_verification`
+    of the same registers (always ``n`` views).  Verdicts must agree —
+    this is the distributed simulator's O(ball(changed)) claim, in the
+    same audited unit as the direct engine's.
+    """
+    from repro.local.verification_round import (
+        VerificationSession,
+        distributed_verification,
+    )
+
+    rng = rng or make_rng(512)
+    graph = connected_gnp(n, 3.0 / n, rng)
+    instance = build_campaign_instance(detector, graph, rng)
+    detector_obj = instance.detector
+    silent = run_until_silent(instance.network, instance.protocol).states
+    config = detector_obj.configuration(instance.network, silent)
+    certificates = detector_obj.certificates(instance.network, silent)
+    message_session = VerificationSession(
+        detector_obj.scheme, config, certificates
+    )
+    injection = inject_faults_report(
+        instance.network, instance.protocol, silent, faults, rng
+    )
+    outputs = detector_obj.configuration(instance.network, injection.states)
+    new_certs = detector_obj.certificates(instance.network, injection.states)
+    before = view_build_count()
+    incremental_verdict, _ = message_session.resweep(
+        states=dict(outputs.labeling),
+        certificates=new_certs,
+        changed=injection.victims,
+    )
+    incremental = view_build_count() - before
+    before = view_build_count()
+    full_verdict, _ = distributed_verification(
+        detector_obj.scheme, outputs, certificates=new_certs
+    )
+    full = view_build_count() - before
+    if incremental_verdict != full_verdict:
+        raise SimulationError(
+            "incremental message-path resweep diverged from the full run"
+        )
+    return float(incremental), float(full)

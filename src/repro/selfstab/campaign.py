@@ -42,7 +42,7 @@ from repro.local.algorithm import NodeContext
 from repro.local.network import Network
 from repro.selfstab.detector import PlsDetector
 from repro.selfstab.model import SelfStabProtocol, run_until_silent
-from repro.selfstab.reset import inject_faults_report, run_guarded
+from repro.selfstab.reset import run_guarded
 from repro.util.rng import make_rng, spawn
 
 __all__ = [
@@ -51,6 +51,7 @@ __all__ = [
     "SWEEP_DETECTORS",
     "SweepRecord",
     "build_campaign_instance",
+    "classify_truth",
     "fault_sweep_campaign",
 ]
 
@@ -177,14 +178,21 @@ def _build_approx_dominating_set(graph: Graph, rng: random.Random) -> CampaignIn
     return _frozen_instance(graph, scheme, rng)
 
 
+def _build_es_spanning_tree(graph: Graph, rng: random.Random) -> CampaignInstance:
+    scheme = catalog.build("es-spanning-tree")
+    return _frozen_instance(graph, scheme, rng)
+
+
 #: name -> (graph, rng) -> CampaignInstance.  Live protocols first, then
-#: frozen certified states for the approximate detectors.
+#: frozen certified states for the approximate and error-sensitive
+#: detectors.
 SWEEP_DETECTORS: dict[str, Callable[[Graph, random.Random], CampaignInstance]] = {
     "st-pointer": _build_st_pointer,
     "bfs-tree": _build_bfs_tree,
     "leader": _build_leader,
     "approx-tree-weight": _build_approx_tree_weight,
     "approx-dominating-set": _build_approx_dominating_set,
+    "es-spanning-tree": _build_es_spanning_tree,
 }
 
 
@@ -199,6 +207,22 @@ def build_campaign_instance(
             f"unknown sweep detector {name!r}; known: {sorted(SWEEP_DETECTORS)}"
         ) from None
     return builder(graph, rng)
+
+
+def classify_truth(language, config: Configuration) -> str:
+    """Ground truth of a configuration: ``"legal"``/``"illegal"``/``"gap"``.
+
+    Gap semantics are honoured: under a
+    :class:`~repro.approx.gap.GapLanguage` only a genuine no-instance
+    (α-far from the predicate) is *illegal* — detection owed; a
+    configuration inside the gap owes nothing and classifies as
+    ``"gap"``.  Exact languages never produce ``"gap"``.
+    """
+    from repro.approx.gap import GapLanguage
+
+    if isinstance(language, GapLanguage):
+        return {"no": "illegal", "yes": "legal"}.get(language.classify(config), "gap")
+    return "legal" if language.is_member(config) else "illegal"
 
 
 @dataclass(frozen=True)
@@ -244,24 +268,29 @@ def fault_sweep_campaign(
     detectors=tuple(SWEEP_DETECTORS),
     seeds_per_cell: int = 5,
     rng: random.Random | None = None,
+    adversary=None,
 ) -> list[SweepRecord]:
     """Run the detection campaign over the full grid.
 
     For every cell and seed: stabilize (or freeze) a certified system,
-    inject a fault burst of exactly ``k`` register changes
-    (:func:`~repro.selfstab.reset.inject_faults_report` guarantees the
-    count), sweep once incrementally and once from scratch — verdicts
-    must agree; the view-construction counter measures the saving — and
-    run guarded recovery on the corrupted registers.
+    inject a fault burst of exactly ``k`` register changes — placed by
+    ``adversary`` (any :class:`~repro.selfstab.adversary.Adversary`;
+    default :class:`~repro.selfstab.adversary.RandomAdversary`, which is
+    bit-compatible with the historical uniform-random injection) —
+    sweep once incrementally and once from scratch — verdicts must
+    agree; the view-construction counter measures the saving — and run
+    guarded recovery on the corrupted registers.
 
-    Ground truth honours gap semantics: a burst watched by an
-    approximate detector counts as *illegal* (detection required) only
-    when the corrupted configuration is a genuine no-instance of the
-    :class:`~repro.approx.gap.GapLanguage` — α-far from the predicate.
-    A burst that lands in the gap, where the verifier owes nothing, is
-    recorded as a ``gap_run`` with no detection requirement.
+    Ground truth honours gap semantics (see :func:`classify_truth`): a
+    burst watched by an approximate detector counts as *illegal*
+    (detection required) only when the corrupted configuration is a
+    genuine no-instance — α-far from the predicate.  A burst that lands
+    in the gap, where the verifier owes nothing, is recorded as a
+    ``gap_run`` with no detection requirement.
     """
-    from repro.approx.gap import GapLanguage
+    from repro.selfstab.adversary import RandomAdversary
+
+    adversary = adversary if adversary is not None else RandomAdversary()
     rng = rng or make_rng(4242)
     records: list[SweepRecord] = []
     for detector_index, name in enumerate(detectors):
@@ -293,13 +322,7 @@ def fault_sweep_campaign(
                         raise SimulationError(
                             f"{name}: certified silent state already alarmed"
                         )
-                    injection = inject_faults_report(
-                        instance.network,
-                        instance.protocol,
-                        silent,
-                        k,
-                        cell_rng,
-                    )
+                    injection = adversary.corrupt(instance, silent, k, cell_rng)
                     before = view_build_count()
                     report = session.sweep(
                         injection.states,
@@ -327,13 +350,9 @@ def fault_sweep_campaign(
                         )
                     # Ground truth with gap awareness: only a genuine
                     # no-instance obliges an α-APLS verifier to alarm.
-                    language = instance.detector.scheme.language
-                    config = session.config
-                    if isinstance(language, GapLanguage):
-                        region = language.classify(config)
-                        truth = {"no": "illegal", "yes": "legal"}.get(region, "gap")
-                    else:
-                        truth = "legal" if language.is_member(config) else "illegal"
+                    truth = classify_truth(
+                        instance.detector.scheme.language, session.config
+                    )
                     if truth == "legal":
                         false_pos += report.alarmed
                         continue
@@ -344,11 +363,15 @@ def fault_sweep_campaign(
                     detected += report.alarmed
                     false_neg += not report.alarmed
                     rejects.append(report.verdict.reject_count)
+                    # The campaign's session is already at the corrupted
+                    # registers, so recovery inherits it (and its views)
+                    # instead of rebuilding.
                     recovery = run_guarded(
                         instance.network,
                         instance.protocol,
                         instance.detector,
                         injection.states,
+                        session=session,
                     )
                     recovery_rounds.append(recovery.rounds)
                     recovery_moves.append(recovery.total_moves)

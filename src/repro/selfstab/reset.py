@@ -34,7 +34,7 @@ from typing import Any, Mapping
 
 from repro.errors import SimulationError
 from repro.local.network import Network
-from repro.selfstab.detector import PlsDetector
+from repro.selfstab.detector import DetectionSession, PlsDetector
 from repro.selfstab.model import SelfStabProtocol, run_until_silent, synchronous_round
 from repro.util.rng import make_rng
 
@@ -150,6 +150,7 @@ def run_guarded(
     states: Mapping[int, Any],
     patience: int | None = None,
     max_rounds: int = 10_000,
+    session: DetectionSession | None = None,
 ) -> RecoveryTrace:
     """Local correction with bounded patience, then global reset.
 
@@ -174,14 +175,21 @@ def run_guarded(
 
     Implementation notes: one incremental
     :class:`~repro.selfstab.detector.DetectionSession` serves all sweeps
-    (each costs O(ball(moved)) view rebuilds), and the protocol round is
-    restricted to the rejecting nodes — the only ones whose step can be
-    applied.
+    (each costs O(ball(moved)) view rebuilds) *including the escalation
+    fallback's* — the global reset inherits the session instead of
+    rebuilding its views from scratch — and the protocol round is
+    restricted to the rejecting nodes, the only ones whose step can be
+    applied.  Callers that already hold a session at ``states`` (the
+    campaigns sweep before recovering) can pass it in; the default
+    opens a fresh one.
     """
     contexts = network.contexts()
     patience = patience if patience is not None else 4 * network.graph.n + 16
     current = dict(states)
-    session = detector.session(network, current)
+    if session is None:
+        session = detector.session(network, current)
+    else:
+        session.update(current)
     detections: list[tuple[int, int]] = []
     moves: list[int] = []
     wedged = False
@@ -216,9 +224,11 @@ def run_guarded(
             break
         moves.append(len(moved))
         session.update(current, changed=moved)
-    # Patience exhausted (or wedged): escalate.
+    # Patience exhausted (or wedged): escalate, handing the fallback the
+    # session (already at ``current``) instead of rebuilding one.
     fallback = run_with_global_reset(
-        network, protocol, detector, current, max_rounds=max_rounds
+        network, protocol, detector, current, max_rounds=max_rounds,
+        session=session,
     )
     offset = len(moves)
     return RecoveryTrace(
@@ -239,6 +249,7 @@ def run_with_global_reset(
     detector: PlsDetector,
     states: Mapping[int, Any],
     max_rounds: int = 10_000,
+    session: DetectionSession | None = None,
 ) -> RecoveryTrace:
     """Global reset baseline: one alarm anywhere restarts everything.
 
@@ -249,9 +260,17 @@ def run_with_global_reset(
     registers.  The old implementation charged nothing for the reset
     write itself, understating the baseline's cost in the F4
     guarded-vs-reset comparison.
+
+    ``session`` lets a caller that already verified ``states`` — most
+    importantly :func:`run_guarded`'s escalation path — share its
+    incremental :class:`~repro.selfstab.detector.DetectionSession`
+    instead of paying a fresh O(n) view build here.
     """
-    session = detector.session(network, states)
-    report = session.sweep(check_membership=False)
+    if session is None:
+        session = detector.session(network, states)
+        report = session.sweep(check_membership=False)
+    else:
+        report = session.sweep(states, check_membership=False)
     if not report.alarmed:
         return RecoveryTrace(
             rounds=0,

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms.bfs import DistributedBfs
-from repro.algorithms.fullinfo import configuration_from_knowledge, gather_configurations
+from repro.algorithms.fullinfo import gather_configurations
 from repro.algorithms.leader_election import FloodMaxLeaderElection
 from repro.algorithms.markers import leader_marker, mst_marker, spanning_tree_marker
 from repro.graphs.generators import connected_gnp, cycle_graph, path_graph, star_graph

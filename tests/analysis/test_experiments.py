@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.experiments import (
     experiment_f1_st_scaling,

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.labeling import Configuration
-from repro.core.scheme import CertificateAssignment
 from repro.errors import SchemeError
 from repro.graphs.generators import path_graph
 from repro.schemes.agreement import AgreementLanguage, AgreementScheme

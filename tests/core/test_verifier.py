@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.labeling import Configuration
 from repro.core.verifier import (
-    LocalView,
     Visibility,
     build_view,
     build_views,
@@ -15,7 +14,6 @@ from repro.core.verifier import (
 from repro.errors import SchemeError
 from repro.graphs.generators import cycle_graph, path_graph, star_graph
 from repro.graphs.weighted import weighted_copy
-from repro.util.rng import make_rng
 
 
 @pytest.fixture

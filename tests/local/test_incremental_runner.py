@@ -1,0 +1,249 @@
+"""The incremental message-passing path: reuse must be invisible.
+
+Central property: a :class:`~repro.local.runner.SimulationSession` fed
+any sequence of localized register/certificate changes must be
+round-for-round identical to a fresh non-incremental run — same
+outputs, same message counts and bits, same rejection sets — across
+visibilities, radii, and daemon-shaped mutation schedules, while
+re-executing only O(ball(changed)) nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.verifier import Visibility, view_build_count
+from repro.graphs.generators import connected_gnp, path_graph
+from repro.local.algorithm import Halted, SynchronousAlgorithm
+from repro.local.network import Network
+from repro.local.runner import SimulationSession, run_synchronous
+from repro.local.verification_round import (
+    VerificationSession,
+    distributed_verification,
+)
+from repro.schemes.radius_acyclic import CoarseAcyclicScheme
+from repro.schemes.spanning_tree import SpanningTreePointerScheme
+from repro.selfstab import (
+    MaxRootBfsProtocol,
+    PartialDaemon,
+    PlsDetector,
+    inject_faults_report,
+    run_until_silent,
+)
+from repro.util.rng import make_rng
+
+
+class FullSpanningTreeScheme(SpanningTreePointerScheme):
+    """The pointer scheme under FULL visibility (ignores the extra data)."""
+
+    visibility = Visibility.FULL
+
+
+def _certified(seed, n=18, scheme=None):
+    rng = make_rng(seed)
+    graph = connected_gnp(n, 0.25, rng)
+    network = Network(graph)
+    protocol = MaxRootBfsProtocol()
+    detector = PlsDetector(scheme or SpanningTreePointerScheme(), protocol)
+    states = run_until_silent(network, protocol).states
+    return rng, network, protocol, detector, states
+
+
+def _registers(detector, network, states):
+    config = detector.configuration(network, states)
+    certs = detector.certificates(network, states)
+    return config, certs
+
+
+class TestVerificationSessionEquivalence:
+    """Incremental resweeps == fresh distributed verification, always."""
+
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_randomized_fault_schedule(self, seed):
+        rng, network, protocol, detector, states = _certified(seed)
+        config, certs = _registers(detector, network, states)
+        session = VerificationSession(detector.scheme, config, certs)
+        current = dict(states)
+        for burst in range(3):
+            k = 1 + (seed + burst) % 3
+            injection = inject_faults_report(network, protocol, current, k, rng)
+            current = injection.states
+            new_config, new_certs = _registers(detector, network, current)
+            verdict, result = session.resweep(
+                states=dict(new_config.labeling),
+                certificates=new_certs,
+                changed=injection.victims,
+            )
+            fresh_verdict, fresh_result = distributed_verification(
+                detector.scheme, new_config, certificates=new_certs
+            )
+            assert verdict == fresh_verdict  # rejection sets identical
+            assert result.outputs == fresh_result.outputs
+            assert result.rounds == fresh_result.rounds
+            assert result.message_count == fresh_result.message_count
+            assert result.message_bits == fresh_result.message_bits
+
+    @pytest.mark.parametrize(
+        "scheme_factory",
+        [
+            SpanningTreePointerScheme,
+            FullSpanningTreeScheme,
+            lambda: CoarseAcyclicScheme(2),
+            lambda: CoarseAcyclicScheme(3),
+        ],
+        ids=["kkp-r1", "full-r1", "full-r2", "full-r3"],
+    )
+    def test_across_visibilities_and_radii(self, scheme_factory):
+        scheme = scheme_factory()
+        rng = make_rng(33)
+        graph = path_graph(14)
+        config = scheme.language.member_configuration(graph, rng=rng)
+        certs = dict(scheme.prove(config))
+        session = VerificationSession(scheme, config, certs)
+        assert session.verdict() == scheme.run(config, certificates=certs)
+        for trial in range(4):
+            node = rng.randrange(graph.n)
+            certs[node] = ("bogus", trial)
+            verdict, result = session.resweep(certificates=certs, changed=[node])
+            fresh_verdict, fresh_result = distributed_verification(
+                scheme, config, certificates=certs
+            )
+            assert verdict == fresh_verdict
+            assert result.message_count == fresh_result.message_count
+            assert result.message_bits == fresh_result.message_bits
+
+    def test_daemon_shaped_mutation_schedule(self):
+        # A partial daemon decides which registers mutate each round —
+        # including empty rounds (no change at all): the session must
+        # track every schedule a daemon can produce.
+        rng, network, protocol, detector, states = _certified(91)
+        config, certs = _registers(detector, network, states)
+        session = VerificationSession(detector.scheme, config, certs)
+        daemon = PartialDaemon(0.2)
+        current = dict(states)
+        nodes = sorted(network.graph.nodes)
+        for round_index in range(6):
+            contexts = network.contexts()
+            active = daemon.activation(nodes, round_index, rng)
+            mutated = dict(current)
+            for v in sorted(active):
+                mutated[v] = protocol.random_state(contexts[v], rng)
+            current = mutated
+            new_config, new_certs = _registers(detector, network, current)
+            verdict, _ = session.resweep(
+                states=dict(new_config.labeling),
+                certificates=new_certs,
+                changed=active,
+            )
+            fresh_verdict, _ = distributed_verification(
+                detector.scheme, new_config, certificates=new_certs
+            )
+            assert verdict == fresh_verdict
+
+    def test_resweep_builds_ball_not_n(self):
+        rng, network, protocol, detector, states = _certified(7, n=40)
+        config, certs = _registers(detector, network, states)
+        session = VerificationSession(detector.scheme, config, certs)
+        injection = inject_faults_report(network, protocol, states, 1, rng)
+        new_config, new_certs = _registers(detector, network, injection.states)
+        before = view_build_count()
+        session.resweep(
+            states=dict(new_config.labeling),
+            certificates=new_certs,
+            changed=injection.victims,
+        )
+        built = view_build_count() - before
+        victim = injection.victims[0]
+        ball = 1 + network.graph.degree(victim)
+        assert built <= ball < network.graph.n
+
+    def test_unchanged_resweep_is_free(self):
+        _, network, protocol, detector, states = _certified(5)
+        config, certs = _registers(detector, network, states)
+        session = VerificationSession(detector.scheme, config, certs)
+        before = view_build_count()
+        verdict, _ = session.resweep(
+            states=dict(config.labeling), certificates=certs
+        )
+        assert view_build_count() == before
+        assert verdict.all_accept
+
+
+class CountdownBroadcast(SynchronousAlgorithm):
+    """Broadcast (input, round) for ``input`` rounds, then halt with the sum
+    of everything heard — input-dependent halting, so an input change at
+    one node shifts its halt round and exercises the fallback path."""
+
+    name = "countdown-broadcast"
+
+    def init_state(self, ctx):
+        return 0
+
+    def send(self, ctx, state, round_index):
+        return {port: (ctx.uid, round_index) for port in range(ctx.degree)}
+
+    def receive(self, ctx, state, inbox, round_index):
+        total = state + sum(uid for uid, _ in inbox.values())
+        if round_index + 1 >= ctx.input:
+            return Halted(total)
+        return total
+
+
+class TestSimulationSession:
+    def test_cached_result_matches_run_synchronous(self):
+        network = Network(
+            connected_gnp(12, 0.3, make_rng(1)),
+            inputs={v: 3 for v in range(12)},
+        )
+        fresh = run_synchronous(network, CountdownBroadcast())
+        session = SimulationSession(network, CountdownBroadcast())
+        cached = session.result()
+        assert cached.outputs == fresh.outputs
+        assert cached.rounds == fresh.rounds
+        assert cached.message_count == fresh.message_count
+        assert cached.message_bits == fresh.message_bits
+        assert cached.states == fresh.states
+
+    def test_rerun_without_changes_is_identity(self):
+        network = Network(path_graph(6), inputs={v: 2 for v in range(6)})
+        session = SimulationSession(network, CountdownBroadcast())
+        assert session.rerun(changed=()) == session.result()
+
+    def test_halt_divergence_falls_back_to_full_run(self):
+        # Changing one node's input changes its halt round; the session
+        # must detect the divergence and still return the exact fresh
+        # result.
+        inputs = {v: 2 for v in range(8)}
+        network = Network(path_graph(8), inputs=dict(inputs))
+        session = SimulationSession(network, CountdownBroadcast())
+        network.update_input(3, 4)
+        result = session.rerun(changed=[3])
+        fresh = run_synchronous(
+            Network(path_graph(8), inputs={**inputs, 3: 4}), CountdownBroadcast()
+        )
+        assert result.outputs == fresh.outputs
+        assert result.rounds == fresh.rounds
+        assert result.message_count == fresh.message_count
+        assert result.message_bits == fresh.message_bits
+
+
+class TestNetworkUpdateInput:
+    def test_patches_cached_context(self):
+        network = Network(path_graph(3), inputs={0: "a", 1: "b", 2: "c"})
+        contexts = network.contexts()
+        network.update_input(1, "z")
+        assert contexts[1].input == "z"
+        assert network.contexts()[1].input == "z"
+        assert contexts[0].input == "a"
+
+    def test_unknown_node_rejected(self):
+        from repro.errors import SimulationError
+
+        network = Network(path_graph(3))
+        with pytest.raises(SimulationError):
+            network.update_input(9, 1)

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.labeling import Configuration
 from repro.graphs.generators import cycle_graph, path_graph, star_graph
 from repro.graphs.weighted import weighted_copy
 from repro.schemes.leader import LeaderScheme
@@ -18,7 +17,6 @@ from repro.schemes.spanning_tree import (
     SpanningTreeListScheme,
     SpanningTreePointerScheme,
 )
-from repro.util.rng import make_rng
 
 
 class TestSpanningTreeBranches:

@@ -21,7 +21,6 @@ from repro.schemes.eccentricity import (
 )
 from repro.schemes.radius_acyclic import CoarseAcyclicScheme
 from repro.schemes.vertex_cover import VertexCoverLanguage, VertexCoverScheme
-from repro.util.rng import make_rng
 
 
 class TestVertexCover:

@@ -12,7 +12,6 @@ from repro.errors import LanguageError
 from repro.graphs.generators import connected_gnp, cycle_graph, path_graph
 from repro.graphs.mst import kruskal
 from repro.graphs.subgraphs import pointers_from_tree
-from repro.graphs.traversal import bfs_tree_edges
 from repro.graphs.weighted import weighted_copy
 from repro.schemes.mst import MstLanguage, MstScheme
 from repro.util.rng import make_rng

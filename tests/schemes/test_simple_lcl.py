@@ -28,7 +28,6 @@ from repro.schemes.independent_set import (
     IndependentSetScheme,
 )
 from repro.schemes.matching import MatchingLanguage, MatchingScheme, greedy_matching
-from repro.util.rng import make_rng
 
 
 class TestColoring:

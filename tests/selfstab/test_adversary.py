@@ -1,0 +1,313 @@
+"""Adversary strategies, daemons, latency distributions, containment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import catalog
+from repro.errors import SimulationError
+from repro.graphs.generators import connected_gnp, path_graph
+from repro.local.network import Network
+from repro.selfstab import (
+    ByzantineAdversary,
+    FrozenCertifiedProtocol,
+    LatencyDistribution,
+    PartialDaemon,
+    PlsDetector,
+    RandomAdversary,
+    SynchronousDaemon,
+    TargetedAdversary,
+    adversary_campaign,
+    build_adversary,
+    build_campaign_instance,
+    classify_truth,
+    fault_sweep_campaign,
+    inject_faults_report,
+    measure_detection_latency,
+    run_contained,
+    run_guarded,
+    run_until_silent,
+)
+from repro.selfstab.campaign import CampaignInstance
+from repro.util.rng import make_rng
+
+
+def _instance(name="st-pointer", n=16, seed=3):
+    rng = make_rng(seed)
+    graph = connected_gnp(n, 0.25, rng)
+    instance = build_campaign_instance(name, graph, rng)
+    silent = run_until_silent(instance.network, instance.protocol).states
+    return instance, silent
+
+
+class TestRandomAdversary:
+    def test_bit_compatible_with_inject_faults_report(self):
+        instance, silent = _instance()
+        direct = inject_faults_report(
+            instance.network, instance.protocol, silent, 3, make_rng(9)
+        )
+        via_adversary = RandomAdversary().corrupt(instance, silent, 3, make_rng(9))
+        assert via_adversary == direct
+
+    def test_campaign_default_is_random(self):
+        kwargs = dict(
+            sizes=(12,),
+            fault_counts=(1, 2),
+            detectors=("st-pointer",),
+            seeds_per_cell=2,
+        )
+        default = fault_sweep_campaign(rng=make_rng(4), **kwargs)
+        explicit = fault_sweep_campaign(
+            rng=make_rng(4), adversary=RandomAdversary(), **kwargs
+        )
+        assert default == explicit
+
+
+class TestTargetedAdversary:
+    def test_exact_victim_count_and_localized_changes(self):
+        instance, silent = _instance()
+        injection = TargetedAdversary().corrupt(instance, silent, 3, make_rng(5))
+        changed = sorted(v for v in silent if injection.states[v] != silent[v])
+        assert changed == sorted(injection.victims)
+        assert len(injection.victims) == 3
+
+    def test_quieter_than_random_on_st_pointer(self):
+        # The acceptance property at test scale: equal budget, strictly
+        # fewer rejecting nodes (the scheme is not error-sensitive, so
+        # quiet corruption exists for a searching adversary).
+        def mean_rejects(adversary, seeds):
+            total = runs = 0
+            for seed in seeds:
+                instance, silent = _instance(n=20, seed=seed)
+                rng = make_rng(100 + seed)
+                injection = adversary.corrupt(instance, silent, 2, rng)
+                session = instance.detector.session(instance.network, silent)
+                report = session.sweep(
+                    injection.states,
+                    changed=injection.victims,
+                    check_membership=False,
+                )
+                truth = classify_truth(
+                    instance.detector.scheme.language, session.config
+                )
+                if truth == "illegal":
+                    total += report.verdict.reject_count
+                    runs += 1
+            return total / max(1, runs)
+
+        seeds = range(4)
+        assert mean_rejects(TargetedAdversary(), seeds) < mean_rejects(
+            RandomAdversary(), seeds
+        )
+
+    def test_prefers_illegal_corruption(self):
+        instance, silent = _instance(n=18, seed=11)
+        injection = TargetedAdversary().corrupt(instance, silent, 2, make_rng(2))
+        session = instance.detector.session(instance.network, injection.states)
+        truth = classify_truth(instance.detector.scheme.language, session.config)
+        assert truth == "illegal"
+
+    def test_far_pattern_seeds_on_a_path(self):
+        # On a path with the frozen spanning-tree-ptr scheme, the
+        # glued-orientations FAR_PATTERNS construction joins the
+        # candidate pool and the search lands on a quiet corruption.
+        rng = make_rng(7)
+        graph = path_graph(12)
+        scheme = catalog.build("spanning-tree-ptr")
+        config = scheme.language.member_configuration(graph, rng=rng)
+        protocol = FrozenCertifiedProtocol(scheme, config)
+        network = Network(graph)
+        instance = CampaignInstance(
+            network=network,
+            protocol=protocol,
+            detector=PlsDetector(scheme, protocol),
+        )
+        silent = run_until_silent(network, protocol).states
+        adversary = TargetedAdversary(search_width=12)
+        assert adversary._pattern_states(instance, make_rng(1)) is not None
+        injection = adversary.corrupt(instance, silent, 1, make_rng(3))
+        session = instance.detector.session(network, injection.states)
+        assert classify_truth(scheme.language, session.config) == "illegal"
+        assert session.verify().reject_count <= 2
+
+
+class TestByzantineAdversary:
+    def test_recorrupt_touches_only_victims(self):
+        instance, silent = _instance()
+        adversary = ByzantineAdversary()
+        injection = adversary.corrupt(instance, silent, 2, make_rng(1))
+        refreshed = adversary.recorrupt(
+            instance, injection.states, injection.victims, make_rng(2)
+        )
+        outside = [
+            v
+            for v in silent
+            if v not in injection.victims
+            and refreshed[v] != injection.states[v]
+        ]
+        assert not outside
+
+    def test_one_shot_adversaries_refuse_recorrupt(self):
+        instance, silent = _instance()
+        with pytest.raises(SimulationError):
+            RandomAdversary().recorrupt(instance, silent, (0,), make_rng(0))
+
+    def test_frozen_detector_contains_the_lie(self):
+        instance, silent = _instance(name="es-spanning-tree", n=14, seed=5)
+        adversary = ByzantineAdversary()
+        injection = adversary.corrupt(instance, silent, 1, make_rng(3))
+        session = instance.detector.session(instance.network, injection.states)
+        outcome = run_contained(
+            instance, session, injection.states, injection.victims, make_rng(4)
+        )
+        assert outcome.contained
+        assert outcome.honest_moves == 0  # local resets never fire off-zone
+        assert outcome.escaped_alarms == 0
+
+
+class TestDaemonsAndLatency:
+    def test_synchronous_daemon_detects_in_one_round(self):
+        instance, silent = _instance(seed=13)
+        injection = RandomAdversary().corrupt(instance, silent, 2, make_rng(5))
+        session = instance.detector.session(instance.network, silent)
+        report = session.sweep(
+            injection.states, changed=injection.victims, check_membership=False
+        )
+        if not report.alarmed:
+            pytest.skip("burst landed legal for this seed")
+        latency, _ = measure_detection_latency(
+            instance,
+            session,
+            injection.states,
+            injection.victims,
+            RandomAdversary(),
+            SynchronousDaemon(),
+            make_rng(6),
+        )
+        assert latency.detected and latency.rounds == 1
+
+    def test_partial_daemon_is_validated(self):
+        with pytest.raises(SimulationError):
+            PartialDaemon(0.0)
+        with pytest.raises(SimulationError):
+            PartialDaemon(1.5)
+        assert PartialDaemon(1.0).activation([1, 2, 3], 0, make_rng(0)) == {1, 2, 3}
+
+    def test_latency_distribution_statistics(self):
+        dist = LatencyDistribution.from_rounds([1, 1, 2, 3, 10])
+        assert dist.count == 5
+        assert dist.minimum == 1 and dist.maximum == 10
+        assert dist.median == 2.0
+        assert dist.p95 == 10.0
+        assert dist.mean == pytest.approx(3.4)
+        assert LatencyDistribution.from_rounds([]).count == 0
+        even = LatencyDistribution.from_rounds([1, 3])
+        assert even.median == 2.0
+
+
+class TestCampaignAndRegistry:
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(SimulationError):
+            build_adversary("bogus")
+
+    def test_small_campaign_detects_everything(self):
+        records = adversary_campaign(
+            sizes=(12,),
+            fault_counts=(1,),
+            detectors=("st-pointer", "es-spanning-tree"),
+            adversaries=("random", "targeted", "byzantine"),
+            seeds_per_cell=2,
+            rng=make_rng(21),
+        )
+        assert len(records) == 6
+        for record in records:
+            assert record.detected == record.illegal_runs
+            assert (
+                record.illegal_runs + record.gap_runs + record.legal_runs
+                == 2
+            )
+            if record.adversary != "byzantine":
+                assert record.contained == 0
+                assert record.mean_containment_rounds == 0.0
+
+    def test_campaign_is_deterministic(self):
+        kwargs = dict(
+            sizes=(10,),
+            fault_counts=(1,),
+            detectors=("st-pointer",),
+            adversaries=("targeted",),
+            seeds_per_cell=2,
+        )
+        a = adversary_campaign(rng=make_rng(8), **kwargs)
+        b = adversary_campaign(rng=make_rng(8), **kwargs)
+        assert a == b
+
+    def test_experiment_table_and_notes(self):
+        from repro.analysis.experiments import experiment_adversary_latency
+
+        result = experiment_adversary_latency(
+            sizes=(12,),
+            fault_counts=(1,),
+            detectors=("st-pointer", "es-spanning-tree"),
+            adversaries=("random", "targeted"),
+            seeds_per_cell=2,
+            rng=make_rng(31),
+        )
+        assert len(result.rows) == 4
+        col = result.headers.index
+        for row in result.rows:
+            assert row[col("detected")] == row[col("illegal")]
+        assert any(
+            "incremental message-passing simulator" in note
+            for note in result.notes
+        )
+
+
+class TestSharedRecoverySession:
+    def test_shared_session_recovery_matches_fresh(self):
+        instance, silent = _instance(seed=17)
+        injection = RandomAdversary().corrupt(instance, silent, 3, make_rng(2))
+        session = instance.detector.session(instance.network, injection.states)
+        shared = run_guarded(
+            instance.network,
+            instance.protocol,
+            instance.detector,
+            injection.states,
+            session=session,
+        )
+        fresh = run_guarded(
+            instance.network,
+            instance.protocol,
+            instance.detector,
+            injection.states,
+        )
+        assert shared.rounds == fresh.rounds
+        assert shared.states == fresh.states
+        assert shared.moves_per_round == fresh.moves_per_round
+        assert shared.detections == fresh.detections
+        assert shared.escalated == fresh.escalated
+
+    def test_escalation_shares_one_session(self, monkeypatch):
+        # Count DetectionSession constructions across an escalating
+        # guarded run: exactly one (the fallback inherits it).
+        import repro.selfstab.detector as detector_module
+
+        built = []
+        original = detector_module.DetectionSession.__init__
+
+        def counting(self, detector, network, states):
+            built.append(1)
+            original(self, detector, network, states)
+
+        monkeypatch.setattr(detector_module.DetectionSession, "__init__", counting)
+        instance, silent = _instance(seed=19)
+        injection = RandomAdversary().corrupt(instance, silent, 5, make_rng(3))
+        trace = run_guarded(
+            instance.network,
+            instance.protocol,
+            instance.detector,
+            injection.states,
+            patience=1,
+        )
+        assert trace.escalated and trace.stabilized
+        assert len(built) == 1

@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.graphs.generators import connected_gnp
-from repro.graphs.weighted import weighted_copy
 from repro.local.network import Network
 from repro.schemes.spanning_tree import SpanningTreePointerScheme
 from repro.selfstab import (
