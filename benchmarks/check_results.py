@@ -13,7 +13,11 @@ experiment gains or renames a column.  This script fails CI when:
   the experiment functions, so a schema change must regenerate the
   snapshot in the same commit);
 * a committed snapshot is not referenced by the docs at all (dead
-  weight the book does not explain).
+  weight the book does not explain);
+* a ``BENCH_*.json`` perf-ratchet snapshot (see
+  ``benchmarks/bench_metrics.py``) is missing, malformed, or thinner
+  than the floor the ratchet promises (>= 8 schemes at >= 3 sizes,
+  every cell a non-negative integer), or is not referenced by the docs.
 
 Run it from the repository root::
 
@@ -22,6 +26,7 @@ Run it from the repository root::
 
 from __future__ import annotations
 
+import json
 import pathlib
 import re
 import sys
@@ -48,10 +53,63 @@ SCHEMAS: dict[str, tuple[str, tuple[str, ...]]] = {
 }
 
 
+#: BENCH ratchet snapshots: filename -> metric they must declare.
+BENCH_SNAPSHOTS = {
+    "BENCH_views.json": "views.built",
+    "BENCH_messages.json": "messages.sent",
+}
+BENCH_SCHEMA = "bench-metrics/v1"
+BENCH_MIN_SCHEMES = 8
+BENCH_MIN_SIZES = 3
+
+
 def referenced_snapshots() -> set[str]:
     """Snapshot filenames the experiment book links to."""
     text = DOCS.read_text(encoding="utf-8")
-    return set(re.findall(r"benchmarks/results/([\w.-]+\.txt)", text))
+    return set(re.findall(r"benchmarks/results/([\w.-]+\.(?:txt|json))", text))
+
+
+def check_bench_snapshot(path: pathlib.Path, metric: str) -> list[str]:
+    """Schema failures for one committed BENCH_*.json ratchet snapshot."""
+    name = path.name
+    if not path.is_file():
+        return [f"{name}: missing — run `bench_metrics.py --write` and commit"]
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        return [f"{name}: not valid JSON ({error})"]
+    failures: list[str] = []
+    if data.get("schema") != BENCH_SCHEMA:
+        failures.append(f"{name}: schema {data.get('schema')!r} != {BENCH_SCHEMA!r}")
+    if data.get("metric") != metric:
+        failures.append(f"{name}: metric {data.get('metric')!r} != {metric!r}")
+    tolerance = data.get("tolerance")
+    if not isinstance(tolerance, (int, float)) or not 0 < tolerance < 1:
+        failures.append(f"{name}: tolerance {tolerance!r} not in (0, 1)")
+    sizes = data.get("sizes")
+    if not isinstance(sizes, list) or len(sizes) < BENCH_MIN_SIZES:
+        failures.append(f"{name}: needs >= {BENCH_MIN_SIZES} sizes, got {sizes!r}")
+        sizes = []
+    schemes = data.get("schemes")
+    if not isinstance(schemes, dict) or len(schemes) < BENCH_MIN_SCHEMES:
+        count = len(schemes) if isinstance(schemes, dict) else schemes
+        failures.append(f"{name}: needs >= {BENCH_MIN_SCHEMES} schemes, got {count!r}")
+        return failures
+    expected_keys = {str(n) for n in sizes}
+    for scheme, cells in sorted(schemes.items()):
+        if not isinstance(cells, dict) or set(cells) != expected_keys:
+            failures.append(
+                f"{name}: {scheme} cells {sorted(cells)} != "
+                f"sizes {sorted(expected_keys)}"
+            )
+            continue
+        for n, value in cells.items():
+            if not isinstance(value, int) or value < 0:
+                failures.append(
+                    f"{name}: {scheme} n={n} value {value!r} is not a "
+                    "non-negative integer"
+                )
+    return failures
 
 
 def parse_table(path: pathlib.Path) -> tuple[str, tuple[str, ...], int]:
@@ -80,8 +138,20 @@ def main() -> int:
     referenced = referenced_snapshots()
     if not referenced:
         failures.append(f"{DOCS}: no benchmarks/results/ links found")
+    for name, metric in sorted(BENCH_SNAPSHOTS.items()):
+        failures.extend(check_bench_snapshot(RESULTS_DIR / name, metric))
+        if name not in referenced:
+            failures.append(
+                f"{name}: ratchet snapshot not referenced by docs/EXPERIMENTS.md"
+            )
     for name in sorted(referenced):
         path = RESULTS_DIR / name
+        if name.endswith(".json"):
+            if name not in BENCH_SNAPSHOTS:
+                failures.append(
+                    f"{name}: JSON snapshot not registered in BENCH_SNAPSHOTS"
+                )
+            continue
         if not path.is_file():
             failures.append(f"{name}: referenced by docs/EXPERIMENTS.md but missing")
             continue
@@ -108,7 +178,11 @@ def main() -> int:
                 f"experiment columns {list(expected)}; regenerate with "
                 f"`pytest benchmarks/ --benchmark-only`"
             )
-    committed = {path.name for path in RESULTS_DIR.glob("*.txt")}
+    committed = {
+        path.name
+        for pattern in ("*.txt", "*.json")
+        for path in RESULTS_DIR.glob(pattern)
+    }
     for name in sorted(committed - referenced):
         failures.append(
             f"{name}: committed under benchmarks/results/ but never referenced "
@@ -118,7 +192,10 @@ def main() -> int:
         for failure in failures:
             print(f"FAIL {failure}", file=sys.stderr)
         return 1
-    print(f"ok: {len(referenced)} committed snapshots match their schemas")
+    print(
+        f"ok: {len(referenced)} committed snapshots match their schemas "
+        f"(incl. {len(BENCH_SNAPSHOTS)} perf-ratchet files)"
+    )
     return 0
 
 

@@ -25,8 +25,6 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record.
 """
 
-import warnings as _warnings
-
 from repro.approx import ApproxScheme, GapLanguage
 from repro.errorsensitive import (
     DistanceResult,
@@ -87,8 +85,6 @@ from repro.util.rng import make_rng
 __version__ = "1.0.0"
 
 __all__ = [
-    "ALL_SCHEME_FACTORIES",
-    "APPROX_SCHEME_BUILDERS",
     "AcyclicScheme",
     "AgreementScheme",
     "ApproxScheme",
@@ -122,7 +118,6 @@ __all__ = [
     "Verdict",
     "Visibility",
     "binary_tree",
-    "build_approx_scheme",
     "catalog",
     "complete_graph",
     "connected_gnp",
@@ -141,33 +136,3 @@ __all__ = [
     "star_graph",
     "weighted_copy",
 ]
-
-
-def __getattr__(name: str):
-    """Deprecation shims for the pre-catalog registry re-exports."""
-    if name == "ALL_SCHEME_FACTORIES":
-        _warnings.warn(
-            "repro.ALL_SCHEME_FACTORIES is deprecated; use "
-            "repro.core.catalog (catalog.names()/specs()/build()) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.schemes import _legacy_scheme_factories
-
-        return _legacy_scheme_factories()
-    if name == "APPROX_SCHEME_BUILDERS":
-        _warnings.warn(
-            "repro.APPROX_SCHEME_BUILDERS is deprecated; use "
-            "repro.core.catalog (catalog.names('approx')/build()) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.approx import _legacy_approx_builders
-
-        return _legacy_approx_builders()
-    if name == "build_approx_scheme":
-        # The function itself warns when called.
-        from repro.approx import build_approx_scheme
-
-        return build_approx_scheme
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

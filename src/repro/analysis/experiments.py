@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis.tables import ExperimentResult
 from repro.core import catalog
@@ -416,6 +416,7 @@ def experiment_f4b_fault_sweep(
     detectors: Sequence[str] | None = None,
     seeds_per_cell: int = 5,
     rng: random.Random | None = None,
+    params: Mapping[str, Any] | None = None,
 ) -> ExperimentResult:
     """Detection grid: n × fault burst × detector scheme.
 
@@ -427,6 +428,9 @@ def experiment_f4b_fault_sweep(
     ``views incr``/``views full`` columns count LocalView constructions
     per faulted sweep; their ratio is the incremental engine's win and
     must grow with n (the incremental cost is O(ball(k)), not O(n)).
+
+    ``params`` are catalog parameter overrides (the CLI's ``--param``)
+    applied to every detector in the grid.
     """
     detectors = tuple(detectors) if detectors is not None else tuple(SWEEP_DETECTORS)
     records = fault_sweep_campaign(
@@ -435,6 +439,7 @@ def experiment_f4b_fault_sweep(
         detectors=detectors,
         seeds_per_cell=seeds_per_cell,
         rng=rng or make_rng(4242),
+        params=params,
     )
     result = ExperimentResult(
         experiment="F4b: fault-injection sweep (incremental detection)",
@@ -490,6 +495,7 @@ def experiment_adversary_latency(
     daemon_p: float = 0.3,
     seeds_per_cell: int = 3,
     rng: random.Random | None = None,
+    params: Mapping[str, Any] | None = None,
 ) -> ExperimentResult:
     """Adversary × detector grid with detection-latency distributions.
 
@@ -520,6 +526,7 @@ def experiment_adversary_latency(
         adversaries=tuple(adversaries),
         daemon=daemon,
         seeds_per_cell=seeds_per_cell,
+        params=params,
         rng=spawn(rng, 1),
     )
     result = ExperimentResult(

@@ -29,17 +29,9 @@ rounded counters accept any gap α = 1 + ε (``eps`` is a declared
 catalog parameter), trading certificate bits against approximation
 slack — the mantissa width grows as ε shrinks
 (:func:`~repro.approx.counters.mantissa_bits_for`).
-
-``APPROX_SCHEME_BUILDERS`` and :func:`build_approx_scheme` remain as
-deprecated views over the catalog.
 """
 
 from __future__ import annotations
-
-import random
-import warnings
-from dataclasses import dataclass
-from typing import Callable
 
 from repro.approx.counters import (
     counter_value,
@@ -59,22 +51,17 @@ from repro.approx.mst_weight import ApproxTreeWeightScheme, GapTreeWeightLanguag
 from repro.approx.optima import maximum_matching_size, minimum_vertex_cover_size
 from repro.approx.scheme import ApproxScheme
 from repro.approx.vertex_cover import ApproxVertexCoverScheme, GapVertexCoverLanguage
-from repro.core import catalog
 from repro.core.catalog import ParamSpec, register_scheme
 from repro.core.verifier import Visibility
 from repro.errors import SchemeError
-from repro.graphs.graph import Graph
 from repro.graphs.mst import mst_weight
 from repro.graphs.traversal import diameter
-from repro.util.rng import make_rng
 
 __all__ = [
-    "APPROX_SCHEME_BUILDERS",
     "ApproxDiameterScheme",
     "ApproxDominatingSetScheme",
     "ApproxMatchingScheme",
     "ApproxScheme",
-    "ApproxSchemeBuilder",
     "ApproxTreeWeightScheme",
     "ApproxVertexCoverScheme",
     "GapDiameterLanguage",
@@ -83,7 +70,6 @@ __all__ = [
     "GapMaximumMatchingLanguage",
     "GapTreeWeightLanguage",
     "GapVertexCoverLanguage",
-    "build_approx_scheme",
     "counter_value",
     "greedy_dominating_set",
     "is_counter",
@@ -182,87 +168,3 @@ def _build_tree_weight(graph, rng, *, eps=1.0):
     return ApproxTreeWeightScheme(
         GapTreeWeightLanguage(mst_weight(graph), alpha=1.0 + eps)
     )
-
-
-# ---------------------------------------------------------------------------
-# Deprecated views over the catalog.
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class ApproxSchemeBuilder:
-    """Legacy registry entry: fits an α-APLS to a concrete graph.
-
-    ``build(graph, rng)`` derives any instance parameters (budgets,
-    bounds) from the graph and returns a ready scheme whose language
-    admits the graph as a yes-instance.  Kept for the deprecated
-    ``APPROX_SCHEME_BUILDERS`` view; new code reads
-    :class:`repro.core.catalog.SchemeSpec` instead.
-    """
-
-    name: str
-    alpha: float
-    size_bound: str
-    weighted: bool
-    summary: str
-    build: Callable[[Graph, random.Random], ApproxScheme]
-
-
-_legacy_builders_cache: dict[str, ApproxSchemeBuilder] | None = None
-
-
-def _legacy_approx_builders() -> dict[str, ApproxSchemeBuilder]:
-    """The old builder dict, rebuilt from the catalog's approx specs.
-
-    Memoised so repeated accesses share one mutable dict, like the old
-    module-level registry did.
-    """
-    global _legacy_builders_cache
-    if _legacy_builders_cache is None:
-        _legacy_builders_cache = {
-            spec.name: ApproxSchemeBuilder(
-                name=spec.name,
-                alpha=spec.alpha,
-                size_bound=spec.size_bound,
-                weighted=spec.weighted,
-                summary=spec.summary,
-                build=lambda graph, rng, _name=spec.name: catalog.build(
-                    _name, graph=graph, rng=rng
-                ),
-            )
-            for spec in catalog.specs(kind="approx")
-        }
-    return _legacy_builders_cache
-
-
-def build_approx_scheme(
-    name: str, graph: Graph, rng: random.Random | None = None
-) -> ApproxScheme:
-    """Deprecated: instantiate a registered α-APLS fitted to ``graph``.
-
-    Use ``repro.core.catalog.build(name, graph=..., rng=...)``.
-    """
-    warnings.warn(
-        "build_approx_scheme is deprecated; use repro.core.catalog.build("
-        "name, graph=..., rng=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    if name not in catalog.names(kind="approx"):
-        raise SchemeError(
-            f"unknown approx scheme {name!r}; "
-            f"known: {catalog.names(kind='approx')}"
-        )
-    return catalog.build(name, graph=graph, rng=rng or make_rng())
-
-
-def __getattr__(name: str):
-    if name == "APPROX_SCHEME_BUILDERS":
-        warnings.warn(
-            "repro.approx.APPROX_SCHEME_BUILDERS is deprecated; use "
-            "repro.core.catalog (catalog.names('approx')/build()) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return _legacy_approx_builders()
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -18,12 +18,22 @@ points without writing Python:
   detection through the incremental sweep engine; ``--adversary
   {random,targeted,byzantine}`` and ``--daemon-p`` switch to the
   adversary-latency campaign (targeted/Byzantine fault placement,
-  partial-activation daemons, latency distributions);
+  partial-activation daemons, latency distributions); ``--param``
+  overrides reach every detector's catalog parameters;
+* ``profile`` — certify one scheme under an instrumentation scope
+  (:mod:`repro.obs`) and print the flight recorder: deterministic cost
+  counters (view builds, messages, decide calls) and wall-clock span
+  aggregates;
 * ``error-profile`` — measure one scheme's error-sensitivity
   (Feuilloley–Fraigniaud 2017): rejection counts against edit distance
   over corruption sweeps and adversarial patterns, with the estimated β;
 * ``report`` — rewrite the measured record (``EXPERIMENTS.md`` in the
   current directory, or ``--output``) from fresh runs.
+
+``certify``, ``experiment``, ``selfstab-sweep`` and ``profile`` accept
+``--trace out.jsonl``: the command runs inside an instrumentation scope
+whose spans, events, and final counter snapshot stream to the file as
+JSONL (see :mod:`repro.obs.trace` for the schema).
 
 Every scheme is instantiated through :func:`repro.core.catalog.build`;
 the CLI holds no registry of its own.
@@ -44,6 +54,7 @@ from repro.errors import CatalogError, LanguageError
 from repro.graphs.generators import FAMILIES
 from repro.graphs.graph import Graph
 from repro.graphs.weighted import weighted_copy
+from repro.obs import metrics as _obs
 from repro.selfstab import ADVERSARIES, SWEEP_DETECTORS
 from repro.util.rng import make_rng
 
@@ -103,6 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also attack an illegal (exact) or α-far (gap) instance",
     )
     certify.add_argument("--trials", type=int, default=60)
+    certify.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.JSONL",
+        help="stream spans/events and a final counter snapshot to a "
+        "JSONL trace file",
+    )
 
     attack = sub.add_parser("attack", help="corrupt an instance and attack it")
     attack.add_argument("scheme", choices=sorted(catalog.names()))
@@ -123,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="run one experiment id")
     experiment.add_argument("which", choices=sorted(_EXPERIMENTS) + ["all"])
+    experiment.add_argument(
+        "--trace", default=None, metavar="OUT.JSONL",
+        help="stream the run's instrumentation to a JSONL trace file",
+    )
 
     sweep = sub.add_parser(
         "selfstab-sweep",
@@ -164,6 +186,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="partial-activation daemon: each node verifies with "
         "probability P per round (default 0.3 for the adversary "
         "campaign; 1.0 = synchronous daemon)",
+    )
+    sweep.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override a declared catalog parameter on every detector "
+        "in the grid, e.g. --param eps=0.5 (repeatable; combine with "
+        "--detector when the parameter only exists on some schemes)",
+    )
+    sweep.add_argument(
+        "--trace", default=None, metavar="OUT.JSONL",
+        help="stream the campaign's instrumentation (incl. per-cell "
+        "events with the chosen params) to a JSONL trace file",
+    )
+
+    prof = sub.add_parser(
+        "profile",
+        help="certify one scheme under the flight recorder and print "
+        "its cost counters and span timings",
+    )
+    prof.add_argument("scheme", choices=sorted(catalog.names()))
+    prof.add_argument(
+        "--family",
+        choices=sorted(FAMILIES),
+        default=None,
+        help="graph family (default: the scheme's own sampler)",
+    )
+    prof.add_argument("--n", type=int, default=32)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE"
+    )
+    prof.add_argument(
+        "--trace", default=None, metavar="OUT.JSONL",
+        help="also stream the profile scope to a JSONL trace file",
     )
 
     profile = sub.add_parser(
@@ -349,6 +407,14 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_selfstab_sweep(args) -> int:
+    try:
+        return _run_selfstab_sweep(args)
+    except CatalogError as error:
+        raise SystemExit(str(error))
+
+
+def _run_selfstab_sweep(args) -> int:
+    params = _parse_param_overrides(args.param) or None
     if args.adversary is not None or args.daemon_p is not None:
         result = _experiments.experiment_adversary_latency(
             sizes=tuple(args.n) if args.n else (32,),
@@ -361,6 +427,7 @@ def _cmd_selfstab_sweep(args) -> int:
             daemon_p=args.daemon_p if args.daemon_p is not None else 0.3,
             seeds_per_cell=args.runs,
             rng=make_rng(args.seed),
+            params=params,
         )
         print(result.to_table())
         undetected = sum(
@@ -375,6 +442,7 @@ def _cmd_selfstab_sweep(args) -> int:
         detectors=tuple(args.detector) if args.detector else None,
         seeds_per_cell=args.runs,
         rng=make_rng(args.seed),
+        params=params,
     )
     print(result.to_table())
     # detected and false_neg partition the illegal runs, so missed
@@ -382,6 +450,44 @@ def _cmd_selfstab_sweep(args) -> int:
     false_neg = result.headers.index("false neg")
     missed = sum(row[false_neg] for row in result.rows)
     return 1 if missed else 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.local.verification_round import distributed_verification
+
+    spec = catalog.get(args.scheme)
+    rng, scheme, graph = _make_instance(args)
+    try:
+        config = scheme.language.member_configuration(graph, rng=rng)
+    except LanguageError as error:
+        raise SystemExit(f"no yes-instance on this graph: {error}")
+    with _obs.collect(
+        "profile", trace=args.trace, scheme=args.scheme, n=graph.n,
+        seed=args.seed,
+    ) as metrics:
+        with _obs.span("certify", scheme=args.scheme):
+            certificates = scheme.prove(config)
+            verdict = scheme.run(config, certificates)
+        with _obs.span("message-path", scheme=args.scheme):
+            message_verdict, _ = distributed_verification(
+                scheme, config, certificates
+            )
+    print(f"graph: {graph!r}")
+    print(_scheme_line(scheme, spec))
+    if args.param:
+        print(f"params: {' '.join(args.param)}")
+    print(f"verification: all accept = {verdict.all_accept} "
+          f"(message path agrees: {message_verdict == verdict})")
+    print("counters:")
+    for name, value in sorted(metrics.counters.items()):
+        print(f"  {name:<22} {value}")
+    print("spans:")
+    print(f"  {'name':<26} {'calls':>6} {'seconds':>10}")
+    for name, stat in sorted(metrics.spans.items()):
+        print(f"  {name:<26} {stat.calls:>6} {stat.seconds:>10.6f}")
+    if args.trace:
+        print(f"trace written: {args.trace}")
+    return 0 if verdict.all_accept and message_verdict == verdict else 1
 
 
 def _cmd_error_profile(args) -> int:
@@ -432,10 +538,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "attack": _cmd_attack,
         "experiment": _cmd_experiment,
         "selfstab-sweep": _cmd_selfstab_sweep,
+        "profile": _cmd_profile,
         "error-profile": _cmd_error_profile,
         "report": _cmd_report,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    trace = getattr(args, "trace", None)
+    if trace is not None and args.command != "profile":
+        # profile opens (and reports) its own scope; every other traced
+        # command runs inside one scope named after the command.
+        with _obs.collect(args.command, trace=trace):
+            return handler(args)
+    return handler(args)
 
 
 if __name__ == "__main__":

@@ -23,10 +23,6 @@ Registration happens where the schemes live — :mod:`repro.schemes` and
 :mod:`repro.approx` decorate their builders with :func:`register_scheme`
 — and the catalog imports those packages lazily on first query, so
 ``repro.core`` stays import-cycle-free.
-
-The old registries (``repro.schemes.ALL_SCHEME_FACTORIES`` and
-``repro.approx.APPROX_SCHEME_BUILDERS``) are deprecated views over this
-catalog.
 """
 
 from __future__ import annotations

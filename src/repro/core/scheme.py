@@ -35,6 +35,7 @@ from repro.core.verifier import (
     refresh_views,
 )
 from repro.errors import SchemeError
+from repro.obs import metrics as _metrics
 from repro.util.bits import obj_bit_size
 
 __all__ = ["CertificateAssignment", "ProofLabelingScheme"]
@@ -136,15 +137,17 @@ class ProofLabelingScheme(ABC):
         that re-verify many related assignments reuse prebuilt views.
         """
         if certificates is None:
-            certificates = self.prove(config)
-        return decide(
-            self.verify,
-            config,
-            certificates,
-            visibility=self.visibility,
-            radius=self.radius,
-            views=views,
-        )
+            with _metrics.span("prove", scheme=self.name):
+                certificates = self.prove(config)
+        with _metrics.span("decide", scheme=self.name):
+            return decide(
+                self.verify,
+                config,
+                certificates,
+                visibility=self.visibility,
+                radius=self.radius,
+                views=views,
+            )
 
     def build_views(
         self, config: Configuration, certificates: Mapping[int, Any]

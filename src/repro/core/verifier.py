@@ -32,6 +32,7 @@ from typing import Any, Iterable, Mapping
 from repro.core.labeling import Configuration
 from repro.errors import SchemeError
 from repro.graphs.graph import Graph
+from repro.obs import metrics as _metrics
 
 __all__ = [
     "BallView",
@@ -150,21 +151,26 @@ class Verdict:
         return f"Verdict(accept={len(self.accepts)}, reject={len(self.rejects)})"
 
 
-# Total LocalView constructions since import — the unit the incremental
-# engine is judged by.  Read it via :func:`view_build_count` before and
-# after an operation to count the views it built; the benchmark suite
-# uses the delta to certify that incremental sweeps rebuild O(ball(k))
-# views, not O(n).
-_VIEW_BUILDS = 0
+# LocalView constructions are the unit the incremental engine is judged
+# by.  They are charged to :mod:`repro.obs` — the always-on root
+# collector keeps the process-lifetime total (read it via
+# :func:`view_build_count` before and after an operation to count the
+# views it built), and any open ``obs.collect()`` scope sees the same
+# increments as its own delta.  The benchmark suite uses the deltas to
+# certify that incremental sweeps rebuild O(ball(k)) views, not O(n).
 
 
 def view_build_count() -> int:
-    """Monotone counter of :class:`LocalView` constructions."""
-    return _VIEW_BUILDS
+    """Monotone counter of :class:`LocalView` constructions.
+
+    Bit-identical wrapper over the :mod:`repro.obs` root collector's
+    ``views.built`` counter (the pre-observability process global).
+    """
+    return _metrics.view_build_total()
 
 
 def record_view_build(count: int = 1) -> None:
-    """Charge ``count`` view constructions to the global counter.
+    """Charge ``count`` view constructions to the cost ledger.
 
     The message-passing simulator assembles :class:`LocalView` objects
     itself (from real inboxes rather than through the scaffold), so it
@@ -172,8 +178,7 @@ def record_view_build(count: int = 1) -> None:
     single audited cost unit across the direct engine and the
     distributed one.
     """
-    global _VIEW_BUILDS
-    _VIEW_BUILDS += count
+    _metrics.record_view_builds(count)
 
 
 class ViewSet(dict):
@@ -275,8 +280,7 @@ class _Scaffold:
         visibility: Visibility,
         radius: int,
     ) -> LocalView:
-        global _VIEW_BUILDS
-        _VIEW_BUILDS += 1
+        _metrics.record_view_builds(1)
         graph, uid = self.graph, self.uid
         full = visibility is Visibility.FULL
         weighted = self.weighted
@@ -448,4 +452,7 @@ def decide(
         except Exception:
             ok = False
         (accepts if ok else rejects).add(node)
+    _metrics.inc("decide.calls")
+    if rejects:
+        _metrics.inc("decide.rejections", len(rejects))
     return Verdict(accepts=frozenset(accepts), rejects=frozenset(rejects))

@@ -35,6 +35,7 @@ from typing import Any, Iterable
 from repro.errors import SimulationError
 from repro.local.algorithm import Halted, SynchronousAlgorithm
 from repro.local.network import Network
+from repro.obs import metrics as _metrics
 from repro.util.bits import obj_bit_size
 
 __all__ = ["RunResult", "SimulationSession", "run_synchronous"]
@@ -93,6 +94,7 @@ def run_synchronous(
     outputs: dict[int, Any] = {}
     message_count = 0
     message_bits = 0
+    dropped = 0
 
     rounds = 0
     while active:
@@ -115,6 +117,7 @@ def run_synchronous(
                     continue
                 target = graph.neighbor_at(v, port)
                 if target not in active:
+                    dropped += 1
                     continue  # dropped: halted receivers are off the air
                 back_port = graph.port(target, v)
                 inboxes[target][back_port] = message
@@ -131,6 +134,10 @@ def run_synchronous(
                 states[v] = result
         rounds += 1
 
+    _metrics.add("messages.sent", message_count)
+    _metrics.add("messages.bits", message_bits)
+    _metrics.add("messages.dropped", dropped)
+    _metrics.add("rounds", rounds)
     return RunResult(
         outputs=outputs,
         rounds=rounds,
@@ -202,6 +209,7 @@ class SimulationSession:
         self._final_states: dict[int, Any] = {}
         self._message_count = 0
         self._message_bits = 0
+        dropped = 0
 
         states = {v: algorithm.init_state(contexts[v]) for v in graph.nodes}
         active: set[int] = set(graph.nodes)
@@ -225,6 +233,7 @@ class SimulationSession:
                 for port, message in outgoing.items():
                     target = graph.neighbor_at(v, port)
                     if target not in active:
+                        dropped += 1
                         continue  # dropped: halted receivers are off the air
                     cache.inboxes[target][graph.port(target, v)] = message
                     self._message_count += 1
@@ -243,6 +252,11 @@ class SimulationSession:
                     states[v] = result
             self._rounds_cache.append(cache)
             rounds += 1
+
+        _metrics.add("messages.sent", self._message_count)
+        _metrics.add("messages.bits", self._message_bits)
+        _metrics.add("messages.dropped", dropped)
+        _metrics.add("rounds", rounds)
 
     def _outgoing(
         self, algorithm: SynchronousAlgorithm, ctx, state: Any, round_index: int
@@ -300,6 +314,8 @@ class SimulationSession:
         contexts = self.network.contexts()
         count_delta = 0
         bits_delta = 0
+        replaced = 0
+        replaced_bits = 0
 
         # Round-0 entry states come from the algorithm, so a changed node
         # may start differently.
@@ -337,8 +353,11 @@ class SimulationSession:
                         del inbox[back_port]
                     if new is not missing:
                         count_delta += 1
+                        replaced += 1
                         if self.count_bits:
-                            bits_delta += obj_bit_size(new)
+                            size = obj_bit_size(new)
+                            bits_delta += size
+                            replaced_bits += size
                         inbox[back_port] = new
                     inbox_dirty.add(target)
                 cache.sends[v] = outgoing
@@ -366,4 +385,8 @@ class SimulationSession:
 
         self._message_count += count_delta
         self._message_bits += bits_delta
+        # Re-executed work, not the (possibly negative) cache delta: reruns
+        # charge only the messages they actually re-placed.
+        _metrics.add("messages.sent", replaced)
+        _metrics.add("messages.bits", replaced_bits)
         return self.result()

@@ -49,6 +49,7 @@ from repro.errors import SimulationError
 from repro.local.algorithm import Halted, NodeContext, SynchronousAlgorithm
 from repro.local.network import Network
 from repro.local.runner import RunResult, SimulationSession, run_synchronous
+from repro.obs import metrics as _metrics
 
 __all__ = [
     "BallGatherRound",
@@ -293,11 +294,12 @@ def distributed_verification(
     Returns the verdict (identical to the direct engine's — asserted by
     the integration tests) together with the run's message statistics.
     """
-    if certificates is None:
-        certificates = scheme.prove(config)
-    network = Network(config.graph, ids=config.ids, inputs=dict(config.labeling))
-    algorithm = _verification_algorithm(scheme, certificates, network)
-    result = run_synchronous(network, algorithm)
+    with _metrics.span("distributed_verification", scheme=scheme.name):
+        if certificates is None:
+            certificates = scheme.prove(config)
+        network = Network(config.graph, ids=config.ids, inputs=dict(config.labeling))
+        algorithm = _verification_algorithm(scheme, certificates, network)
+        result = run_synchronous(network, algorithm)
     return _verdict_from(result), result
 
 
@@ -381,5 +383,7 @@ class VerificationSession:
                 dirty = True
             if dirty:
                 touched.append(v)
+        _metrics.add("registers.read", len(candidates))
+        _metrics.add("registers.written", len(touched))
         result = self._sim.rerun(changed=touched)
         return _verdict_from(result), result

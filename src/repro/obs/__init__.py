@@ -1,0 +1,68 @@
+"""``repro.obs`` — the flight recorder for the verification stack.
+
+Korman–Kutten–Peleg's results are statements about costs (proof size,
+verifier work, detection time), so the reproduction meters its own
+engines in one place.  This package provides:
+
+* :class:`~repro.obs.metrics.MetricsCollector` — named counters
+  (``views.built``, ``messages.sent``, ``decide.calls``,
+  ``registers.written``, …) plus per-span wall-clock aggregates;
+* scope management — :func:`~repro.obs.metrics.collect` pushes a
+  collector for a ``with`` block; scopes nest and each sees exactly the
+  costs incurred while it was open;
+* :func:`~repro.obs.metrics.span` — nested wall-clock timers
+  (``with obs.span("decide", scheme=...)``) that cost nothing when no
+  scope is open;
+* a JSONL trace sink (:mod:`repro.obs.trace`) streaming span/event
+  records plus a final counter snapshot — ``--trace out.jsonl`` on the
+  CLI;
+* the zero-overhead null path: outside any scope, spans are a shared
+  no-op and only the always-on **root** collector (the process-lifetime
+  cost ledger behind :func:`repro.core.verifier.view_build_count`)
+  accumulates.
+
+Deterministic counters are the contract: the committed
+``benchmarks/results/BENCH_*.json`` snapshots and their CI ratchet are
+built on counters alone, never on wall-clock spans.
+"""
+
+from repro.obs.metrics import (
+    NULL,
+    MetricsCollector,
+    NullCollector,
+    SpanStat,
+    active,
+    add,
+    collect,
+    counter_total,
+    event,
+    inc,
+    instrumented,
+    record_view_builds,
+    scoped,
+    span,
+    view_build_total,
+)
+from repro.obs.trace import TRACE_TYPES, TraceSink, read_trace, validate_record
+
+__all__ = [
+    "MetricsCollector",
+    "NULL",
+    "NullCollector",
+    "SpanStat",
+    "TRACE_TYPES",
+    "TraceSink",
+    "active",
+    "add",
+    "collect",
+    "counter_total",
+    "event",
+    "inc",
+    "instrumented",
+    "read_trace",
+    "record_view_builds",
+    "scoped",
+    "span",
+    "validate_record",
+    "view_build_total",
+]

@@ -1,0 +1,424 @@
+"""Scope-aware metrics: named counters, nested span timers, scopes.
+
+The verification stack is judged by *costs* — LocalView constructions,
+messages, verifier evaluations — and this module is the one place those
+costs are recorded.  The design splits into two layers:
+
+Root accounting (always on)
+    A process-global **root collector** sits permanently at the bottom
+    of the scope stack.  Deterministic cost units (view builds, decide
+    calls, message counts) accumulate there from import on, which is
+    what keeps :func:`repro.core.verifier.view_build_count` — the
+    audited unit every incremental-engine claim is stated in —
+    bit-identical to the historical process-global counter.  A counter
+    bump is a dict increment per active collector; with only the root
+    active that is the same order of work as the old ``global`` int.
+
+Scoped collection (opt in)
+    :func:`collect` pushes a fresh :class:`MetricsCollector` onto the
+    stack for the duration of a ``with`` block.  Counters bumped inside
+    the block accumulate into *every* collector on the stack, so a
+    scope's counter reads exactly like a before/after delta of the root
+    — the property the campaign tests pin.  Scopes may nest (a per-cell
+    scope inside a per-run trace scope); each sees its own deltas.
+
+Spans and trace events exist only inside a scope: :func:`span` returns
+a shared no-op context manager when nothing is scoped, so the
+uninstrumented hot path pays one truthiness check and nothing else —
+the **null-collector** contract the equivalence tests enforce.
+
+Wall-clock span durations are measurement, never logic: no verdict,
+counter, or committed snapshot may depend on them (the perf ratchet
+snapshots deterministic counters only).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = [
+    "MetricsCollector",
+    "NullCollector",
+    "NULL",
+    "SpanStat",
+    "active",
+    "add",
+    "collect",
+    "counter_total",
+    "event",
+    "inc",
+    "record_view_builds",
+    "scoped",
+    "span",
+    "view_build_total",
+]
+
+
+class SpanStat:
+    """Aggregate of one span name inside a collector: calls and seconds."""
+
+    __slots__ = ("calls", "seconds")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.seconds = 0.0
+
+    def record(self, duration: float) -> None:
+        self.calls += 1
+        self.seconds += duration
+
+    def __repr__(self) -> str:
+        return f"SpanStat(calls={self.calls}, seconds={self.seconds:.6f})"
+
+
+class MetricsCollector:
+    """Named counters plus span aggregates for one instrumentation scope.
+
+    Instances are handed out by :func:`collect`; while the scope is
+    open every :func:`inc`/:func:`add` lands here (and in every
+    enclosing scope), every finished :func:`span` records its duration
+    here, and — when the scope was opened with a trace sink — span and
+    event records stream to the sink as JSONL.
+    """
+
+    __slots__ = ("name", "labels", "counters", "spans", "sink")
+
+    def __init__(
+        self,
+        name: str = "scope",
+        labels: Mapping[str, Any] | None = None,
+        sink: Any | None = None,
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.counters: dict[str, int | float] = {}
+        self.spans: dict[str, SpanStat] = {}
+        self.sink = sink
+
+    # -- counters -----------------------------------------------------------
+
+    def add(self, counter: str, value: int | float = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + value
+
+    def counter(self, name: str, default: int | float = 0) -> int | float:
+        """Current value of one counter (0 when never bumped)."""
+        return self.counters.get(name, default)
+
+    # -- spans --------------------------------------------------------------
+
+    def record_span(
+        self,
+        name: str,
+        duration: float,
+        depth: int,
+        labels: Mapping[str, Any],
+    ) -> None:
+        stat = self.spans.get(name)
+        if stat is None:
+            stat = self.spans[name] = SpanStat()
+        stat.record(duration)
+        if self.sink is not None:
+            self.sink.span(name, duration, depth, labels)
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready summary: labels, counters, span aggregates."""
+        return {
+            "scope": self.name,
+            "labels": dict(self.labels),
+            "counters": dict(self.counters),
+            "spans": {
+                name: {"calls": stat.calls, "seconds": stat.seconds}
+                for name, stat in sorted(self.spans.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsCollector({self.name!r}, "
+            f"{len(self.counters)} counters, {len(self.spans)} spans)"
+        )
+
+
+class NullCollector:
+    """The do-nothing collector: every recording method is a no-op.
+
+    :func:`active` returns the shared :data:`NULL` instance when no
+    scope is open, so code that wants an explicit collector handle can
+    hold one unconditionally and still pay nothing uninstrumented.  Its
+    ``counters``/``spans`` read as empty and never grow.
+    """
+
+    __slots__ = ()
+
+    name = "null"
+    labels: dict[str, Any] = {}
+    sink = None
+
+    @property
+    def counters(self) -> dict[str, int | float]:
+        return {}
+
+    @property
+    def spans(self) -> dict[str, SpanStat]:
+        return {}
+
+    def add(self, counter: str, value: int | float = 1) -> None:
+        pass
+
+    def counter(self, name: str, default: int | float = 0) -> int | float:
+        return default
+
+    def record_span(
+        self,
+        name: str,
+        duration: float,
+        depth: int,
+        labels: Mapping[str, Any],
+    ) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"scope": "null", "labels": {}, "counters": {}, "spans": {}}
+
+    def __repr__(self) -> str:
+        return "NullCollector()"
+
+
+#: The shared null collector (see :class:`NullCollector`).
+NULL = NullCollector()
+
+#: The always-on root collector: deterministic cost units accumulate
+#: here from import on (``view_build_total`` et al. read it).
+_ROOT = MetricsCollector(name="root")
+
+#: The scope stack.  Index 0 is the root and never pops; :func:`collect`
+#: pushes/pops scoped collectors above it.
+_STACK: list[MetricsCollector] = [_ROOT]
+
+#: Names of open spans, innermost last (gives spans their depth/parent).
+_SPAN_STACK: list[str] = []
+
+
+# ---------------------------------------------------------------------------
+# Scope management.
+# ---------------------------------------------------------------------------
+
+
+class _Scope:
+    """Context manager pushing one collector for the ``with`` block."""
+
+    __slots__ = ("collector", "_trace_path")
+
+    def __init__(self, collector: MetricsCollector, trace_path: Any) -> None:
+        self.collector = collector
+        self._trace_path = trace_path
+
+    def __enter__(self) -> MetricsCollector:
+        collector = self.collector
+        if self._trace_path is not None and collector.sink is None:
+            from repro.obs.trace import TraceSink
+
+            collector.sink = TraceSink(self._trace_path)
+            collector.sink.begin(collector.name, collector.labels)
+        _STACK.append(collector)
+        return collector
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Pop by identity: a mispaired exit must not strip the root.
+        for index in range(len(_STACK) - 1, 0, -1):
+            if _STACK[index] is self.collector:
+                del _STACK[index]
+                break
+        sink = self.collector.sink
+        if sink is not None:
+            sink.metrics(self.collector.snapshot())
+            sink.close()
+            self.collector.sink = None
+
+
+def collect(
+    name: str = "scope",
+    trace: Any | None = None,
+    **labels: Any,
+) -> _Scope:
+    """Open an instrumentation scope::
+
+        with obs.collect("certify", scheme="mst") as metrics:
+            ...
+        metrics.counter("views.built")
+
+    ``trace`` (a path or file-like object) attaches a JSONL
+    :class:`~repro.obs.trace.TraceSink` for the scope's lifetime: span
+    records stream as they close and the final counter snapshot is the
+    last record.  Scopes nest; each collector sees the counters bumped
+    while it was on the stack.
+    """
+    return _Scope(MetricsCollector(name=name, labels=labels), trace)
+
+
+def scoped() -> bool:
+    """True when at least one :func:`collect` scope is open."""
+    return len(_STACK) > 1
+
+
+def active() -> MetricsCollector | NullCollector:
+    """The innermost scoped collector, or :data:`NULL` outside any scope."""
+    return _STACK[-1] if len(_STACK) > 1 else NULL
+
+
+# ---------------------------------------------------------------------------
+# Counters.
+# ---------------------------------------------------------------------------
+
+
+def inc(counter: str, value: int | float = 1) -> None:
+    """Bump ``counter`` by ``value`` in every collector on the stack."""
+    for collector in _STACK:
+        counters = collector.counters
+        counters[counter] = counters.get(counter, 0) + value
+
+
+#: ``add`` is ``inc`` — both spellings read naturally at call sites
+#: (``inc("decide.calls")`` vs ``add("messages.sent", k)``).
+add = inc
+
+
+def record_view_builds(count: int = 1) -> None:
+    """Charge ``count`` LocalView constructions to every active scope.
+
+    The one hot-path entry point :mod:`repro.core.verifier` (and the
+    message-simulator's view assembly) calls per view built.  Kept as a
+    named function — not a partial of :func:`inc` — so tests can
+    monkeypatch it to model accounting regressions (the perf-ratchet
+    suite injects a 2x over-count through exactly this seam).
+    """
+    for collector in _STACK:
+        counters = collector.counters
+        counters["views.built"] = counters.get("views.built", 0) + count
+
+
+def counter_total(name: str) -> int | float:
+    """The root collector's (process-lifetime) value of one counter."""
+    return _ROOT.counters.get(name, 0)
+
+
+def view_build_total() -> int:
+    """Process-lifetime LocalView constructions (the root counter)."""
+    return int(_ROOT.counters.get("views.built", 0))
+
+
+# ---------------------------------------------------------------------------
+# Spans.
+# ---------------------------------------------------------------------------
+
+
+class _NullSpan:
+    """Reusable no-op span for the unscoped fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: times the block and reports to every scoped collector."""
+
+    __slots__ = ("name", "labels", "_start")
+
+    def __init__(self, name: str, labels: dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        _SPAN_STACK.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start
+        depth = len(_SPAN_STACK)
+        if _SPAN_STACK and _SPAN_STACK[-1] == self.name:
+            _SPAN_STACK.pop()
+        for collector in _STACK[1:]:
+            collector.record_span(self.name, duration, depth, self.labels)
+
+
+def span(name: str, **labels: Any) -> _Span | _NullSpan:
+    """Time a block under ``name``::
+
+        with obs.span("decide", scheme=scheme.name):
+            ...
+
+    Outside any scope this returns a shared no-op context manager —
+    no timestamps are read, nothing allocates per label — so spans can
+    annotate hot paths without taxing uninstrumented runs.  Inside a
+    scope the duration lands in every scoped collector's span table
+    (and streams to the trace sink when one is attached).  Spans nest;
+    the recorded depth reflects the enclosing spans at exit.
+    """
+    if len(_STACK) == 1:
+        return _NULL_SPAN
+    return _Span(name, labels)
+
+
+# ---------------------------------------------------------------------------
+# Events.
+# ---------------------------------------------------------------------------
+
+
+def event(name: str, **fields: Any) -> None:
+    """Emit a structured trace event to every scoped collector's sink.
+
+    Events are trace-only (no counter side effects): campaign loops use
+    them to label cells — detector, n, fault count, chosen scheme
+    parameters — so a trace file is self-describing.  A no-op outside
+    any scope, and cheap inside scopes without sinks.
+    """
+    if len(_STACK) == 1:
+        return
+    for collector in _STACK[1:]:
+        if collector.sink is not None:
+            collector.sink.event(name, fields)
+
+
+# ---------------------------------------------------------------------------
+# Test support.
+# ---------------------------------------------------------------------------
+
+
+def _reset_for_tests(hard: bool = False) -> None:
+    """Drop any scoped collectors (and optionally the root's counters).
+
+    Test-suite plumbing: a test that errors out of a ``with collect()``
+    block through a code path that swallows the exit must not leak its
+    scope into the next test.  ``hard=True`` additionally zeroes the
+    root — only meaningful for tests that assert absolute totals.
+    """
+    del _STACK[1:]
+    _SPAN_STACK.clear()
+    if hard:
+        _ROOT.counters.clear()
+        _ROOT.spans.clear()
+
+
+def instrumented(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> tuple[Any, MetricsCollector]:
+    """Run ``fn`` under a fresh scope; return (result, collector)."""
+    with collect(name=getattr(fn, "__name__", "call")) as metrics:
+        result = fn(*args, **kwargs)
+    return result, metrics
+
+
+def iter_stack() -> Iterator[MetricsCollector]:
+    """The current collector stack, root first (read-only diagnostic)."""
+    return iter(tuple(_STACK))

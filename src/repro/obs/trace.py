@@ -1,0 +1,151 @@
+"""JSONL trace sink and reader for instrumentation scopes.
+
+A trace is a flat JSON-lines file: one record per line, every record
+carrying a ``"type"`` field.  The format is deliberately boring — it is
+meant to be grepped, loaded into pandas, or diffed between runs — and
+:func:`read_trace`/:func:`validate_record` pin it as a schema the test
+suite round-trips.
+
+Record types
+------------
+``begin``
+    Opens a scope: ``{"type": "begin", "scope": name, "labels": {...}}``.
+``span``
+    One finished span: ``name``, wall-clock ``seconds`` (float),
+    ``depth`` (1 = outermost), and the span's ``labels``.
+``event``
+    A structured marker emitted by :func:`repro.obs.metrics.event` —
+    campaign cells, chosen parameters, phase boundaries.
+``metrics``
+    The scope's final snapshot (labels, counters, span aggregates);
+    always the last record a sink writes.
+
+Timestamps are wall-clock and therefore *not* reproducible; every
+deterministic quantity a consumer should assert on lives in the
+``metrics`` record's counters.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from typing import Any, Mapping
+
+__all__ = ["TRACE_TYPES", "TraceSink", "read_trace", "validate_record"]
+
+#: Every record type a sink writes, with the fields each must carry.
+TRACE_TYPES: dict[str, tuple[str, ...]] = {
+    "begin": ("scope", "labels"),
+    "span": ("name", "seconds", "depth", "labels"),
+    "event": ("name", "fields"),
+    "metrics": ("scope", "labels", "counters", "spans"),
+}
+
+
+class TraceSink:
+    """Append-only JSONL writer bound to one instrumentation scope.
+
+    ``target`` is a filesystem path (opened for writing, parent
+    directories created) or any file-like object with ``write``; a
+    file-like target is not closed by :meth:`close`, so callers can
+    hand in ``io.StringIO`` and read the trace back.
+    """
+
+    __slots__ = ("_fh", "_owns")
+
+    def __init__(self, target: Any) -> None:
+        if hasattr(target, "write"):
+            self._fh = target
+            self._owns = False
+        else:
+            path = pathlib.Path(target)
+            if path.parent and not path.parent.exists():
+                path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = path.open("w", encoding="utf-8")
+            self._owns = True
+
+    # -- record writers -----------------------------------------------------
+
+    def _write(self, record: dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+
+    def begin(self, scope: str, labels: Mapping[str, Any]) -> None:
+        self._write({"type": "begin", "scope": scope, "labels": dict(labels)})
+
+    def span(
+        self,
+        name: str,
+        seconds: float,
+        depth: int,
+        labels: Mapping[str, Any],
+    ) -> None:
+        self._write(
+            {
+                "type": "span",
+                "name": name,
+                "seconds": seconds,
+                "depth": depth,
+                "labels": dict(labels),
+            }
+        )
+
+    def event(self, name: str, fields: Mapping[str, Any]) -> None:
+        self._write({"type": "event", "name": name, "fields": dict(fields)})
+
+    def metrics(self, snapshot: Mapping[str, Any]) -> None:
+        self._write({"type": "metrics", **snapshot})
+
+    def close(self) -> None:
+        if self._fh is not None and self._owns:
+            self._fh.close()
+        self._fh = None
+
+
+def validate_record(record: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the trace schema."""
+    kind = record.get("type")
+    if kind not in TRACE_TYPES:
+        raise ValueError(f"unknown trace record type {kind!r}")
+    missing = [field for field in TRACE_TYPES[kind] if field not in record]
+    if missing:
+        raise ValueError(f"{kind} record missing fields {missing}")
+    if kind == "span":
+        if not isinstance(record["seconds"], (int, float)) or record["seconds"] < 0:
+            raise ValueError("span seconds must be a non-negative number")
+        if not isinstance(record["depth"], int) or record["depth"] < 1:
+            raise ValueError("span depth must be a positive integer")
+    if kind == "metrics" and not isinstance(record["counters"], Mapping):
+        raise ValueError("metrics counters must be a mapping")
+
+
+def read_trace(source: Any) -> list[dict[str, Any]]:
+    """Parse and validate a JSONL trace from a path, file, or string.
+
+    Returns the records in file order; raises ``ValueError`` on a
+    malformed line or a record outside the schema, with the offending
+    line number in the message.
+    """
+    if hasattr(source, "read"):
+        text = source.read()
+    elif isinstance(source, str) and "\n" in source:
+        text = source
+    else:
+        text = pathlib.Path(source).read_text(encoding="utf-8")
+    records: list[dict[str, Any]] = []
+    for lineno, line in enumerate(io.StringIO(text), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"trace line {lineno}: invalid JSON ({error})") from None
+        try:
+            validate_record(record)
+        except ValueError as error:
+            raise ValueError(f"trace line {lineno}: {error}") from None
+        records.append(record)
+    return records

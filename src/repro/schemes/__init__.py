@@ -6,20 +6,14 @@ One module per language family.  Every scheme registers a
 
     from repro.core import catalog
     scheme = catalog.build("spanning-tree-ptr")
-
-The legacy ``ALL_SCHEME_FACTORIES`` registry is kept as a deprecated
-view over the catalog's exact specs (see the module ``__getattr__``).
 """
 
 from __future__ import annotations
 
-import functools
 import math
 import random
-import warnings
 from typing import Callable
 
-from repro.core import catalog
 from repro.core.catalog import ParamSpec, register_scheme
 from repro.core.scheme import ProofLabelingScheme
 from repro.graphs.generators import grid_graph
@@ -53,8 +47,6 @@ from repro.schemes.spanning_tree import (
 from repro.schemes.vertex_cover import VertexCoverLanguage, VertexCoverScheme
 
 __all__ = [
-    "ALL_SCHEME_FACTORIES",
-    "APPROX_SCHEME_BUILDERS",
     "AcyclicLanguage",
     "AcyclicScheme",
     "AgreementLanguage",
@@ -176,76 +168,3 @@ def _build_coarse_acyclic(graph, rng, *, t=2):
 )
 def _build_universal_regular(graph, rng, **_params):
     return regular_universal_scheme()
-
-
-# ---------------------------------------------------------------------------
-# Deprecated views over the catalog.
-# ---------------------------------------------------------------------------
-
-#: The names the pre-catalog ``ALL_SCHEME_FACTORIES`` dict carried; the
-#: deprecated view reproduces exactly this surface (newer catalog-only
-#: entries such as ``coarse-acyclic`` are not retrofitted into it).
-_LEGACY_EXACT_NAMES = (
-    "agreement",
-    "leader",
-    "acyclic",
-    "spanning-tree-ptr",
-    "spanning-tree-list",
-    "bfs-tree",
-    "mst",
-    "coloring-echo",
-    "bipartite",
-    "independent-set",
-    "dominating-set",
-    "matching",
-    "vertex-cover",
-)
-
-
-_legacy_factories_cache: dict[str, Callable[[], ProofLabelingScheme]] | None = None
-
-
-def _legacy_scheme_factories() -> dict[str, Callable[[], ProofLabelingScheme]]:
-    """The old zero-arg-factory dict, rebuilt from the catalog.
-
-    Memoised so repeated accesses share one mutable dict, like the old
-    module-level registry did.
-    """
-    global _legacy_factories_cache
-    if _legacy_factories_cache is None:
-        _legacy_factories_cache = {
-            name: functools.partial(catalog.build, name)
-            for name in _LEGACY_EXACT_NAMES
-        }
-    return _legacy_factories_cache
-
-
-def __getattr__(name: str):
-    """Deprecation shims for the pre-catalog registries.
-
-    ``ALL_SCHEME_FACTORIES`` and the re-exported
-    ``APPROX_SCHEME_BUILDERS`` now live in :mod:`repro.core.catalog`;
-    these aliases keep old callers working while warning them off.  The
-    approx registry stays a lazy attribute for the historical reason
-    too: the approx modules import submodules of this package, and a
-    lazy attribute breaks the cycle.
-    """
-    if name == "ALL_SCHEME_FACTORIES":
-        warnings.warn(
-            "repro.schemes.ALL_SCHEME_FACTORIES is deprecated; use "
-            "repro.core.catalog (catalog.names()/specs()/build()) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return _legacy_scheme_factories()
-    if name == "APPROX_SCHEME_BUILDERS":
-        warnings.warn(
-            "repro.schemes.APPROX_SCHEME_BUILDERS is deprecated; use "
-            "repro.core.catalog (catalog.names('approx')/build()) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.approx import _legacy_approx_builders
-
-        return _legacy_approx_builders()
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

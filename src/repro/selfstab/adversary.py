@@ -50,7 +50,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.core.verifier import affected_nodes, view_build_count
+from repro.core.verifier import affected_nodes
 from repro.errors import SimulationError
 from repro.graphs.generators import connected_gnp
 from repro.selfstab.campaign import (
@@ -58,6 +58,7 @@ from repro.selfstab.campaign import (
     build_campaign_instance,
     classify_truth,
 )
+from repro.obs import metrics as _obs
 from repro.selfstab.model import run_until_silent, synchronous_round
 from repro.selfstab.reset import FaultInjection, inject_faults_report, run_guarded
 from repro.util.rng import make_rng, spawn
@@ -645,6 +646,7 @@ def adversary_campaign(
     seeds_per_cell: int = 5,
     rng: random.Random | None = None,
     latency_cap: int = 64,
+    params: Mapping[str, Any] | None = None,
 ) -> list[AdversaryRecord]:
     """Run the adversary × detector × n × k detection campaign.
 
@@ -656,6 +658,9 @@ def adversary_campaign(
     One-shot adversaries finish with a guarded recovery that inherits
     the campaign's :class:`~repro.selfstab.detector.DetectionSession`;
     Byzantine cells run :func:`run_contained` instead.
+
+    ``params`` are catalog parameter overrides applied to every detector
+    in the grid (the CLI's ``--param``).
     """
     daemon = daemon if daemon is not None else PartialDaemon(0.3)
     rng = rng or make_rng(2626)
@@ -668,6 +673,13 @@ def adversary_campaign(
         for detector_index, name in enumerate(detectors):
             for n in sizes:
                 for k in fault_counts:
+                    _obs.event(
+                        "campaign.cell",
+                        adversary=adversary.name,
+                        detector=name,
+                        n=n,
+                        faults=k,
+                    )
                     illegal = gap_runs = legal = detected = 0
                     rejects: list[int] = []
                     latencies: list[int] = []
@@ -686,7 +698,9 @@ def adversary_campaign(
                         )
                         cell_rng = spawn(rng, salt)
                         graph = connected_gnp(n, 3.0 / n, cell_rng)
-                        instance = build_campaign_instance(name, graph, cell_rng)
+                        instance = build_campaign_instance(
+                            name, graph, cell_rng, params=params
+                        )
                         silent = run_until_silent(
                             instance.network, instance.protocol
                         ).states
@@ -775,9 +789,11 @@ def message_path_view_reduction(
 
     Builds a certified silent system, opens an incremental
     :class:`~repro.local.verification_round.VerificationSession`,
-    injects a fault burst, and counts the
-    :func:`~repro.core.verifier.view_build_count` delta of the
-    incremental resweep against a from-scratch
+    injects a fault burst, and measures the ``views.built`` counter of
+    the incremental resweep (a scoped :func:`repro.obs.metrics.collect`
+    delta, identical to the historical
+    :func:`~repro.core.verifier.view_build_count` before/after) against
+    a from-scratch
     :func:`~repro.local.verification_round.distributed_verification`
     of the same registers (always ``n`` views).  Verdicts must agree —
     this is the distributed simulator's O(ball(changed)) claim, in the
@@ -803,18 +819,18 @@ def message_path_view_reduction(
     )
     outputs = detector_obj.configuration(instance.network, injection.states)
     new_certs = detector_obj.certificates(instance.network, injection.states)
-    before = view_build_count()
-    incremental_verdict, _ = message_session.resweep(
-        states=dict(outputs.labeling),
-        certificates=new_certs,
-        changed=injection.victims,
-    )
-    incremental = view_build_count() - before
-    before = view_build_count()
-    full_verdict, _ = distributed_verification(
-        detector_obj.scheme, outputs, certificates=new_certs
-    )
-    full = view_build_count() - before
+    with _obs.collect("resweep.incremental", detector=detector, n=n) as incr_metrics:
+        incremental_verdict, _ = message_session.resweep(
+            states=dict(outputs.labeling),
+            certificates=new_certs,
+            changed=injection.victims,
+        )
+    incremental = int(incr_metrics.counter("views.built"))
+    with _obs.collect("resweep.full", detector=detector, n=n) as full_metrics:
+        full_verdict, _ = distributed_verification(
+            detector_obj.scheme, outputs, certificates=new_certs
+        )
+    full = int(full_metrics.counter("views.built"))
     if incremental_verdict != full_verdict:
         raise SimulationError(
             "incremental message-path resweep diverged from the full run"

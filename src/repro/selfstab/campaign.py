@@ -33,13 +33,13 @@ from typing import Any, Callable, Mapping
 from repro.core import catalog
 from repro.core.labeling import Configuration
 from repro.core.scheme import ProofLabelingScheme
-from repro.core.verifier import view_build_count
 from repro.errors import SimulationError
 from repro.graphs.generators import connected_gnp
 from repro.graphs.graph import Graph
 from repro.graphs.weighted import weighted_copy
 from repro.local.algorithm import NodeContext
 from repro.local.network import Network
+from repro.obs import metrics as _obs
 from repro.selfstab.detector import PlsDetector
 from repro.selfstab.model import SelfStabProtocol, run_until_silent
 from repro.selfstab.reset import run_guarded
@@ -134,24 +134,36 @@ def _live_instance(
     )
 
 
-def _build_st_pointer(graph: Graph, rng: random.Random) -> CampaignInstance:
+def _build_st_pointer(
+    graph: Graph, rng: random.Random, params: Mapping[str, Any] | None = None
+) -> CampaignInstance:
     from repro.selfstab.protocol import MaxRootBfsProtocol
 
     return _live_instance(
-        graph, MaxRootBfsProtocol(), catalog.build("spanning-tree-ptr")
+        graph,
+        MaxRootBfsProtocol(),
+        catalog.build("spanning-tree-ptr", **dict(params or {})),
     )
 
 
-def _build_bfs_tree(graph: Graph, rng: random.Random) -> CampaignInstance:
+def _build_bfs_tree(
+    graph: Graph, rng: random.Random, params: Mapping[str, Any] | None = None
+) -> CampaignInstance:
     from repro.selfstab.protocol import MaxRootBfsProtocol
 
-    return _live_instance(graph, MaxRootBfsProtocol(), catalog.build("bfs-tree"))
+    return _live_instance(
+        graph, MaxRootBfsProtocol(), catalog.build("bfs-tree", **dict(params or {}))
+    )
 
 
-def _build_leader(graph: Graph, rng: random.Random) -> CampaignInstance:
+def _build_leader(
+    graph: Graph, rng: random.Random, params: Mapping[str, Any] | None = None
+) -> CampaignInstance:
     from repro.selfstab.leader_protocol import SilentLeaderProtocol
 
-    return _live_instance(graph, SilentLeaderProtocol(), catalog.build("leader"))
+    return _live_instance(
+        graph, SilentLeaderProtocol(), catalog.build("leader", **dict(params or {}))
+    )
 
 
 def _frozen_instance(
@@ -167,26 +179,38 @@ def _frozen_instance(
     )
 
 
-def _build_approx_tree_weight(graph: Graph, rng: random.Random) -> CampaignInstance:
+def _build_approx_tree_weight(
+    graph: Graph, rng: random.Random, params: Mapping[str, Any] | None = None
+) -> CampaignInstance:
     weighted = weighted_copy(graph, spawn(rng, 11))
-    scheme = catalog.build("approx-tree-weight", graph=weighted, rng=rng)
+    scheme = catalog.build(
+        "approx-tree-weight", graph=weighted, rng=rng, **dict(params or {})
+    )
     return _frozen_instance(weighted, scheme, rng)
 
 
-def _build_approx_dominating_set(graph: Graph, rng: random.Random) -> CampaignInstance:
-    scheme = catalog.build("approx-dominating-set", graph=graph, rng=rng)
+def _build_approx_dominating_set(
+    graph: Graph, rng: random.Random, params: Mapping[str, Any] | None = None
+) -> CampaignInstance:
+    scheme = catalog.build(
+        "approx-dominating-set", graph=graph, rng=rng, **dict(params or {})
+    )
     return _frozen_instance(graph, scheme, rng)
 
 
-def _build_es_spanning_tree(graph: Graph, rng: random.Random) -> CampaignInstance:
-    scheme = catalog.build("es-spanning-tree")
+def _build_es_spanning_tree(
+    graph: Graph, rng: random.Random, params: Mapping[str, Any] | None = None
+) -> CampaignInstance:
+    scheme = catalog.build("es-spanning-tree", **dict(params or {}))
     return _frozen_instance(graph, scheme, rng)
 
 
-#: name -> (graph, rng) -> CampaignInstance.  Live protocols first, then
-#: frozen certified states for the approximate and error-sensitive
-#: detectors.
-SWEEP_DETECTORS: dict[str, Callable[[Graph, random.Random], CampaignInstance]] = {
+#: name -> (graph, rng, params=None) -> CampaignInstance.  Live protocols
+#: first, then frozen certified states for the approximate and
+#: error-sensitive detectors.  ``params`` are catalog parameter overrides
+#: (e.g. ``epsilon`` for the ES detector) forwarded verbatim to
+#: :func:`repro.core.catalog.build`.
+SWEEP_DETECTORS: dict[str, Callable[..., CampaignInstance]] = {
     "st-pointer": _build_st_pointer,
     "bfs-tree": _build_bfs_tree,
     "leader": _build_leader,
@@ -197,15 +221,27 @@ SWEEP_DETECTORS: dict[str, Callable[[Graph, random.Random], CampaignInstance]] =
 
 
 def build_campaign_instance(
-    name: str, graph: Graph, rng: random.Random
+    name: str,
+    graph: Graph,
+    rng: random.Random,
+    params: Mapping[str, Any] | None = None,
 ) -> CampaignInstance:
-    """Materialise one named detector on the given graph."""
+    """Materialise one named detector on the given graph.
+
+    ``params`` are catalog parameter overrides (``--param`` on the CLI),
+    validated and applied by :func:`repro.core.catalog.build`.
+    """
     try:
         builder = SWEEP_DETECTORS[name]
     except KeyError:
         raise SimulationError(
             f"unknown sweep detector {name!r}; known: {sorted(SWEEP_DETECTORS)}"
         ) from None
+    if params:
+        # Only parameterised calls require the three-argument builder
+        # signature; plain builds keep working with legacy (graph, rng)
+        # builders registered by callers.
+        return builder(graph, rng, params=params)
     return builder(graph, rng)
 
 
@@ -269,6 +305,7 @@ def fault_sweep_campaign(
     seeds_per_cell: int = 5,
     rng: random.Random | None = None,
     adversary=None,
+    params: Mapping[str, Any] | None = None,
 ) -> list[SweepRecord]:
     """Run the detection campaign over the full grid.
 
@@ -287,6 +324,12 @@ def fault_sweep_campaign(
     genuine no-instance — α-far from the predicate.  A burst that lands
     in the gap, where the verifier owes nothing, is recorded as a
     ``gap_run`` with no detection requirement.
+
+    ``params`` are catalog parameter overrides applied to *every*
+    detector in the grid (the CLI's ``--param``); combine with a
+    restricted ``detectors`` tuple when an override only exists on some
+    schemes.  The chosen overrides are recorded on each cell's
+    ``campaign.cell`` trace event.
     """
     from repro.selfstab.adversary import RandomAdversary
 
@@ -296,6 +339,13 @@ def fault_sweep_campaign(
     for detector_index, name in enumerate(detectors):
         for n in sizes:
             for k in fault_counts:
+                _obs.event(
+                    "campaign.cell",
+                    detector=name,
+                    n=n,
+                    faults=k,
+                    params=dict(params or {}),
+                )
                 illegal = gap_runs = detected = false_neg = false_pos = 0
                 rejects: list[int] = []
                 incr_views: list[int] = []
@@ -313,7 +363,9 @@ def fault_sweep_campaign(
                     )
                     cell_rng = spawn(rng, salt)
                     graph = connected_gnp(n, 3.0 / n, cell_rng)
-                    instance = build_campaign_instance(name, graph, cell_rng)
+                    instance = build_campaign_instance(
+                        name, graph, cell_rng, params=params
+                    )
                     silent = run_until_silent(
                         instance.network, instance.protocol
                     ).states
@@ -323,27 +375,31 @@ def fault_sweep_campaign(
                             f"{name}: certified silent state already alarmed"
                         )
                     injection = adversary.corrupt(instance, silent, k, cell_rng)
-                    before = view_build_count()
-                    report = session.sweep(
-                        injection.states,
-                        changed=injection.victims,
-                        check_membership=False,
-                    )
-                    incr_views.append(view_build_count() - before)
+                    with _obs.collect(
+                        "sweep.incremental", detector=name, n=n, faults=k
+                    ) as incr_metrics:
+                        report = session.sweep(
+                            injection.states,
+                            changed=injection.victims,
+                            check_membership=False,
+                        )
+                    incr_views.append(int(incr_metrics.counter("views.built")))
                     # Verdict-only from-scratch baseline: same n view
                     # builds as PlsDetector.sweep, without the global
                     # membership check (done once, below).
-                    before = view_build_count()
-                    fresh_config = instance.detector.configuration(
-                        instance.network, injection.states
-                    )
-                    fresh_verdict = instance.detector.scheme.run(
-                        fresh_config,
-                        certificates=instance.detector.certificates(
+                    with _obs.collect(
+                        "sweep.full", detector=name, n=n, faults=k
+                    ) as full_metrics:
+                        fresh_config = instance.detector.configuration(
                             instance.network, injection.states
-                        ),
-                    )
-                    full_views.append(view_build_count() - before)
+                        )
+                        fresh_verdict = instance.detector.scheme.run(
+                            fresh_config,
+                            certificates=instance.detector.certificates(
+                                instance.network, injection.states
+                            ),
+                        )
+                    full_views.append(int(full_metrics.counter("views.built")))
                     if fresh_verdict != report.verdict:
                         raise SimulationError(
                             f"{name}: incremental sweep diverged from full sweep"

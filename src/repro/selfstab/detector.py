@@ -33,6 +33,7 @@ from repro.core.scheme import ProofLabelingScheme
 from repro.core.verifier import Verdict, ViewSet
 from repro.errors import SimulationError
 from repro.local.network import Network
+from repro.obs import metrics as _metrics
 from repro.selfstab.model import SelfStabProtocol
 
 __all__ = ["DetectionReport", "DetectionSession", "PlsDetector"]
@@ -105,6 +106,7 @@ class PlsDetector:
         campaigns) should open a :meth:`session` instead and let it
         reuse work across sweeps.
         """
+        _metrics.inc("detector.sweeps")
         config = self.configuration(network, states)
         certs = self.certificates(network, states)
         verdict = self.scheme.run(config, certificates=certs)
@@ -192,11 +194,14 @@ class DetectionSession:
         certificate) pair costs nothing.
         """
         if changed is None:
+            _metrics.add("registers.read", len(self._states))
             candidates: Iterable[int] = [
                 v for v in self._states if states[v] != self._states[v]
             ]
         else:
-            candidates = [v for v in set(changed) if states[v] != self._states[v]]
+            scanned = set(changed)
+            _metrics.add("registers.read", len(scanned))
+            candidates = [v for v in scanned if states[v] != self._states[v]]
         protocol = self.detector.protocol
         touched: set[int] = set()
         output_changed = False
@@ -212,6 +217,7 @@ class DetectionSession:
             if certificate != self._certs[v]:
                 self._certs[v] = certificate
                 touched.add(v)
+        _metrics.add("registers.written", len(touched))
         if output_changed:
             self._config = self._config.with_labeling(dict(self._outputs))
         if touched:
@@ -245,6 +251,7 @@ class DetectionSession:
         ground-truth membership check — which is *not* part of the
         detection loop proper — and reports ``legitimate=None``.
         """
+        _metrics.inc("detector.sweeps")
         if states is not None:
             self.update(states, changed)
         verdict = self.verify()

@@ -1,0 +1,84 @@
+"""Instrumentation must be observationally free.
+
+Opening a metrics scope (or attaching a trace sink) may never change a
+verdict, a certificate, or the number of LocalViews the engine builds —
+instrumentation reads the computation, it does not steer it.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core import catalog
+from repro.local.verification_round import distributed_verification
+from repro.obs import metrics as obs
+from repro.util.rng import make_rng
+
+# A cheap cross-section: tree scheme, KKP visibility, weighted verifier,
+# and an approx (gap) scheme.
+SCHEMES = ("leader", "spanning-tree-ptr", "mst", "approx-vertex-cover")
+
+
+@pytest.fixture(autouse=True)
+def _clean_scopes():
+    yield
+    obs._reset_for_tests()
+
+
+def _instance(name: str, n: int = 12):
+    spec = catalog.get(name)
+    rng = make_rng(0xB0B + n)
+    graph = spec.sample_graph(n, rng)
+    scheme = catalog.build(name, graph=graph, rng=rng)
+    config = scheme.language.member_configuration(graph, rng=rng)
+    return scheme, config
+
+
+@pytest.mark.parametrize("name", SCHEMES)
+def test_verdicts_identical_scoped_and_unscoped(name):
+    scheme, config = _instance(name)
+    certificates = scheme.prove(config)
+    bare = scheme.run(config, certificates)
+    with obs.collect("probe", trace=io.StringIO()):
+        scoped = scheme.run(config, certificates)
+    assert scoped.all_accept == bare.all_accept
+    assert scoped.accepts == bare.accepts
+    assert scoped.rejects == bare.rejects
+
+
+@pytest.mark.parametrize("name", ("leader", "spanning-tree-ptr"))
+def test_view_build_cost_identical_scoped_and_unscoped(name):
+    """The audited unit is invariant under instrumentation: the root
+    ledger advances by the same amount whether or not a scope watches."""
+    scheme, config = _instance(name)
+    certificates = scheme.prove(config)
+
+    before = obs.view_build_total()
+    scheme.run(config, certificates)
+    bare_delta = obs.view_build_total() - before
+
+    before = obs.view_build_total()
+    with obs.collect("probe") as metrics:
+        scheme.run(config, certificates)
+    scoped_delta = obs.view_build_total() - before
+
+    assert scoped_delta == bare_delta
+    assert metrics.counter("views.built") == scoped_delta
+
+
+def test_message_round_identical_scoped_and_unscoped():
+    scheme, config = _instance("leader", n=10)
+    certificates = scheme.prove(config)
+    bare_verdict, bare_run = distributed_verification(scheme, config, certificates)
+    with obs.collect("probe") as metrics:
+        scoped_verdict, scoped_run = distributed_verification(
+            scheme, config, certificates
+        )
+    assert scoped_verdict.all_accept == bare_verdict.all_accept
+    assert scoped_verdict.accepts == bare_verdict.accepts
+    assert scoped_verdict.rejects == bare_verdict.rejects
+    assert scoped_run.message_count == bare_run.message_count
+    assert scoped_run.message_bits == bare_run.message_bits
+    assert metrics.counter("messages.sent") == scoped_run.message_count

@@ -1,0 +1,202 @@
+"""Tests for the scope-aware metrics layer (`repro.obs.metrics`)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import metrics as obs
+from repro.obs.metrics import NULL, MetricsCollector, NullCollector
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(autouse=True)
+def _clean_scopes():
+    """No test may leak a scoped collector into the next."""
+    yield
+    obs._reset_for_tests()
+
+
+class TestNullCollector:
+    def test_shared_singleton(self):
+        assert isinstance(NULL, NullCollector)
+        assert obs.active() is NULL
+
+    def test_every_recording_method_is_a_noop(self):
+        NULL.add("x", 5)
+        NULL.record_span("s", 1.0, 1, {})
+        assert NULL.counter("x") == 0
+        assert NULL.counter("x", default=7) == 7
+        assert NULL.counters == {}
+        assert NULL.spans == {}
+        assert NULL.snapshot()["counters"] == {}
+
+    def test_counters_view_never_grows(self):
+        view = NULL.counters
+        view["x"] = 1  # mutating the returned copy must not stick
+        assert NULL.counters == {}
+
+
+class TestUnscopedFastPath:
+    def test_not_scoped_by_default(self):
+        assert not obs.scoped()
+
+    def test_span_is_the_shared_null_object(self):
+        first = obs.span("anything", label=1)
+        second = obs.span("other")
+        assert first is second  # no allocation on the unscoped path
+        with first:
+            pass  # and it is a working (no-op) context manager
+
+    def test_event_is_a_noop(self):
+        obs.event("campaign.cell", n=8)  # must not raise, must not record
+
+    def test_inc_still_reaches_the_root(self):
+        before = obs.counter_total("test.unscoped")
+        obs.inc("test.unscoped", 3)
+        assert obs.counter_total("test.unscoped") == before + 3
+
+
+class TestScopedCounters:
+    def test_scope_sees_its_own_delta(self):
+        with obs.collect("outer") as metrics:
+            obs.inc("test.delta", 2)
+            obs.add("test.delta", 3)
+        assert metrics.counter("test.delta") == 5
+
+    def test_scope_delta_equals_root_delta(self):
+        """The load-bearing identity: a scoped counter reads exactly as a
+        before/after delta of the process-lifetime root ledger."""
+        rng = make_rng(11)
+        for _ in range(20):
+            before = obs.counter_total("test.prop")
+            with obs.collect("probe") as metrics:
+                bumps = [rng.randrange(0, 9) for _ in range(rng.randrange(1, 6))]
+                for value in bumps:
+                    obs.inc("test.prop", value)
+            delta = obs.counter_total("test.prop") - before
+            assert metrics.counter("test.prop") == delta == sum(bumps)
+
+    def test_nested_scopes_each_see_their_window(self):
+        with obs.collect("outer") as outer:
+            obs.inc("test.nest")
+            with obs.collect("inner") as inner:
+                obs.inc("test.nest")
+            obs.inc("test.nest")
+        assert outer.counter("test.nest") == 3
+        assert inner.counter("test.nest") == 1
+
+    def test_active_is_innermost(self):
+        with obs.collect("outer"):
+            with obs.collect("inner") as inner:
+                assert obs.active() is inner
+            assert obs.scoped()
+        assert obs.active() is NULL
+
+    def test_labels_are_kept(self):
+        with obs.collect("cell", scheme="mst", n=16) as metrics:
+            pass
+        assert metrics.labels == {"scheme": "mst", "n": 16}
+        assert metrics.snapshot()["labels"] == {"scheme": "mst", "n": 16}
+
+
+class TestViewBuildLedger:
+    def test_record_view_builds_reaches_root_and_scope(self):
+        before = obs.view_build_total()
+        with obs.collect("probe") as metrics:
+            obs.record_view_builds()
+            obs.record_view_builds(4)
+        assert metrics.counter("views.built") == 5
+        assert obs.view_build_total() == before + 5
+
+    def test_verifier_facade_reads_the_same_ledger(self):
+        from repro.core.verifier import view_build_count
+
+        assert view_build_count() == obs.view_build_total()
+        obs.record_view_builds(2)
+        assert view_build_count() == obs.view_build_total()
+
+    def test_monkeypatch_seam(self, monkeypatch):
+        """The ratchet's regression-injection seam: doubling the named
+        function doubles what every collector sees."""
+        original = obs.record_view_builds
+        monkeypatch.setattr(
+            obs, "record_view_builds", lambda count=1: original(2 * count)
+        )
+        with obs.collect("probe") as metrics:
+            obs.record_view_builds(3)
+        assert metrics.counter("views.built") == 6
+
+
+class TestSpans:
+    def test_unscoped_spans_record_nothing(self):
+        with obs.span("ghost"):
+            pass
+        with obs.collect("probe") as metrics:
+            pass
+        assert metrics.spans == {}
+
+    def test_span_aggregates_calls_and_seconds(self):
+        with obs.collect("probe") as metrics:
+            for _ in range(3):
+                with obs.span("work"):
+                    pass
+        stat = metrics.spans["work"]
+        assert stat.calls == 3
+        assert stat.seconds >= 0.0
+
+    def test_nested_span_durations_are_monotone(self):
+        """An enclosing span can never be shorter than a span it
+        contains (both measured by the same clock)."""
+        with obs.collect("probe") as metrics:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    time.sleep(0.002)
+        outer = metrics.spans["outer"].seconds
+        inner = metrics.spans["inner"].seconds
+        assert inner > 0.0
+        assert outer >= inner
+
+    def test_nested_spans_reach_every_scoped_collector(self):
+        with obs.collect("outer") as outer:
+            with obs.collect("inner") as inner:
+                with obs.span("work"):
+                    pass
+        assert outer.spans["work"].calls == 1
+        assert inner.spans["work"].calls == 1
+
+
+class TestScopeHygiene:
+    def test_mispaired_exit_never_pops_the_root(self):
+        scope = obs.collect("probe")
+        scope.__enter__()
+        scope.__exit__(None, None, None)
+        scope.__exit__(None, None, None)  # double exit: harmless
+        assert not obs.scoped()
+        assert list(obs.iter_stack())  # root still present
+
+    def test_reset_drops_leaked_scopes(self):
+        obs.collect("leak").__enter__()
+        assert obs.scoped()
+        obs._reset_for_tests()
+        assert not obs.scoped()
+
+    def test_exception_still_closes_the_scope(self):
+        with pytest.raises(RuntimeError):
+            with obs.collect("probe"):
+                raise RuntimeError("boom")
+        assert not obs.scoped()
+
+
+class TestHelpers:
+    def test_instrumented_returns_result_and_collector(self):
+        def work(x):
+            obs.inc("test.helper", x)
+            return x * 2
+
+        result, metrics = obs.instrumented(work, 4)
+        assert result == 8
+        assert isinstance(metrics, MetricsCollector)
+        assert metrics.counter("test.helper") == 4
+        assert metrics.name == "work"

@@ -1,0 +1,113 @@
+"""Tests for the committed perf ratchet (`benchmarks/bench_metrics.py`).
+
+The ratchet's whole value is that it *fires*: these tests load the
+benchmark module from its file, pin ``compare``'s semantics, check the
+committed snapshots against a live re-measurement of a subgrid, and —
+the acceptance test — inject a 2x view-build accounting regression
+through the ``record_view_builds`` seam and watch the ratchet fail.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.obs import metrics as obs
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO / "benchmarks" / "bench_metrics.py"
+RESULTS = REPO / "benchmarks" / "results"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_metrics", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_metrics", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(autouse=True)
+def _clean_scopes():
+    yield
+    obs._reset_for_tests()
+
+
+class TestCompare:
+    SNAPSHOT = {
+        "schema": "bench-metrics/v1",
+        "metric": "views.built",
+        "tolerance": 0.10,
+        "sizes": [16],
+        "schemes": {"leader": {"16": 100}},
+    }
+
+    def test_within_tolerance_passes(self, bench):
+        assert bench.compare(self.SNAPSHOT, {"leader": {"16": 110}}) == []
+        assert bench.compare(self.SNAPSHOT, {"leader": {"16": 90}}) == []
+
+    def test_regression_fails(self, bench):
+        failures = bench.compare(self.SNAPSHOT, {"leader": {"16": 111}})
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+
+    def test_grid_drift_fails_both_ways(self, bench):
+        assert bench.compare(self.SNAPSHOT, {}) != []
+        extra = {"leader": {"16": 100}, "mst": {"16": 5}}
+        failures = bench.compare(self.SNAPSHOT, extra)
+        assert any("missing from the committed snapshot" in f for f in failures)
+
+
+class TestCommittedSnapshots:
+    def test_files_exist_and_cover_the_floor(self):
+        for name in ("BENCH_views.json", "BENCH_messages.json"):
+            data = json.loads((RESULTS / name).read_text(encoding="utf-8"))
+            assert data["schema"] == "bench-metrics/v1"
+            assert len(data["schemes"]) >= 8
+            assert len(data["sizes"]) >= 3
+
+    def test_subgrid_matches_committed_exactly(self, bench):
+        """Determinism: a live re-measurement reproduces the committed
+        cells bit-for-bit (no tolerance needed)."""
+        views = json.loads((RESULTS / "BENCH_views.json").read_text())
+        messages = json.loads((RESULTS / "BENCH_messages.json").read_text())
+        for name in ("leader", "bfs-tree"):
+            for n in (16, 32):
+                cell = bench.measure_cell(name, n)
+                assert cell["views.built"] == views["schemes"][name][str(n)]
+                assert cell["messages.sent"] == messages["schemes"][name][str(n)]
+
+
+class TestInjectedRegression:
+    def test_doubled_view_accounting_trips_the_ratchet(self, bench, monkeypatch):
+        """Acceptance: a 2x view-build regression (injected through the
+        repro.obs.metrics.record_view_builds seam) must fail --check."""
+        committed = json.loads((RESULTS / "BENCH_views.json").read_text())
+        original = obs.record_view_builds
+        monkeypatch.setattr(
+            obs, "record_view_builds", lambda count=1: original(2 * count)
+        )
+        name, n = "leader", 16
+        cell = bench.measure_cell(name, n)
+        assert cell["views.built"] == 2 * committed["schemes"][name][str(n)]
+        failures = bench.compare(
+            {**committed, "sizes": [n], "schemes": {name: {str(n): committed["schemes"][name][str(n)]}}},
+            {name: {str(n): cell["views.built"]}},
+        )
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+
+    def test_honest_measurement_passes(self, bench):
+        committed = json.loads((RESULTS / "BENCH_views.json").read_text())
+        name, n = "leader", 16
+        cell = bench.measure_cell(name, n)
+        failures = bench.compare(
+            {**committed, "schemes": {name: {str(n): committed["schemes"][name][str(n)]}}},
+            {name: {str(n): cell["views.built"]}},
+        )
+        assert failures == []

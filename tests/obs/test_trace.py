@@ -1,0 +1,149 @@
+"""Tests for the JSONL trace sink and its schema (`repro.obs.trace`)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import metrics as obs
+from repro.obs.trace import TRACE_TYPES, TraceSink, read_trace, validate_record
+
+
+@pytest.fixture(autouse=True)
+def _clean_scopes():
+    yield
+    obs._reset_for_tests()
+
+
+class TestTraceSink:
+    def test_writes_every_record_type(self):
+        buffer = io.StringIO()
+        sink = TraceSink(buffer)
+        sink.begin("probe", {"scheme": "mst"})
+        sink.span("decide", 0.001, 1, {"scheme": "mst"})
+        sink.event("campaign.cell", {"n": 16})
+        sink.metrics({"scope": "probe", "labels": {}, "counters": {}, "spans": {}})
+        sink.close()
+        records = read_trace(buffer.getvalue())
+        assert [record["type"] for record in records] == [
+            "begin",
+            "span",
+            "event",
+            "metrics",
+        ]
+
+    def test_file_like_target_is_not_closed(self):
+        buffer = io.StringIO()
+        sink = TraceSink(buffer)
+        sink.begin("probe", {})
+        sink.close()
+        assert not buffer.closed
+        sink.begin("after-close", {})  # closed sink: silently dropped
+        assert "after-close" not in buffer.getvalue()
+
+    def test_path_target_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "trace.jsonl"
+        sink = TraceSink(target)
+        sink.begin("probe", {})
+        sink.close()
+        assert read_trace(target)[0]["scope"] == "probe"
+
+    def test_non_json_values_stringified(self):
+        buffer = io.StringIO()
+        sink = TraceSink(buffer)
+        sink.event("odd", {"obj": object()})
+        records = read_trace(buffer.getvalue())
+        assert isinstance(records[0]["fields"]["obj"], str)
+
+
+class TestSchema:
+    def test_valid_records_pass(self):
+        validate_record({"type": "begin", "scope": "s", "labels": {}})
+        validate_record(
+            {"type": "span", "name": "n", "seconds": 0.0, "depth": 1, "labels": {}}
+        )
+        validate_record({"type": "event", "name": "n", "fields": {}})
+        validate_record(
+            {"type": "metrics", "scope": "s", "labels": {}, "counters": {}, "spans": {}}
+        )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace record type"):
+            validate_record({"type": "mystery"})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="missing fields"):
+            validate_record({"type": "begin", "scope": "s"})
+
+    def test_negative_span_seconds_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_record(
+                {"type": "span", "name": "n", "seconds": -1, "depth": 1, "labels": {}}
+            )
+
+    def test_zero_span_depth_rejected(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            validate_record(
+                {"type": "span", "name": "n", "seconds": 0.0, "depth": 0, "labels": {}}
+            )
+
+    def test_metrics_counters_must_be_mapping(self):
+        with pytest.raises(ValueError, match="mapping"):
+            validate_record(
+                {"type": "metrics", "scope": "s", "labels": {}, "counters": 3, "spans": {}}
+            )
+
+    def test_every_declared_type_has_fields(self):
+        for kind, fields in TRACE_TYPES.items():
+            assert fields, kind
+
+
+class TestReadTrace:
+    def test_invalid_json_line_reports_lineno(self):
+        with pytest.raises(ValueError, match="trace line 2"):
+            read_trace('{"type": "begin", "scope": "s", "labels": {}}\nnot json\n')
+
+    def test_schema_violation_reports_lineno(self):
+        bad = json.dumps({"type": "span", "name": "n"})
+        with pytest.raises(ValueError, match="trace line 1"):
+            read_trace(bad + "\n")
+
+    def test_blank_lines_skipped(self):
+        text = '\n{"type": "event", "name": "n", "fields": {}}\n\n'
+        assert len(read_trace(text)) == 1
+
+
+class TestScopeIntegration:
+    def test_collect_with_trace_round_trips(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        with obs.collect("probe", trace=str(target), scheme="leader"):
+            obs.inc("test.traced", 2)
+            with obs.span("work", phase="a"):
+                pass
+            obs.event("cell", n=8)
+        records = read_trace(target)
+        kinds = [record["type"] for record in records]
+        assert kinds[0] == "begin"
+        assert kinds[-1] == "metrics"  # snapshot is always last
+        assert "span" in kinds and "event" in kinds
+        final = records[-1]
+        assert final["counters"]["test.traced"] == 2
+        assert final["labels"] == {"scheme": "leader"}
+        span_record = next(r for r in records if r["type"] == "span")
+        assert span_record["name"] == "work"
+        assert span_record["depth"] == 1
+        assert span_record["labels"] == {"phase": "a"}
+
+    def test_only_the_sinked_scope_streams(self, tmp_path):
+        """A nested scope without its own sink records counters but does
+        not write to the enclosing scope's file twice."""
+        target = tmp_path / "trace.jsonl"
+        with obs.collect("outer", trace=str(target)):
+            with obs.collect("inner") as inner:
+                obs.event("marker", k=1)
+        assert inner.sink is None
+        records = read_trace(target)
+        markers = [r for r in records if r["type"] == "event"]
+        assert len(markers) == 1

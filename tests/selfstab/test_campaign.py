@@ -197,3 +197,42 @@ class TestExperimentF4b:
             assert row[col("detected")] == row[col("illegal")]
             assert row[col("false neg")] == 0
         assert any("fewer views" in note for note in result.notes)
+
+
+class TestParamOverrides:
+    def test_params_reach_the_built_scheme(self):
+        graph = connected_gnp(12, 0.3, make_rng(13))
+        default = build_campaign_instance(
+            "approx-dominating-set", graph, make_rng(14)
+        )
+        tightened = build_campaign_instance(
+            "approx-dominating-set", graph, make_rng(14), params={"eps": "0.5"}
+        )
+        assert default.detector.scheme.alpha == 2.0
+        assert tightened.detector.scheme.alpha == 1.5
+
+    def test_plain_builds_keep_the_legacy_builder_signature(self, monkeypatch):
+        """Externally registered two-argument builders keep working as
+        long as no params are passed."""
+        calls = []
+
+        def legacy_builder(graph, rng):
+            calls.append((graph, rng))
+            return build_campaign_instance("st-pointer", graph, rng)
+
+        monkeypatch.setitem(SWEEP_DETECTORS, "legacy", legacy_builder)
+        graph = connected_gnp(10, 0.3, make_rng(15))
+        instance = build_campaign_instance("legacy", graph, make_rng(16))
+        assert calls and instance is not None
+
+    def test_campaign_forwards_params_deterministically(self):
+        kwargs = dict(
+            sizes=(12,), fault_counts=(1,), seeds_per_cell=1,
+            detectors=("approx-dominating-set",),
+            params={"eps": "0.5"},
+        )
+        a = fault_sweep_campaign(rng=make_rng(17), **kwargs)
+        b = fault_sweep_campaign(rng=make_rng(17), **kwargs)
+        assert a == b
+        for record in a:
+            assert record.false_negatives == 0

@@ -225,3 +225,101 @@ class TestSelfstabSweep:
     def test_unknown_detector_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["selfstab-sweep", "--detector", "bogus"])
+
+    def test_sweep_param_override_forwarded(self, capsys):
+        code = main(
+            ["selfstab-sweep", "--n", "10", "--faults", "1", "--runs", "1",
+             "--detector", "approx-dominating-set", "--param", "eps=0.5"]
+        )
+        assert code == 0
+        assert "approx-dominating-set" in capsys.readouterr().out
+
+    def test_sweep_unknown_param_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["selfstab-sweep", "--n", "10", "--faults", "1", "--runs", "1",
+                  "--detector", "es-spanning-tree", "--param", "epsilon=0.5"])
+        assert "epsilon" in str(excinfo.value)
+
+    def test_sweep_trace_captures_cells_and_params(self, tmp_path, capsys):
+        from repro.obs.trace import read_trace
+
+        target = tmp_path / "sweep.jsonl"
+        code = main(
+            ["selfstab-sweep", "--n", "10", "--faults", "1", "--runs", "1",
+             "--detector", "approx-dominating-set", "--param", "eps=0.5",
+             "--trace", str(target)]
+        )
+        assert code == 0
+        records = read_trace(target)
+        assert records[0]["type"] == "begin"
+        assert records[-1]["type"] == "metrics"
+        cells = [r for r in records if r["type"] == "event"
+                 and r["name"] == "campaign.cell"]
+        assert cells
+        assert all(c["fields"]["params"] == {"eps": "0.5"} for c in cells)
+        counters = records[-1]["counters"]
+        assert counters["views.built"] > 0
+        assert counters["detector.sweeps"] > 0
+
+
+class TestProfile:
+    def test_profile_prints_counters_and_spans(self, capsys):
+        code = main(["profile", "mst", "--n", "16", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "views.built" in out
+        assert "messages.sent" in out
+        assert "spans:" in out
+        assert "decide" in out
+        assert "distributed_verification" in out
+        assert "all accept = True" in out
+
+    def test_profile_writes_trace(self, tmp_path, capsys):
+        from repro.obs.trace import read_trace
+
+        target = tmp_path / "profile.jsonl"
+        code = main(
+            ["profile", "leader", "--n", "12", "--trace", str(target)]
+        )
+        assert code == 0
+        assert f"trace written: {target}" in capsys.readouterr().out
+        records = read_trace(target)
+        kinds = [r["type"] for r in records]
+        assert kinds[0] == "begin"
+        assert kinds[-1] == "metrics"
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"certify", "message-path"} <= span_names
+
+    def test_profile_accepts_params(self, capsys):
+        code = main(
+            ["profile", "approx-tree-weight", "--n", "12", "--param", "eps=0.5"]
+        )
+        assert code == 0
+        assert "eps=0.5" in capsys.readouterr().out
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "bogus"])
+
+
+class TestTraceFlag:
+    def test_certify_trace_round_trips(self, tmp_path):
+        from repro.obs.trace import read_trace
+
+        target = tmp_path / "certify.jsonl"
+        code = main(
+            ["certify", "leader", "--n", "12", "--trace", str(target)]
+        )
+        assert code == 0
+        records = read_trace(target)
+        assert records[0]["type"] == "begin"
+        assert records[0]["scope"] == "certify"
+        assert records[-1]["type"] == "metrics"
+        assert records[-1]["counters"]["views.built"] > 0
+
+    def test_untraced_commands_leave_no_scope_open(self):
+        from repro.obs import metrics as obs
+
+        assert main(["certify", "leader", "--n", "10"]) == 0
+        assert not obs.scoped()
