@@ -1,0 +1,191 @@
+"""Large-n certify wall clock and its committed ceiling.
+
+The array-native verification core exists for one headline number:
+certifying a spanning tree on a 100 000-node graph in seconds, not
+minutes.  This benchmark measures that number directly — wall-clock
+seconds for one full verification round (``scheme.run`` over honest
+certificates, which dispatches to the batched CSR decider) on
+``random_tree`` instances — for the three schemes the array core
+advertises as its fast path.
+
+Wall clock is machine-dependent, so unlike the deterministic counter
+ratchet (:mod:`bench_metrics`) the committed snapshot at
+``benchmarks/results/BENCH_wallclock.json`` is a *ceiling*, not a
+bit-stable value.  ``--check`` fails only when a cell is slower than
+``HEADROOM`` (4x) times its committed value *and* slower than
+``NOISE_FLOOR_S`` in absolute terms, or slower than the paper-facing
+``ABS_CEILING_S`` (10 s — the acceptance criterion for n = 100 000).
+Faster runs always pass; ``--write`` re-anchors the ceiling.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --check
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+import zlib
+from typing import Any, Mapping
+
+from repro.core import catalog
+from repro.core.batch import supports_batch
+from repro.graphs.generators import random_tree
+from repro.util.rng import make_rng
+
+ROOT = pathlib.Path(__file__).resolve().parent
+RESULTS_DIR = ROOT / "results"
+SNAPSHOT_PATH = RESULTS_DIR / "BENCH_wallclock.json"
+
+SCHEMA = "bench-wallclock/v1"
+METRIC = "certify.seconds"
+#: A cell fails only beyond HEADROOM x committed (wall clock is noisy
+#: and machine-dependent; 4x separates "different machine" from "the
+#: fast path fell off").
+HEADROOM = 4.0
+#: Cells faster than this are never failed on ratio alone.
+NOISE_FLOOR_S = 0.5
+#: The paper-facing acceptance ceiling at the largest size.
+ABS_CEILING_S = 10.0
+#: Timing repetitions per cell; the minimum is recorded.
+REPS = 3
+
+#: The measured grid: batch-capable schemes on spanning trees.
+SCHEMES = ("spanning-tree-ptr", "leader", "bfs-tree")
+SIZES = (1_000, 10_000, 100_000)
+
+
+def _cell_seed(name: str, n: int) -> int:
+    return zlib.crc32(f"wallclock:{name}:{n}".encode()) & 0x7FFFFFFF
+
+
+def measure_cell(name: str, n: int) -> float:
+    """Best-of-``REPS`` seconds for one full verification round."""
+    spec = catalog.get(name)
+    rng = make_rng(_cell_seed(name, n))
+    graph = random_tree(n, rng)
+    scheme = spec.build(graph=graph, rng=rng)
+    if not supports_batch(scheme):
+        raise SystemExit(f"{name}: no batched decider — wall-clock grid is stale")
+    config = scheme.language.member_configuration(graph, rng=rng)
+    certificates = scheme.prove(config)
+    graph.csr()  # cache the CSR mirror: build cost is per graph, not per run
+    best = float("inf")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        verdict = scheme.run(config, certificates)
+        best = min(best, time.perf_counter() - start)
+        if not verdict.all_accept:
+            raise SystemExit(f"{name} n={n}: honest certificates rejected")
+    return round(best, 4)
+
+
+def measure_all() -> dict[str, dict[str, float]]:
+    grid: dict[str, dict[str, float]] = {}
+    for name in SCHEMES:
+        grid[name] = {}
+        for n in SIZES:
+            grid[name][str(n)] = measure_cell(name, n)
+            print(f"measured {name} n={n}: {grid[name][str(n)]:.3f}s")
+    return grid
+
+
+def snapshot(cells: Mapping[str, Mapping[str, float]]) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA,
+        "metric": METRIC,
+        "headroom": HEADROOM,
+        "noise_floor_s": NOISE_FLOOR_S,
+        "abs_ceiling_s": ABS_CEILING_S,
+        "sizes": list(SIZES),
+        "schemes": {name: dict(cells[name]) for name in sorted(cells)},
+    }
+
+
+def compare(
+    committed: Mapping[str, Any], measured: Mapping[str, Mapping[str, float]]
+) -> list[str]:
+    """Failure messages (empty = within the ceiling)."""
+    headroom = float(committed.get("headroom", HEADROOM))
+    floor = float(committed.get("noise_floor_s", NOISE_FLOOR_S))
+    ceiling = float(committed.get("abs_ceiling_s", ABS_CEILING_S))
+    failures: list[str] = []
+    old_cells = {
+        (name, n): value
+        for name, sizes in committed.get("schemes", {}).items()
+        for n, value in sizes.items()
+    }
+    new_cells = {
+        (name, n): value
+        for name, sizes in measured.items()
+        for n, value in sizes.items()
+    }
+    for key in sorted(old_cells.keys() - new_cells.keys()):
+        failures.append(f"{METRIC}: committed cell {key} no longer measured")
+    for key in sorted(new_cells.keys() - old_cells.keys()):
+        failures.append(f"{METRIC}: new cell {key} missing from the snapshot")
+    for key in sorted(old_cells.keys() & new_cells.keys()):
+        old, new = old_cells[key], new_cells[key]
+        name, n = key
+        if new > ceiling:
+            failures.append(
+                f"{METRIC}: {name} n={n} took {new:.2f}s > absolute "
+                f"ceiling {ceiling:.0f}s"
+            )
+        elif new > floor and new > old * headroom:
+            failures.append(
+                f"{METRIC}: {name} n={n} took {new:.2f}s > {headroom:.0f}x "
+                f"the committed {old:.2f}s"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--write", action="store_true", help="measure and commit the snapshot"
+    )
+    action.add_argument(
+        "--check", action="store_true", help="measure and compare to the snapshot"
+    )
+    args = parser.parse_args(argv)
+
+    grid = measure_all()
+    if args.write:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        SNAPSHOT_PATH.write_text(
+            json.dumps(snapshot(grid), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {SNAPSHOT_PATH.relative_to(ROOT.parent)}")
+        return 0
+
+    if not SNAPSHOT_PATH.is_file():
+        print(
+            f"FAIL {SNAPSHOT_PATH.name}: missing — run bench_wallclock.py --write",
+            file=sys.stderr,
+        )
+        return 1
+    committed = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
+    failures = compare(committed, grid)
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    largest = max(SIZES)
+    worst = max(grid[name][str(largest)] for name in SCHEMES)
+    print(
+        f"ok: {len(SCHEMES)}x{len(SIZES)} cells within ceiling; worst "
+        f"n={largest} cell {worst:.2f}s (acceptance: < {ABS_CEILING_S:.0f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

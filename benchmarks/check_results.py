@@ -62,6 +62,16 @@ BENCH_SCHEMA = "bench-metrics/v1"
 BENCH_MIN_SCHEMES = 8
 BENCH_MIN_SIZES = 3
 
+#: Wall-clock ceiling snapshots (see ``benchmarks/bench_wallclock.py``).
+WALLCLOCK_SNAPSHOT = "BENCH_wallclock.json"
+WALLCLOCK_SCHEMA = "bench-wallclock/v1"
+WALLCLOCK_METRIC = "certify.seconds"
+WALLCLOCK_MIN_SCHEMES = 3
+#: The committed grid must reach the paper-facing size...
+WALLCLOCK_MIN_LARGEST_N = 100_000
+#: ...and every committed cell must sit under the acceptance ceiling.
+WALLCLOCK_CEILING_S = 10.0
+
 
 def referenced_snapshots() -> set[str]:
     """Snapshot filenames the experiment book links to."""
@@ -112,6 +122,66 @@ def check_bench_snapshot(path: pathlib.Path, metric: str) -> list[str]:
     return failures
 
 
+def check_wallclock_snapshot(path: pathlib.Path) -> list[str]:
+    """Schema failures for the committed wall-clock ceiling snapshot."""
+    name = path.name
+    if not path.is_file():
+        return [f"{name}: missing — run `bench_wallclock.py --write` and commit"]
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        return [f"{name}: not valid JSON ({error})"]
+    failures: list[str] = []
+    if data.get("schema") != WALLCLOCK_SCHEMA:
+        failures.append(
+            f"{name}: schema {data.get('schema')!r} != {WALLCLOCK_SCHEMA!r}"
+        )
+    if data.get("metric") != WALLCLOCK_METRIC:
+        failures.append(
+            f"{name}: metric {data.get('metric')!r} != {WALLCLOCK_METRIC!r}"
+        )
+    sizes = data.get("sizes")
+    if (
+        not isinstance(sizes, list)
+        or not sizes
+        or not all(isinstance(n, int) and n > 0 for n in sizes)
+    ):
+        failures.append(f"{name}: sizes {sizes!r} is not a list of positive ints")
+        sizes = []
+    elif max(sizes) < WALLCLOCK_MIN_LARGEST_N:
+        failures.append(
+            f"{name}: largest size {max(sizes)} < the paper-facing "
+            f"{WALLCLOCK_MIN_LARGEST_N}"
+        )
+    schemes = data.get("schemes")
+    if not isinstance(schemes, dict) or len(schemes) < WALLCLOCK_MIN_SCHEMES:
+        count = len(schemes) if isinstance(schemes, dict) else schemes
+        failures.append(
+            f"{name}: needs >= {WALLCLOCK_MIN_SCHEMES} schemes, got {count!r}"
+        )
+        return failures
+    expected_keys = {str(n) for n in sizes}
+    for scheme, cells in sorted(schemes.items()):
+        if not isinstance(cells, dict) or set(cells) != expected_keys:
+            failures.append(
+                f"{name}: {scheme} cells {sorted(cells)} != "
+                f"sizes {sorted(expected_keys)}"
+            )
+            continue
+        for n, value in cells.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                failures.append(
+                    f"{name}: {scheme} n={n} value {value!r} is not a number"
+                )
+            elif not 0 < value <= WALLCLOCK_CEILING_S:
+                failures.append(
+                    f"{name}: {scheme} n={n} committed {value}s outside "
+                    f"(0, {WALLCLOCK_CEILING_S:.0f}s] — the acceptance "
+                    "ceiling must hold at commit time"
+                )
+    return failures
+
+
 def parse_table(path: pathlib.Path) -> tuple[str, tuple[str, ...], int]:
     """(title, headers, data row count) of a rendered experiment table."""
     lines = path.read_text(encoding="utf-8").splitlines()
@@ -144,12 +214,19 @@ def main() -> int:
             failures.append(
                 f"{name}: ratchet snapshot not referenced by docs/EXPERIMENTS.md"
             )
+    failures.extend(check_wallclock_snapshot(RESULTS_DIR / WALLCLOCK_SNAPSHOT))
+    if WALLCLOCK_SNAPSHOT not in referenced:
+        failures.append(
+            f"{WALLCLOCK_SNAPSHOT}: ceiling snapshot not referenced by "
+            "docs/EXPERIMENTS.md"
+        )
     for name in sorted(referenced):
         path = RESULTS_DIR / name
         if name.endswith(".json"):
-            if name not in BENCH_SNAPSHOTS:
+            if name not in BENCH_SNAPSHOTS and name != WALLCLOCK_SNAPSHOT:
                 failures.append(
-                    f"{name}: JSON snapshot not registered in BENCH_SNAPSHOTS"
+                    f"{name}: JSON snapshot not registered in "
+                    "benchmarks/check_results.py"
                 )
             continue
         if not path.is_file():
@@ -194,7 +271,8 @@ def main() -> int:
         return 1
     print(
         f"ok: {len(referenced)} committed snapshots match their schemas "
-        f"(incl. {len(BENCH_SNAPSHOTS)} perf-ratchet files)"
+        f"(incl. {len(BENCH_SNAPSHOTS)} perf-ratchet files and the "
+        "wall-clock ceiling)"
     )
     return 0
 

@@ -1,11 +1,27 @@
-"""Setuptools shim.
+"""Packaging metadata (legacy setuptools path).
 
 The offline environment lacks the ``wheel`` package, so PEP 660 editable
 installs (``pip install -e .``) cannot build; ``python setup.py develop``
-installs the same editable package through the legacy path.  All real
-metadata lives in ``pyproject.toml``.
+installs the same editable package through the legacy path.
+
+The one runtime dependency is numpy, for the array-native verification
+core (``repro.core.batch``, ``repro.graphs.csr``).  The library still
+*imports* without it — verification then stays on the pure-python
+per-node path and every scheme reports ``batch=no`` — but installs
+declare it so the fast path works out of the box.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-pls",
+    version="0.7.0",
+    description=(
+        "Reproduction of Korman-Kutten-Peleg proof labeling schemes "
+        "(PODC 2005)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

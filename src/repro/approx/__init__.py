@@ -140,6 +140,7 @@ _EPS_PARAM = ParamSpec(
     weighted=False,
     alpha=2.0,
     params=(_EPS_PARAM,),
+    batch=True,
 )
 def _build_dominating_set(graph, rng, *, eps=1.0):
     # Budget from the deterministic greedy order, which the language's
@@ -161,6 +162,7 @@ def _build_dominating_set(graph, rng, *, eps=1.0):
     weighted=True,
     alpha=2.0,
     params=(_EPS_PARAM,),
+    batch=True,
 )
 def _build_tree_weight(graph, rng, *, eps=1.0):
     if not graph.is_weighted:

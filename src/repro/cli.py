@@ -292,9 +292,10 @@ def _describe(spec) -> str:
         else "-"
     )
     es = catalog.error_sensitivity_label(spec.error_sensitive)
+    batch = "yes" if spec.batch else "no"
     return (
         f"kind={spec.kind:<9} alpha={alpha:<5} params={params:<9} "
-        f"es={es:<3} bound={spec.size_bound:<44} "
+        f"es={es:<3} batch={batch:<3} bound={spec.size_bound:<44} "
         f"visibility={spec.visibility.value:<4} {spec.summary}"
     )
 

@@ -1,0 +1,301 @@
+"""Batched verification: evaluate every node's verifier at once.
+
+This is the array half of the verification spine.  The per-node path
+(:func:`repro.core.verifier.decide`) builds a Python ``LocalView`` per
+node and calls ``verify`` n times; this module evaluates the same
+predicate as vectorized numpy work over the graph's CSR mirror
+(:meth:`~repro.graphs.graph.Graph.csr`) — one encode pass over the
+registers, then O(n + m) array arithmetic, no views at all.
+
+The dict path stays the *semantic oracle*: a batched decider must
+return, for every certificate assignment however malformed, exactly the
+accept set the per-node verifier produces (the registry-wide
+equivalence property test pins this).  Two mechanisms make that
+tractable:
+
+* :class:`ObjectCodes` interns arbitrary register values into dense
+  ``int64`` codes through a dict, so "same code" means exactly what
+  ``==`` means for dict keys (``1 == True == 1.0`` intern together,
+  just as the per-node verifier's ``==`` sees them).  Values a dict
+  cannot faithfully intern — unhashable objects, non-reflexive values
+  like ``nan`` — raise :class:`BatchFallback`.
+* :class:`BatchFallback` aborts the whole batched attempt; the caller
+  reruns the per-node oracle, so exotic inputs cost speed, never
+  correctness.  Plain ints wider than 62 bits fall back the same way
+  (they would overflow the ``int64`` columns).
+
+Deciders register per concrete scheme *type* (exact match — a subclass
+with an overridden ``verify`` must register itself) in
+:mod:`repro.core.batch_deciders`, which is imported lazily on first
+dispatch to keep ``repro.core`` import-cycle-free.  numpy itself is
+optional at import time: without it every scheme simply reports
+``supports_batch() == False`` and verification stays on the dict path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    np = None  # type: ignore[assignment]
+
+from repro.obs import metrics as _metrics
+
+if TYPE_CHECKING:  # typing only; runtime import happens lazily below
+    from repro.core.labeling import Configuration
+    from repro.core.scheme import ProofLabelingScheme
+    from repro.core.verifier import Verdict
+
+__all__ = [
+    "BatchContext",
+    "BatchFallback",
+    "ObjectCodes",
+    "batch_decide",
+    "batch_decider",
+    "batch_verdict",
+    "supports_batch",
+    "try_batch_verdict",
+]
+
+#: Plain ints wider than this many bits cannot ride in an int64 column.
+_INT_BITS = 62
+
+
+class BatchFallback(Exception):
+    """A register value the array encoding cannot represent faithfully.
+
+    Raising this anywhere inside a batched decider aborts the attempt;
+    the caller re-verifies per node, so the verdict is always the
+    oracle's.
+    """
+
+
+class ObjectCodes:
+    """Dense ``==``-faithful integer codes for arbitrary register values.
+
+    Backed by a dict, so two values receive the same code exactly when a
+    dict unifies them as keys — which is exactly when Python ``==``
+    calls them equal (the numeric-hash invariant covers ``1 == True ==
+    1.0`` and friends).  Values a dict cannot faithfully key —
+    unhashable objects, values that are not equal to themselves (
+    ``nan``), values whose comparison itself raises — raise
+    :class:`BatchFallback` instead of receiving a wrong code.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: dict[Any, int] = {}
+
+    def code(self, obj: Any) -> int:
+        try:
+            if obj != obj:
+                raise BatchFallback(f"non-reflexive value {obj!r}")
+            return self._table.setdefault(obj, len(self._table))
+        except BatchFallback:
+            raise
+        except Exception as error:
+            raise BatchFallback(
+                f"value {type(obj).__name__} cannot be interned: {error}"
+            ) from None
+
+
+class BatchContext:
+    """Shared per-call working set handed to every batched decider."""
+
+    __slots__ = ("config", "graph", "csr", "n", "states", "certs", "codes",
+                 "_uid_codes")
+
+    def __init__(
+        self, config: "Configuration", certificates: Mapping[int, Any]
+    ) -> None:
+        self.config = config
+        self.graph = config.graph
+        self.csr = config.graph.csr()
+        self.n = config.graph.n
+        # Mirrors the view scaffold exactly: a node without an entry in
+        # ``certificates`` verifies against ``None``.
+        self.states = [config.state(v) for v in range(self.n)]
+        self.certs = [certificates.get(v) for v in range(self.n)]
+        self.codes = ObjectCodes()
+        self._uid_codes = None
+
+    # -- encode helpers ------------------------------------------------------
+
+    def code(self, obj: Any) -> int:
+        return self.codes.code(obj)
+
+    @property
+    def uid_codes(self) -> "np.ndarray":
+        """``int64`` column of interned node uids."""
+        if self._uid_codes is None:
+            config, code = self.config, self.codes.code
+            self._uid_codes = np.fromiter(
+                (code(config.uid(v)) for v in range(self.n)),
+                dtype=np.int64,
+                count=self.n,
+            )
+        return self._uid_codes
+
+    def int_value(self, value: int) -> int:
+        """``value`` as a plain int for an int64 column, or fall back."""
+        if value.bit_length() > _INT_BITS:
+            raise BatchFallback(f"{value.bit_length()}-bit int")
+        return int(value)
+
+    # -- segment reductions --------------------------------------------------
+
+    def any_per_entry(self, entry_mask: "np.ndarray") -> "np.ndarray":
+        """Per-node OR over each node's half-edge entries (empty = False).
+
+        ``bincount`` over owners, not ``reduceat`` — isolated nodes
+        (empty segments) come out False/True correctly by construction.
+        """
+        return (
+            np.bincount(self.csr.owners[entry_mask], minlength=self.n) > 0
+        )
+
+    def all_per_entry(self, entry_mask: "np.ndarray") -> "np.ndarray":
+        """Per-node AND over each node's entries (empty = True)."""
+        return ~self.any_per_entry(~entry_mask)
+
+
+# ---------------------------------------------------------------------------
+# The decider registry.
+# ---------------------------------------------------------------------------
+
+#: ``(module, qualname)`` of a scheme class -> decider
+#: ``(scheme, ctx) -> bool ndarray``.
+_DECIDERS: dict[tuple[str, str], Callable[..., Any]] = {}
+_loaded = False
+
+
+def batch_decider(*class_paths: tuple[str, str]):
+    """Register a decider for the named concrete scheme classes.
+
+    Keys are ``(module, qualname)`` pairs rather than the classes
+    themselves so :mod:`repro.core.batch_deciders` never imports the
+    scheme packages (whose import populates the catalog — which may
+    itself probe ``supports_batch`` mid-registration).  Dispatch is by
+    exact class identity: a subclass that changes ``verify`` must not
+    silently inherit a kernel for the wrong predicate, while subclasses
+    that keep it (e.g. the FF17 repair re-registering the list scheme)
+    opt in by listing their own path.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        for path in class_paths:
+            _DECIDERS[path] = fn
+        return fn
+
+    return decorate
+
+
+def _ensure_deciders() -> None:
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    try:
+        import repro.core.batch_deciders  # noqa: F401
+    except BaseException:
+        _loaded = False
+        raise
+
+
+def decider_for(scheme: "ProofLabelingScheme") -> Callable[..., Any] | None:
+    if np is None:
+        return None
+    _ensure_deciders()
+    cls = type(scheme)
+    return _DECIDERS.get((cls.__module__, cls.__qualname__))
+
+
+def supports_batch(scheme: "ProofLabelingScheme") -> bool:
+    """True when ``scheme`` has a registered vectorized decider."""
+    return decider_for(scheme) is not None
+
+
+# ---------------------------------------------------------------------------
+# Entry points.
+# ---------------------------------------------------------------------------
+
+
+def try_batch_verdict(
+    scheme: "ProofLabelingScheme",
+    config: "Configuration",
+    certificates: Mapping[int, Any],
+) -> "Verdict | None":
+    """The batched verdict, or ``None`` when the array path cannot run.
+
+    ``None`` means "use the per-node oracle": no decider for this scheme
+    type, or the registers contain values the encoding cannot represent
+    (:class:`BatchFallback`).  On success the call charges the same
+    ``decide.calls``/``decide.rejections`` counters as the per-node path
+    plus ``decide.batch`` and ``decide.batch.nodes``, so cost ledgers
+    stay comparable across both paths.
+    """
+    fn = decider_for(scheme)
+    if fn is None:
+        return None
+    try:
+        mask = fn(scheme, BatchContext(config, certificates))
+    except BatchFallback:
+        _metrics.inc("decide.batch.fallbacks")
+        return None
+    from repro.core.verifier import Verdict
+
+    accepts = frozenset(int(v) for v in np.flatnonzero(mask))
+    rejects = frozenset(int(v) for v in np.flatnonzero(~mask))
+    _metrics.inc("decide.batch")
+    _metrics.inc("decide.batch.nodes", len(mask))
+    _metrics.inc("decide.calls")
+    if rejects:
+        _metrics.inc("decide.rejections", len(rejects))
+    return Verdict(accepts=accepts, rejects=rejects)
+
+
+def batch_verdict(
+    scheme: "ProofLabelingScheme",
+    config: "Configuration",
+    certificates: Mapping[int, Any],
+) -> "Verdict":
+    """Batched verdict with automatic per-node fallback (always answers)."""
+    verdict = try_batch_verdict(scheme, config, certificates)
+    if verdict is not None:
+        return verdict
+    from repro.core.verifier import decide
+
+    return decide(
+        scheme.verify,
+        config,
+        certificates,
+        scheme.visibility,
+        scheme.radius,
+    )
+
+
+def batch_decide(
+    scheme: "ProofLabelingScheme",
+    config: "Configuration",
+    certificates: Mapping[int, Any] | None = None,
+) -> "np.ndarray":
+    """Accept mask over all nodes — ``mask[v]`` iff node ``v`` accepts.
+
+    The array-native entry point: certificates default to the scheme's
+    own prover, and schemes without a vectorized decider (or registers
+    the encoding cannot represent) transparently run the per-node
+    oracle, so the answer is always verdict-identical to
+    :func:`repro.core.verifier.decide`.
+    """
+    if np is None:
+        raise RuntimeError("batch_decide needs numpy; install it or use decide()")
+    if certificates is None:
+        certificates = scheme.prove(config)
+    verdict = batch_verdict(scheme, config, certificates)
+    mask = np.zeros(config.graph.n, dtype=bool)
+    if verdict.accepts:
+        mask[np.fromiter(verdict.accepts, dtype=np.int64)] = True
+    return mask

@@ -173,6 +173,33 @@ class SchemeSpec:
     sampler: Callable[[int, random.Random], Graph] | None = field(
         default=None, repr=False
     )
+    #: Declared batch capability; ``None`` probes the built scheme on
+    #: first access (graph-fitted specs must declare to opt in).
+    batch_declared: bool | None = field(default=None, repr=False)
+
+    @property
+    def batch(self) -> bool:
+        """True when the scheme this spec builds verifies on the array path.
+
+        Probed lazily from a default-parameter build (declared
+        explicitly for graph-fitted specs, which cannot be built without
+        an instance) and cached: probing at registration time would
+        race the lazy import of the decider registry.
+        """
+        cached = getattr(self, "_batch_cache", None)
+        if cached is None:
+            if self.batch_declared is not None:
+                cached = self.batch_declared
+            elif self.graph_fitted:
+                cached = False
+            else:
+                from repro.core.batch import supports_batch
+
+                defaults = {p.name: p.default for p in self.params}
+                probe = self.builder(None, make_rng(0), **defaults)
+                cached = supports_batch(probe)
+            object.__setattr__(self, "_batch_cache", cached)
+        return cached
 
     # -- parameters ---------------------------------------------------------
 
@@ -274,6 +301,7 @@ def register_scheme(
     weighted: bool | None = None,
     alpha: float | None = None,
     error_sensitive: bool | None = None,
+    batch: bool | None = None,
 ):
     """Decorator registering ``builder(graph, rng, **params)`` as a spec.
 
@@ -332,6 +360,7 @@ def register_scheme(
             error_sensitive=error_sensitive,
             params=tuple(params),
             sampler=sampler,
+            batch_declared=batch,
         )
         return builder
 

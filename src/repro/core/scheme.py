@@ -147,6 +147,7 @@ class ProofLabelingScheme(ABC):
                 visibility=self.visibility,
                 radius=self.radius,
                 views=views,
+                scheme=self,
             )
 
     def build_views(

@@ -53,6 +53,13 @@ class RejectionCounter:
     node.  Certificates stay pinned to the base assignment — the
     honest-but-stale reading the self-stabilization campaigns use: the
     prover certified the legal configuration, then the registers drifted.
+
+    ``backend`` picks the verification machinery per count: ``"views"``
+    (default) is the incremental dict path above; ``"array"`` builds no
+    views and lets each count run the scheme's vectorized batched
+    decider over the CSR mirror (verdict-identical by contract);
+    ``"auto"`` selects ``"array"`` exactly when the scheme supports it
+    and numpy is importable.
     """
 
     def __init__(
@@ -60,13 +67,32 @@ class RejectionCounter:
         scheme: ProofLabelingScheme,
         config: Configuration,
         certificates: Mapping[int, Any] | None = None,
+        backend: str = "views",
     ) -> None:
         self.scheme = scheme
         self.base = config
         self.certificates = (
             dict(certificates) if certificates is not None else scheme.prove(config)
         )
-        self._views = scheme.build_views(config, self.certificates)
+        if backend == "auto":
+            from repro.core import batch as _batch
+
+            backend = (
+                "array"
+                if _batch.np is not None and _batch.supports_batch(scheme)
+                else "views"
+            )
+        if backend not in ("views", "array"):
+            raise SchemeError(
+                f"unknown counter backend {backend!r}; "
+                f"use 'views', 'array' or 'auto'"
+            )
+        self.backend = backend
+        self._views = (
+            scheme.build_views(config, self.certificates)
+            if backend == "views"
+            else None
+        )
 
     def verdict(
         self,
@@ -96,6 +122,10 @@ class RejectionCounter:
                     f"labeling differs outside the declared changed set "
                     f"at nodes {stale[:5]}"
                 )
+        if self._views is None:
+            # Array backend: no cached views, so `run` dispatches to the
+            # batched decider (with automatic per-node fallback).
+            return self.scheme.run(config, certificates=self.certificates)
         views = self.scheme.refresh_views(
             config, self.certificates, self._views, changed
         )

@@ -46,7 +46,7 @@ from repro.core.labeling import Configuration
 from repro.errors import LanguageError, SchemeError, SimulationError
 from repro.errorsensitive.decider import count_rejections, min_rejections
 from repro.errorsensitive.distance import distance_to_language
-from repro.graphs.generators import path_graph
+from repro.graphs.generators import cycle_graph, path_graph
 from repro.local.network import Network
 from repro.selfstab.campaign import FrozenCertifiedProtocol
 from repro.selfstab.detector import PlsDetector
@@ -219,6 +219,73 @@ def _pointer_mix_pattern(
     return config, distance, related
 
 
+def _rotor_cycle_pattern(
+    n: int, rng: random.Random
+) -> tuple[Configuration, int, list[Configuration]]:
+    """A rootless rotor for BFS trees: every pointer turns clockwise.
+
+    On a cycle no node is a root and the orientation is maximally
+    self-consistent — exactly the shape distance counters struggle to
+    refute locally (they can only fail at one wrap-around seam).  Every
+    member of the BFS language on a cycle points both halves toward some
+    root (with a free antipodal choice when ``n`` is even), so the exact
+    edit distance — ~n/2 — comes from enumerating all of them.  The
+    related members arm the adversary with two opposite rootings.
+    """
+    graph = cycle_graph(max(3, n))
+    n = graph.n
+    states: dict[int, object] = {
+        v: graph.port(v, (v + 1) % n) for v in range(n)
+    }
+    config = Configuration.build(graph, states)
+
+    def rooted(r: int, antipodal_clockwise: bool) -> dict[int, object]:
+        member: dict[int, object] = {r: None}
+        for v in range(n):
+            if v == r:
+                continue
+            forward = (r - v) % n  # hops going clockwise (v -> v+1 -> ... r)
+            backward = (v - r) % n
+            if forward < backward or (forward == backward and antipodal_clockwise):
+                member[v] = graph.port(v, (v + 1) % n)
+            else:
+                member[v] = graph.port(v, (v - 1) % n)
+        return member
+
+    members = [rooted(r, cw) for r in range(n) for cw in (True, False)]
+    distance = min(
+        sum(1 for v in range(n) if m[v] != states[v]) for m in members
+    )
+    related = [
+        config.with_labeling(rooted(0, True)),
+        config.with_labeling(rooted(n // 2, False)),
+    ]
+    return config, distance, related
+
+
+def _twin_leader_pattern(
+    n: int, rng: random.Random
+) -> tuple[Configuration, int, list[Configuration]]:
+    """Two leaders at opposite ends of a path — edit distance exactly 1.
+
+    Leader election's quietest illegal configuration: both endpoints
+    marked.  One unmark lands in the language, so the distance is 1 by
+    construction, and an adversary that pledges allegiance to one end
+    (``leader_uid`` = that endpoint everywhere) confines the rejection
+    to the other marked endpoint — the β̂ floor is one rejection per
+    edit.  The related members are the two single-leader resolutions.
+    """
+    graph = path_graph(max(2, n))
+    n = graph.n
+    states = {v: v in (0, n - 1) for v in range(n)}
+    config = Configuration.build(graph, states)
+    resolutions = [
+        {v: states[v] and v != drop for v in range(n)} for drop in (0, n - 1)
+    ]
+    related = [config.with_labeling(m) for m in resolutions]
+    return config, 1, related
+
+
 #: scheme name -> (n, rng) -> (config, exact distance, related members).
 #: Structured constructions that random corruption cannot stumble into;
 #: a scheme's β̂ is the minimum over random *and* pattern samples.
@@ -227,6 +294,8 @@ FAR_PATTERNS: dict[
     Callable[[int, random.Random], tuple[Configuration, int, list[Configuration]]],
 ] = {
     "spanning-tree-ptr": _pointer_mix_pattern,
+    "bfs-tree": _rotor_cycle_pattern,
+    "leader": _twin_leader_pattern,
 }
 
 

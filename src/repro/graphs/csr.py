@@ -1,0 +1,115 @@
+"""Compressed sparse row adjacency for the array-native verification core.
+
+:class:`CSRGraph` is the contiguous mirror of :class:`~repro.graphs
+.graph.Graph`: one ``indptr`` array of length ``n + 1`` and, for each of
+the ``2m`` directed half-edges (node ``u`` looking at neighbor ``v``),
+parallel arrays sorted by owner and then by neighbor index — exactly the
+port order of the LOCAL model, so entry ``indptr[u] + p`` *is* port
+``p`` of node ``u``.
+
+Beyond the standard ``indices`` column the structure carries the
+columns the batched deciders need:
+
+``owners``
+    ``owners[j]`` is the node whose half-edge ``j`` is (the row index,
+    materialised for ``bincount``-style per-node reductions).
+``ports``
+    ``ports[j] = j - indptr[owners[j]]`` — the port of entry ``j``.
+``reverse``
+    ``reverse[j]`` is the index of the opposite half-edge (``v`` looking
+    back at ``u``); because the graph is symmetric and entries are
+    sorted by ``(owner, neighbor)``, ``np.lexsort((owners, indices))``
+    produces it directly.
+``back_ports``
+    ``back_ports[j] = reverse[j] - indptr[indices[j]]`` — the port
+    through which the neighbor behind entry ``j`` sees the owner (the
+    ``back_port`` of a :class:`~repro.core.verifier.Glimpse`).
+``weights``
+    Per-half-edge ``float64`` weights, or ``None`` on unweighted graphs.
+
+The structure is built once per graph and cached on it
+(:meth:`Graph.csr`); graphs are immutable, so the cache can never go
+stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graphs.graph import Graph
+
+__all__ = ["CSRGraph", "build_csr"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """Contiguous adjacency: ``n`` nodes, ``2m`` half-edges in port order."""
+
+    n: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    owners: np.ndarray
+    ports: np.ndarray
+    reverse: np.ndarray
+    back_ports: np.ndarray
+    weights: np.ndarray | None
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.indices.shape[0])
+
+    def degrees(self) -> np.ndarray:
+        return self.indptr[1:] - self.indptr[:-1]
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Neighbors of ``u`` in port order (a zero-copy slice)."""
+        return self.indices[self.indptr[u]:self.indptr[u + 1]]
+
+
+def build_csr(graph: "Graph") -> CSRGraph:
+    """The CSR mirror of ``graph`` (prefer the cached :meth:`Graph.csr`)."""
+    n = graph.n
+    degrees = np.fromiter(
+        (graph.degree(u) for u in range(n)), dtype=np.int64, count=n
+    )
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    total = int(indptr[-1])
+    indices = np.empty(total, dtype=np.int64)
+    pos = 0
+    for u in range(n):
+        # Graph.neighbors is already sorted by neighbor index = port order.
+        row = graph.neighbors(u)
+        indices[pos:pos + len(row)] = row
+        pos += len(row)
+    owners = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    ports = np.arange(total, dtype=np.int64) - indptr[owners]
+    # Half-edge j = (u -> v) sorted by (u, v); sorting by (v, u) lands on
+    # the opposite half-edge (v -> u), so the stable lexsort *is* the
+    # reverse permutation of a symmetric adjacency.
+    reverse = np.lexsort((owners, indices)).astype(np.int64)
+    back_ports = reverse - indptr[indices]
+    weights = None
+    if graph.is_weighted:
+        weights = np.fromiter(
+            (
+                graph.weight(int(owners[j]), int(indices[j]))
+                for j in range(total)
+            ),
+            dtype=np.float64,
+            count=total,
+        )
+    return CSRGraph(
+        n=n,
+        indptr=indptr,
+        indices=indices,
+        owners=owners,
+        ports=ports,
+        reverse=reverse,
+        back_ports=back_ports,
+        weights=weights,
+    )

@@ -50,7 +50,7 @@ class Graph:
         either weights every edge or none of them.
     """
 
-    __slots__ = ("_n", "_adj", "_weights", "_edges")
+    __slots__ = ("_n", "_adj", "_weights", "_edges", "_csr")
 
     def __init__(
         self,
@@ -61,6 +61,7 @@ class Graph:
         if n < 0:
             raise GraphError(f"negative node count {n}")
         self._n = n
+        self._csr = None  # lazily built CSR mirror (see Graph.csr)
         canonical: list[Edge] = []
         seen: set[Edge] = set()
         for u, v in edges:
@@ -140,6 +141,19 @@ class Graph:
         if not 0 <= port < len(self._adj[u]):
             raise GraphError(f"node {u} has no port {port}")
         return self._adj[u][port]
+
+    def csr(self):
+        """The cached CSR mirror (see :mod:`repro.graphs.csr`).
+
+        Built on first use and memoised for the graph's lifetime —
+        graphs are immutable, so the cache can never go stale.  The
+        numpy import stays local: the dict core never pays for it.
+        """
+        if self._csr is None:
+            from repro.graphs.csr import build_csr
+
+            self._csr = build_csr(self)
+        return self._csr
 
     # -- weights ------------------------------------------------------------
 

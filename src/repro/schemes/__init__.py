@@ -16,8 +16,13 @@ from typing import Callable
 
 from repro.core.catalog import ParamSpec, register_scheme
 from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import Visibility
 from repro.graphs.generators import grid_graph
 from repro.graphs.graph import Graph
+
+# Aliased: importing the repro.schemes.eccentricity submodule below binds
+# the bare name `eccentricity` on this package.
+from repro.graphs.traversal import eccentricity as _node_eccentricity
 from repro.schemes.acyclic import AcyclicLanguage, AcyclicScheme
 from repro.schemes.agreement import AgreementLanguage, AgreementScheme
 from repro.schemes.bfs_tree import BfsTreeLanguage, BfsTreeScheme
@@ -107,8 +112,23 @@ def _grid_sampler(n: int, rng: random.Random) -> Graph:
     return grid_graph(side, max(1, n // side))
 
 
-_register_exact("agreement", AgreementScheme,
-                "all nodes hold one common value")
+@register_scheme(
+    "agreement",
+    kind="exact",
+    summary="all nodes hold one common value",
+    params=(
+        ParamSpec(
+            "domain",
+            2**16,
+            doc="legal values are 0..domain-1 (proof size = value size)",
+            minimum=1,
+        ),
+    ),
+)
+def _build_agreement(graph, rng, *, domain=2**16):
+    return AgreementScheme(AgreementLanguage(int(domain)))
+
+
 _register_exact("leader", LeaderScheme,
                 "exactly one leader, certified by its id")
 _register_exact("acyclic", AcyclicScheme,
@@ -144,6 +164,35 @@ _register_exact("matching", MatchingScheme,
                 "marked edges form a matching")
 _register_exact("vertex-cover", VertexCoverScheme,
                 "marked set covers every edge")
+
+
+@register_scheme(
+    "eccentricity",
+    kind="exact",
+    summary="some node has eccentricity within the bound (one BFS center)",
+    graph_fitted=True,
+    size_bound="Theta(log n + log k)",
+    visibility=Visibility.KKP,
+    radius=1,
+    weighted=False,
+    params=(
+        ParamSpec(
+            "bound",
+            0,
+            doc="eccentricity bound k; 0 fits k to the graph's radius",
+            minimum=0,
+        ),
+    ),
+)
+def _build_eccentricity(graph, rng, *, bound=0):
+    k = int(bound)
+    if k == 0:
+        # Fit to the instance: the graph's radius is the smallest bound
+        # under which the language still has members on this graph.
+        k = min(
+            (_node_eccentricity(graph, v) for v in graph.nodes), default=0
+        )
+    return BoundedEccentricityScheme(BoundedEccentricityLanguage(k))
 
 
 @register_scheme(

@@ -393,11 +393,19 @@ def fault_sweep_campaign(
                         fresh_config = instance.detector.configuration(
                             instance.network, injection.states
                         )
+                        fresh_certs = instance.detector.certificates(
+                            instance.network, injection.states
+                        )
+                        # Views built explicitly: the cell measures the
+                        # per-node path's n-views-per-sweep cost even
+                        # for schemes with a batched decider.
+                        fresh_views = instance.detector.scheme.build_views(
+                            fresh_config, fresh_certs
+                        )
                         fresh_verdict = instance.detector.scheme.run(
                             fresh_config,
-                            certificates=instance.detector.certificates(
-                                instance.network, injection.states
-                            ),
+                            certificates=fresh_certs,
+                            views=fresh_views,
                         )
                     full_views.append(int(full_metrics.counter("views.built")))
                     if fresh_verdict != report.verdict:

@@ -73,11 +73,31 @@ class DetectionReport:
 
 
 class PlsDetector:
-    """Bind a scheme to a protocol's state decomposition."""
+    """Bind a scheme to a protocol's state decomposition.
 
-    def __init__(self, scheme: ProofLabelingScheme, protocol: SelfStabProtocol) -> None:
+    ``backend`` (``"views"``/``"array"``/``"auto"``, see
+    :class:`DetectionSession`) selects the verification machinery for
+    stateless :meth:`sweep` calls and the default for sessions opened
+    through :meth:`session`.  The default stays ``"views"`` so the
+    campaign cost ledgers (``views.built`` per full sweep) keep their
+    audited meaning; ``"array"``/``"auto"`` trade that ledger for the
+    vectorized batched decider.
+    """
+
+    def __init__(
+        self,
+        scheme: ProofLabelingScheme,
+        protocol: SelfStabProtocol,
+        backend: str = "views",
+    ) -> None:
         self.scheme = scheme
         self.protocol = protocol
+        if backend not in ("views", "array", "auto"):
+            raise SimulationError(
+                f"unknown detection backend {backend!r}; "
+                f"use 'views', 'array' or 'auto'"
+            )
+        self.backend = backend
 
     def configuration(
         self, network: Network, states: Mapping[int, Any]
@@ -109,15 +129,34 @@ class PlsDetector:
         _metrics.inc("detector.sweeps")
         config = self.configuration(network, states)
         certs = self.certificates(network, states)
-        verdict = self.scheme.run(config, certificates=certs)
+        if self.backend == "views":
+            # Build the views explicitly so the sweep stays on the
+            # per-node path (and its views.built ledger) even for
+            # schemes with a batched decider.
+            views = self.scheme.build_views(config, certs)
+            verdict = self.scheme.run(config, certificates=certs, views=views)
+        else:
+            verdict = self.scheme.run(config, certificates=certs)
         legitimate = self.scheme.language.is_member(config)
         return DetectionReport(verdict=verdict, legitimate=legitimate)
 
     def session(
-        self, network: Network, states: Mapping[int, Any]
+        self,
+        network: Network,
+        states: Mapping[int, Any],
+        backend: str | None = None,
     ) -> "DetectionSession":
-        """Open an incremental detection session at the given registers."""
-        return DetectionSession(self, network, states)
+        """Open an incremental detection session at the given registers.
+
+        ``backend`` selects how sweeps verify (see
+        :class:`DetectionSession`): ``"views"``, ``"array"``, or
+        ``"auto"``; default is the detector's own backend.
+        """
+        if backend is None:
+            backend = self.backend
+        if backend == "views":
+            return DetectionSession(self, network, states)
+        return DetectionSession(self, network, states, backend=backend)
 
 
 class DetectionSession:
@@ -135,6 +174,23 @@ class DetectionSession:
     any attempt to reuse them under a different visibility or radius
     (e.g. by handing them to another scheme) raises
     :class:`~repro.errors.SchemeError` instead of mis-verifying.
+
+    ``backend`` selects the sweep machinery:
+
+    ``"views"`` (default)
+        The incremental dict path above: cached per-node views, O(ball)
+        refreshes, per-node verification.
+    ``"array"``
+        No views at all.  The session mirrors the register file into
+        per-field numpy columns (:class:`~repro.core.arrays
+        .ArrayLabeling`, one ``set`` per touched node — the same
+        O(ball(k))-per-sweep update contract) and each verdict comes
+        from the scheme's vectorized batched decider
+        (:mod:`repro.core.batch`), which is verdict-identical by
+        contract.  Needs numpy; fastest when the scheme supports batch.
+    ``"auto"``
+        ``"array"`` exactly when the scheme has a batched decider and
+        numpy is importable, else ``"views"``.
     """
 
     def __init__(
@@ -142,6 +198,7 @@ class DetectionSession:
         detector: PlsDetector,
         network: Network,
         states: Mapping[int, Any],
+        backend: str = "views",
     ) -> None:
         self.detector = detector
         self.network = network
@@ -161,7 +218,37 @@ class DetectionSession:
         self._config = Configuration.build(
             network.graph, dict(self._outputs), ids=network.ids
         )
-        self._views: ViewSet = scheme.build_views(self._config, self._certs)
+        if backend == "auto":
+            from repro.core import batch as _batch
+
+            backend = (
+                "array"
+                if _batch.np is not None and _batch.supports_batch(scheme)
+                else "views"
+            )
+        if backend not in ("views", "array"):
+            raise SimulationError(
+                f"unknown detection backend {backend!r}; "
+                f"use 'views', 'array' or 'auto'"
+            )
+        self.backend = backend
+        self._views: ViewSet | None = None
+        self._registers = None
+        if backend == "views":
+            self._views = scheme.build_views(self._config, self._certs)
+        else:
+            from repro.core import batch as _batch
+
+            if _batch.np is None:
+                raise SimulationError(
+                    "the array detection backend needs numpy"
+                )
+            from repro.core.arrays import ArrayLabeling
+
+            self._registers = ArrayLabeling.from_fields(
+                network.graph.n,
+                {"output": self._outputs, "certificate": self._certs},
+            )
         self._verdict: Verdict | None = None
 
     # -- state access -------------------------------------------------------
@@ -175,6 +262,11 @@ class DetectionSession:
     def states(self) -> dict[int, Any]:
         """Snapshot of the last-seen registers (a copy)."""
         return dict(self._states)
+
+    @property
+    def registers(self):
+        """The columnar register mirror (array backend only, else None)."""
+        return self._registers
 
     # -- incremental update -------------------------------------------------
 
@@ -221,9 +313,14 @@ class DetectionSession:
         if output_changed:
             self._config = self._config.with_labeling(dict(self._outputs))
         if touched:
-            self._views = self.detector.scheme.refresh_views(
-                self._config, self._certs, self._views, touched
-            )
+            if self._views is not None:
+                self._views = self.detector.scheme.refresh_views(
+                    self._config, self._certs, self._views, touched
+                )
+            if self._registers is not None:
+                for v in touched:
+                    self._registers.set("output", v, self._outputs[v])
+                    self._registers.set("certificate", v, self._certs[v])
             self._verdict = None
         return touched
 
@@ -232,6 +329,8 @@ class DetectionSession:
     def verify(self) -> Verdict:
         """The verdict at the current registers (cached until they change)."""
         if self._verdict is None:
+            # Array backend: no views were built, so `run` dispatches to
+            # the scheme's batched decider (per-node fallback included).
             self._verdict = self.detector.scheme.run(
                 self._config, certificates=self._certs, views=self._views
             )

@@ -1,0 +1,247 @@
+"""The batched array path must agree with the per-node oracle — always.
+
+The contract (see :mod:`repro.core.batch`): whenever the batched decider
+produces a verdict at all, it is node-for-node identical to the per-node
+verifier's, for *every* certificate assignment however malformed; inputs
+the array encoding cannot represent faithfully fall back (return
+``None``) rather than risk a divergent answer.  These tests pin that
+contract registry-wide: every catalog scheme, honest and corrupted and
+adversarially junk-filled registers alike.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+# Gate first: without numpy the batch path cannot run at all, so every
+# equivalence property below is vacuous.
+from repro.core import catalog  # noqa: E402
+from repro.core.batch import (  # noqa: E402
+    batch_decide,
+    batch_verdict,
+    supports_batch,
+    try_batch_verdict,
+)
+from repro.core.verifier import decide  # noqa: E402
+from repro.util.rng import make_rng, spawn  # noqa: E402
+
+#: Values an adversary might write into a register: type confusions the
+#: int-code interning must keep faithful (1 == True == 1.0), huge ints
+#: beyond the int64 columns, and values the encoding must refuse
+#: (NaN, unhashables) — those must fall back, never misdecide.
+JUNK = (
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    1.0,
+    2**70,
+    "x",
+    (0, None, 0),
+    (1, 2),
+    frozenset(),
+    frozenset({0, 1}),
+    float("nan"),
+    [0, 1],
+)
+
+
+def _fitted(spec, rng, n=10):
+    if spec.kind == "universal":
+        n = 8
+    graph = spec.sample_graph(n, spawn(rng, 1))
+    scheme = spec.build(graph=graph, rng=spawn(rng, 2))
+    config = scheme.language.member_configuration(graph, rng=spawn(rng, 3))
+    return scheme, config
+
+
+def _oracle(scheme, config, certs):
+    """The per-node dict-path verdict (no batch dispatch)."""
+    return decide(scheme.verify, config, certs, scheme.visibility, scheme.radius)
+
+
+def _assert_same(scheme, config, certs, *, require_batch=False):
+    batched = try_batch_verdict(scheme, config, certs)
+    if batched is None:
+        assert not require_batch, f"{type(scheme).__name__} fell back"
+        return
+    oracle = _oracle(scheme, config, certs)
+    assert batched.accepts == oracle.accepts
+    assert batched.rejects == oracle.rejects
+
+
+@pytest.mark.parametrize("name", catalog.names())
+class TestRegistryWideEquivalence:
+    def test_honest_certificates(self, name):
+        spec = catalog.get(name)
+        rng = make_rng(hash((name, "honest")) & 0xFFFFFF)
+        scheme, config = _fitted(spec, rng)
+        certs = scheme.prove(config)
+        # Honest registers never trip the encoding: a batch-capable
+        # scheme must actually take the array path here.
+        _assert_same(scheme, config, certs, require_batch=supports_batch(scheme))
+
+    def test_corrupted_and_junk_registers(self, name):
+        """Property: under random register vandalism, batch verdicts —
+        when produced at all — are identical to the oracle's."""
+        spec = catalog.get(name)
+        rng = make_rng(hash((name, "fuzz")) & 0xFFFFFF)
+        scheme, config = _fitted(spec, rng)
+        if not supports_batch(scheme):
+            pytest.skip("no vectorized decider registered")
+        honest = dict(scheme.prove(config))
+        n = config.graph.n
+        for trial in range(8):
+            certs = dict(honest)
+            for _ in range(rng.randrange(1, 4)):
+                victim = rng.randrange(n)
+                if rng.random() < 0.3 and victim in certs:
+                    del certs[victim]
+                elif rng.random() < 0.5:
+                    certs[victim] = rng.choice(JUNK)
+                else:
+                    # Structure-preserving vandalism: swap two nodes'
+                    # certificates (stays well-formed, lands off-tree).
+                    other = rng.randrange(n)
+                    certs[victim], certs[other] = (
+                        certs.get(other),
+                        certs.get(victim),
+                    )
+            _assert_same(scheme, config, certs)
+
+    def test_corrupted_states(self, name):
+        spec = catalog.get(name)
+        rng = make_rng(hash((name, "states")) & 0xFFFFFF)
+        scheme, config = _fitted(spec, rng)
+        if not supports_batch(scheme):
+            pytest.skip("no vectorized decider registered")
+        certs = scheme.prove(config)
+        n = config.graph.n
+        for trial in range(4):
+            states = {v: config.state(v) for v in range(n)}
+            for _ in range(rng.randrange(1, 3)):
+                states[rng.randrange(n)] = rng.choice(JUNK)
+            bad = config.with_labeling(states)
+            _assert_same(scheme, bad, certs)
+
+    def test_spec_batch_flag_matches_registry(self, name):
+        """``list-schemes``' batch column reports exactly the schemes
+        with a registered decider."""
+        spec = catalog.get(name)
+        rng = make_rng(hash((name, "flag")) & 0xFFFFFF)
+        scheme, _config = _fitted(spec, rng)
+        assert spec.batch == supports_batch(scheme)
+
+
+class TestFallbackInputs:
+    """Values the encoding must refuse — and refuse loudly, not wrongly."""
+
+    def test_nan_certificate_falls_back_with_identical_verdict(self):
+        rng = make_rng(3)
+        scheme, config = _fitted(catalog.get("leader"), rng)
+        certs = dict(scheme.prove(config))
+        certs[0] = (float("nan"), None, 0)
+        assert try_batch_verdict(scheme, config, certs) is None
+        # batch_verdict still answers, via the oracle.
+        verdict = batch_verdict(scheme, config, certs)
+        oracle = _oracle(scheme, config, certs)
+        assert verdict.rejects == oracle.rejects
+
+    def test_huge_int_falls_back(self):
+        rng = make_rng(4)
+        scheme, config = _fitted(catalog.get("acyclic"), rng)
+        certs = dict(scheme.prove(config))
+        certs[1] = 2**70
+        batched = try_batch_verdict(scheme, config, certs)
+        if batched is not None:  # an encoding may legitimately handle it
+            oracle = _oracle(scheme, config, certs)
+            assert batched.rejects == oracle.rejects
+
+    def test_batch_decide_mask_matches_run(self):
+        rng = make_rng(5)
+        scheme, config = _fitted(catalog.get("spanning-tree-ptr"), rng)
+        certs = scheme.prove(config)
+        mask = batch_decide(scheme, config, certs)
+        verdict = scheme.run(config, certs)
+        assert mask.dtype == bool and mask.shape == (config.graph.n,)
+        assert set(np.flatnonzero(mask)) == set(verdict.accepts)
+
+    def test_batch_decide_proves_when_unsupplied(self):
+        rng = make_rng(6)
+        scheme, config = _fitted(catalog.get("bfs-tree"), rng)
+        assert bool(batch_decide(scheme, config).all())
+
+
+class TestBackendEquivalence:
+    """views / array / auto detector backends must agree verdict-for-verdict."""
+
+    def _session(self, backend, seed=11):
+        from repro.graphs.generators import random_tree
+        from repro.local.network import Network
+        from repro.selfstab.campaign import FrozenCertifiedProtocol
+        from repro.selfstab.detector import PlsDetector
+        from repro.selfstab.model import run_until_silent
+
+        rng = make_rng(seed)
+        spec = catalog.get("spanning-tree-ptr")
+        graph = random_tree(12, rng)
+        scheme = spec.build(graph=graph, rng=rng)
+        member = scheme.language.member_configuration(graph, rng=rng)
+        certs = scheme.prove(member)
+        network = Network(graph)
+        protocol = FrozenCertifiedProtocol(scheme, member, certs)
+        silent = run_until_silent(network, protocol).states
+        detector = PlsDetector(scheme, protocol, backend=backend)
+        return detector.session(network, silent), silent
+
+    @pytest.mark.parametrize("backend", ["array", "auto"])
+    def test_detection_session_matches_views_backend(self, backend):
+        reference, silent = self._session("views")
+        candidate, _ = self._session(backend)
+        baseline = reference.verify()
+        assert candidate.verify().rejects == baseline.rejects
+        # Corrupt one register and resweep incrementally on both.
+        bad = dict(silent)
+        victim = next(iter(bad))
+        state, _cert = bad[victim]
+        bad[victim] = (state, ("corrupt", 7))
+        ref_report = reference.sweep(bad, changed=[victim], check_membership=False)
+        cand_report = candidate.sweep(bad, changed=[victim], check_membership=False)
+        assert cand_report.verdict.rejects == ref_report.verdict.rejects
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import SimulationError
+        from repro.selfstab.campaign import FrozenCertifiedProtocol
+        from repro.selfstab.detector import PlsDetector
+
+        rng = make_rng(2)
+        scheme, config = _fitted(catalog.get("leader"), rng)
+        protocol = FrozenCertifiedProtocol(scheme, config, scheme.prove(config))
+        with pytest.raises(SimulationError):
+            PlsDetector(scheme, protocol, backend="bogus")
+
+    @pytest.mark.parametrize("backend", ["views", "array", "auto"])
+    def test_rejection_counter_backends_agree(self, backend):
+        from repro.errorsensitive.decider import RejectionCounter
+
+        rng = make_rng(21)
+        scheme, config = _fitted(catalog.get("spanning-tree-list"), rng)
+        certs = scheme.prove(config)
+        counter = RejectionCounter(scheme, config, certs, backend=backend)
+        assert counter.verdict(config.labeling).all_accept
+
+    def test_isolated_equals_infinity_guard(self):
+        """β̂ of math.inf is never produced: min over empty sample sets
+        is 0.0 (regression guard for the report's default)."""
+        from repro.errorsensitive.report import SchemeSensitivity
+
+        empty = SchemeSensitivity(
+            scheme="x", declared=None, samples=(), skipped=0
+        )
+        assert empty.beta == 0.0 and not math.isinf(empty.beta)

@@ -1,0 +1,110 @@
+"""CSR adjacency must mirror the Graph's port structure exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+# The gate above must run before repro.graphs.csr (which imports numpy
+# unconditionally), hence the post-gate imports.
+from repro.graphs.csr import build_csr  # noqa: E402
+from repro.graphs.generators import (  # noqa: E402
+    connected_gnp,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph  # noqa: E402
+from repro.graphs.weighted import weighted_copy  # noqa: E402
+from repro.util.rng import make_rng  # noqa: E402
+
+
+def _assert_mirrors(graph):
+    """Every CSR column agrees with the Graph's own port arithmetic."""
+    csr = graph.csr()
+    assert csr.n == graph.n
+    assert csr.num_entries == 2 * graph.num_edges
+    assert int(csr.indptr[0]) == 0
+    for u in graph.nodes:
+        row = csr.neighbors(u)
+        assert row.tolist() == list(graph.neighbors(u))
+        assert int(csr.indptr[u + 1] - csr.indptr[u]) == graph.degree(u)
+    for j in range(csr.num_entries):
+        u = int(csr.owners[j])
+        v = int(csr.indices[j])
+        port = int(csr.ports[j])
+        assert graph.neighbor_at(u, port) == v
+        assert graph.port(u, v) == port
+        # The reverse entry is the opposite half-edge, and back_ports is
+        # the port through which v sees u.
+        r = int(csr.reverse[j])
+        assert int(csr.owners[r]) == v
+        assert int(csr.indices[r]) == u
+        assert int(csr.reverse[r]) == j
+        assert graph.port(v, u) == int(csr.back_ports[j])
+    if graph.is_weighted:
+        for j in range(csr.num_entries):
+            u, v = int(csr.owners[j]), int(csr.indices[j])
+            assert csr.weights[j] == graph.weight(u, v)
+    else:
+        assert csr.weights is None
+
+
+@pytest.mark.parametrize(
+    "graph",
+    [
+        path_graph(1),
+        path_graph(2),
+        path_graph(9),
+        cycle_graph(3),
+        cycle_graph(8),
+        star_graph(6),
+        grid_graph(3, 4),
+        Graph(5, [(0, 1), (3, 4)]),  # node 2 isolated
+        Graph(4),  # no edges at all
+        Graph(0),  # empty graph
+    ],
+    ids=[
+        "single-node",
+        "edge",
+        "path",
+        "triangle",
+        "cycle",
+        "star",
+        "grid",
+        "isolated-middle",
+        "edgeless",
+        "empty",
+    ],
+)
+def test_round_trip(graph):
+    _assert_mirrors(graph)
+
+
+def test_round_trip_weighted():
+    rng = make_rng(5)
+    _assert_mirrors(weighted_copy(connected_gnp(12, 0.4, rng), rng))
+
+
+def test_random_graphs_round_trip():
+    rng = make_rng(11)
+    for _ in range(5):
+        _assert_mirrors(connected_gnp(10, 0.35, rng))
+
+
+def test_cached_on_graph():
+    graph = cycle_graph(5)
+    assert graph.csr() is graph.csr()
+    # build_csr constructs a fresh equivalent structure.
+    fresh = build_csr(graph)
+    assert fresh is not graph.csr()
+    assert fresh.indices.tolist() == graph.csr().indices.tolist()
+
+
+def test_isolated_nodes_have_empty_rows():
+    graph = Graph(5, [(0, 1), (3, 4)])
+    csr = graph.csr()
+    assert csr.neighbors(2).size == 0
+    assert csr.degrees().tolist() == [1, 1, 0, 1, 1]

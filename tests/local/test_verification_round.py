@@ -11,11 +11,13 @@ from repro.core import catalog
 from repro.util.rng import make_rng
 
 
-def _config_for(scheme, rng):
-    graph = grid_graph(3, 4) if scheme.language.name == "bipartite" else connected_gnp(12, 0.3, rng)
-    if scheme.language.weighted:
+def _scheme_and_config(name, rng):
+    # Graph first: graph-fitted specs (e.g. eccentricity) need it to build.
+    graph = grid_graph(3, 4) if name == "bipartite" else connected_gnp(12, 0.3, rng)
+    if catalog.get(name).weighted:
         graph = weighted_copy(graph, rng)
-    return scheme.language.member_configuration(graph, rng=rng)
+    scheme = catalog.build(name, graph=graph)
+    return scheme, scheme.language.member_configuration(graph, rng=rng)
 
 
 @pytest.mark.parametrize(
@@ -24,8 +26,7 @@ def _config_for(scheme, rng):
 class TestAgainstDirectEngine:
     def test_verdicts_match_on_members(self, name):
         rng = make_rng(42)
-        scheme = catalog.build(name)
-        config = _config_for(scheme, rng)
+        scheme, config = _scheme_and_config(name, rng)
         certs = scheme.prove(config)
         distributed, run = distributed_verification(scheme, config, certs)
         direct = scheme.run(config, certs)
@@ -35,8 +36,7 @@ class TestAgainstDirectEngine:
 
     def test_verdicts_match_on_corrupted(self, name):
         rng = make_rng(43)
-        scheme = catalog.build(name)
-        config = _config_for(scheme, rng)
+        scheme, config = _scheme_and_config(name, rng)
         try:
             bad = scheme.language.corrupted_configuration(
                 config.graph, corruptions=2, rng=rng
@@ -53,8 +53,7 @@ class TestAgainstDirectEngine:
 class TestMessageCost:
     def test_bits_scale_with_certificates(self):
         rng = make_rng(7)
-        scheme = catalog.build("spanning-tree-ptr")
-        config = _config_for(scheme, rng)
+        scheme, config = _scheme_and_config("spanning-tree-ptr", rng)
         _, run = distributed_verification(scheme, config)
         # Two messages per edge, each carrying at least the certificate.
         assert run.message_count == 2 * config.graph.num_edges

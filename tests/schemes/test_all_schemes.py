@@ -36,13 +36,14 @@ FAMILIES = {
 }
 
 
-def _prepare(scheme, family, n, rng):
+def _prepare(name, family, n, rng):
+    """(scheme, graph) — graph first, so graph-fitted specs can build."""
     graph = FAMILIES[family](n, rng)
-    if scheme.language.name == "bipartite" and family in ("cycle", "gnp"):
+    if name == "bipartite" and family in ("cycle", "gnp"):
         graph = grid_graph(3, max(2, n // 3))
-    if scheme.language.weighted:
+    if catalog.get(name).weighted:
         graph = weighted_copy(graph, rng)
-    return graph
+    return catalog.build(name, graph=graph), graph
 
 
 @pytest.mark.parametrize("family", sorted(FAMILIES))
@@ -50,8 +51,7 @@ def _prepare(scheme, family, n, rng):
 class TestCompleteness:
     def test_all_nodes_accept_members(self, name, family):
         rng = make_rng(hash((name, family)) & 0xFFFFFF)
-        scheme = catalog.build(name)
-        graph = _prepare(scheme, family, 12, rng)
+        scheme, graph = _prepare(name, family, 12, rng)
         if not scheme.language.supports_graph(graph):
             pytest.skip("language not constructible on this family")
         config = scheme.language.member_configuration(graph, rng=rng)
@@ -62,8 +62,7 @@ class TestCompleteness:
 class TestDetection:
     def test_honest_certificates_detect_corruption(self, name):
         rng = make_rng(hash(name) & 0xFFFFFF)
-        scheme = catalog.build(name)
-        graph = _prepare(scheme, "gnp", 12, rng)
+        scheme, graph = _prepare(name, "gnp", 12, rng)
         if not scheme.language.supports_graph(graph):
             pytest.skip("language not constructible here")
         try:
@@ -75,8 +74,7 @@ class TestDetection:
 
     def test_adversary_never_fools(self, name):
         rng = make_rng(hash((name, "attack")) & 0xFFFFFF)
-        scheme = catalog.build(name)
-        graph = _prepare(scheme, "gnp", 10, rng)
+        scheme, graph = _prepare(name, "gnp", 10, rng)
         if not scheme.language.supports_graph(graph):
             pytest.skip("language not constructible here")
         try:

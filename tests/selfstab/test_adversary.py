@@ -295,9 +295,9 @@ class TestSharedRecoverySession:
         built = []
         original = detector_module.DetectionSession.__init__
 
-        def counting(self, detector, network, states):
+        def counting(self, detector, network, states, **kwargs):
             built.append(1)
-            original(self, detector, network, states)
+            original(self, detector, network, states, **kwargs)
 
         monkeypatch.setattr(detector_module.DetectionSession, "__init__", counting)
         instance, silent = _instance(seed=19)

@@ -316,7 +316,9 @@ class TestTraceFlag:
         assert records[0]["type"] == "begin"
         assert records[0]["scope"] == "certify"
         assert records[-1]["type"] == "metrics"
-        assert records[-1]["counters"]["views.built"] > 0
+        counters = records[-1]["counters"]
+        # leader verifies on the batched array path (no views built).
+        assert counters["decide.batch.nodes"] > 0
 
     def test_untraced_commands_leave_no_scope_open(self):
         from repro.obs import metrics as obs
