@@ -17,7 +17,10 @@ experiment gains or renames a column.  This script fails CI when:
 * a ``BENCH_*.json`` perf-ratchet snapshot (see
   ``benchmarks/bench_metrics.py``) is missing, malformed, or thinner
   than the floor the ratchet promises (>= 8 schemes at >= 3 sizes,
-  every cell a non-negative integer), or is not referenced by the docs.
+  every cell a non-negative integer), or is not referenced by the docs;
+* the wall-clock (``bench_wallclock.py``) or certification-service
+  (``bench_service.py``) ceiling snapshot is missing, malformed, or
+  committed with cells above the acceptance ceilings.
 
 Run it from the repository root::
 
@@ -61,6 +64,17 @@ BENCH_SNAPSHOTS = {
 BENCH_SCHEMA = "bench-metrics/v1"
 BENCH_MIN_SCHEMES = 8
 BENCH_MIN_SIZES = 3
+
+#: Certification-service ceiling snapshot (see ``benchmarks/bench_service.py``).
+SERVICE_SNAPSHOT = "BENCH_service.json"
+SERVICE_SCHEMA = "bench-service/v1"
+SERVICE_METRICS = ("cached_s", "cold_s")
+#: The committed grid must reach the paper-facing size...
+SERVICE_MIN_LARGEST_N = 100_000
+#: ...the cold side must sit under the cold acceptance ceiling...
+SERVICE_COLD_CEILING_S = 20.0
+#: ...and the cached side under the size-independent O(1) ceiling.
+SERVICE_CACHED_CEILING_S = 0.05
 
 #: Wall-clock ceiling snapshots (see ``benchmarks/bench_wallclock.py``).
 WALLCLOCK_SNAPSHOT = "BENCH_wallclock.json"
@@ -182,6 +196,62 @@ def check_wallclock_snapshot(path: pathlib.Path) -> list[str]:
     return failures
 
 
+def check_service_snapshot(path: pathlib.Path) -> list[str]:
+    """Schema failures for the committed service ceiling snapshot."""
+    name = path.name
+    if not path.is_file():
+        return [f"{name}: missing — run `bench_service.py --write` and commit"]
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        return [f"{name}: not valid JSON ({error})"]
+    failures: list[str] = []
+    if data.get("schema") != SERVICE_SCHEMA:
+        failures.append(f"{name}: schema {data.get('schema')!r} != {SERVICE_SCHEMA!r}")
+    sizes = data.get("sizes")
+    if (
+        not isinstance(sizes, list)
+        or not sizes
+        or not all(isinstance(n, int) and n > 0 for n in sizes)
+    ):
+        failures.append(f"{name}: sizes {sizes!r} is not a list of positive ints")
+        sizes = []
+    elif max(sizes) < SERVICE_MIN_LARGEST_N:
+        failures.append(
+            f"{name}: largest size {max(sizes)} < the paper-facing "
+            f"{SERVICE_MIN_LARGEST_N}"
+        )
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict) or set(metrics) != set(SERVICE_METRICS):
+        keys = sorted(metrics) if isinstance(metrics, dict) else metrics
+        failures.append(f"{name}: metrics {keys!r} != {sorted(SERVICE_METRICS)}")
+        return failures
+    ceilings = {
+        "cold_s": SERVICE_COLD_CEILING_S,
+        "cached_s": SERVICE_CACHED_CEILING_S,
+    }
+    expected_keys = {str(n) for n in sizes}
+    for metric, cells in sorted(metrics.items()):
+        if not isinstance(cells, dict) or set(cells) != expected_keys:
+            failures.append(
+                f"{name}: {metric} cells {sorted(cells)} != "
+                f"sizes {sorted(expected_keys)}"
+            )
+            continue
+        for n, value in cells.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                failures.append(
+                    f"{name}: {metric} n={n} value {value!r} is not a number"
+                )
+            elif not 0 < value <= ceilings[metric]:
+                failures.append(
+                    f"{name}: {metric} n={n} committed {value}s outside "
+                    f"(0, {ceilings[metric]:g}s] — the acceptance ceiling "
+                    "must hold at commit time"
+                )
+    return failures
+
+
 def parse_table(path: pathlib.Path) -> tuple[str, tuple[str, ...], int]:
     """(title, headers, data row count) of a rendered experiment table."""
     lines = path.read_text(encoding="utf-8").splitlines()
@@ -220,10 +290,19 @@ def main() -> int:
             f"{WALLCLOCK_SNAPSHOT}: ceiling snapshot not referenced by "
             "docs/EXPERIMENTS.md"
         )
+    failures.extend(check_service_snapshot(RESULTS_DIR / SERVICE_SNAPSHOT))
+    if SERVICE_SNAPSHOT not in referenced:
+        failures.append(
+            f"{SERVICE_SNAPSHOT}: ceiling snapshot not referenced by "
+            "docs/EXPERIMENTS.md"
+        )
     for name in sorted(referenced):
         path = RESULTS_DIR / name
         if name.endswith(".json"):
-            if name not in BENCH_SNAPSHOTS and name != WALLCLOCK_SNAPSHOT:
+            if name not in BENCH_SNAPSHOTS and name not in (
+                WALLCLOCK_SNAPSHOT,
+                SERVICE_SNAPSHOT,
+            ):
                 failures.append(
                     f"{name}: JSON snapshot not registered in "
                     "benchmarks/check_results.py"
@@ -271,8 +350,8 @@ def main() -> int:
         return 1
     print(
         f"ok: {len(referenced)} committed snapshots match their schemas "
-        f"(incl. {len(BENCH_SNAPSHOTS)} perf-ratchet files and the "
-        "wall-clock ceiling)"
+        f"(incl. {len(BENCH_SNAPSHOTS)} perf-ratchet files, the wall-clock "
+        "ceiling, and the service ceiling)"
     )
     return 0
 

@@ -28,7 +28,14 @@ points without writing Python:
   (Feuilloley–Fraigniaud 2017): rejection counts against edit distance
   over corruption sweeps and adversarial patterns, with the estimated β;
 * ``report`` — rewrite the measured record (``EXPERIMENTS.md`` in the
-  current directory, or ``--output``) from fresh runs.
+  current directory, or ``--output``) from fresh runs;
+* ``make-envelope`` — build a canonical
+  :class:`~repro.service.envelope.ProofEnvelope` (honest or corrupted)
+  for any registered scheme and write its wire bytes;
+* ``serve`` — run the certification service behind the stdlib HTTP
+  front end (:mod:`repro.service.httpd`);
+* ``submit`` — POST an envelope file to a running server and print the
+  served verdict as JSON.
 
 ``certify``, ``experiment``, ``selfstab-sweep`` and ``profile`` accept
 ``--trace out.jsonl``: the command runs inside an instrumentation scope
@@ -85,7 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-schemes", help="list the unified scheme catalog")
+    list_schemes = sub.add_parser(
+        "list-schemes", help="list the unified scheme catalog"
+    )
+    list_schemes.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (one spec object per scheme, "
+        "including declared parameter schemas)",
+    )
 
     certify = sub.add_parser(
         "certify",
@@ -248,6 +263,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--output", default="EXPERIMENTS.md")
 
+    envelope = sub.add_parser(
+        "make-envelope",
+        help="build a canonical proof envelope for any registered scheme",
+    )
+    envelope.add_argument("scheme", choices=sorted(catalog.names()))
+    envelope.add_argument(
+        "--family",
+        choices=sorted(FAMILIES),
+        default=None,
+        help="graph family (default: the scheme's own sampler)",
+    )
+    envelope.add_argument("--n", type=int, default=32)
+    envelope.add_argument("--seed", type=int, default=0)
+    envelope.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE"
+    )
+    envelope.add_argument(
+        "--corrupt",
+        type=int,
+        default=0,
+        metavar="K",
+        help="corrupt K node states after proving (the stale-prover "
+        "configuration a sound scheme must reject)",
+    )
+    envelope.add_argument(
+        "--no-certificates",
+        action="store_true",
+        help="omit certificates: the service runs the honest marker itself",
+    )
+    envelope.add_argument(
+        "--nonce",
+        default=None,
+        help="anti-replay nonce (default: derived from --seed, so "
+        "identical invocations replay-collide on purpose)",
+    )
+    envelope.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write wire bytes to FILE (default: stdout)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the certification service over the stdlib HTTP front end",
+    )
+    serve.add_argument("--host", default=None, help="bind address")
+    serve.add_argument("--port", type=int, default=None)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="sharded decider processes (0 = decide in-process)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256, help="verdict LRU capacity"
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log requests to stderr"
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="POST an envelope file to a running server, print the verdict",
+    )
+    submit.add_argument("envelope", help="wire-form envelope file (JSON)")
+    submit.add_argument(
+        "--url",
+        default=None,
+        help="server base URL (default: the local default bind)",
+    )
+    submit.add_argument(
+        "--nonce",
+        default=None,
+        help="resubmit under this fresh nonce instead of the file's",
+    )
+
     return parser
 
 
@@ -302,6 +394,11 @@ def _describe(spec) -> str:
 
 def _cmd_list_schemes(args) -> int:
     specs = catalog.specs()
+    if args.json:
+        import json
+
+        print(json.dumps([spec.describe() for spec in specs], indent=2))
+        return 0
     width = max(len(spec.name) for spec in specs)
     for spec in specs:
         print(f"{spec.name:<{width}}  {_describe(spec)}")
@@ -531,6 +628,98 @@ def _cmd_report(args) -> int:
     return report_main([args.output])
 
 
+def _cmd_make_envelope(args) -> int:
+    from repro.errors import ServiceError
+    from repro.service import build_envelope
+
+    graph = None
+    if args.family is not None:
+        rng = make_rng(args.seed)
+        graph = FAMILIES[args.family](args.n, rng)
+        if catalog.get(args.scheme).weighted:
+            graph = weighted_copy(graph, rng)
+    try:
+        envelope = build_envelope(
+            args.scheme,
+            n=args.n,
+            seed=args.seed,
+            params=_parse_param_overrides(args.param),
+            corrupt=args.corrupt,
+            honest_certificates=not args.no_certificates,
+            nonce=args.nonce,
+            graph=graph,
+        )
+    except (CatalogError, ServiceError) as error:
+        raise SystemExit(str(error))
+    payload = envelope.to_bytes()
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(payload)
+        print(f"wrote {envelope!r} ({len(payload)} bytes) to {args.out}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(payload.decode("utf-8") + "\n")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import CertificationService
+    from repro.service.httpd import DEFAULT_HOST, DEFAULT_PORT, serve
+
+    host = args.host if args.host is not None else DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
+    service = CertificationService(
+        cache_size=args.cache_size, workers=args.workers
+    )
+    print(f"serving on http://{host}:{port} "
+          f"(workers={args.workers}, cache={args.cache_size})",
+          file=sys.stderr)
+    serve(host, port, service=service, verbose=args.verbose)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import Request, urlopen
+
+    from repro.errors import EnvelopeError
+    from repro.service import ProofEnvelope
+    from repro.service.httpd import DEFAULT_HOST, DEFAULT_PORT
+
+    try:
+        with open(args.envelope, "rb") as handle:
+            payload = handle.read()
+    except OSError as error:
+        raise SystemExit(str(error))
+    if args.nonce is not None:
+        try:
+            envelope = ProofEnvelope.from_bytes(payload)
+        except EnvelopeError as error:
+            raise SystemExit(str(error))
+        payload = envelope.with_nonce(args.nonce).to_bytes()
+    url = args.url or f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+    request = Request(
+        url.rstrip("/") + "/certify",
+        data=payload,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urlopen(request) as response:
+            body = json.load(response)
+    except HTTPError as error:
+        try:
+            body = json.load(error)
+        except Exception:
+            body = {"error": str(error)}
+        print(json.dumps(body, indent=2))
+        return 2
+    except URLError as error:
+        raise SystemExit(f"cannot reach {url}: {error.reason}")
+    print(json.dumps(body, indent=2))
+    return 0 if body.get("accepted") else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -542,6 +731,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "profile": _cmd_profile,
         "error-profile": _cmd_error_profile,
         "report": _cmd_report,
+        "make-envelope": _cmd_make_envelope,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     handler = handlers[args.command]
     trace = getattr(args, "trace", None)

@@ -608,3 +608,74 @@ def _approx_tree_weight(scheme, ctx: BatchContext) -> np.ndarray:
     ok &= cval_f >= totals
     ok &= ~((dist == 0) & (cval_f > threshold))
     return ok & np.where(state_none, root_accept, nonroot_accept)
+
+
+# ---------------------------------------------------------------------------
+# Bipartiteness: one-bit side certificates.
+# ---------------------------------------------------------------------------
+
+
+@batch_decider(("repro.schemes.bipartite", "BipartiteScheme"))
+def _bipartite(scheme, ctx: BatchContext) -> np.ndarray:
+    n, code = ctx.n, ctx.code
+    state_none = np.fromiter(
+        (s is None for s in ctx.states), dtype=bool, count=n
+    )
+    # ``certificate not in (0, 1)`` and ``== 1 - certificate`` are both
+    # ``==`` comparisons, so 0/0.0/False (and 1/1.0/True) must unify —
+    # exactly what the interned codes give.
+    c0, c1 = code(0), code(1)
+    cert_code = np.fromiter((code(c) for c in ctx.certs), np.int64, count=n)
+    side0 = cert_code == c0
+    side1 = cert_code == c1
+    own, nbr = ctx.csr.owners, ctx.csr.indices
+    bad_nb = np.where(side0[own], cert_code[nbr] != c1, cert_code[nbr] != c0)
+    return state_none & (side0 | side1) & ~ctx.any_per_entry(bad_nb)
+
+
+# ---------------------------------------------------------------------------
+# Proper coloring: the KKP echo scheme and the FULL-visibility scheme.
+# ---------------------------------------------------------------------------
+
+
+def _valid_colors(ctx: BatchContext, colors: int) -> np.ndarray:
+    """Nodes whose state passes ``isinstance(int) and 0 <= s < colors``.
+
+    ``isinstance`` admits bools (``True`` is a valid color below
+    ``colors``), mirroring the per-node clause exactly.
+    """
+    valid = np.zeros(ctx.n, dtype=bool)
+    for v, state in enumerate(ctx.states):
+        if isinstance(state, int) and 0 <= state < colors:
+            valid[v] = True
+    return valid
+
+
+@batch_decider(("repro.schemes.coloring", "ColoringEchoScheme"))
+def _coloring_echo(scheme, ctx: BatchContext) -> np.ndarray:
+    n, code = ctx.n, ctx.code
+    valid = _valid_colors(ctx, scheme.language.colors)
+    # Valid states are ints, so they always intern; -1 (below every
+    # code) marks invalid states, whose nodes are already rejected.
+    state_code = np.full(n, -1, dtype=np.int64)
+    for v in np.flatnonzero(valid):
+        state_code[v] = code(ctx.states[v])
+    cert_code = np.fromiter((code(c) for c in ctx.certs), np.int64, count=n)
+    echo = valid & (cert_code == state_code)
+    own, nbr = ctx.csr.owners, ctx.csr.indices
+    bad_nb = cert_code[nbr] == cert_code[own]
+    return echo & ~ctx.any_per_entry(bad_nb)
+
+
+@batch_decider(("repro.schemes.coloring", "ColoringFullScheme"))
+def _coloring_full(scheme, ctx: BatchContext) -> np.ndarray:
+    n, code = ctx.n, ctx.code
+    valid = _valid_colors(ctx, scheme.language.colors)
+    # ``g.state != view.state`` compares arbitrary neighbor states
+    # against mine with ``==``, so *every* state must intern faithfully
+    # (a neighbor state of 2.0 clashes with my color 2); unrepresentable
+    # states fall back to the oracle via the raised BatchFallback.
+    state_code = np.fromiter((code(s) for s in ctx.states), np.int64, count=n)
+    own, nbr = ctx.csr.owners, ctx.csr.indices
+    bad_nb = state_code[nbr] == state_code[own]
+    return valid & ~ctx.any_per_entry(bad_nb)

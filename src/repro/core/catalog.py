@@ -222,6 +222,39 @@ class SchemeSpec:
             values[name] = self.param(name).coerce(value)
         return values
 
+    # -- machine-readable form ----------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """The spec as a JSON-ready dict (stable keys, plain values).
+
+        One shape for every machine surface — ``list-schemes --json``,
+        the service's ``/schemes`` endpoint — mirroring the columns the
+        human table renders plus the declared parameter schemas.
+        """
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "summary": self.summary,
+            "size_bound": self.size_bound,
+            "visibility": self.visibility.name.lower(),
+            "radius": self.radius,
+            "weighted": self.weighted,
+            "alpha": self.alpha,
+            "graph_fitted": self.graph_fitted,
+            "error_sensitive": error_sensitivity_label(self.error_sensitive),
+            "batch": self.batch,
+            "params": [
+                {
+                    "name": p.name,
+                    "default": p.default,
+                    "doc": p.doc,
+                    "minimum": p.minimum,
+                    "exclusive": p.exclusive,
+                }
+                for p in self.params
+            ],
+        }
+
     # -- graphs -------------------------------------------------------------
 
     def sample_graph(self, n: int, rng: random.Random | None = None) -> Graph:

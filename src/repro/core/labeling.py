@@ -98,6 +98,49 @@ class Labeling(Mapping[int, Any]):
             {v: mutator(v, self._states[v], rng) for v in victims}
         )
 
+    # -- canonical serialization ----------------------------------------------
+
+    def to_obj(self) -> list:
+        """The labeling as a deterministic JSON-able object.
+
+        A node-sorted ``[[node, encoded_state], ...]`` list under the
+        tagged canonical encoding (:mod:`repro.util.canonical`), so equal
+        labelings serialize to equal bytes — the property the service
+        layer's content hashes require.  States with no canonical form
+        raise :class:`~repro.errors.CanonicalError`.
+        """
+        from repro.util.canonical import encode_value
+
+        return [
+            [node, encode_value(state)]
+            for node, state in sorted(self._states.items())
+        ]
+
+    @classmethod
+    def from_obj(cls, obj: Any) -> "Labeling":
+        """Rebuild a labeling from :meth:`to_obj` output (exact round trip)."""
+        from repro.errors import CanonicalError
+        from repro.util.canonical import decode_value
+
+        if not isinstance(obj, (list, tuple)):
+            raise CanonicalError(
+                f"labeling object must be a list, got {type(obj).__name__}"
+            )
+        states: dict[int, Any] = {}
+        for pair in obj:
+            if (
+                not isinstance(pair, (list, tuple))
+                or len(pair) != 2
+                or not isinstance(pair[0], int)
+                or isinstance(pair[0], bool)
+            ):
+                raise CanonicalError(f"malformed labeling entry {pair!r}")
+            node = pair[0]
+            if node in states:
+                raise CanonicalError(f"duplicate labeling entry for node {node}")
+            states[node] = decode_value(pair[1])
+        return cls(states)
+
     # -- metrics --------------------------------------------------------------
 
     def hamming_distance(self, other: "Labeling") -> int:

@@ -75,3 +75,40 @@ class IdentityError(ReproError):
 class AttackError(ReproError):
     """Raised by the lower-bound adversaries when a requested construction
     is impossible (e.g. a splice length incompatible with the budget)."""
+
+
+class CanonicalError(ReproError):
+    """Raised when a value has no faithful canonical byte form.
+
+    Examples: encoding NaN or an arbitrary object, decoding bytes that
+    carry an unknown tag.  Content hashes and anti-replay nullifiers are
+    derived from canonical bytes, so encoding must fail loudly rather
+    than produce an ambiguous rendering.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised by the certification service for invalid submissions.
+
+    Examples: an envelope naming an unknown scheme, parameters outside a
+    declared :class:`~repro.core.catalog.ParamSpec` bound, a graph
+    payload whose content hash does not match its binding.
+    """
+
+
+class EnvelopeError(ServiceError):
+    """Raised for structurally invalid proof envelopes.
+
+    Examples: a missing format tag, an unparseable graph or labeling
+    section, a graph-hash binding mismatch.  Subclasses
+    :class:`ServiceError` so service-level catch-alls keep working.
+    """
+
+
+class ReplayError(ServiceError):
+    """Raised when an envelope's anti-replay nullifier was already spent.
+
+    Resubmitting the same envelope content under a *fresh* nonce is
+    legal (and served from cache); resubmitting the identical envelope —
+    same content, same nonce — is a replay and is rejected.
+    """

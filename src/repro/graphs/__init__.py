@@ -20,6 +20,11 @@ from repro.graphs.generators import (
     torus_graph,
 )
 from repro.graphs.mst import boruvka_trace, is_mst, kruskal, prim
+from repro.graphs.serialize import (
+    graph_from_obj,
+    graph_hash,
+    graph_to_obj,
+)
 from repro.graphs.traversal import (
     bfs,
     connected_components,
@@ -45,6 +50,9 @@ __all__ = [
     "diameter",
     "distinct_random_weights",
     "double_clique",
+    "graph_from_obj",
+    "graph_hash",
+    "graph_to_obj",
     "grid_graph",
     "hypercube",
     "is_connected",

@@ -1,0 +1,47 @@
+"""Certification as a service: durable proof envelopes, served verdicts.
+
+The PLS model (Korman–Kutten–Peleg 2005) is built for exactly this
+split: a marker hands out labels *once*, and verification is cheap,
+repeatable, and locationless.  This package turns the in-process scheme
+catalog into a long-running verification service:
+
+* :mod:`repro.service.envelope` — the canonical
+  :class:`~repro.service.envelope.ProofEnvelope` (scheme name, coerced
+  params, graph payload bound by a domain-separated content hash,
+  labeling, optional certificates, client nonce) with deterministic
+  byte forms, and the anti-replay
+  :class:`~repro.service.envelope.NullifierRegistry`;
+* :mod:`repro.service.server` — the
+  :class:`~repro.service.server.CertificationService`: per-scheme
+  parameter validation derived from :class:`~repro.core.catalog.ParamSpec`,
+  dispatch through :func:`repro.core.catalog.build`, batched array
+  deciders with per-node fallback, a bounded LRU keyed by envelope
+  content so hot configurations certify in O(1), and an optional
+  graph-hash-affine sharded worker pool for cold misses;
+* :mod:`repro.service.httpd` — a stdlib-only HTTP front end
+  (``repro serve`` / ``repro submit`` on the CLI).
+
+Cache hits, misses, nullifier rejections, and queue depth all flow
+through the :mod:`repro.obs` metrics ledger under ``service.*``
+counters.
+"""
+
+from repro.service.envelope import (
+    ENVELOPE_FORMAT,
+    NullifierRegistry,
+    ProofEnvelope,
+)
+from repro.service.server import (
+    CertificationResult,
+    CertificationService,
+    build_envelope,
+)
+
+__all__ = [
+    "CertificationResult",
+    "CertificationService",
+    "ENVELOPE_FORMAT",
+    "NullifierRegistry",
+    "ProofEnvelope",
+    "build_envelope",
+]

@@ -1,0 +1,146 @@
+"""Stdlib-only HTTP front end for the certification service.
+
+A deliberately small surface over :class:`~repro.service.server.
+CertificationService` — four routes, JSON in and out, no dependencies
+beyond :mod:`http.server`:
+
+============  ======  ====================================================
+``/healthz``  GET     liveness probe (``{"ok": true}``)
+``/schemes``  GET     the machine-readable catalog (``list-schemes
+                      --json`` shape)
+``/metrics``  GET     service counters, cache occupancy, queue depth
+``/certify``  POST    one :class:`~repro.service.envelope.ProofEnvelope`
+                      in wire form; returns the
+                      :class:`~repro.service.server.CertificationResult`
+============  ======  ====================================================
+
+Status codes carry the verdict taxonomy: **200** for any decided
+verdict (acceptance is in the body — a sound rejection is a successful
+certification), **400** for envelopes the service refuses to decide
+(malformed, unknown scheme, invalid parameters), **409** for replayed
+nullifiers, **404**/**405** for unknown routes and methods.
+
+The server is intentionally single-threaded (plain
+:class:`http.server.HTTPServer`): the observability ledger's scope stack
+is process-global, and requests are CPU-bound decider runs — concurrency
+belongs to the service's own sharded worker pool, not to request
+threads.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Any
+
+from repro.errors import ReplayError, ServiceError
+from repro.service.server import CertificationService
+
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "make_server", "serve"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8423
+
+#: Largest accepted request body; a 10^6-node envelope is ~tens of MB,
+#: so this bounds memory without constraining the benchmark sizes.
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request, one JSON response; the service hangs off the server."""
+
+    server_version = "pls-certifyd/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> CertificationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _reply(self, status: int, obj: Any) -> None:
+        payload = json.dumps(obj).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _error(self, status: int, message: str, **extra: Any) -> None:
+        self._reply(status, {"error": message, **extra})
+
+    # -- routes -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._reply(200, {"ok": True})
+        elif self.path == "/schemes":
+            self._reply(200, {"schemes": self.service.describe_catalog()})
+        elif self.path == "/metrics":
+            self._reply(200, self.service.metrics())
+        else:
+            self._error(404, f"no route {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/certify":
+            self._error(404, f"no route {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, f"body length {length} out of bounds")
+            return
+        body = self.rfile.read(length)
+        try:
+            result = self.service.submit(body)
+        except ReplayError as error:
+            self._error(409, str(error), replay=True)
+        except ServiceError as error:
+            # EnvelopeError is a ServiceError: malformed and unservable
+            # submissions share the 400 class.
+            self._error(400, str(error))
+        else:
+            self._reply(200, result.to_obj())
+
+
+def make_server(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    service: CertificationService | None = None,
+    verbose: bool = False,
+) -> HTTPServer:
+    """A ready (not yet serving) HTTP server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``) — the shape the tests and the CI smoke
+    job use.  The caller owns the service's lifetime.
+    """
+    server = HTTPServer((host, port), _Handler)
+    server.service = service or CertificationService()  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    service: CertificationService | None = None,
+    verbose: bool = False,
+) -> None:
+    """Serve forever (the ``repro serve`` entry point)."""
+    server = make_server(host, port, service=service, verbose=verbose)
+    owned = server.service  # type: ignore[attr-defined]
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+        owned.close()

@@ -1,0 +1,538 @@
+"""The certification service: validate, dispatch, decide, cache, shard.
+
+:class:`CertificationService` is the long-running half of the PLS
+split.  One :meth:`~CertificationService.submit` call takes a
+:class:`~repro.service.envelope.ProofEnvelope` (or its wire form) and
+returns a structured :class:`CertificationResult`:
+
+1. **Validate** — the envelope's scheme name must be registered and its
+   parameters must satisfy the per-scheme schema derived from the
+   catalog's declared :class:`~repro.core.catalog.ParamSpec` list
+   (unknown names, out-of-bound values, and non-numbers are rejected
+   before any graph work).
+2. **Anti-replay** — the envelope's nullifier is spent in the
+   :class:`~repro.service.envelope.NullifierRegistry`; a replayed
+   envelope raises :class:`~repro.errors.ReplayError` and charges the
+   ``service.nullifier.rejected`` counter.
+3. **Cache** — results live in a bounded LRU keyed by the envelope's
+   ``body_hash`` (scheme + params + graph hash + labeling hash +
+   certificates hash), so a hot configuration resubmitted under a fresh
+   nonce is served in O(1) with zero decider work (``service.cache.hit``
+   vs ``service.cache.miss``).
+4. **Decide** — cold misses build the scheme through
+   :func:`repro.core.catalog.build` (rng seeded deterministically from
+   the body hash, so served verdicts are reproducible bit-for-bit),
+   prove honestly when the envelope carries no certificates, and decide
+   on the batched array path (:func:`repro.core.batch.try_batch_verdict`)
+   with automatic per-node fallback.  Per-stage wall-clock timings are
+   recorded through :mod:`repro.obs` spans and returned in the result.
+
+With ``workers > 0`` cold misses run on a **sharded process pool**: one
+single-process executor per shard, envelopes routed by graph hash, so
+each worker's module-level graph cache (and the CSR mirror cached on
+the :class:`~repro.graphs.graph.Graph` it holds) stays warm for the
+graphs it owns.  ``service.queue.enqueued`` / ``service.queue.completed``
+counters make queue depth readable as a ledger delta.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from threading import Lock
+from typing import Any, Iterable, Mapping
+
+from repro.core import catalog
+from repro.core.labeling import Configuration, Labeling
+from repro.errors import (
+    CanonicalError,
+    CatalogError,
+    EnvelopeError,
+    LabelingError,
+    LanguageError,
+    ServiceError,
+)
+from repro.graphs.graph import Graph
+from repro.obs import metrics as _metrics
+from repro.service.envelope import NullifierRegistry, ProofEnvelope
+from repro.util.rng import make_rng
+
+__all__ = [
+    "CertificationResult",
+    "CertificationService",
+    "build_envelope",
+]
+
+#: At most this many rejecting nodes are reported back (the count is
+#: always exact; the sample keeps results O(1)-sized on huge graphs).
+REJECT_SAMPLE = 16
+
+#: Per-worker graph cache entries (graphs owned by one shard at a time).
+_WORKER_GRAPH_CAPACITY = 8
+
+
+@dataclass(frozen=True)
+class CertificationResult:
+    """Structured verdict for one submitted envelope."""
+
+    scheme: str
+    params: dict[str, Any]
+    n: int
+    accepted: bool
+    #: Exact number of rejecting nodes.
+    rejections: int
+    #: First :data:`REJECT_SAMPLE` rejecting nodes, ascending.
+    rejecting: tuple[int, ...]
+    #: ``"array"`` (batched decider) or ``"views"`` (per-node oracle).
+    backend: str
+    cache_hit: bool
+    body_hash: str
+    nullifier: str
+    #: Per-stage wall-clock seconds (validate/build/prove/decide, plus
+    #: ``total``); empty on cache hits — no stages ran.
+    timings: dict[str, float]
+
+    def to_obj(self) -> dict[str, Any]:
+        """JSON-ready form (the HTTP response body)."""
+        return {
+            "scheme": self.scheme,
+            "params": dict(self.params),
+            "n": self.n,
+            "accepted": self.accepted,
+            "rejections": self.rejections,
+            "rejecting": list(self.rejecting),
+            "backend": self.backend,
+            "cache_hit": self.cache_hit,
+            "body_hash": self.body_hash,
+            "nullifier": self.nullifier,
+            "timings": {k: round(v, 6) for k, v in self.timings.items()},
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Mapping[str, Any]) -> "CertificationResult":
+        return cls(
+            scheme=obj["scheme"],
+            params=dict(obj["params"]),
+            n=obj["n"],
+            accepted=obj["accepted"],
+            rejections=obj["rejections"],
+            rejecting=tuple(obj["rejecting"]),
+            backend=obj["backend"],
+            cache_hit=obj["cache_hit"],
+            body_hash=obj["body_hash"],
+            nullifier=obj["nullifier"],
+            timings=dict(obj["timings"]),
+        )
+
+
+@contextmanager
+def _stage(timings: dict[str, float], name: str):
+    """Time one submit stage: an obs span plus a result-local reading."""
+    with _metrics.span(f"service.{name}"):
+        start = time.perf_counter()
+        yield
+        timings[name] = time.perf_counter() - start
+
+
+def _rng_seed(body_hash: str) -> int:
+    """Deterministic build seed from the envelope's content identity."""
+    return int(body_hash[:12], 16)
+
+
+def _execute(envelope: ProofEnvelope, timings: dict[str, float]) -> dict[str, Any]:
+    """Validate + build + (prove) + decide one envelope, no caching.
+
+    Returns a plain JSON-able dict so the same function runs in-process
+    and inside pool workers.  Raises :class:`ServiceError` subclasses on
+    invalid submissions.
+    """
+    with _stage(timings, "validate"):
+        try:
+            spec = catalog.get(envelope.scheme)
+            params = spec.resolve_params(envelope.params)
+        except CatalogError as error:
+            raise ServiceError(str(error)) from None
+        try:
+            config = Configuration.build(envelope.graph, envelope.labeling)
+        except LabelingError as error:
+            raise EnvelopeError(
+                f"labeling does not fit the graph: {error}"
+            ) from None
+    with _stage(timings, "build"):
+        try:
+            scheme = spec.build(
+                graph=envelope.graph,
+                rng=make_rng(_rng_seed(envelope.body_hash)),
+                **params,
+            )
+        except (CatalogError, LanguageError) as error:
+            raise ServiceError(
+                f"cannot build {envelope.scheme} on this graph: {error}"
+            ) from None
+    certificates = envelope.certificates
+    if certificates is None:
+        with _stage(timings, "prove"):
+            certificates = scheme.prove(config)
+    with _stage(timings, "decide"):
+        from repro.core.batch import try_batch_verdict
+
+        verdict = try_batch_verdict(scheme, config, certificates)
+        backend = "array"
+        if verdict is None:
+            from repro.core.verifier import decide
+
+            backend = "views"
+            verdict = decide(
+                scheme.verify,
+                config,
+                certificates,
+                scheme.visibility,
+                scheme.radius,
+            )
+    rejecting = sorted(verdict.rejects)
+    return {
+        "scheme": envelope.scheme,
+        "params": params,
+        "n": envelope.graph.n,
+        "accepted": not rejecting,
+        "rejections": len(rejecting),
+        "rejecting": rejecting[:REJECT_SAMPLE],
+        "backend": backend,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Worker side of the sharded pool.
+# ---------------------------------------------------------------------------
+
+#: Per-process graph cache: graph hash -> Graph (whose CSR mirror stays
+#: cached on the instance).  Shard affinity keeps this hot: a worker
+#: only ever sees the graph hashes routed to its shard.
+_WORKER_GRAPHS: "OrderedDict[str, Graph]" = OrderedDict()
+
+
+def _worker_certify(payload: bytes) -> dict[str, Any]:
+    """Pool entry point: parse (against the warm graph cache) and execute."""
+    envelope = ProofEnvelope.from_bytes(payload, graph_cache=_WORKER_GRAPHS)
+    _WORKER_GRAPHS[envelope.graph_hash] = envelope.graph
+    _WORKER_GRAPHS.move_to_end(envelope.graph_hash)
+    while len(_WORKER_GRAPHS) > _WORKER_GRAPH_CAPACITY:
+        _WORKER_GRAPHS.popitem(last=False)
+    timings: dict[str, float] = {}
+    result = _execute(envelope, timings)
+    result["timings"] = timings
+    return result
+
+
+class _ShardPool:
+    """Graph-hash-affine pool: one single-process executor per shard.
+
+    Routing by graph hash (not round-robin) is what makes the worker
+    graph caches effective: every envelope over one graph lands on the
+    same worker, whose parsed :class:`Graph` — and the CSR mirror cached
+    on it — stays warm across submissions.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self._shards = [
+            ProcessPoolExecutor(max_workers=1) for _ in range(workers)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, envelope: ProofEnvelope) -> int:
+        return int(envelope.graph_hash[:8], 16) % len(self._shards)
+
+    def submit(self, envelope: ProofEnvelope):
+        executor = self._shards[self.shard_of(envelope)]
+        return executor.submit(_worker_certify, envelope.to_bytes())
+
+    def shutdown(self) -> None:
+        for executor in self._shards:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+# ---------------------------------------------------------------------------
+# The service.
+# ---------------------------------------------------------------------------
+
+
+class CertificationService:
+    """Long-running verification front end over the scheme catalog.
+
+    Parameters
+    ----------
+    cache_size:
+        Bounded LRU capacity (results, keyed by envelope body hash).
+    workers:
+        ``0`` decides cold misses in-process (the default — and the
+        right choice under tests and single-request CLIs); ``> 0``
+        shards cold misses over that many single-process executors by
+        graph hash.
+    nullifier_capacity:
+        Size of the anti-replay window (see
+        :class:`~repro.service.envelope.NullifierRegistry`).
+    """
+
+    def __init__(
+        self,
+        cache_size: int = 256,
+        workers: int = 0,
+        nullifier_capacity: int = 100_000,
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be positive, got {cache_size}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.cache_size = cache_size
+        self.nullifiers = NullifierRegistry(nullifier_capacity)
+        self._cache: "OrderedDict[str, CertificationResult]" = OrderedDict()
+        self._lock = Lock()
+        self._pool = _ShardPool(workers) if workers else None
+        #: Service-lifetime tallies (also charged to the obs ledger).
+        self.stats: dict[str, int] = {
+            "submitted": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "replays_rejected": 0,
+            "enqueued": 0,
+            "completed": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CertificationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def workers(self) -> int:
+        return len(self._pool) if self._pool is not None else 0
+
+    # -- introspection -------------------------------------------------------
+
+    def describe_catalog(self) -> list[dict[str, Any]]:
+        """The machine-readable catalog (``list-schemes --json`` shape)."""
+        return [spec.describe() for spec in catalog.specs()]
+
+    def metrics(self) -> dict[str, Any]:
+        """A JSON-ready service health snapshot."""
+        with self._lock:
+            stats = dict(self.stats)
+            cached = len(self._cache)
+        return {
+            "stats": stats,
+            "queue_depth": stats["enqueued"] - stats["completed"],
+            "cache_entries": cached,
+            "cache_size": self.cache_size,
+            "nullifiers_spent": len(self.nullifiers),
+            "workers": self.workers,
+        }
+
+    def cached(self, body_hash: str) -> bool:
+        with self._lock:
+            return body_hash in self._cache
+
+    # -- submission ----------------------------------------------------------
+
+    def _parse(self, envelope: Any) -> ProofEnvelope:
+        if isinstance(envelope, ProofEnvelope):
+            return envelope
+        if isinstance(envelope, (bytes, str)):
+            return ProofEnvelope.from_bytes(envelope)
+        return ProofEnvelope.from_obj(envelope)
+
+    def submit(
+        self,
+        envelope: Any,
+        _prelaunched: dict[str, Any] | None = None,
+    ) -> CertificationResult:
+        """Certify one envelope (wire bytes, wire object, or instance).
+
+        Raises :class:`~repro.errors.ReplayError` on a spent nullifier
+        and :class:`~repro.errors.ServiceError` (or its
+        :class:`~repro.errors.EnvelopeError` subclass) on invalid
+        submissions; every other path returns a
+        :class:`CertificationResult`.
+        """
+        timings: dict[str, float] = {}
+        start = time.perf_counter()
+        _metrics.inc("service.submit")
+        with self._lock:
+            self.stats["submitted"] += 1
+        with _stage(timings, "parse"):
+            parsed = self._parse(envelope)
+            body_hash = parsed.body_hash
+            nullifier = parsed.nullifier
+        try:
+            self.nullifiers.spend(nullifier)
+        except Exception:
+            _metrics.inc("service.nullifier.rejected")
+            with self._lock:
+                self.stats["replays_rejected"] += 1
+            raise
+        with self._lock:
+            hit = self._cache.get(body_hash)
+            if hit is not None:
+                self._cache.move_to_end(body_hash)
+                self.stats["cache_hits"] += 1
+        if hit is not None:
+            _metrics.inc("service.cache.hit")
+            return replace(
+                hit, cache_hit=True, nullifier=nullifier, timings={}
+            )
+        _metrics.inc("service.cache.miss")
+        with self._lock:
+            self.stats["cache_misses"] += 1
+        future = None
+        if _prelaunched is not None:
+            future = _prelaunched.pop(body_hash, None)
+        if future is None and self._pool is not None:
+            _metrics.inc("service.queue.enqueued")
+            with self._lock:
+                self.stats["enqueued"] += 1
+            future = self._pool.submit(parsed)
+        if future is not None:
+            raw = self._collect(future)
+        else:
+            raw = _execute(parsed, timings)
+        timings["total"] = time.perf_counter() - start
+        result = CertificationResult(
+            scheme=raw["scheme"],
+            params=raw["params"],
+            n=raw["n"],
+            accepted=raw["accepted"],
+            rejections=raw["rejections"],
+            rejecting=tuple(raw["rejecting"]),
+            backend=raw["backend"],
+            cache_hit=False,
+            body_hash=body_hash,
+            nullifier=nullifier,
+            timings={**raw.get("timings", {}), **timings},
+        )
+        self._store(body_hash, result)
+        return result
+
+    def submit_many(self, envelopes: Iterable[Any]) -> list[CertificationResult]:
+        """Submit a batch; with a pool, cold misses run concurrently.
+
+        Results come back in submission order, and each envelope is
+        admitted exactly as :meth:`submit` would admit it (a replayed
+        nullifier still raises, at its position) — batching changes
+        scheduling, never semantics.  Distinct graphs land on distinct
+        shards, so a mixed batch fans out across the pool.
+        """
+        if self._pool is None:
+            return [self.submit(envelope) for envelope in envelopes]
+        parsed = [self._parse(envelope) for envelope in envelopes]
+        prelaunched: dict[str, Any] = {}
+        for envelope in parsed:
+            body_hash = envelope.body_hash
+            if (
+                body_hash in prelaunched
+                or self.cached(body_hash)
+                or self.nullifiers.seen(envelope.nullifier)
+            ):
+                continue
+            _metrics.inc("service.queue.enqueued")
+            with self._lock:
+                self.stats["enqueued"] += 1
+            prelaunched[body_hash] = self._pool.submit(envelope)
+        try:
+            return [
+                self.submit(envelope, _prelaunched=prelaunched)
+                for envelope in parsed
+            ]
+        finally:
+            # A mid-batch raise (e.g. a replayed nullifier) must not
+            # strand launched work: drain so queue counters balance.
+            for future in prelaunched.values():
+                try:
+                    self._collect(future)
+                except Exception:
+                    pass
+
+    def _collect(self, future) -> dict[str, Any]:
+        try:
+            return future.result()
+        finally:
+            _metrics.inc("service.queue.completed")
+            with self._lock:
+                self.stats["completed"] += 1
+
+    def _store(self, body_hash: str, result: CertificationResult) -> None:
+        with self._lock:
+            self._cache[body_hash] = result
+            self._cache.move_to_end(body_hash)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+
+# ---------------------------------------------------------------------------
+# Envelope construction helper (CLI, tests, benchmarks).
+# ---------------------------------------------------------------------------
+
+
+def build_envelope(
+    scheme_name: str,
+    *,
+    n: int = 32,
+    seed: int = 0,
+    params: Mapping[str, Any] | None = None,
+    corrupt: int = 0,
+    honest_certificates: bool = True,
+    nonce: str | None = None,
+    graph: Graph | None = None,
+) -> ProofEnvelope:
+    """A ready-to-submit envelope for any catalog scheme.
+
+    Builds the scheme's own sample instance, the canonical member
+    labeling, and (by default) the honest certificates.  ``corrupt > 0``
+    corrupts that many node states *after* proving — the stale-prover
+    configuration the self-stabilization campaigns study, which a sound
+    scheme must reject.  The nonce defaults to a deterministic
+    derivation from the seed, so rebuilt envelopes replay-collide on
+    purpose; pass a fresh ``nonce`` to resubmit content legitimately.
+    """
+    spec = catalog.get(scheme_name)
+    rng = make_rng(seed)
+    values = spec.resolve_params(dict(params or {}))
+    if graph is None:
+        graph = spec.sample_graph(n, rng)
+    scheme = spec.build(graph=graph, rng=rng, **values)
+    try:
+        member = scheme.language.member_configuration(graph, rng=rng)
+    except LanguageError as error:
+        raise ServiceError(
+            f"no member configuration on this graph: {error}"
+        ) from None
+    certificates = dict(scheme.prove(member)) if honest_certificates else None
+    labeling = member.labeling
+    if corrupt:
+        labeling = labeling.corrupted(
+            rng, corrupt, scheme.language.random_corruption
+        )
+    if nonce is None:
+        nonce = f"{rng.getrandbits(128):032x}"
+    try:
+        return ProofEnvelope(
+            scheme=scheme_name,
+            params=values,
+            graph=graph,
+            labeling=labeling,
+            certificates=certificates,
+            nonce=nonce,
+        )
+    except CanonicalError as error:  # pragma: no cover - defensive
+        raise ServiceError(f"instance is not serializable: {error}") from None

@@ -245,3 +245,46 @@ class TestBackendEquivalence:
             scheme="x", declared=None, samples=(), skipped=0
         )
         assert empty.beta == 0.0 and not math.isinf(empty.beta)
+
+
+class TestColoringFullEquivalence:
+    """The FULL-visibility coloring scheme has no catalog entry, so the
+    registry sweep above misses its kernel; pin the same properties
+    directly against the class."""
+
+    def _instance(self, seed):
+        from repro.graphs.generators import connected_gnp
+        from repro.schemes.coloring import ColoringFullScheme
+
+        rng = make_rng(seed)
+        scheme = ColoringFullScheme()
+        graph = connected_gnp(12, 0.3, rng)
+        config = scheme.language.member_configuration(graph, rng=rng)
+        return rng, scheme, config
+
+    def test_honest_takes_array_path(self):
+        _rng, scheme, config = self._instance(21)
+        certs = scheme.prove(config)
+        assert supports_batch(scheme)
+        _assert_same(scheme, config, certs, require_batch=True)
+
+    def test_corrupted_states_match_oracle(self):
+        rng, scheme, config = self._instance(22)
+        certs = scheme.prove(config)
+        n = config.graph.n
+        for _trial in range(8):
+            states = {v: config.state(v) for v in range(n)}
+            for _ in range(rng.randrange(1, 4)):
+                states[rng.randrange(n)] = rng.choice(JUNK)
+            _assert_same(scheme, config.with_labeling(states), certs)
+
+    def test_float_state_clashes_like_the_oracle(self):
+        # 2.0 == 2: a float neighbor state must collide with an int
+        # color, exactly as per-node `!=` sees it.
+        _rng, scheme, config = self._instance(23)
+        v = next(iter(config.graph.neighbors(0)), None)
+        if v is None:
+            pytest.skip("node 0 isolated")
+        states = {u: config.state(u) for u in config.graph.nodes}
+        states[v] = float(states[0])
+        _assert_same(scheme, config.with_labeling(states), scheme.prove(config))

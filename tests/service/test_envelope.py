@@ -1,0 +1,322 @@
+"""Canonical serialization: exact round trips, stable bytes, anti-replay.
+
+The service's trust chain starts here: equal objects must serialize to
+equal bytes (hashes are only meaningful if so), and every byte form must
+parse back to an equal object (verdicts served on parsed envelopes are
+only meaningful if so).  These are property tests over generated graph
+and value zoos, not example checks.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.labeling import Labeling
+from repro.errors import CanonicalError, EnvelopeError, ReplayError
+from repro.graphs.generators import (
+    connected_gnp,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.serialize import graph_from_obj, graph_hash, graph_to_obj
+from repro.graphs.weighted import weighted_copy
+from repro.service.envelope import NullifierRegistry, ProofEnvelope
+from repro.util.canonical import (
+    canonical_bytes,
+    decode_value,
+    domain_hash,
+    encode_value,
+)
+from repro.util.rng import make_rng
+
+# ---------------------------------------------------------------------------
+# Value codec.
+# ---------------------------------------------------------------------------
+
+#: Certificate/state shapes that appear across the catalog: ints, None,
+#: tuples (pointer certs), frozensets (universal scheme's edge masks),
+#: big ints (universal bitmasks), dicts, bytes, nested mixes.
+VALUES = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -7,
+    2**70,
+    1.5,
+    -0.0,
+    "x",
+    "",
+    (),
+    (1, 2),
+    (0, None, ("nested", 3)),
+    [1, 2, [3]],
+    frozenset(),
+    frozenset({1, 2, 3}),
+    frozenset({(1, 2), (3, 4)}),
+    {"a": 1, "b": (2, 3)},
+    {1: "int-key", (2, 3): "tuple-key"},
+    b"\x00\xffbytes",
+    {"__pls__": "looks-like-a-tag"},
+]
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", VALUES, ids=repr)
+    def test_round_trip_exact(self, value):
+        decoded = decode_value(encode_value(value))
+        assert type(decoded) is type(value)
+        assert decoded == value
+
+    @pytest.mark.parametrize("value", VALUES, ids=repr)
+    def test_bytes_survive_json(self, value):
+        payload = canonical_bytes(encode_value(value))
+        assert decode_value(json.loads(payload)) == value
+
+    def test_bool_int_distinct(self):
+        # 1 == True, but the codec must keep the types apart.
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+    def test_unordered_containers_deterministic(self):
+        a = canonical_bytes(encode_value(frozenset({3, 1, 2})))
+        b = canonical_bytes(encode_value(frozenset({2, 3, 1})))
+        assert a == b
+        c = canonical_bytes(encode_value({"b": 1, "a": 2}))
+        d = canonical_bytes(encode_value({"a": 2, "b": 1}))
+        assert c == d
+
+    @pytest.mark.parametrize(
+        "value",
+        [float("nan"), float("inf"), object(), {"k": float("nan")}],
+        ids=["nan", "inf", "object", "nested-nan"],
+    )
+    def test_unrepresentable_rejected(self, value):
+        with pytest.raises(CanonicalError):
+            canonical_bytes(encode_value(value))
+
+    def test_domain_separation(self):
+        assert domain_hash("A", b"x") != domain_hash("B", b"x")
+        # Domain/payload boundary cannot be shifted.
+        assert domain_hash("AB", b"x") != domain_hash("A", b"Bx")
+
+
+# ---------------------------------------------------------------------------
+# Graph serialization.
+# ---------------------------------------------------------------------------
+
+
+def _graph_zoo():
+    rng = make_rng(0xA11CE)
+    isolated = Graph(5, [(0, 1), (2, 3)])  # node 4 isolated
+    return {
+        "empty": Graph(0),
+        "single": Graph(1),
+        "edgeless": Graph(4),
+        "path": path_graph(6),
+        "cycle": cycle_graph(5),
+        "grid": grid_graph(3, 3),
+        "star": star_graph(7),
+        "tree": random_tree(12, rng),
+        "gnp": connected_gnp(14, 0.3, rng),
+        "isolated": isolated,
+        "weighted": weighted_copy(connected_gnp(10, 0.35, rng), rng),
+        "weighted-tree": weighted_copy(random_tree(9, rng), rng),
+    }
+
+
+GRAPHS = _graph_zoo()
+
+
+class TestGraphSerialization:
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_round_trip(self, name):
+        graph = GRAPHS[name]
+        back = graph_from_obj(graph_to_obj(graph))
+        assert back.n == graph.n
+        assert back.edges() == graph.edges()
+        assert back.is_weighted == graph.is_weighted
+        if graph.is_weighted:
+            assert back.weights() == graph.weights()
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_hash_stable_and_discriminating(self, name):
+        graph = GRAPHS[name]
+        h = graph_hash(graph)
+        assert h == graph_hash(graph_from_obj(graph_to_obj(graph)))
+        others = {graph_hash(g) for k, g in GRAPHS.items() if k != name}
+        assert h not in others
+
+    def test_weights_change_hash(self):
+        rng = make_rng(7)
+        base = cycle_graph(6)
+        assert graph_hash(base) != graph_hash(weighted_copy(base, rng))
+
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            None,
+            [],
+            {"format": "pls-graph/v0", "n": 1, "edges": [], "weights": None},
+            {"format": "pls-graph/v1", "n": -1, "edges": [], "weights": None},
+            {"format": "pls-graph/v1", "n": True, "edges": [], "weights": None},
+            {"format": "pls-graph/v1", "n": 2, "edges": [[0]], "weights": None},
+            {"format": "pls-graph/v1", "n": 2, "edges": [[0, 2]], "weights": None},
+            {
+                "format": "pls-graph/v1",
+                "n": 2,
+                "edges": [[0, 1]],
+                "weights": [1.0, 2.0],
+            },
+        ],
+        ids=["none", "list", "format", "neg-n", "bool-n", "arity", "range",
+             "weights-misaligned"],
+    )
+    def test_malformed_rejected(self, obj):
+        with pytest.raises(CanonicalError):
+            graph_from_obj(obj)
+
+
+# ---------------------------------------------------------------------------
+# Labeling serialization.
+# ---------------------------------------------------------------------------
+
+
+class TestLabelingSerialization:
+    def test_round_trip_mixed_states(self):
+        labeling = Labeling(
+            {0: None, 1: 3, 2: (0, 5), 3: frozenset({1, 2}), 4: "s"}
+        )
+        back = Labeling.from_obj(labeling.to_obj())
+        assert back == labeling
+        assert canonical_bytes(back.to_obj()) == canonical_bytes(
+            labeling.to_obj()
+        )
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(CanonicalError):
+            Labeling.from_obj([[0, None], [0, None]])
+
+
+# ---------------------------------------------------------------------------
+# Envelopes.
+# ---------------------------------------------------------------------------
+
+
+def _envelope(nonce="n0", certificates=None, graph=None):
+    graph = graph or GRAPHS["grid"]
+    labeling = Labeling.uniform(graph.nodes, None)
+    return ProofEnvelope(
+        scheme="bipartite",
+        params={},
+        graph=graph,
+        labeling=labeling,
+        certificates=certificates,
+        nonce=nonce,
+    )
+
+
+class TestProofEnvelope:
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_round_trip_every_graph(self, name):
+        graph = GRAPHS[name]
+        env = ProofEnvelope(
+            scheme="s",
+            params={"eps": 0.5},
+            graph=graph,
+            labeling=Labeling({v: (v, None) for v in graph.nodes}),
+            certificates={v: v % 3 for v in graph.nodes},
+            nonce="abc",
+        )
+        back = ProofEnvelope.from_bytes(env.to_bytes())
+        assert back == env
+        assert back.to_bytes() == env.to_bytes()
+        assert back.body_hash == env.body_hash
+        assert back.nullifier == env.nullifier
+
+    def test_body_hash_ignores_nonce(self):
+        a, b = _envelope("n1"), _envelope("n2")
+        assert a.body_hash == b.body_hash
+        assert a.nullifier != b.nullifier
+
+    def test_body_hash_covers_certificates(self):
+        graph = GRAPHS["grid"]
+        honest = _envelope(certificates={v: 0 for v in graph.nodes})
+        marker = _envelope(certificates=None)
+        other = _envelope(certificates={v: 1 for v in graph.nodes})
+        assert len({honest.body_hash, marker.body_hash, other.body_hash}) == 3
+
+    def test_with_nonce_shares_part_hashes(self):
+        env = _envelope("n1")
+        _ = env.body_hash
+        fresh = env.with_nonce("n2")
+        assert fresh._hashes is env._hashes
+        assert fresh.body_hash == env.body_hash
+
+    def test_tampered_graph_binding_rejected(self):
+        obj = _envelope().to_obj()
+        obj["graph"]["edges"] = obj["graph"]["edges"][:-1]
+        with pytest.raises(EnvelopeError):
+            ProofEnvelope.from_obj(obj)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda o: o.update(format="pls-envelope/v0"),
+            lambda o: o.update(scheme=7),
+            lambda o: o.update(nonce=3),
+            lambda o: o.update(params=[1, 2]),
+            lambda o: o.update(labeling={"0": 1}),
+            lambda o: o.update(certificates={"0": 1}),
+        ],
+        ids=["format", "scheme", "nonce", "params", "labeling", "certs"],
+    )
+    def test_malformed_sections_rejected(self, mutate):
+        obj = _envelope(
+            certificates={v: 0 for v in GRAPHS["grid"].nodes}
+        ).to_obj()
+        mutate(obj)
+        with pytest.raises(EnvelopeError):
+            ProofEnvelope.from_obj(obj)
+
+    def test_not_json_rejected(self):
+        with pytest.raises(EnvelopeError):
+            ProofEnvelope.from_bytes(b"\xff not json")
+
+    def test_graph_cache_skips_payload(self):
+        env = _envelope()
+        cache = {env.graph_hash: env.graph}
+        obj = env.to_obj()
+        obj["graph"] = {"format": "pls-graph/v1", "n": 0, "edges": [],
+                        "weights": None}  # wrong payload, cached hash wins
+        back = ProofEnvelope.from_obj(obj, graph_cache=cache)
+        assert back.graph is env.graph
+        assert back.body_hash == env.body_hash
+
+
+class TestNullifierRegistry:
+    def test_replay_rejected(self):
+        registry = NullifierRegistry()
+        env = _envelope("n1")
+        registry.spend(env.nullifier)
+        with pytest.raises(ReplayError):
+            registry.spend(env.nullifier)
+        # A fresh nonce is a different nullifier: spendable.
+        registry.spend(env.with_nonce("n2").nullifier)
+
+    def test_capacity_bounds_window(self):
+        registry = NullifierRegistry(capacity=3)
+        for i in range(5):
+            registry.spend(f"null-{i}")
+        assert len(registry) == 3
+        assert not registry.seen("null-0")  # aged out of the window
+        assert registry.seen("null-4")
+        registry.spend("null-0")  # and therefore spendable again

@@ -1,0 +1,110 @@
+"""The stdlib HTTP front end: routes, status codes, verdict fidelity."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import catalog
+from repro.service import CertificationService, build_envelope
+from repro.service.httpd import make_server
+
+
+@pytest.fixture
+def server_url():
+    service = CertificationService()
+    server = make_server(port=0, service=service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url) as response:
+        return response.status, json.load(response)
+
+
+def _post(url, payload: bytes):
+    request = urllib.request.Request(
+        url, data=payload, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+class TestRoutes:
+    def test_healthz(self, server_url):
+        status, body = _get(server_url + "/healthz")
+        assert status == 200 and body == {"ok": True}
+
+    def test_schemes_matches_catalog(self, server_url):
+        status, body = _get(server_url + "/schemes")
+        assert status == 200
+        names = [entry["name"] for entry in body["schemes"]]
+        assert names == catalog.names()
+        by_name = {entry["name"]: entry for entry in body["schemes"]}
+        eps = [p for p in by_name["approx-tree-weight"]["params"]
+               if p["name"] == "eps"]
+        assert eps and eps[0]["minimum"] == 0 and eps[0]["exclusive"]
+
+    def test_unknown_route_404(self, server_url):
+        status, body = _post(server_url + "/nope", b"{}")
+        assert status == 404 and "error" in body
+
+
+class TestCertify:
+    def test_honest_then_replay_then_fresh(self, server_url):
+        envelope = build_envelope("spanning-tree-ptr", n=24, seed=11)
+        status, body = _post(server_url + "/certify", envelope.to_bytes())
+        assert status == 200
+        assert body["accepted"] and not body["cache_hit"]
+
+        status, body = _post(server_url + "/certify", envelope.to_bytes())
+        assert status == 409 and body["replay"]
+
+        status, body = _post(
+            server_url + "/certify", envelope.with_nonce("f").to_bytes()
+        )
+        assert status == 200 and body["cache_hit"] and body["accepted"]
+
+    def test_corrupted_rejected_with_sample(self, server_url):
+        envelope = build_envelope("spanning-tree-ptr", n=24, seed=12, corrupt=3)
+        status, body = _post(server_url + "/certify", envelope.to_bytes())
+        assert status == 200
+        assert not body["accepted"]
+        assert body["rejections"] >= 1
+        assert body["rejecting"] == sorted(body["rejecting"])
+
+    def test_malformed_envelope_400(self, server_url):
+        status, body = _post(server_url + "/certify", b'{"format": "junk"}')
+        assert status == 400 and "error" in body
+
+    def test_unknown_scheme_400(self, server_url):
+        envelope = build_envelope("bipartite", n=8, seed=13)
+        obj = envelope.to_obj()
+        obj["scheme"] = "no-such"
+        status, body = _post(
+            server_url + "/certify", json.dumps(obj).encode()
+        )
+        assert status == 400 and "unknown scheme" in body["error"]
+
+    def test_metrics_reflect_traffic(self, server_url):
+        envelope = build_envelope("bipartite", n=8, seed=14)
+        _post(server_url + "/certify", envelope.to_bytes())
+        _post(server_url + "/certify", envelope.with_nonce("g").to_bytes())
+        status, body = _get(server_url + "/metrics")
+        assert status == 200
+        assert body["stats"]["cache_hits"] == 1
+        assert body["stats"]["cache_misses"] == 1
+        assert body["cache_entries"] == 1

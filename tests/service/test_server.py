@@ -1,0 +1,211 @@
+"""The certification service serves exactly the in-process verdicts.
+
+The headline property is registry-wide: for every catalog scheme, a
+served verdict (through envelope serialization, parsing, deterministic
+rebuild, and the batched decider) equals the in-process ``decide()``
+verdict node-for-node — honest and corrupted labelings alike.  Around
+it: cache semantics, replay rejection, parameter validation, and the
+sharded worker pool.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import catalog
+from repro.core.batch import try_batch_verdict
+from repro.core.labeling import Configuration
+from repro.core.verifier import decide
+from repro.errors import ReplayError, ServiceError
+from repro.obs import metrics as obs
+from repro.service import (
+    CertificationResult,
+    CertificationService,
+    ProofEnvelope,
+    build_envelope,
+)
+from repro.service.server import _rng_seed
+from repro.util.rng import make_rng
+
+
+def _in_process_verdict(envelope: ProofEnvelope):
+    """What the library computes without the service in the loop."""
+    spec = catalog.get(envelope.scheme)
+    scheme = spec.build(
+        graph=envelope.graph,
+        rng=make_rng(_rng_seed(envelope.body_hash)),
+        **spec.resolve_params(envelope.params),
+    )
+    config = Configuration.build(envelope.graph, envelope.labeling)
+    certificates = envelope.certificates
+    if certificates is None:
+        certificates = scheme.prove(config)
+    verdict = try_batch_verdict(scheme, config, certificates)
+    if verdict is None:
+        verdict = decide(
+            scheme.verify, config, certificates,
+            scheme.visibility, scheme.radius,
+        )
+    return verdict
+
+
+@pytest.mark.parametrize("name", catalog.names())
+class TestServedVerdictEquivalence:
+    """Wire round trip + service pipeline == in-process decide()."""
+
+    def test_honest_accepted(self, name):
+        service = CertificationService()
+        envelope = build_envelope(name, n=12, seed=5)
+        wire = ProofEnvelope.from_bytes(envelope.to_bytes())
+        result = service.submit(wire)
+        verdict = _in_process_verdict(envelope)
+        assert result.accepted
+        assert verdict.all_accept
+        assert result.rejections == len(verdict.rejects) == 0
+
+    def test_corrupted_verdicts_match(self, name):
+        service = CertificationService()
+        # Stale certificates over corrupted states: the configuration
+        # the detection campaigns study.  Served and in-process verdicts
+        # must agree node-for-node, accepted or not.
+        envelope = build_envelope(name, n=12, seed=7, corrupt=3)
+        result = service.submit(ProofEnvelope.from_bytes(envelope.to_bytes()))
+        verdict = _in_process_verdict(envelope)
+        assert result.accepted == verdict.all_accept
+        assert result.rejections == len(verdict.rejects)
+        assert list(result.rejecting) == sorted(verdict.rejects)[
+            : len(result.rejecting)
+        ]
+
+
+class TestCacheSemantics:
+    def test_fresh_nonce_hits_cache(self):
+        service = CertificationService()
+        envelope = build_envelope("spanning-tree-ptr", n=24, seed=1)
+        with obs.collect("t") as metrics:
+            cold = service.submit(envelope)
+            hot = service.submit(envelope.with_nonce("fresh"))
+        assert not cold.cache_hit and hot.cache_hit
+        assert hot.accepted == cold.accepted
+        assert hot.body_hash == cold.body_hash
+        assert hot.nullifier != cold.nullifier
+        assert metrics.counter("service.cache.hit") == 1
+        assert metrics.counter("service.cache.miss") == 1
+        # The hit ran no decider at all.
+        assert hot.timings == {}
+
+    def test_lru_evicts_oldest(self):
+        service = CertificationService(cache_size=2)
+        # Distinct sizes, not seeds: bipartite's grid sampler is
+        # seed-independent, so only n changes the body hash.
+        envelopes = [
+            build_envelope("bipartite", n=n, seed=0) for n in (6, 8, 12)
+        ]
+        for envelope in envelopes:
+            service.submit(envelope)
+        assert not service.cached(envelopes[0].body_hash)
+        assert service.cached(envelopes[2].body_hash)
+
+    def test_replay_rejected_and_counted(self):
+        service = CertificationService()
+        envelope = build_envelope("bipartite", n=8, seed=2)
+        service.submit(envelope)
+        with obs.collect("t") as metrics:
+            with pytest.raises(ReplayError):
+                service.submit(envelope)
+        assert metrics.counter("service.nullifier.rejected") == 1
+        assert service.stats["replays_rejected"] == 1
+
+
+class TestValidation:
+    def test_unknown_scheme_rejected(self):
+        service = CertificationService()
+        envelope = build_envelope("bipartite", n=8, seed=3)
+        obj = envelope.to_obj()
+        obj["scheme"] = "no-such-scheme"
+        with pytest.raises(ServiceError, match="unknown scheme"):
+            service.submit(obj)
+
+    def test_invalid_param_rejected(self):
+        from repro.util.canonical import encode_value
+
+        service = CertificationService()
+        envelope = build_envelope("approx-tree-weight", n=10, seed=3)
+        obj = envelope.to_obj()
+        obj["params"] = encode_value({"eps": -1.0})
+        with pytest.raises(ServiceError, match="eps"):
+            service.submit(obj)
+
+    def test_unknown_param_rejected(self):
+        from repro.util.canonical import encode_value
+
+        service = CertificationService()
+        envelope = build_envelope("bipartite", n=8, seed=4)
+        obj = envelope.to_obj()
+        obj["params"] = encode_value({"bogus": 1})
+        with pytest.raises(ServiceError, match="bogus"):
+            service.submit(obj)
+
+    def test_labeling_graph_mismatch_rejected(self):
+        service = CertificationService()
+        a = build_envelope("bipartite", n=8, seed=5)
+        b = build_envelope("bipartite", n=12, seed=5)
+        obj = a.to_obj()
+        obj["labeling"] = b.to_obj()["labeling"]
+        with pytest.raises(ServiceError):
+            service.submit(obj)
+
+    def test_deterministic_results(self):
+        # Same envelope content, two fresh services: identical verdicts
+        # (the build rng is seeded from the body hash).
+        envelope = build_envelope("leader", n=14, seed=6, corrupt=2)
+        first = CertificationService().submit(envelope)
+        second = CertificationService().submit(envelope)
+        assert first.to_obj()["rejecting"] == second.to_obj()["rejecting"]
+        assert first.body_hash == second.body_hash
+
+
+class TestResultWireForm:
+    def test_round_trip(self):
+        result = CertificationService().submit(
+            build_envelope("spanning-tree-ptr", n=16, seed=8, corrupt=2)
+        )
+        back = CertificationResult.from_obj(result.to_obj())
+        assert back.accepted == result.accepted
+        assert back.rejecting == result.rejecting
+        assert back.body_hash == result.body_hash
+
+
+class TestShardedPool:
+    def test_pool_matches_in_process(self):
+        envelopes = [
+            build_envelope("spanning-tree-ptr", n=16, seed=s) for s in range(3)
+        ] + [build_envelope("bipartite", n=8, seed=9, corrupt=2)]
+        inline = [CertificationService().submit(e) for e in envelopes]
+        with CertificationService(workers=2) as service:
+            pooled = service.submit_many(
+                [e.with_nonce(f"pool-{i}") for i, e in enumerate(envelopes)]
+            )
+            assert [r.accepted for r in pooled] == [
+                r.accepted for r in inline
+            ]
+            assert [r.rejecting for r in pooled] == [
+                r.rejecting for r in inline
+            ]
+            # Resubmission under fresh nonces: all cache hits, queue idle.
+            again = service.submit_many(
+                [e.with_nonce(f"again-{i}") for i, e in enumerate(envelopes)]
+            )
+            assert all(r.cache_hit for r in again)
+            stats = service.metrics()
+            assert stats["queue_depth"] == 0
+            assert stats["stats"]["enqueued"] == len(envelopes)
+
+    def test_shard_affinity_is_stable(self):
+        with CertificationService(workers=3) as service:
+            envelope = build_envelope("bipartite", n=8, seed=10)
+            shard = service._pool.shard_of(envelope)
+            for nonce in ("a", "b", "c"):
+                assert (
+                    service._pool.shard_of(envelope.with_nonce(nonce)) == shard
+                )

@@ -325,3 +325,104 @@ class TestTraceFlag:
 
         assert main(["certify", "leader", "--n", "10"]) == 0
         assert not obs.scoped()
+
+
+class TestListSchemesJson:
+    def test_machine_readable_catalog(self, capsys):
+        import json
+
+        assert main(["list-schemes", "--json"]) == 0
+        specs = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in specs] == catalog.names()
+        by_name = {s["name"]: s for s in specs}
+        st = by_name["spanning-tree-ptr"]
+        assert st["kind"] == "exact" and st["visibility"] == "kkp"
+        eps = [p for p in by_name["approx-tree-weight"]["params"]
+               if p["name"] == "eps"]
+        assert eps and eps[0]["exclusive"] is True
+        # every entry carries the full stable key set
+        keys = {"name", "kind", "summary", "size_bound", "visibility",
+                "radius", "weighted", "alpha", "graph_fitted",
+                "error_sensitive", "batch", "params"}
+        assert all(keys <= set(s) for s in specs)
+
+
+class TestServiceCommands:
+    def test_make_envelope_writes_wire_form(self, tmp_path, capsys):
+        from repro.service import ProofEnvelope
+
+        out = tmp_path / "env.json"
+        assert main(["make-envelope", "spanning-tree-ptr", "--n", "16",
+                     "--seed", "3", "--out", str(out)]) == 0
+        envelope = ProofEnvelope.from_bytes(out.read_bytes())
+        assert envelope.scheme == "spanning-tree-ptr"
+        assert envelope.graph.n == 16
+        assert envelope.certificates is not None
+
+    def test_make_envelope_to_stdout_round_trips(self, capsys):
+        from repro.service import ProofEnvelope
+
+        assert main(["make-envelope", "bipartite", "--n", "8",
+                     "--no-certificates"]) == 0
+        envelope = ProofEnvelope.from_bytes(capsys.readouterr().out)
+        assert envelope.certificates is None
+
+    def test_make_envelope_family_override(self, tmp_path, capsys):
+        # --family random_tree sidesteps the scheme's own G(n, p)
+        # sampler — the path the large-n service benchmark rides.
+        from repro.service import CertificationService, ProofEnvelope
+
+        out = tmp_path / "env.json"
+        assert main(["make-envelope", "spanning-tree-ptr", "--n", "40",
+                     "--seed", "6", "--family", "random_tree",
+                     "--out", str(out)]) == 0
+        envelope = ProofEnvelope.from_bytes(out.read_bytes())
+        assert envelope.graph.n == 40
+        assert len(envelope.graph.edges()) == 39  # a tree, not G(n, p)
+        assert CertificationService().submit(envelope).accepted
+
+    def test_make_envelope_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for out in (a, b):
+            assert main(["make-envelope", "leader", "--n", "10",
+                         "--seed", "5", "--out", str(out)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_submit_round_trip_against_live_server(self, tmp_path, capsys):
+        import json
+        import threading
+
+        from repro.service import CertificationService
+        from repro.service.httpd import make_server
+
+        out = tmp_path / "env.json"
+        assert main(["make-envelope", "spanning-tree-ptr", "--n", "16",
+                     "--seed", "4", "--out", str(out)]) == 0
+        capsys.readouterr()
+
+        service = CertificationService()
+        server = make_server(port=0, service=service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        url = "http://%s:%d" % server.server_address[:2]
+        try:
+            assert main(["submit", str(out), "--url", url]) == 0
+            verdict = json.loads(capsys.readouterr().out)
+            assert verdict["accepted"] and not verdict["cache_hit"]
+            # verbatim replay is refused...
+            assert main(["submit", str(out), "--url", url]) == 2
+            assert json.loads(capsys.readouterr().out)["replay"]
+            # ...but a fresh nonce is served from cache.
+            assert main(["submit", str(out), "--url", url,
+                         "--nonce", "fresh"]) == 0
+            assert json.loads(capsys.readouterr().out)["cache_hit"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_submit_unreachable_server_exits(self, tmp_path):
+        out = tmp_path / "env.json"
+        assert main(["make-envelope", "bipartite", "--n", "6",
+                     "--out", str(out)]) == 0
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["submit", str(out), "--url", "http://127.0.0.1:1"])

@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.approx",
     "repro.errorsensitive",
+    "repro.service",
     "repro.cli",
 ]
 
