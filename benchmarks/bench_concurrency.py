@@ -1,0 +1,311 @@
+"""Serial vs threaded front-end throughput: the concurrency ceiling.
+
+PR "thread-safe observability + concurrent certification front end"
+made the HTTP server a :class:`~http.server.ThreadingHTTPServer`.  The
+claim worth a committed ceiling is operational, not a speedup boast:
+pushing a workload through the threaded front end with several
+keep-alive clients must (a) decide every envelope correctly with a
+balanced stats ledger, and (b) stay inside a wall-clock ceiling on
+both the serial and the concurrent path — a lock-contention regression
+(say, the obs root lock serializing whole submits, or the gate turning
+into a convoy) shows up here as a threaded cell blowing past its
+committed time.
+
+Two workloads, each timed end-to-end over real HTTP round trips:
+
+``cold``
+    :data:`COLD_ENVELOPES` distinct envelopes, every one a full
+    validate/rebuild/decide, submitted by 1 client vs
+    :data:`CLIENT_THREADS` concurrent clients (disjoint slices).
+``cached``
+    One body certified once, then :data:`CACHED_RESUBMITS` fresh-nonce
+    resubmissions — the O(1) hot path, where wall clock is dominated by
+    HTTP round trips and the locks this PR added.
+
+Correctness is asserted inline before any timing is recorded: every
+verdict accepted, zero replays, ``server.errors`` empty, and the stats
+ledger exactly balanced (hits + misses == submits).
+
+Like the sibling benchmarks, the committed snapshot at
+``benchmarks/results/BENCH_concurrency.json`` is a *ceiling*:
+``--check`` fails only on cells slower than ``HEADROOM`` x committed
+(past the noise floor) or past the absolute ceiling.  Faster runs
+always pass; ``--write`` re-anchors.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_concurrency.py --check
+    PYTHONPATH=src python benchmarks/bench_concurrency.py --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import threading
+import time
+from typing import Any, Mapping
+
+from repro.graphs.generators import random_tree
+from repro.service import CertificationService, build_envelope
+from repro.service.client import CertifyClient
+from repro.service.httpd import make_server
+from repro.util.rng import make_rng
+
+ROOT = pathlib.Path(__file__).resolve().parent
+RESULTS_DIR = ROOT / "results"
+SNAPSHOT_PATH = RESULTS_DIR / "BENCH_concurrency.json"
+
+SCHEMA = "bench-concurrency/v1"
+SCHEME = "spanning-tree-ptr"
+N = 64
+WORKLOADS = ("cold", "cached")
+METRICS = ("serial_s", "threaded_s")
+#: Concurrent keep-alive clients on the threaded path.
+CLIENT_THREADS = 4
+#: Distinct bodies in the ``cold`` workload.
+COLD_ENVELOPES = 32
+#: Fresh-nonce resubmissions in the ``cached`` workload.
+CACHED_RESUBMITS = 256
+#: Ratio ceiling against the committed snapshot (wall clock is noisy).
+HEADROOM = 4.0
+#: Cells faster than this are never failed on ratio alone.
+NOISE_FLOOR_S = 0.25
+#: Absolute ceiling for any cell — saturation convoys and lock storms
+#: land far past this; honest runs sit far below.
+ABSOLUTE_CEILING_S = 30.0
+#: Timing repetitions per cell; the minimum is recorded.
+REPS = 3
+
+
+def _cold_payloads(tag: str) -> list[bytes]:
+    # explicit per-seed random trees: some catalog samplers are
+    # deterministic in the seed, and cold means every body must miss
+    # the verdict cache
+    return [
+        build_envelope(
+            SCHEME,
+            n=N,
+            seed=100 + index,
+            nonce=f"{tag}-{index}",
+            graph=random_tree(N, make_rng(100 + index)),
+        ).to_bytes()
+        for index in range(COLD_ENVELOPES)
+    ]
+
+
+def _timed_run(
+    payloads: list[bytes],
+    clients: int,
+    warm: bytes | None = None,
+    expect_hits: int = 0,
+) -> float:
+    """Wall seconds to push ``payloads`` through a fresh threaded server.
+
+    ``clients`` keep-alive clients split the payloads round-robin
+    (1 = the serial baseline).  ``warm`` is submitted once before the
+    clock starts (priming the verdict cache); ``expect_hits`` pins how
+    many of the timed submissions must be served from it.
+    """
+    service = CertificationService()
+    server = make_server(port=0, service=service, max_inflight=clients + 4)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    url = "http://%s:%d" % server.server_address[:2]
+    try:
+        if warm is not None:
+            with CertifyClient(url) as client:
+                if not client.submit(warm).accepted:
+                    raise SystemExit("concurrency: warmup envelope rejected")
+        slices = [payloads[index::clients] for index in range(clients)]
+        failures: list[str] = []
+        barrier = threading.Barrier(clients + 1)
+
+        def make_worker(chunk: list[bytes]):
+            def worker() -> None:
+                try:
+                    with CertifyClient(url) as client:
+                        barrier.wait()
+                        for payload in chunk:
+                            if not client.submit(payload).accepted:
+                                failures.append("verdict rejected")
+                except Exception as error:  # pragma: no cover - on failure
+                    failures.append(repr(error))
+
+            return worker
+
+        threads = [
+            threading.Thread(target=make_worker(chunk)) for chunk in slices
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if failures:
+            raise SystemExit(f"concurrency: {failures[0]}")
+        if server.errors:
+            raise SystemExit(f"concurrency: handler error {server.errors[0]}")
+        stats = service.metrics()["stats"]
+        submitted = len(payloads) + (1 if warm is not None else 0)
+        if stats["submitted"] != submitted or stats["replays_rejected"]:
+            raise SystemExit(
+                f"concurrency: ledger counted {stats['submitted']} submits "
+                f"({stats['replays_rejected']} replays), expected {submitted}"
+            )
+        if stats["cache_hits"] + stats["cache_misses"] != submitted:
+            raise SystemExit("concurrency: hits + misses != submits")
+        if stats["cache_hits"] != expect_hits:
+            raise SystemExit(
+                f"concurrency: {stats['cache_hits']} cache hits, "
+                f"expected {expect_hits}"
+            )
+        return elapsed
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+def measure_cell(workload: str) -> dict[str, float]:
+    serial = threaded = float("inf")
+    for rep in range(REPS):
+        if workload == "cold":
+            serial = min(
+                serial, _timed_run(_cold_payloads(f"s{rep}"), clients=1)
+            )
+            threaded = min(
+                threaded,
+                _timed_run(_cold_payloads(f"t{rep}"), clients=CLIENT_THREADS),
+            )
+        else:
+            base = build_envelope(SCHEME, n=N, seed=77)
+            hot = [
+                base.with_nonce(f"{rep}-{index}").to_bytes()
+                for index in range(CACHED_RESUBMITS)
+            ]
+            kwargs = dict(warm=base.to_bytes(), expect_hits=CACHED_RESUBMITS)
+            serial = min(serial, _timed_run(hot, clients=1, **kwargs))
+            threaded = min(
+                threaded, _timed_run(hot, clients=CLIENT_THREADS, **kwargs)
+            )
+    return {"serial_s": round(serial, 4), "threaded_s": round(threaded, 4)}
+
+
+def measure_all() -> dict[str, dict[str, float]]:
+    grid: dict[str, dict[str, float]] = {metric: {} for metric in METRICS}
+    for workload in WORKLOADS:
+        cell = measure_cell(workload)
+        for metric in METRICS:
+            grid[metric][workload] = cell[metric]
+        count = COLD_ENVELOPES if workload == "cold" else CACHED_RESUBMITS
+        print(
+            f"measured {workload}: serial {cell['serial_s']:.3f}s "
+            f"({count / cell['serial_s']:.0f}/s), threaded x{CLIENT_THREADS} "
+            f"{cell['threaded_s']:.3f}s ({count / cell['threaded_s']:.0f}/s)"
+        )
+    return grid
+
+
+def snapshot(cells: Mapping[str, Mapping[str, float]]) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA,
+        "scheme": SCHEME,
+        "n": N,
+        "client_threads": CLIENT_THREADS,
+        "cold_envelopes": COLD_ENVELOPES,
+        "cached_resubmits": CACHED_RESUBMITS,
+        "headroom": HEADROOM,
+        "noise_floor_s": NOISE_FLOOR_S,
+        "ceiling_s": ABSOLUTE_CEILING_S,
+        "workloads": list(WORKLOADS),
+        "metrics": {metric: dict(cells[metric]) for metric in sorted(cells)},
+    }
+
+
+def compare(
+    committed: Mapping[str, Any], measured: Mapping[str, Mapping[str, float]]
+) -> list[str]:
+    """Failure messages (empty = within every ceiling)."""
+    headroom = float(committed.get("headroom", HEADROOM))
+    floor = float(committed.get("noise_floor_s", NOISE_FLOOR_S))
+    ceiling = float(committed.get("ceiling_s", ABSOLUTE_CEILING_S))
+    failures: list[str] = []
+    old_cells = {
+        (metric, workload): value
+        for metric, workloads in committed.get("metrics", {}).items()
+        for workload, value in workloads.items()
+    }
+    new_cells = {
+        (metric, workload): value
+        for metric, workloads in measured.items()
+        for workload, value in workloads.items()
+    }
+    for key in sorted(old_cells.keys() - new_cells.keys()):
+        failures.append(f"concurrency: committed cell {key} no longer measured")
+    for key in sorted(new_cells.keys() - old_cells.keys()):
+        failures.append(f"concurrency: new cell {key} missing from the snapshot")
+    for key in sorted(old_cells.keys() & new_cells.keys()):
+        old, new = old_cells[key], new_cells[key]
+        metric, workload = key
+        if new > ceiling:
+            failures.append(
+                f"concurrency: {metric} {workload} took {new:.4f}s > "
+                f"absolute ceiling {ceiling:g}s"
+            )
+        elif new > floor and new > old * headroom:
+            failures.append(
+                f"concurrency: {metric} {workload} took {new:.4f}s > "
+                f"{headroom:.0f}x the committed {old:.4f}s"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--write", action="store_true", help="measure and commit the snapshot"
+    )
+    action.add_argument(
+        "--check", action="store_true", help="measure and compare to the snapshot"
+    )
+    args = parser.parse_args(argv)
+
+    grid = measure_all()
+    if args.write:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        SNAPSHOT_PATH.write_text(
+            json.dumps(snapshot(grid), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {SNAPSHOT_PATH.relative_to(ROOT.parent)}")
+        return 0
+
+    if not SNAPSHOT_PATH.is_file():
+        print(
+            f"FAIL {SNAPSHOT_PATH.name}: missing — run "
+            "bench_concurrency.py --write",
+            file=sys.stderr,
+        )
+        return 1
+    committed = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
+    failures = compare(committed, grid)
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: cold serial {grid['serial_s']['cold']:.3f}s vs threaded "
+        f"{grid['threaded_s']['cold']:.3f}s; cached serial "
+        f"{grid['serial_s']['cached']:.3f}s vs threaded "
+        f"{grid['threaded_s']['cached']:.3f}s (ceiling {ABSOLUTE_CEILING_S:g}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,9 +18,10 @@ experiment gains or renames a column.  This script fails CI when:
   ``benchmarks/bench_metrics.py``) is missing, malformed, or thinner
   than the floor the ratchet promises (>= 8 schemes at >= 3 sizes,
   every cell a non-negative integer), or is not referenced by the docs;
-* the wall-clock (``bench_wallclock.py``) or certification-service
-  (``bench_service.py``) ceiling snapshot is missing, malformed, or
-  committed with cells above the acceptance ceilings.
+* the wall-clock (``bench_wallclock.py``), certification-service
+  (``bench_service.py``), or concurrency (``bench_concurrency.py``)
+  ceiling snapshot is missing, malformed, or committed with cells
+  above the acceptance ceilings.
 
 Run it from the repository root::
 
@@ -75,6 +76,14 @@ SERVICE_MIN_LARGEST_N = 100_000
 SERVICE_COLD_CEILING_S = 20.0
 #: ...and the cached side under the size-independent O(1) ceiling.
 SERVICE_CACHED_CEILING_S = 0.05
+
+#: Concurrency ceiling snapshot (see ``benchmarks/bench_concurrency.py``).
+CONCURRENCY_SNAPSHOT = "BENCH_concurrency.json"
+CONCURRENCY_SCHEMA = "bench-concurrency/v1"
+CONCURRENCY_METRICS = ("serial_s", "threaded_s")
+CONCURRENCY_WORKLOADS = ("cold", "cached")
+#: Every committed cell must sit under the acceptance ceiling.
+CONCURRENCY_CEILING_S = 30.0
 
 #: Wall-clock ceiling snapshots (see ``benchmarks/bench_wallclock.py``).
 WALLCLOCK_SNAPSHOT = "BENCH_wallclock.json"
@@ -252,6 +261,60 @@ def check_service_snapshot(path: pathlib.Path) -> list[str]:
     return failures
 
 
+def check_concurrency_snapshot(path: pathlib.Path) -> list[str]:
+    """Schema failures for the committed concurrency ceiling snapshot."""
+    name = path.name
+    if not path.is_file():
+        return [
+            f"{name}: missing — run `bench_concurrency.py --write` and commit"
+        ]
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        return [f"{name}: not valid JSON ({error})"]
+    failures: list[str] = []
+    if data.get("schema") != CONCURRENCY_SCHEMA:
+        failures.append(
+            f"{name}: schema {data.get('schema')!r} != {CONCURRENCY_SCHEMA!r}"
+        )
+    threads = data.get("client_threads")
+    if not isinstance(threads, int) or threads < 2:
+        failures.append(
+            f"{name}: client_threads {threads!r} — the threaded side must "
+            "actually be concurrent (>= 2)"
+        )
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict) or set(metrics) != set(
+        CONCURRENCY_METRICS
+    ):
+        keys = sorted(metrics) if isinstance(metrics, dict) else metrics
+        failures.append(
+            f"{name}: metrics {keys!r} != {sorted(CONCURRENCY_METRICS)}"
+        )
+        return failures
+    expected_keys = set(CONCURRENCY_WORKLOADS)
+    for metric, cells in sorted(metrics.items()):
+        if not isinstance(cells, dict) or set(cells) != expected_keys:
+            failures.append(
+                f"{name}: {metric} cells {sorted(cells)} != "
+                f"workloads {sorted(expected_keys)}"
+            )
+            continue
+        for workload, value in cells.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                failures.append(
+                    f"{name}: {metric} {workload} value {value!r} is not a "
+                    "number"
+                )
+            elif not 0 < value <= CONCURRENCY_CEILING_S:
+                failures.append(
+                    f"{name}: {metric} {workload} committed {value}s outside "
+                    f"(0, {CONCURRENCY_CEILING_S:g}s] — the acceptance "
+                    "ceiling must hold at commit time"
+                )
+    return failures
+
+
 def parse_table(path: pathlib.Path) -> tuple[str, tuple[str, ...], int]:
     """(title, headers, data row count) of a rendered experiment table."""
     lines = path.read_text(encoding="utf-8").splitlines()
@@ -296,12 +359,21 @@ def main() -> int:
             f"{SERVICE_SNAPSHOT}: ceiling snapshot not referenced by "
             "docs/EXPERIMENTS.md"
         )
+    failures.extend(
+        check_concurrency_snapshot(RESULTS_DIR / CONCURRENCY_SNAPSHOT)
+    )
+    if CONCURRENCY_SNAPSHOT not in referenced:
+        failures.append(
+            f"{CONCURRENCY_SNAPSHOT}: ceiling snapshot not referenced by "
+            "docs/EXPERIMENTS.md"
+        )
     for name in sorted(referenced):
         path = RESULTS_DIR / name
         if name.endswith(".json"):
             if name not in BENCH_SNAPSHOTS and name not in (
                 WALLCLOCK_SNAPSHOT,
                 SERVICE_SNAPSHOT,
+                CONCURRENCY_SNAPSHOT,
             ):
                 failures.append(
                     f"{name}: JSON snapshot not registered in "
@@ -350,8 +422,8 @@ def main() -> int:
         return 1
     print(
         f"ok: {len(referenced)} committed snapshots match their schemas "
-        f"(incl. {len(BENCH_SNAPSHOTS)} perf-ratchet files, the wall-clock "
-        "ceiling, and the service ceiling)"
+        f"(incl. {len(BENCH_SNAPSHOTS)} perf-ratchet files and the "
+        "wall-clock, service, and concurrency ceilings)"
     )
     return 0
 

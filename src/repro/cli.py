@@ -32,10 +32,13 @@ points without writing Python:
 * ``make-envelope`` — build a canonical
   :class:`~repro.service.envelope.ProofEnvelope` (honest or corrupted)
   for any registered scheme and write its wire bytes;
-* ``serve`` — run the certification service behind the stdlib HTTP
-  front end (:mod:`repro.service.httpd`);
-* ``submit`` — POST an envelope file to a running server and print the
-  served verdict as JSON.
+* ``serve`` — run the certification service behind the threaded stdlib
+  HTTP front end (:mod:`repro.service.httpd`) with a bounded in-flight
+  gate;
+* ``submit`` — POST envelope file(s) to a running server via the
+  keep-alive :class:`~repro.service.client.CertifyClient` and print
+  the served verdict(s) as JSON; several files travel as one
+  ``/certify-batch`` round trip.
 
 ``certify``, ``experiment``, ``selfstab-sweep`` and ``profile`` accept
 ``--trace out.jsonl``: the command runs inside an instrumentation scope
@@ -321,14 +324,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=256, help="verdict LRU capacity"
     )
     serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="bound on concurrently served requests (past it: 429)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="per-request socket read timeout in seconds",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log requests to stderr"
     )
 
     submit = sub.add_parser(
         "submit",
-        help="POST an envelope file to a running server, print the verdict",
+        help="POST envelope file(s) to a running server, print the verdict",
     )
-    submit.add_argument("envelope", help="wire-form envelope file (JSON)")
+    submit.add_argument(
+        "envelope",
+        nargs="+",
+        help="wire-form envelope file(s); several files go out as one "
+        "/certify-batch round trip",
+    )
     submit.add_argument(
         "--url",
         default=None,
@@ -664,60 +684,112 @@ def _cmd_make_envelope(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.service import CertificationService
-    from repro.service.httpd import DEFAULT_HOST, DEFAULT_PORT, serve
+    from repro.service.httpd import (
+        DEFAULT_HOST,
+        DEFAULT_MAX_INFLIGHT,
+        DEFAULT_PORT,
+        DEFAULT_REQUEST_TIMEOUT,
+        serve,
+    )
 
     host = args.host if args.host is not None else DEFAULT_HOST
     port = args.port if args.port is not None else DEFAULT_PORT
+    max_inflight = (args.max_inflight if args.max_inflight is not None
+                    else DEFAULT_MAX_INFLIGHT)
+    request_timeout = (args.request_timeout if args.request_timeout is not None
+                       else DEFAULT_REQUEST_TIMEOUT)
     service = CertificationService(
         cache_size=args.cache_size, workers=args.workers
     )
     print(f"serving on http://{host}:{port} "
-          f"(workers={args.workers}, cache={args.cache_size})",
+          f"(workers={args.workers}, cache={args.cache_size}, "
+          f"max_inflight={max_inflight})",
           file=sys.stderr)
-    serve(host, port, service=service, verbose=args.verbose)
+    serve(
+        host,
+        port,
+        service=service,
+        verbose=args.verbose,
+        max_inflight=max_inflight,
+        request_timeout=request_timeout,
+    )
     return 0
+
+
+def _load_submit_payloads(args) -> list[bytes]:
+    """Read the envelope files, applying ``--nonce`` when given."""
+    from repro.errors import EnvelopeError
+    from repro.service import ProofEnvelope
+
+    payloads: list[bytes] = []
+    for name in args.envelope:
+        try:
+            with open(name, "rb") as handle:
+                payload = handle.read()
+        except OSError as error:
+            raise SystemExit(str(error))
+        if args.nonce is not None:
+            try:
+                envelope = ProofEnvelope.from_bytes(payload)
+            except EnvelopeError as error:
+                raise SystemExit(str(error))
+            payload = envelope.with_nonce(args.nonce).to_bytes()
+        payloads.append(payload)
+    return payloads
 
 
 def _cmd_submit(args) -> int:
     import json
-    from urllib.error import HTTPError, URLError
-    from urllib.request import Request, urlopen
 
-    from repro.errors import EnvelopeError
-    from repro.service import ProofEnvelope
+    from repro.errors import ReplayError, ServiceError
+    from repro.service.client import CertifyClient
     from repro.service.httpd import DEFAULT_HOST, DEFAULT_PORT
 
-    try:
-        with open(args.envelope, "rb") as handle:
-            payload = handle.read()
-    except OSError as error:
-        raise SystemExit(str(error))
-    if args.nonce is not None:
-        try:
-            envelope = ProofEnvelope.from_bytes(payload)
-        except EnvelopeError as error:
-            raise SystemExit(str(error))
-        payload = envelope.with_nonce(args.nonce).to_bytes()
+    payloads = _load_submit_payloads(args)
     url = args.url or f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
-    request = Request(
-        url.rstrip("/") + "/certify",
-        data=payload,
-        headers={"Content-Type": "application/json"},
-    )
-    try:
-        with urlopen(request) as response:
-            body = json.load(response)
-    except HTTPError as error:
+    with CertifyClient(url) as client:
+        if len(payloads) == 1:
+            # Single file: /certify, verdict JSON on stdout.
+            # Exit 0 accepted, 1 rejected, 2 replay / unservable.
+            try:
+                result = client.submit(payloads[0])
+            except ReplayError as error:
+                print(json.dumps({"error": str(error), "replay": True},
+                                 indent=2))
+                return 2
+            except ServiceError as error:
+                print(json.dumps({"error": str(error)}, indent=2))
+                return 2
+            except OSError as error:
+                raise SystemExit(f"cannot reach {url}: {error}")
+            print(json.dumps(result.to_obj(), indent=2))
+            return 0 if result.accepted else 1
+        # Several files: one /certify-batch round trip; a JSON array of
+        # settled outcomes on stdout, in file order.  Exit 0 when every
+        # verdict accepted, 1 when any decided verdict rejected, 2 when
+        # any envelope errored (replay / unservable).
         try:
-            body = json.load(error)
-        except Exception:
-            body = {"error": str(error)}
-        print(json.dumps(body, indent=2))
-        return 2
-    except URLError as error:
-        raise SystemExit(f"cannot reach {url}: {error.reason}")
-    print(json.dumps(body, indent=2))
-    return 0 if body.get("accepted") else 1
+            outcomes = client.submit_many(payloads)
+        except ServiceError as error:
+            print(json.dumps({"error": str(error)}, indent=2))
+            return 2
+        except OSError as error:
+            raise SystemExit(f"cannot reach {url}: {error}")
+    rendered: list[dict] = []
+    code = 0
+    for outcome in outcomes:
+        if isinstance(outcome, ReplayError):
+            rendered.append({"error": str(outcome), "replay": True})
+            code = 2
+        elif isinstance(outcome, ServiceError):
+            rendered.append({"error": str(outcome)})
+            code = 2
+        else:
+            rendered.append(outcome.to_obj())
+            if not outcome.accepted and code == 0:
+                code = 1
+    print(json.dumps(rendered, indent=2))
+    return code
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -105,6 +105,17 @@ class EnvelopeError(ServiceError):
     """
 
 
+class ServiceUnavailableError(ServiceError):
+    """Raised when the service refuses work because it is saturated.
+
+    The HTTP front end bounds in-flight requests with a semaphore and
+    answers 429 (with ``Retry-After``) past the bound; the client
+    raises this once its bounded retry budget is spent.  Backpressure,
+    not failure: the submission was never admitted, so resubmitting
+    the identical envelope later is *not* a replay.
+    """
+
+
 class ReplayError(ServiceError):
     """Raised when an envelope's anti-replay nullifier was already spent.
 

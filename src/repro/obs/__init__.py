@@ -9,7 +9,11 @@ engines in one place.  This package provides:
   ``registers.written``, …) plus per-span wall-clock aggregates;
 * scope management — :func:`~repro.obs.metrics.collect` pushes a
   collector for a ``with`` block; scopes nest and each sees exactly the
-  costs incurred while it was open;
+  costs incurred while it was open.  Scope stacks are **thread-local**
+  (a scope sees only its own thread's costs) while the root's counters
+  are lock-protected, so process-lifetime totals stay exact under the
+  threaded certification front end — see the threading contract in
+  :mod:`repro.obs.metrics`;
 * :func:`~repro.obs.metrics.span` — nested wall-clock timers
   (``with obs.span("decide", scheme=...)``) that cost nothing when no
   scope is open;

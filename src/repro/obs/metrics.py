@@ -4,28 +4,45 @@ The verification stack is judged by *costs* — LocalView constructions,
 messages, verifier evaluations — and this module is the one place those
 costs are recorded.  The design splits into two layers:
 
-Root accounting (always on)
-    A process-global **root collector** sits permanently at the bottom
-    of the scope stack.  Deterministic cost units (view builds, decide
-    calls, message counts) accumulate there from import on, which is
-    what keeps :func:`repro.core.verifier.view_build_count` — the
-    audited unit every incremental-engine claim is stated in —
-    bit-identical to the historical process-global counter.  A counter
-    bump is a dict increment per active collector; with only the root
-    active that is the same order of work as the old ``global`` int.
+Root accounting (always on, process-wide)
+    A process-global **root collector** sits permanently underneath
+    every scope.  Deterministic cost units (view builds, decide calls,
+    message counts) accumulate there from import on, which is what
+    keeps :func:`repro.core.verifier.view_build_count` — the audited
+    unit every incremental-engine claim is stated in — bit-identical to
+    the historical process-global counter.  Root bumps are serialized
+    by one lock, so :func:`view_build_total`/:func:`counter_total`
+    stay process-lifetime-exact even when many threads (the threaded
+    certification front end) bump concurrently: the total is always
+    the exact sum of every thread's increments, never a lost update.
 
-Scoped collection (opt in)
+Scoped collection (opt in, per thread)
     :func:`collect` pushes a fresh :class:`MetricsCollector` onto the
-    stack for the duration of a ``with`` block.  Counters bumped inside
-    the block accumulate into *every* collector on the stack, so a
-    scope's counter reads exactly like a before/after delta of the root
-    — the property the campaign tests pin.  Scopes may nest (a per-cell
-    scope inside a per-run trace scope); each sees its own deltas.
+    **calling thread's** scope stack for the duration of a ``with``
+    block.  Counters bumped inside the block accumulate into every
+    collector on that thread's stack (plus the root), so a scope's
+    counter reads exactly like a before/after delta of the root — the
+    property the campaign tests pin — *for single-threaded sections*.
+    Scopes may nest (a per-cell scope inside a per-run trace scope);
+    each sees its own deltas.
+
+Threading contract
+    Scope and span stacks are **thread-local**: a scope opened in one
+    thread is invisible to every other thread — its collector sees
+    exactly the costs its own thread incurs, and concurrent request
+    threads can each open scopes without seeing each other's deltas.
+    The root is the one shared sink and its counters are
+    lock-protected, so root totals are exact under any interleaving.
+    A :class:`MetricsCollector` instance itself is *not* thread-safe;
+    don't share one scope across threads (each thread opens its own).
+    :func:`_reset_for_tests` and :func:`iter_stack` act on the calling
+    thread's stack only (plus the shared root).
 
 Spans and trace events exist only inside a scope: :func:`span` returns
-a shared no-op context manager when nothing is scoped, so the
-uninstrumented hot path pays one truthiness check and nothing else —
-the **null-collector** contract the equivalence tests enforce.
+a shared no-op context manager when the calling thread has nothing
+scoped, so the uninstrumented hot path pays one thread-local read and
+nothing else — the **null-collector** contract the equivalence tests
+enforce.
 
 Wall-clock span durations are measurement, never logic: no verdict,
 counter, or committed snapshot may depend on them (the perf ratchet
@@ -34,6 +51,7 @@ snapshots deterministic counters only).
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Iterator, Mapping
 
@@ -76,10 +94,12 @@ class MetricsCollector:
     """Named counters plus span aggregates for one instrumentation scope.
 
     Instances are handed out by :func:`collect`; while the scope is
-    open every :func:`inc`/:func:`add` lands here (and in every
-    enclosing scope), every finished :func:`span` records its duration
-    here, and — when the scope was opened with a trace sink — span and
-    event records stream to the sink as JSONL.
+    open every :func:`inc`/:func:`add` *on the opening thread* lands
+    here (and in every enclosing scope of that thread), every finished
+    :func:`span` records its duration here, and — when the scope was
+    opened with a trace sink — span and event records stream to the
+    sink as JSONL.  A collector belongs to the thread that opened it;
+    it is not itself synchronized.
     """
 
     __slots__ = ("name", "labels", "counters", "spans", "sink")
@@ -191,15 +211,34 @@ class NullCollector:
 NULL = NullCollector()
 
 #: The always-on root collector: deterministic cost units accumulate
-#: here from import on (``view_build_total`` et al. read it).
+#: here from import on (``view_build_total`` et al. read it).  Shared
+#: by every thread; bumps and reads go through :data:`_ROOT_LOCK`.
 _ROOT = MetricsCollector(name="root")
 
-#: The scope stack.  Index 0 is the root and never pops; :func:`collect`
-#: pushes/pops scoped collectors above it.
-_STACK: list[MetricsCollector] = [_ROOT]
+#: Serializes every root counter mutation (and total read), so the
+#: process-lifetime ledger is exact under concurrent bumps.
+_ROOT_LOCK = threading.Lock()
 
-#: Names of open spans, innermost last (gives spans their depth/parent).
-_SPAN_STACK: list[str] = []
+#: Thread-local instrumentation state: ``scopes`` is the calling
+#: thread's stack of scoped collectors (innermost last; the shared
+#: root is *not* stored here), ``span_names`` its open-span names.
+_TLS = threading.local()
+
+
+def _scopes() -> list[MetricsCollector]:
+    """The calling thread's scoped-collector stack (innermost last)."""
+    scopes = getattr(_TLS, "scopes", None)
+    if scopes is None:
+        scopes = _TLS.scopes = []
+    return scopes
+
+
+def _span_names() -> list[str]:
+    """The calling thread's open-span names, innermost last."""
+    names = getattr(_TLS, "span_names", None)
+    if names is None:
+        names = _TLS.span_names = []
+    return names
 
 
 # ---------------------------------------------------------------------------
@@ -208,7 +247,14 @@ _SPAN_STACK: list[str] = []
 
 
 class _Scope:
-    """Context manager pushing one collector for the ``with`` block."""
+    """Context manager pushing one collector for the ``with`` block.
+
+    Enter and exit must happen on the same thread: the collector is
+    pushed onto the entering thread's stack, and a mispaired exit from
+    another thread is a no-op there (it pops by identity and finds
+    nothing) — it can never strip a different thread's scopes, and
+    never the root.
+    """
 
     __slots__ = ("collector", "_trace_path")
 
@@ -223,15 +269,19 @@ class _Scope:
 
             collector.sink = TraceSink(self._trace_path)
             collector.sink.begin(collector.name, collector.labels)
-        _STACK.append(collector)
+        _scopes().append(collector)
         return collector
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        # Pop by identity: a mispaired exit must not strip the root.
-        for index in range(len(_STACK) - 1, 0, -1):
-            if _STACK[index] is self.collector:
-                del _STACK[index]
+        # Pop by identity from the calling thread's stack only: a
+        # mispaired or cross-thread exit must not strip anything else.
+        scopes = _scopes()
+        for index in range(len(scopes) - 1, -1, -1):
+            if scopes[index] is self.collector:
+                del scopes[index]
                 break
+        else:
+            return  # exited on a thread that never entered: no-op
         sink = self.collector.sink
         if sink is not None:
             sink.metrics(self.collector.snapshot())
@@ -254,19 +304,22 @@ def collect(
     :class:`~repro.obs.trace.TraceSink` for the scope's lifetime: span
     records stream as they close and the final counter snapshot is the
     last record.  Scopes nest; each collector sees the counters bumped
-    while it was on the stack.
+    while it was on the stack.  The scope is **thread-local**: only
+    costs incurred by the opening thread land in it, and other threads
+    neither see it nor disturb it.
     """
     return _Scope(MetricsCollector(name=name, labels=labels), trace)
 
 
 def scoped() -> bool:
-    """True when at least one :func:`collect` scope is open."""
-    return len(_STACK) > 1
+    """True when the calling thread has at least one open scope."""
+    return bool(getattr(_TLS, "scopes", None))
 
 
 def active() -> MetricsCollector | NullCollector:
-    """The innermost scoped collector, or :data:`NULL` outside any scope."""
-    return _STACK[-1] if len(_STACK) > 1 else NULL
+    """The calling thread's innermost collector, or :data:`NULL`."""
+    scopes = getattr(_TLS, "scopes", None)
+    return scopes[-1] if scopes else NULL
 
 
 # ---------------------------------------------------------------------------
@@ -275,8 +328,16 @@ def active() -> MetricsCollector | NullCollector:
 
 
 def inc(counter: str, value: int | float = 1) -> None:
-    """Bump ``counter`` by ``value`` in every collector on the stack."""
-    for collector in _STACK:
+    """Bump ``counter`` in the root and every scope of this thread.
+
+    The root bump is lock-protected (exact under concurrent callers);
+    the scoped bumps touch only thread-local collectors and need no
+    lock.
+    """
+    with _ROOT_LOCK:
+        counters = _ROOT.counters
+        counters[counter] = counters.get(counter, 0) + value
+    for collector in _scopes():
         counters = collector.counters
         counters[counter] = counters.get(counter, 0) + value
 
@@ -295,19 +356,30 @@ def record_view_builds(count: int = 1) -> None:
     monkeypatch it to model accounting regressions (the perf-ratchet
     suite injects a 2x over-count through exactly this seam).
     """
-    for collector in _STACK:
+    with _ROOT_LOCK:
+        counters = _ROOT.counters
+        counters["views.built"] = counters.get("views.built", 0) + count
+    for collector in _scopes():
         counters = collector.counters
         counters["views.built"] = counters.get("views.built", 0) + count
 
 
 def counter_total(name: str) -> int | float:
-    """The root collector's (process-lifetime) value of one counter."""
-    return _ROOT.counters.get(name, 0)
+    """The root collector's (process-lifetime) value of one counter.
+
+    Read under the root lock, so a total observed between two points
+    with no concurrent bumps is exact — the conservation identities
+    the concurrency tests assert (root delta == sum of per-thread
+    bumps) hold bit-for-bit.
+    """
+    with _ROOT_LOCK:
+        return _ROOT.counters.get(name, 0)
 
 
 def view_build_total() -> int:
     """Process-lifetime LocalView constructions (the root counter)."""
-    return int(_ROOT.counters.get("views.built", 0))
+    with _ROOT_LOCK:
+        return int(_ROOT.counters.get("views.built", 0))
 
 
 # ---------------------------------------------------------------------------
@@ -331,7 +403,12 @@ _NULL_SPAN = _NullSpan()
 
 
 class _Span:
-    """A live span: times the block and reports to every scoped collector."""
+    """A live span: times the block for every scope of its thread.
+
+    Enter and exit must happen on one thread; depth and nesting come
+    from that thread's own span stack, so concurrent threads' spans
+    never interleave each other's depths.
+    """
 
     __slots__ = ("name", "labels", "_start")
 
@@ -341,16 +418,17 @@ class _Span:
         self._start = 0.0
 
     def __enter__(self) -> "_Span":
-        _SPAN_STACK.append(self.name)
+        _span_names().append(self.name)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         duration = time.perf_counter() - self._start
-        depth = len(_SPAN_STACK)
-        if _SPAN_STACK and _SPAN_STACK[-1] == self.name:
-            _SPAN_STACK.pop()
-        for collector in _STACK[1:]:
+        names = _span_names()
+        depth = len(names)
+        if names and names[-1] == self.name:
+            names.pop()
+        for collector in _scopes():
             collector.record_span(self.name, duration, depth, self.labels)
 
 
@@ -360,14 +438,16 @@ def span(name: str, **labels: Any) -> _Span | _NullSpan:
         with obs.span("decide", scheme=scheme.name):
             ...
 
-    Outside any scope this returns a shared no-op context manager —
-    no timestamps are read, nothing allocates per label — so spans can
-    annotate hot paths without taxing uninstrumented runs.  Inside a
-    scope the duration lands in every scoped collector's span table
-    (and streams to the trace sink when one is attached).  Spans nest;
-    the recorded depth reflects the enclosing spans at exit.
+    When the calling thread has no open scope this returns a shared
+    no-op context manager — no timestamps are read, nothing allocates
+    per label — so spans can annotate hot paths without taxing
+    uninstrumented runs.  Inside a scope the duration lands in every
+    scoped collector's span table *on this thread* (and streams to the
+    trace sink when one is attached).  Spans nest per thread; the
+    recorded depth reflects the enclosing spans of the same thread at
+    exit.
     """
-    if len(_STACK) == 1:
+    if not getattr(_TLS, "scopes", None):
         return _NULL_SPAN
     return _Span(name, labels)
 
@@ -382,12 +462,13 @@ def event(name: str, **fields: Any) -> None:
 
     Events are trace-only (no counter side effects): campaign loops use
     them to label cells — detector, n, fault count, chosen scheme
-    parameters — so a trace file is self-describing.  A no-op outside
-    any scope, and cheap inside scopes without sinks.
+    parameters — so a trace file is self-describing.  A no-op on a
+    thread with no open scope, and cheap inside scopes without sinks.
     """
-    if len(_STACK) == 1:
+    scopes = getattr(_TLS, "scopes", None)
+    if not scopes:
         return
-    for collector in _STACK[1:]:
+    for collector in scopes:
         if collector.sink is not None:
             collector.sink.event(name, fields)
 
@@ -398,18 +479,23 @@ def event(name: str, **fields: Any) -> None:
 
 
 def _reset_for_tests(hard: bool = False) -> None:
-    """Drop any scoped collectors (and optionally the root's counters).
+    """Drop this thread's scoped collectors (optionally zero the root).
 
     Test-suite plumbing: a test that errors out of a ``with collect()``
     block through a code path that swallows the exit must not leak its
-    scope into the next test.  ``hard=True`` additionally zeroes the
-    root — only meaningful for tests that assert absolute totals.
+    scope into the next test.  Thread-local by design — it clears only
+    the *calling thread's* scope and span stacks (worker threads own
+    their stacks and drop them when they exit).  ``hard=True``
+    additionally zeroes the shared root under its lock — only
+    meaningful for tests that assert absolute totals, and only safe
+    when no other thread is bumping concurrently.
     """
-    del _STACK[1:]
-    _SPAN_STACK.clear()
+    _scopes().clear()
+    _span_names().clear()
     if hard:
-        _ROOT.counters.clear()
-        _ROOT.spans.clear()
+        with _ROOT_LOCK:
+            _ROOT.counters.clear()
+            _ROOT.spans.clear()
 
 
 def instrumented(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> tuple[Any, MetricsCollector]:
@@ -420,5 +506,9 @@ def instrumented(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> tuple[Any
 
 
 def iter_stack() -> Iterator[MetricsCollector]:
-    """The current collector stack, root first (read-only diagnostic)."""
-    return iter(tuple(_STACK))
+    """This thread's collector stack, root first (read-only diagnostic).
+
+    The shared root leads; the calling thread's scoped collectors
+    follow, innermost last.  Other threads' scopes never appear.
+    """
+    return iter((_ROOT, *_scopes()))

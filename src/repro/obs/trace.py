@@ -23,6 +23,14 @@ Record types
 Timestamps are wall-clock and therefore *not* reproducible; every
 deterministic quantity a consumer should assert on lives in the
 ``metrics`` record's counters.
+
+Threading contract: a sink normally belongs to the one scope (and so
+the one thread) that opened it — the scope stacks in
+:mod:`repro.obs.metrics` are thread-local.  Record writes are
+nevertheless serialized by a per-sink lock, so a sink deliberately
+shared across threads (one trace file for a threaded server run)
+interleaves *whole records*, never partial lines, and a close racing a
+write degrades to a silent drop rather than a torn file.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from __future__ import annotations
 import io
 import json
 import pathlib
+import threading
 from typing import Any, Mapping
 
 __all__ = ["TRACE_TYPES", "TraceSink", "read_trace", "validate_record"]
@@ -52,7 +61,7 @@ class TraceSink:
     hand in ``io.StringIO`` and read the trace back.
     """
 
-    __slots__ = ("_fh", "_owns")
+    __slots__ = ("_fh", "_owns", "_lock")
 
     def __init__(self, target: Any) -> None:
         if hasattr(target, "write"):
@@ -64,13 +73,16 @@ class TraceSink:
                 path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = path.open("w", encoding="utf-8")
             self._owns = True
+        self._lock = threading.Lock()
 
     # -- record writers -----------------------------------------------------
 
     def _write(self, record: dict[str, Any]) -> None:
-        if self._fh is None:
-            return
-        self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.write(line)
 
     def begin(self, scope: str, labels: Mapping[str, Any]) -> None:
         self._write({"type": "begin", "scope": scope, "labels": dict(labels)})
@@ -99,9 +111,10 @@ class TraceSink:
         self._write({"type": "metrics", **snapshot})
 
     def close(self) -> None:
-        if self._fh is not None and self._owns:
-            self._fh.close()
-        self._fh = None
+        with self._lock:
+            if self._fh is not None and self._owns:
+                self._fh.close()
+            self._fh = None
 
 
 def validate_record(record: Mapping[str, Any]) -> None:

@@ -18,14 +18,20 @@ catalog into a long-running verification service:
   deciders with per-node fallback, a bounded LRU keyed by envelope
   content so hot configurations certify in O(1), and an optional
   graph-hash-affine sharded worker pool for cold misses;
-* :mod:`repro.service.httpd` — a stdlib-only HTTP front end
-  (``repro serve`` / ``repro submit`` on the CLI).
+* :mod:`repro.service.httpd` — a stdlib-only threaded HTTP front end
+  (``repro serve`` / ``repro submit`` on the CLI) with a bounded
+  in-flight gate that answers 429 past saturation;
+* :mod:`repro.service.client` — a keep-alive stdlib client
+  (:class:`~repro.service.client.CertifyClient`) that streams many
+  envelopes over one connection and retries 429s within a bounded
+  budget.
 
 Cache hits, misses, nullifier rejections, and queue depth all flow
 through the :mod:`repro.obs` metrics ledger under ``service.*``
 counters.
 """
 
+from repro.service.client import CertifyClient
 from repro.service.envelope import (
     ENVELOPE_FORMAT,
     NullifierRegistry,
@@ -40,6 +46,7 @@ from repro.service.server import (
 __all__ = [
     "CertificationResult",
     "CertificationService",
+    "CertifyClient",
     "ENVELOPE_FORMAT",
     "NullifierRegistry",
     "ProofEnvelope",

@@ -33,6 +33,24 @@ each worker's module-level graph cache (and the CSR mirror cached on
 the :class:`~repro.graphs.graph.Graph` it holds) stays warm for the
 graphs it owns.  ``service.queue.enqueued`` / ``service.queue.completed``
 counters make queue depth readable as a ledger delta.
+
+Threading contract: :meth:`~CertificationService.submit` (and the
+batch entry points) may be called from many threads at once — the
+threaded HTTP front end does exactly that.  Two locks are involved,
+with a strict ordering (see docs/ARCHITECTURE.md, "Threading model"):
+
+* ``self._lock`` guards the stats dict and the verdict LRU;
+* the :class:`~repro.service.envelope.NullifierRegistry` has its own
+  internal lock, making each ``spend`` atomic — concurrent submissions
+  of one replayed nullifier admit exactly one winner.
+
+``self._lock`` is never held while the nullifier lock is taken (or
+while any decider work runs), so the pair cannot deadlock and a
+cache-hit response never waits on a cold decide.  Two threads cold-
+missing the same ``body_hash`` simultaneously may both decide it —
+duplicate work, identical deterministic results, last store wins —
+which trades a little CPU for never blocking a request on another
+request's miss.
 """
 
 from __future__ import annotations
@@ -53,6 +71,7 @@ from repro.errors import (
     EnvelopeError,
     LabelingError,
     LanguageError,
+    ReplayError,
     ServiceError,
 )
 from repro.graphs.graph import Graph
@@ -436,7 +455,69 @@ class CertificationService:
         if self._pool is None:
             return [self.submit(envelope) for envelope in envelopes]
         parsed = [self._parse(envelope) for envelope in envelopes]
+        prelaunched = self._prelaunch(parsed)
+        try:
+            return [
+                self.submit(envelope, _prelaunched=prelaunched)
+                for envelope in parsed
+            ]
+        finally:
+            self._drain(prelaunched)
+
+    def submit_settled(
+        self, envelopes: Iterable[Any]
+    ) -> list[tuple[str, Any]]:
+        """Submit a batch, settling every outcome instead of raising.
+
+        The wire form of :meth:`submit_many` — the ``/certify-batch``
+        route needs one outcome *per envelope* even when some are
+        replays or malformed, where :meth:`submit_many` (the in-process
+        API) raises at the offending position.  Each envelope is
+        admitted exactly as :meth:`submit` would admit it; outcomes
+        come back in submission order as ``(kind, payload)``:
+
+        ``("ok", CertificationResult)``
+            a decided verdict (accepted or not);
+        ``("replay", message)``
+            the nullifier was already spent;
+        ``("invalid", message)``
+            malformed or unservable (the 400 class).
+
+        With a worker pool, distinct cold bodies prelaunch concurrently
+        just like :meth:`submit_many`.
+        """
+        parsed: list[Any] = []
+        for envelope in envelopes:
+            try:
+                parsed.append(self._parse(envelope))
+            except ServiceError as error:
+                parsed.append(error)
+        prelaunched = self._prelaunch(
+            [item for item in parsed if isinstance(item, ProofEnvelope)]
+        )
+        outcomes: list[tuple[str, Any]] = []
+        try:
+            for item in parsed:
+                if isinstance(item, ServiceError):
+                    outcomes.append(("invalid", str(item)))
+                    continue
+                try:
+                    outcomes.append(
+                        ("ok", self.submit(item, _prelaunched=prelaunched))
+                    )
+                except ReplayError as error:
+                    outcomes.append(("replay", str(error)))
+                except ServiceError as error:
+                    outcomes.append(("invalid", str(error)))
+        finally:
+            self._drain(prelaunched)
+        return outcomes
+
+    def _prelaunch(self, parsed: list[ProofEnvelope]) -> dict[str, Any]:
+        """Launch distinct, uncached, unspent cold bodies on the pool."""
         prelaunched: dict[str, Any] = {}
+        if self._pool is None:
+            return prelaunched
         for envelope in parsed:
             body_hash = envelope.body_hash
             if (
@@ -449,19 +530,19 @@ class CertificationService:
             with self._lock:
                 self.stats["enqueued"] += 1
             prelaunched[body_hash] = self._pool.submit(envelope)
-        try:
-            return [
-                self.submit(envelope, _prelaunched=prelaunched)
-                for envelope in parsed
-            ]
-        finally:
-            # A mid-batch raise (e.g. a replayed nullifier) must not
-            # strand launched work: drain so queue counters balance.
-            for future in prelaunched.values():
-                try:
-                    self._collect(future)
-                except Exception:
-                    pass
+        return prelaunched
+
+    def _drain(self, prelaunched: dict[str, Any]) -> None:
+        """Collect leftover futures so queue counters always balance.
+
+        A mid-batch raise (e.g. a replayed nullifier in
+        :meth:`submit_many`) must not strand launched work.
+        """
+        for future in prelaunched.values():
+            try:
+                self._collect(future)
+            except Exception:
+                pass
 
     def _collect(self, future) -> dict[str, Any]:
         try:

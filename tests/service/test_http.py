@@ -108,3 +108,146 @@ class TestCertify:
         assert body["stats"]["cache_hits"] == 1
         assert body["stats"]["cache_misses"] == 1
         assert body["cache_entries"] == 1
+
+    def test_metrics_report_inflight_gauge(self, server_url):
+        status, body = _get(server_url + "/metrics")
+        assert status == 200
+        assert body["max_inflight"] >= 1
+        # the GET itself bypasses the gate, so nothing is in flight
+        assert body["inflight"] == 0
+
+
+class TestCertifyBatch:
+    def test_mixed_batch_settles_every_envelope(self, server_url):
+        honest = build_envelope("bipartite", n=8, seed=21)
+        corrupted = build_envelope("leader", n=10, seed=22, corrupt=2)
+        replayed = build_envelope("spanning-tree-ptr", n=12, seed=23)
+        batch = {"envelopes": [
+            honest.to_obj(),
+            corrupted.to_obj(),
+            replayed.to_obj(),
+            replayed.to_obj(),        # verbatim duplicate: 409 in place
+            {"format": "junk"},       # malformed: 400 in place
+        ]}
+        status, body = _post(
+            server_url + "/certify-batch", json.dumps(batch).encode()
+        )
+        assert status == 200  # batch transport succeeded; statuses inside
+        results = body["results"]
+        assert [item["status"] for item in results] == [200, 200, 200, 409, 400]
+        assert results[0]["result"]["accepted"]
+        assert not results[1]["result"]["accepted"]
+        assert results[1]["result"]["rejections"] >= 1
+        assert results[2]["result"]["accepted"]
+        assert results[3]["replay"] and "error" in results[3]
+        assert "error" in results[4]
+
+    def test_batch_fresh_nonce_hits_cache(self, server_url):
+        envelope = build_envelope("bipartite", n=8, seed=24)
+        batch = {"envelopes": [
+            envelope.to_obj(),
+            envelope.with_nonce("fresh").to_obj(),
+        ]}
+        status, body = _post(
+            server_url + "/certify-batch", json.dumps(batch).encode()
+        )
+        assert status == 200
+        first, second = body["results"]
+        assert not first["result"]["cache_hit"]
+        assert second["result"]["cache_hit"]
+
+    def test_batch_bad_json_400(self, server_url):
+        status, body = _post(server_url + "/certify-batch", b"not json")
+        assert status == 400 and "JSON" in body["error"]
+
+    def test_batch_wrong_shape_400(self, server_url):
+        for payload in (b"[1, 2]", b'{"envelope": []}', b'{"envelopes": 3}'):
+            status, body = _post(server_url + "/certify-batch", payload)
+            assert status == 400
+            assert '{"envelopes": [...]}' in body["error"]
+
+    def test_batch_over_bound_400(self, server_url):
+        from repro.service.httpd import MAX_BATCH_ENVELOPES
+
+        batch = {"envelopes": [{}] * (MAX_BATCH_ENVELOPES + 1)}
+        status, body = _post(
+            server_url + "/certify-batch", json.dumps(batch).encode()
+        )
+        assert status == 400 and "bound" in body["error"]
+
+
+def _raw_connection(server_url):
+    host, port = server_url.removeprefix("http://").rsplit(":", 1)
+    import http.client
+
+    return http.client.HTTPConnection(host, int(port), timeout=5)
+
+
+class TestBodyFraming:
+    """Malformed framing must 400 cleanly, never pin a worker thread."""
+
+    @pytest.mark.parametrize("route", ["/certify", "/certify-batch"])
+    def test_missing_content_length_400(self, server_url, route):
+        conn = _raw_connection(server_url)
+        try:
+            conn.putrequest("POST", route)
+            conn.endheaders()  # no body, no Content-Length
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 400
+            assert "Content-Length" in body["error"]
+            # framing errors poison keep-alive: the server must close
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    @pytest.mark.parametrize("route", ["/certify", "/certify-batch"])
+    def test_chunked_transfer_encoding_400(self, server_url, route):
+        # refused before any body read: a chunked body's length is
+        # unknowable up front, and waiting on it would hang the worker
+        conn = _raw_connection(server_url)
+        try:
+            conn.putrequest("POST", route)
+            conn.putheader("Transfer-Encoding", "chunked")
+            conn.endheaders()
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 400
+            assert "chunked" in body["error"]
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    def test_unparseable_content_length_400(self, server_url):
+        conn = _raw_connection(server_url)
+        try:
+            conn.putrequest("POST", "/certify")
+            conn.putheader("Content-Length", "banana")
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "Content-Length" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+    def test_truncated_body_400(self, server_url):
+        import socket
+
+        host, port = server_url.removeprefix("http://").rsplit(":", 1)
+        with socket.create_connection((host, int(port)), timeout=5) as sock:
+            sock.sendall(
+                b"POST /certify HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Length: 100\r\n\r\n"
+                b"only-a-few-bytes"
+            )
+            sock.shutdown(socket.SHUT_WR)  # EOF long before 100 bytes
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        raw = b"".join(chunks)
+        assert raw.split(b"\r\n", 1)[0].endswith(b"400 Bad Request")
+        assert b"truncated" in raw
