@@ -1,12 +1,14 @@
 """Large-n certify wall clock and its committed ceiling.
 
-The array-native verification core exists for one headline number:
-certifying a spanning tree on a 100 000-node graph in seconds, not
-minutes.  This benchmark measures that number directly — wall-clock
-seconds for one full verification round (``scheme.run`` over honest
-certificates, which dispatches to the batched CSR decider) on
-``random_tree`` instances — for the three schemes the array core
-advertises as its fast path.
+The array-native core exists for one headline number per layer:
+
+* **certify** — one full verification round (``scheme.run`` over honest
+  certificates, dispatching to the batched CSR decider) on
+  ``random_tree`` instances up to n = 100 000;
+* **endtoend** — the whole pipeline per instance — vectorized
+  ``member_configuration`` (the batched marker), batched ``prove``, and
+  the verification round — up to n = 1 000 000, which is the size the
+  generation layer was vectorized for.
 
 Wall clock is machine-dependent, so unlike the deterministic counter
 ratchet (:mod:`bench_metrics`) the committed snapshot at
@@ -14,13 +16,21 @@ ratchet (:mod:`bench_metrics`) the committed snapshot at
 bit-stable value.  ``--check`` fails only when a cell is slower than
 ``HEADROOM`` (4x) times its committed value *and* slower than
 ``NOISE_FLOOR_S`` in absolute terms, or slower than the paper-facing
-``ABS_CEILING_S`` (10 s — the acceptance criterion for n = 100 000).
-Faster runs always pass; ``--write`` re-anchors the ceiling.
+absolute ceiling for its grid (10 s for a verification round at
+n = 100 000; 60 s for the full pipeline at n = 1 000 000).  Faster runs
+always pass.
+
+``--write`` keeps committed cells **bit-identical**: cells already in
+the snapshot are carried over verbatim and only missing cells (a new
+scheme or size joining a grid) are measured — so regenerating the file
+on any machine is a no-op unless the grids changed shape.  Re-anchor
+every ceiling to this machine's timings with ``--write --reanchor``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py --check
     PYTHONPATH=src python benchmarks/bench_wallclock.py --write
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --check --json-out measured.json
 """
 
 from __future__ import annotations
@@ -34,7 +44,7 @@ import zlib
 from typing import Any, Mapping
 
 from repro.core import catalog
-from repro.core.batch import supports_batch
+from repro.core.batch import batch_prove, supports_batch, supports_batch_marker
 from repro.graphs.generators import random_tree
 from repro.util.rng import make_rng
 
@@ -42,7 +52,7 @@ ROOT = pathlib.Path(__file__).resolve().parent
 RESULTS_DIR = ROOT / "results"
 SNAPSHOT_PATH = RESULTS_DIR / "BENCH_wallclock.json"
 
-SCHEMA = "bench-wallclock/v1"
+SCHEMA = "bench-wallclock/v2"
 METRIC = "certify.seconds"
 #: A cell fails only beyond HEADROOM x committed (wall clock is noisy
 #: and machine-dependent; 4x separates "different machine" from "the
@@ -50,7 +60,7 @@ METRIC = "certify.seconds"
 HEADROOM = 4.0
 #: Cells faster than this are never failed on ratio alone.
 NOISE_FLOOR_S = 0.5
-#: The paper-facing acceptance ceiling at the largest size.
+#: The paper-facing acceptance ceiling at the largest certify size.
 ABS_CEILING_S = 10.0
 #: Timing repetitions per cell; the minimum is recorded.
 REPS = 3
@@ -58,6 +68,15 @@ REPS = 3
 #: The measured grid: batch-capable schemes on spanning trees.
 SCHEMES = ("spanning-tree-ptr", "leader", "bfs-tree")
 SIZES = (1_000, 10_000, 100_000)
+
+#: The end-to-end grid: generate + prove + decide, one instance each.
+E2E_METRIC = "endtoend.seconds"
+E2E_SIZES = (10_000, 100_000, 1_000_000)
+#: The acceptance ceiling for the full pipeline at n = 1 000 000.
+E2E_ABS_CEILING_S = 60.0
+#: The pipeline is slower per rep than a bare verification round, so
+#: fewer repetitions keep --check affordable in CI.
+E2E_REPS = 2
 
 
 def _cell_seed(name: str, n: int) -> int:
@@ -73,7 +92,7 @@ def measure_cell(name: str, n: int) -> float:
     if not supports_batch(scheme):
         raise SystemExit(f"{name}: no batched decider — wall-clock grid is stale")
     config = scheme.language.member_configuration(graph, rng=rng)
-    certificates = scheme.prove(config)
+    certificates = batch_prove(scheme, config)
     graph.csr()  # cache the CSR mirror: build cost is per graph, not per run
     best = float("inf")
     for _ in range(REPS):
@@ -85,17 +104,72 @@ def measure_cell(name: str, n: int) -> float:
     return round(best, 4)
 
 
-def measure_all() -> dict[str, dict[str, float]]:
-    grid: dict[str, dict[str, float]] = {}
+def measure_e2e_cell(name: str, n: int) -> float:
+    """Best-of-``E2E_REPS`` seconds for generate + prove + decide.
+
+    The graph (and its CSR mirror) is built once outside the timed
+    region — instance *sampling* is a pure-Python generator and not part
+    of the pipeline this grid ratchets.  Each rep restarts the rng so
+    every rep generates the identical configuration.
+    """
+    spec = catalog.get(name)
+    graph = random_tree(n, make_rng(_cell_seed(name, n)))
+    scheme = spec.build(graph=graph, rng=make_rng(_cell_seed(name, n)))
+    if not supports_batch_marker(scheme.language):
+        raise SystemExit(f"{name}: no batched marker — end-to-end grid is stale")
+    graph.csr()
+    best = float("inf")
+    for _rep in range(E2E_REPS):
+        rng = make_rng(_cell_seed(name, n) + 1)
+        start = time.perf_counter()
+        config = scheme.language.member_configuration(graph, rng=rng)
+        certificates = batch_prove(scheme, config)
+        verdict = scheme.run(config, certificates)
+        best = min(best, time.perf_counter() - start)
+        if not verdict.all_accept:
+            raise SystemExit(f"{name} n={n}: end-to-end round rejected")
+    return round(best, 4)
+
+
+def measure_all(
+    committed: Mapping[str, Any] | None = None,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Both grids, as ``{"certify": {...}, "endtoend": {...}}``.
+
+    With ``committed``, cells already present in the snapshot are copied
+    over bit-identically instead of re-measured (the ``--write``
+    contract); pass ``None`` to measure everything.
+    """
+    old_certify = (committed or {}).get("schemes", {})
+    old_e2e = (committed or {}).get("endtoend", {}).get("schemes", {})
+    grids: dict[str, dict[str, dict[str, float]]] = {"certify": {}, "endtoend": {}}
     for name in SCHEMES:
-        grid[name] = {}
+        grids["certify"][name] = {}
         for n in SIZES:
-            grid[name][str(n)] = measure_cell(name, n)
-            print(f"measured {name} n={n}: {grid[name][str(n)]:.3f}s")
-    return grid
+            kept = old_certify.get(name, {}).get(str(n))
+            if kept is not None:
+                grids["certify"][name][str(n)] = kept
+                print(f"kept {name} n={n}: {kept:.3f}s (committed)")
+            else:
+                grids["certify"][name][str(n)] = measure_cell(name, n)
+                print(f"measured {name} n={n}: {grids['certify'][name][str(n)]:.3f}s")
+    for name in SCHEMES:
+        grids["endtoend"][name] = {}
+        for n in E2E_SIZES:
+            kept = old_e2e.get(name, {}).get(str(n))
+            if kept is not None:
+                grids["endtoend"][name][str(n)] = kept
+                print(f"kept endtoend {name} n={n}: {kept:.3f}s (committed)")
+            else:
+                grids["endtoend"][name][str(n)] = measure_e2e_cell(name, n)
+                print(
+                    f"measured endtoend {name} n={n}: "
+                    f"{grids['endtoend'][name][str(n)]:.3f}s"
+                )
+    return grids
 
 
-def snapshot(cells: Mapping[str, Mapping[str, float]]) -> dict[str, Any]:
+def snapshot(grids: Mapping[str, Mapping[str, Mapping[str, float]]]) -> dict[str, Any]:
     return {
         "schema": SCHEMA,
         "metric": METRIC,
@@ -103,45 +177,83 @@ def snapshot(cells: Mapping[str, Mapping[str, float]]) -> dict[str, Any]:
         "noise_floor_s": NOISE_FLOOR_S,
         "abs_ceiling_s": ABS_CEILING_S,
         "sizes": list(SIZES),
-        "schemes": {name: dict(cells[name]) for name in sorted(cells)},
+        "schemes": {name: dict(grids["certify"][name]) for name in sorted(SCHEMES)},
+        "endtoend": {
+            "metric": E2E_METRIC,
+            "abs_ceiling_s": E2E_ABS_CEILING_S,
+            "sizes": list(E2E_SIZES),
+            "schemes": {
+                name: dict(grids["endtoend"][name]) for name in sorted(SCHEMES)
+            },
+        },
     }
 
 
-def compare(
-    committed: Mapping[str, Any], measured: Mapping[str, Mapping[str, float]]
+def _compare_grid(
+    metric: str,
+    old_schemes: Mapping[str, Mapping[str, float]],
+    new_schemes: Mapping[str, Mapping[str, float]],
+    headroom: float,
+    floor: float,
+    ceiling: float,
 ) -> list[str]:
-    """Failure messages (empty = within the ceiling)."""
-    headroom = float(committed.get("headroom", HEADROOM))
-    floor = float(committed.get("noise_floor_s", NOISE_FLOOR_S))
-    ceiling = float(committed.get("abs_ceiling_s", ABS_CEILING_S))
     failures: list[str] = []
     old_cells = {
         (name, n): value
-        for name, sizes in committed.get("schemes", {}).items()
+        for name, sizes in old_schemes.items()
         for n, value in sizes.items()
     }
     new_cells = {
         (name, n): value
-        for name, sizes in measured.items()
+        for name, sizes in new_schemes.items()
         for n, value in sizes.items()
     }
     for key in sorted(old_cells.keys() - new_cells.keys()):
-        failures.append(f"{METRIC}: committed cell {key} no longer measured")
+        failures.append(f"{metric}: committed cell {key} no longer measured")
     for key in sorted(new_cells.keys() - old_cells.keys()):
-        failures.append(f"{METRIC}: new cell {key} missing from the snapshot")
+        failures.append(f"{metric}: new cell {key} missing from the snapshot")
     for key in sorted(old_cells.keys() & new_cells.keys()):
         old, new = old_cells[key], new_cells[key]
         name, n = key
         if new > ceiling:
             failures.append(
-                f"{METRIC}: {name} n={n} took {new:.2f}s > absolute "
+                f"{metric}: {name} n={n} took {new:.2f}s > absolute "
                 f"ceiling {ceiling:.0f}s"
             )
         elif new > floor and new > old * headroom:
             failures.append(
-                f"{METRIC}: {name} n={n} took {new:.2f}s > {headroom:.0f}x "
+                f"{metric}: {name} n={n} took {new:.2f}s > {headroom:.0f}x "
                 f"the committed {old:.2f}s"
             )
+    return failures
+
+
+def compare(
+    committed: Mapping[str, Any],
+    grids: Mapping[str, Mapping[str, Mapping[str, float]]],
+) -> list[str]:
+    """Failure messages (empty = within the ceilings)."""
+    headroom = float(committed.get("headroom", HEADROOM))
+    floor = float(committed.get("noise_floor_s", NOISE_FLOOR_S))
+    failures = _compare_grid(
+        METRIC,
+        committed.get("schemes", {}),
+        grids["certify"],
+        headroom,
+        floor,
+        float(committed.get("abs_ceiling_s", ABS_CEILING_S)),
+    )
+    e2e = committed.get("endtoend", {})
+    failures.extend(
+        _compare_grid(
+            E2E_METRIC,
+            e2e.get("schemes", {}),
+            grids["endtoend"],
+            headroom,
+            floor,
+            float(e2e.get("abs_ceiling_s", E2E_ABS_CEILING_S)),
+        )
+    )
     return failures
 
 
@@ -149,40 +261,67 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     action = parser.add_mutually_exclusive_group(required=True)
     action.add_argument(
-        "--write", action="store_true", help="measure and commit the snapshot"
+        "--write",
+        action="store_true",
+        help="commit the snapshot, carrying committed cells over verbatim",
     )
     action.add_argument(
         "--check", action="store_true", help="measure and compare to the snapshot"
     )
+    parser.add_argument(
+        "--reanchor",
+        action="store_true",
+        help="with --write: re-measure every cell instead of keeping "
+        "committed values",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="also dump the measured grids as JSON (CI failure artifact)",
+    )
     args = parser.parse_args(argv)
+    if args.reanchor and not args.write:
+        parser.error("--reanchor only makes sense with --write")
 
-    grid = measure_all()
+    committed: dict[str, Any] | None = None
+    if SNAPSHOT_PATH.is_file():
+        committed = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
+
+    keep_from = committed if args.write and not args.reanchor else None
+    grids = measure_all(keep_from)
+    if args.json_out:
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(snapshot(grids), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     if args.write:
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         SNAPSHOT_PATH.write_text(
-            json.dumps(snapshot(grid), indent=2, sort_keys=True) + "\n",
+            json.dumps(snapshot(grids), indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
         print(f"wrote {SNAPSHOT_PATH.relative_to(ROOT.parent)}")
         return 0
 
-    if not SNAPSHOT_PATH.is_file():
+    if committed is None:
         print(
             f"FAIL {SNAPSHOT_PATH.name}: missing — run bench_wallclock.py --write",
             file=sys.stderr,
         )
         return 1
-    committed = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
-    failures = compare(committed, grid)
+    failures = compare(committed, grids)
     if failures:
         for failure in failures:
             print(f"FAIL {failure}", file=sys.stderr)
         return 1
-    largest = max(SIZES)
-    worst = max(grid[name][str(largest)] for name in SCHEMES)
+    largest = max(E2E_SIZES)
+    worst = max(grids["endtoend"][name][str(largest)] for name in SCHEMES)
     print(
-        f"ok: {len(SCHEMES)}x{len(SIZES)} cells within ceiling; worst "
-        f"n={largest} cell {worst:.2f}s (acceptance: < {ABS_CEILING_S:.0f}s)"
+        f"ok: certify {len(SCHEMES)}x{len(SIZES)} and endtoend "
+        f"{len(SCHEMES)}x{len(E2E_SIZES)} cells within ceiling; worst "
+        f"endtoend n={largest} cell {worst:.2f}s "
+        f"(acceptance: < {E2E_ABS_CEILING_S:.0f}s)"
     )
     return 0
 

@@ -87,13 +87,19 @@ CONCURRENCY_CEILING_S = 30.0
 
 #: Wall-clock ceiling snapshots (see ``benchmarks/bench_wallclock.py``).
 WALLCLOCK_SNAPSHOT = "BENCH_wallclock.json"
-WALLCLOCK_SCHEMA = "bench-wallclock/v1"
+WALLCLOCK_SCHEMA = "bench-wallclock/v2"
 WALLCLOCK_METRIC = "certify.seconds"
 WALLCLOCK_MIN_SCHEMES = 3
 #: The committed grid must reach the paper-facing size...
 WALLCLOCK_MIN_LARGEST_N = 100_000
 #: ...and every committed cell must sit under the acceptance ceiling.
 WALLCLOCK_CEILING_S = 10.0
+#: The v2 end-to-end sub-grid: generate + prove + decide per instance.
+WALLCLOCK_E2E_METRIC = "endtoend.seconds"
+#: The end-to-end grid must reach the generation-layer headline size...
+WALLCLOCK_E2E_MIN_LARGEST_N = 1_000_000
+#: ...under its own acceptance ceiling.
+WALLCLOCK_E2E_CEILING_S = 60.0
 
 
 def referenced_snapshots() -> set[str]:
@@ -145,6 +151,61 @@ def check_bench_snapshot(path: pathlib.Path, metric: str) -> list[str]:
     return failures
 
 
+def _check_wallclock_grid(
+    name: str,
+    label: str,
+    data: dict,
+    min_largest_n: int,
+    ceiling_s: float,
+) -> list[str]:
+    """Schema failures for one wall-clock grid (certify or endtoend)."""
+    failures: list[str] = []
+    sizes = data.get("sizes")
+    if (
+        not isinstance(sizes, list)
+        or not sizes
+        or not all(isinstance(n, int) and n > 0 for n in sizes)
+    ):
+        failures.append(
+            f"{name}: {label} sizes {sizes!r} is not a list of positive ints"
+        )
+        sizes = []
+    elif max(sizes) < min_largest_n:
+        failures.append(
+            f"{name}: {label} largest size {max(sizes)} < the paper-facing "
+            f"{min_largest_n}"
+        )
+    schemes = data.get("schemes")
+    if not isinstance(schemes, dict) or len(schemes) < WALLCLOCK_MIN_SCHEMES:
+        count = len(schemes) if isinstance(schemes, dict) else schemes
+        failures.append(
+            f"{name}: {label} needs >= {WALLCLOCK_MIN_SCHEMES} schemes, "
+            f"got {count!r}"
+        )
+        return failures
+    expected_keys = {str(n) for n in sizes}
+    for scheme, cells in sorted(schemes.items()):
+        if not isinstance(cells, dict) or set(cells) != expected_keys:
+            failures.append(
+                f"{name}: {label} {scheme} cells {sorted(cells)} != "
+                f"sizes {sorted(expected_keys)}"
+            )
+            continue
+        for n, value in cells.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                failures.append(
+                    f"{name}: {label} {scheme} n={n} value {value!r} is not "
+                    "a number"
+                )
+            elif not 0 < value <= ceiling_s:
+                failures.append(
+                    f"{name}: {label} {scheme} n={n} committed {value}s "
+                    f"outside (0, {ceiling_s:.0f}s] — the acceptance "
+                    "ceiling must hold at commit time"
+                )
+    return failures
+
+
 def check_wallclock_snapshot(path: pathlib.Path) -> list[str]:
     """Schema failures for the committed wall-clock ceiling snapshot."""
     name = path.name
@@ -163,45 +224,32 @@ def check_wallclock_snapshot(path: pathlib.Path) -> list[str]:
         failures.append(
             f"{name}: metric {data.get('metric')!r} != {WALLCLOCK_METRIC!r}"
         )
-    sizes = data.get("sizes")
-    if (
-        not isinstance(sizes, list)
-        or not sizes
-        or not all(isinstance(n, int) and n > 0 for n in sizes)
-    ):
-        failures.append(f"{name}: sizes {sizes!r} is not a list of positive ints")
-        sizes = []
-    elif max(sizes) < WALLCLOCK_MIN_LARGEST_N:
-        failures.append(
-            f"{name}: largest size {max(sizes)} < the paper-facing "
-            f"{WALLCLOCK_MIN_LARGEST_N}"
+    failures.extend(
+        _check_wallclock_grid(
+            name, "certify", data, WALLCLOCK_MIN_LARGEST_N, WALLCLOCK_CEILING_S
         )
-    schemes = data.get("schemes")
-    if not isinstance(schemes, dict) or len(schemes) < WALLCLOCK_MIN_SCHEMES:
-        count = len(schemes) if isinstance(schemes, dict) else schemes
+    )
+    endtoend = data.get("endtoend")
+    if not isinstance(endtoend, dict):
         failures.append(
-            f"{name}: needs >= {WALLCLOCK_MIN_SCHEMES} schemes, got {count!r}"
+            f"{name}: endtoend grid missing — the v2 schema commits the "
+            "generate + prove + decide ceiling alongside certify"
         )
         return failures
-    expected_keys = {str(n) for n in sizes}
-    for scheme, cells in sorted(schemes.items()):
-        if not isinstance(cells, dict) or set(cells) != expected_keys:
-            failures.append(
-                f"{name}: {scheme} cells {sorted(cells)} != "
-                f"sizes {sorted(expected_keys)}"
-            )
-            continue
-        for n, value in cells.items():
-            if not isinstance(value, (int, float)) or isinstance(value, bool):
-                failures.append(
-                    f"{name}: {scheme} n={n} value {value!r} is not a number"
-                )
-            elif not 0 < value <= WALLCLOCK_CEILING_S:
-                failures.append(
-                    f"{name}: {scheme} n={n} committed {value}s outside "
-                    f"(0, {WALLCLOCK_CEILING_S:.0f}s] — the acceptance "
-                    "ceiling must hold at commit time"
-                )
+    if endtoend.get("metric") != WALLCLOCK_E2E_METRIC:
+        failures.append(
+            f"{name}: endtoend metric {endtoend.get('metric')!r} != "
+            f"{WALLCLOCK_E2E_METRIC!r}"
+        )
+    failures.extend(
+        _check_wallclock_grid(
+            name,
+            "endtoend",
+            endtoend,
+            WALLCLOCK_E2E_MIN_LARGEST_N,
+            WALLCLOCK_E2E_CEILING_S,
+        )
+    )
     return failures
 
 

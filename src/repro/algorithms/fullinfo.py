@@ -75,7 +75,9 @@ class FullInfoGather(SynchronousAlgorithm):
         return value
 
 
-def configuration_from_knowledge(knowledge: Any) -> tuple[Configuration, dict[int, int]]:
+def configuration_from_knowledge(
+    knowledge: Any,
+) -> tuple[Configuration, dict[int, int]]:
     """Decode gathered knowledge into a configuration.
 
     Returns the configuration (nodes re-indexed by sorted uid) and the
@@ -99,7 +101,9 @@ def configuration_from_knowledge(knowledge: Any) -> tuple[Configuration, dict[in
     return config, index
 
 
-def gather_configurations(network: Network) -> tuple[dict[int, Configuration], RunResult]:
+def gather_configurations(
+    network: Network,
+) -> tuple[dict[int, Configuration], RunResult]:
     """Run the gather; return each node's reconstructed configuration.
 
     On a connected network every node reconstructs the *same*

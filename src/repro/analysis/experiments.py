@@ -144,7 +144,9 @@ def experiment_t1_proof_sizes(
                 bits / math.log2(max(2, graph.n)),
             )
         curve, scale, rmse = best_curve(points)
-        result.note(f"{spec.name}: best-fit shape ~ {scale:.1f} * {curve} (rmse {rmse:.2f})")
+        result.note(
+            f"{spec.name}: best-fit shape ~ {scale:.1f} * {curve} (rmse {rmse:.2f})"
+        )
     return result
 
 
@@ -218,10 +220,14 @@ def experiment_f1_st_scaling(
         headers=("family", "n", "proof bits", "bits/log2(n)"),
     )
     for fname, factory in families.items():
-        rows = proof_size_sweep(scheme, fname, factory, sizes, rng=spawn(rng, hash(fname) & 0xFFFF))
+        rows = proof_size_sweep(
+            scheme, fname, factory, sizes, rng=spawn(rng, hash(fname) & 0xFFFF)
+        )
         points = [(r.n, float(r.proof_bits)) for r in rows]
         for r in rows:
-            result.add(r.family, r.n, r.proof_bits, r.proof_bits / math.log2(max(2, r.n)))
+            result.add(
+                r.family, r.n, r.proof_bits, r.proof_bits / math.log2(max(2, r.n))
+            )
         # Affine log fit: the slope reads as bits per doubling of n,
         # which is the honest finite-range face of the Theta(log n) claim
         # (a pure proportional fit is masked by constant framing bits).
@@ -246,7 +252,9 @@ def experiment_f2_mst_scaling(
     )
     points = []
     for n in sizes:
-        graph = weighted_copy(connected_gnp(n, 3.0 / max(3, n), spawn(rng, n)), spawn(rng, n + 1))
+        graph = weighted_copy(
+            connected_gnp(n, 3.0 / max(3, n), spawn(rng, n)), spawn(rng, n + 1)
+        )
         config = scheme.language.member_configuration(graph, rng=spawn(rng, n + 2))
         bits = scheme.proof_size_bits(config)
         trace = boruvka_trace(graph)
@@ -260,7 +268,9 @@ def experiment_f2_mst_scaling(
         if trace.phase_count > bound:
             result.note(f"PHASE BOUND VIOLATION at n={graph.n}")
     curve, scale, rmse = best_curve(points)
-    result.note(f"best fit ~ {scale:.1f} * {curve} (rmse {rmse:.2f}); paper bound O(log^2 n)")
+    result.note(
+        f"best fit ~ {scale:.1f} * {curve} (rmse {rmse:.2f}); paper bound O(log^2 n)"
+    )
     return result
 
 
@@ -328,7 +338,13 @@ def experiment_t3_universal(
     scheme = UniversalScheme(language)
     result = ExperimentResult(
         experiment="T3: universal scheme",
-        headers=("n", "proof bits", "bits/n^2", "member accepted", "corrupted rejected"),
+        headers=(
+            "n",
+            "proof bits",
+            "bits/n^2",
+            "member accepted",
+            "corrupted rejected",
+        ),
     )
     points = []
     for n in sizes:
@@ -336,12 +352,16 @@ def experiment_t3_universal(
         member = language.member_configuration(graph, rng=spawn(rng, n + 1))
         bits = scheme.proof_size_bits(member)
         accepted = scheme.run(member).all_accept
-        bad = language.corrupted_configuration(graph, corruptions=1, rng=spawn(rng, n + 2))
+        bad = language.corrupted_configuration(
+            graph, corruptions=1, rng=spawn(rng, n + 2)
+        )
         rejected = not scheme.run(bad).all_accept
         points.append((n, float(bits)))
         result.add(n, bits, bits / (n * n), accepted, rejected)
     curve, scale, rmse = best_curve(points)
-    result.note(f"best fit ~ {scale:.1f} * {curve} (rmse {rmse:.2f}); paper bound O(n^2 + n s)")
+    result.note(
+        f"best fit ~ {scale:.1f} * {curve} (rmse {rmse:.2f}); paper bound O(n^2 + n s)"
+    )
     return result
 
 
@@ -401,7 +421,9 @@ def experiment_f4_selfstab(
             mean(r_rounds), mean(r_moves),
         )
     result.note("detect latency 0 = alarm raised by the very first sweep (one round)")
-    result.note("guarded work scales with fault size; global reset pays Theta(n) always")
+    result.note(
+        "guarded work scales with fault size; global reset pays Theta(n) always"
+    )
     return result
 
 
@@ -672,7 +694,14 @@ def experiment_t4_verification_cost(
     rng = rng or make_rng(606)
     result = ExperimentResult(
         experiment="T4: verification communication cost",
-        headers=("scheme", "rounds", "messages", "total bits", "bits/edge", "proof bits"),
+        headers=(
+            "scheme",
+            "rounds",
+            "messages",
+            "total bits",
+            "bits/edge",
+            "proof bits",
+        ),
     )
     for spec in catalog.specs(kind="exact"):
         if spec.radius != 1:
@@ -905,15 +934,38 @@ def experiment_f5_idspace(
     for domain in domains:
         language = AgreementLanguage(domain=domain)
         scheme = AgreementScheme(language)
-        config = scheme.language.member_configuration(graph, rng=spawn(rng, domain % 1009))
-        result.add(scheme.name, domain, round(math.log2(domain), 1), scheme.proof_size_bits(config))
+        config = scheme.language.member_configuration(
+            graph, rng=spawn(rng, domain % 1009)
+        )
+        result.add(
+            scheme.name,
+            domain,
+            round(math.log2(domain), 1),
+            scheme.proof_size_bits(config),
+        )
     for universe in universes:
         scheme_st = catalog.build("spanning-tree-ptr")
         ids = random_ids(list(graph.nodes), universe, spawn(rng, universe % 2011))
-        config = scheme_st.language.member_configuration(graph, ids=ids, rng=spawn(rng, 5))
-        result.add(scheme_st.name, universe, round(math.log2(universe), 1), scheme_st.proof_size_bits(config))
+        config = scheme_st.language.member_configuration(
+            graph, ids=ids, rng=spawn(rng, 5)
+        )
+        result.add(
+            scheme_st.name,
+            universe,
+            round(math.log2(universe), 1),
+            scheme_st.proof_size_bits(config),
+        )
         scheme_ld = catalog.build("leader")
-        config = scheme_ld.language.member_configuration(graph, ids=ids, rng=spawn(rng, 6))
-        result.add(scheme_ld.name, universe, round(math.log2(universe), 1), scheme_ld.proof_size_bits(config))
-    result.note("agreement proof size ~ value bits; tree schemes ~ log(universe) for the root id")
+        config = scheme_ld.language.member_configuration(
+            graph, ids=ids, rng=spawn(rng, 6)
+        )
+        result.add(
+            scheme_ld.name,
+            universe,
+            round(math.log2(universe), 1),
+            scheme_ld.proof_size_bits(config),
+        )
+    result.note(
+        "agreement proof size ~ value bits; tree schemes ~ log(universe) for the root id"
+    )
     return result

@@ -141,6 +141,7 @@ _EPS_PARAM = ParamSpec(
     alpha=2.0,
     params=(_EPS_PARAM,),
     batch=True,
+    generate=True,
 )
 def _build_dominating_set(graph, rng, *, eps=1.0):
     # Budget from the deterministic greedy order, which the language's
@@ -163,6 +164,7 @@ def _build_dominating_set(graph, rng, *, eps=1.0):
     alpha=2.0,
     params=(_EPS_PARAM,),
     batch=True,
+    generate=True,
 )
 def _build_tree_weight(graph, rng, *, eps=1.0):
     if not graph.is_weighted:

@@ -116,7 +116,9 @@ class GapTreeWeightLanguage(GapLanguage):
         # Prefer the interesting far side: a genuine spanning tree that
         # is α-overweight (the maximum spanning tree, if heavy enough).
         if graph.is_weighted:
-            heavy = kruskal(graph.with_weights({e: -graph.weight(*e) for e in graph.edges()}))
+            heavy = kruskal(
+                graph.with_weights({e: -graph.weight(*e) for e in graph.edges()})
+            )
             if mst_weight(graph, heavy) > self.alpha * self.budget:
                 root = rng.randrange(graph.n)
                 pointers = pointers_from_tree(graph, heavy, root)

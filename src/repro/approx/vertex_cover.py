@@ -158,7 +158,9 @@ class ApproxVertexCoverScheme(ApproxScheme):
     def prove(self, config: Configuration) -> dict[int, Any]:
         graph = config.graph
         marked = {
-            v for v in graph.nodes if isinstance(config.state(v), bool) and config.state(v)
+            v
+            for v in graph.nodes
+            if isinstance(config.state(v), bool) and config.state(v)
         }
         partner = _saturating_matching(graph, marked) or {}
         certs: dict[int, Any] = {}

@@ -405,9 +405,11 @@ def _describe(spec) -> str:
     )
     es = catalog.error_sensitivity_label(spec.error_sensitive)
     batch = "yes" if spec.batch else "no"
+    gen = "yes" if spec.generate else "no"
     return (
         f"kind={spec.kind:<9} alpha={alpha:<5} params={params:<9} "
-        f"es={es:<3} batch={batch:<3} bound={spec.size_bound:<44} "
+        f"es={es:<3} batch={batch:<3} gen={gen:<3} "
+        f"bound={spec.size_bound:<44} "
         f"visibility={spec.visibility.value:<4} {spec.summary}"
     )
 
@@ -584,7 +586,9 @@ def _cmd_profile(args) -> int:
         seed=args.seed,
     ) as metrics:
         with _obs.span("certify", scheme=args.scheme):
-            certificates = scheme.prove(config)
+            from repro.core.batch import batch_prove
+
+            certificates = batch_prove(scheme, config)
             verdict = scheme.run(config, certificates)
         with _obs.span("message-path", scheme=args.scheme):
             message_verdict, _ = distributed_verification(

@@ -78,6 +78,14 @@ class ArrayLabeling:
         return cls(n, {field: column})
 
     @classmethod
+    def from_column(
+        cls, column: np.ndarray, field: str = "state"
+    ) -> "ArrayLabeling":
+        """Wrap an already-built column — the bulk constructor the
+        vectorized marker kernels emit into (no per-node conversion)."""
+        return cls(int(column.shape[0]), {field: column})
+
+    @classmethod
     def from_fields(
         cls, n: int, fields: Mapping[str, Mapping[int, Any]]
     ) -> "ArrayLabeling":

@@ -30,6 +30,19 @@ with an overridden ``verify`` must register itself) in
 dispatch to keep ``repro.core`` import-cycle-free.  numpy itself is
 optional at import time: without it every scheme simply reports
 ``supports_batch() == False`` and verification stays on the dict path.
+
+The *generation* side mirrors the same design.  Marker kernels
+(vectorized ``canonical_labeling`` per concrete language type) and
+prover kernels (vectorized ``prove`` per concrete scheme type) register
+in :mod:`repro.core.batch_markers` under the same ``(module, qualname)``
+exact-class dispatch, and the dict path stays the oracle: a marker
+kernel must reproduce the canonical labeling — and the rng stream
+position, and any exception — bit for bit, and a prover kernel must
+return exactly ``scheme.prove``'s certificates (pinned by
+``tests/core/test_batch_generation.py``).  One extra contract keeps the
+fallback sound: a marker kernel may raise :class:`BatchFallback` only
+*before* consuming ``rng`` (the fallback reruns the dict path on the
+same generator); prover kernels take no rng and may fall back freely.
 """
 
 from __future__ import annotations
@@ -44,9 +57,13 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
 from repro.obs import metrics as _metrics
 
 if TYPE_CHECKING:  # typing only; runtime import happens lazily below
+    import random
+
     from repro.core.labeling import Configuration
+    from repro.core.language import DistributedLanguage
     from repro.core.scheme import ProofLabelingScheme
     from repro.core.verifier import Verdict
+    from repro.graphs.graph import Graph
 
 __all__ = [
     "BatchContext",
@@ -54,8 +71,15 @@ __all__ = [
     "ObjectCodes",
     "batch_decide",
     "batch_decider",
+    "batch_marker",
+    "batch_prove",
+    "batch_prover",
     "batch_verdict",
     "supports_batch",
+    "supports_batch_marker",
+    "supports_batch_prove",
+    "try_batch_member_configuration",
+    "try_batch_prove",
     "try_batch_verdict",
 ]
 
@@ -219,6 +243,163 @@ def supports_batch(scheme: "ProofLabelingScheme") -> bool:
 
 
 # ---------------------------------------------------------------------------
+# The generation registries: batched markers and provers.
+# ---------------------------------------------------------------------------
+
+#: ``(module, qualname)`` of a *language* class -> marker kernel
+#: ``(language, graph, ids, rng) -> ArrayLabeling``.
+_MARKERS: dict[tuple[str, str], Callable[..., Any]] = {}
+#: ``(module, qualname)`` of a *scheme* class -> prover kernel
+#: ``(scheme, config) -> dict[int, Any]``.
+_PROVERS: dict[tuple[str, str], Callable[..., Any]] = {}
+_generators_loaded = False
+
+
+def batch_marker(*class_paths: tuple[str, str]):
+    """Register a marker kernel for the named concrete language classes.
+
+    A marker kernel computes the language's ``canonical_labeling`` as an
+    :class:`~repro.core.arrays.ArrayLabeling` — same values, same rng
+    consumption, same exceptions as the dict path, node for node.  It
+    may raise :class:`BatchFallback` only *before* consuming ``rng``
+    (the dispatcher reruns the dict path on the same generator), and on
+    success its labeling must be a member by construction: the batched
+    path skips ``is_member``, which is where the large-n win lives.
+    Dispatch is by exact class identity, as with deciders: a subclass
+    that changes ``canonical_labeling`` must not inherit a kernel for
+    the wrong distribution.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        for path in class_paths:
+            _MARKERS[path] = fn
+        return fn
+
+    return decorate
+
+
+def batch_prover(*class_paths: tuple[str, str]):
+    """Register a prover kernel for the named concrete scheme classes.
+
+    A prover kernel returns exactly ``scheme.prove(config)``'s
+    certificate dict (total, best-effort off-language, same values on
+    junk states).  It takes no rng, so it may raise
+    :class:`BatchFallback` at any point; the dispatcher reruns the dict
+    prover.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        for path in class_paths:
+            _PROVERS[path] = fn
+        return fn
+
+    return decorate
+
+
+def _ensure_generators() -> None:
+    global _generators_loaded
+    if _generators_loaded:
+        return
+    _generators_loaded = True
+    try:
+        import repro.core.batch_markers  # noqa: F401
+    except BaseException:
+        _generators_loaded = False
+        raise
+
+
+def marker_for(language: "DistributedLanguage") -> Callable[..., Any] | None:
+    if np is None:
+        return None
+    _ensure_generators()
+    cls = type(language)
+    return _MARKERS.get((cls.__module__, cls.__qualname__))
+
+
+def prover_for(scheme: "ProofLabelingScheme") -> Callable[..., Any] | None:
+    if np is None:
+        return None
+    _ensure_generators()
+    cls = type(scheme)
+    return _PROVERS.get((cls.__module__, cls.__qualname__))
+
+
+def supports_batch_marker(language: "DistributedLanguage") -> bool:
+    """True when ``language`` has a registered vectorized marker."""
+    return marker_for(language) is not None
+
+
+def supports_batch_prove(scheme: "ProofLabelingScheme") -> bool:
+    """True when ``scheme`` has a registered vectorized prover."""
+    return prover_for(scheme) is not None
+
+
+def try_batch_member_configuration(
+    language: "DistributedLanguage",
+    graph: "Graph",
+    ids: dict[int, int] | None = None,
+    rng: "random.Random | None" = None,
+) -> "Configuration | None":
+    """A batch-generated member configuration, or ``None`` to fall back.
+
+    ``None`` means "run the dict marker": no kernel for this language
+    type, or the kernel declined before touching ``rng``
+    (:class:`BatchFallback`).  On success the configuration is identical
+    to the dict path's — same labeling, same ids, same rng stream
+    position — but the ``is_member`` re-check is skipped: kernels are
+    member-by-construction, pinned against the oracle by the generation
+    equivalence tests.  Charges ``generate.batch``/``.nodes``; a decline
+    charges ``generate.batch.fallbacks``.
+    """
+    fn = marker_for(language)
+    if fn is None:
+        return None
+    try:
+        arrays = fn(language, graph, ids, rng)
+    except BatchFallback:
+        _metrics.inc("generate.batch.fallbacks")
+        return None
+    from repro.core.labeling import Configuration
+
+    config = Configuration.build(graph, arrays.to_labeling(), ids=ids)
+    _metrics.inc("generate.batch")
+    _metrics.inc("generate.batch.nodes", graph.n)
+    return config
+
+
+def try_batch_prove(
+    scheme: "ProofLabelingScheme", config: "Configuration"
+) -> "dict[int, Any] | None":
+    """Batched honest certificates, or ``None`` to use the dict prover.
+
+    On success the dict is value-identical to ``scheme.prove(config)``.
+    Charges ``prove.batch``/``.nodes``; declines charge
+    ``prove.batch.fallbacks``.
+    """
+    fn = prover_for(scheme)
+    if fn is None:
+        return None
+    try:
+        certificates = fn(scheme, config)
+    except BatchFallback:
+        _metrics.inc("prove.batch.fallbacks")
+        return None
+    _metrics.inc("prove.batch")
+    _metrics.inc("prove.batch.nodes", config.graph.n)
+    return certificates
+
+
+def batch_prove(
+    scheme: "ProofLabelingScheme", config: "Configuration"
+) -> "dict[int, Any]":
+    """Honest certificates with automatic dict fallback (always answers)."""
+    certificates = try_batch_prove(scheme, config)
+    if certificates is not None:
+        return certificates
+    return scheme.prove(config)
+
+
+# ---------------------------------------------------------------------------
 # Entry points.
 # ---------------------------------------------------------------------------
 
@@ -293,7 +474,7 @@ def batch_decide(
     if np is None:
         raise RuntimeError("batch_decide needs numpy; install it or use decide()")
     if certificates is None:
-        certificates = scheme.prove(config)
+        certificates = batch_prove(scheme, config)
     verdict = batch_verdict(scheme, config, certificates)
     mask = np.zeros(config.graph.n, dtype=bool)
     if verdict.accepts:

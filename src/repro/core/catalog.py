@@ -176,6 +176,8 @@ class SchemeSpec:
     #: Declared batch capability; ``None`` probes the built scheme on
     #: first access (graph-fitted specs must declare to opt in).
     batch_declared: bool | None = field(default=None, repr=False)
+    #: Declared vectorized-marker capability; same probing rules.
+    generate_declared: bool | None = field(default=None, repr=False)
 
     @property
     def batch(self) -> bool:
@@ -195,11 +197,33 @@ class SchemeSpec:
             else:
                 from repro.core.batch import supports_batch
 
-                defaults = {p.name: p.default for p in self.params}
-                probe = self.builder(None, make_rng(0), **defaults)
+                probe = self._probe()
                 cached = supports_batch(probe)
             object.__setattr__(self, "_batch_cache", cached)
         return cached
+
+    @property
+    def generate(self) -> bool:
+        """True when this spec's language *generates* on the array path —
+        a vectorized marker kernel is registered for it (same lazy
+        probing discipline as :attr:`batch`)."""
+        cached = getattr(self, "_generate_cache", None)
+        if cached is None:
+            if self.generate_declared is not None:
+                cached = self.generate_declared
+            elif self.graph_fitted:
+                cached = False
+            else:
+                from repro.core.batch import supports_batch_marker
+
+                probe = self._probe()
+                cached = supports_batch_marker(probe.language)
+            object.__setattr__(self, "_generate_cache", cached)
+        return cached
+
+    def _probe(self):
+        defaults = {p.name: p.default for p in self.params}
+        return self.builder(None, make_rng(0), **defaults)
 
     # -- parameters ---------------------------------------------------------
 
@@ -243,6 +267,7 @@ class SchemeSpec:
             "graph_fitted": self.graph_fitted,
             "error_sensitive": error_sensitivity_label(self.error_sensitive),
             "batch": self.batch,
+            "generate": self.generate,
             "params": [
                 {
                     "name": p.name,
@@ -335,6 +360,7 @@ def register_scheme(
     alpha: float | None = None,
     error_sensitive: bool | None = None,
     batch: bool | None = None,
+    generate: bool | None = None,
 ):
     """Decorator registering ``builder(graph, rng, **params)`` as a spec.
 
@@ -394,6 +420,7 @@ def register_scheme(
             params=tuple(params),
             sampler=sampler,
             batch_declared=batch,
+            generate_declared=generate,
         )
         return builder
 

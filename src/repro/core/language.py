@@ -104,9 +104,36 @@ class DistributedLanguage(ABC):
         graph: Graph,
         ids: dict[int, int] | None = None,
         rng: random.Random | None = None,
+        backend: str = "auto",
     ) -> Configuration:
-        """A legal configuration on ``graph`` (canonical labeling)."""
+        """A legal configuration on ``graph`` (canonical labeling).
+
+        ``backend`` picks the marker implementation: ``"auto"`` (the
+        default) takes the vectorized kernel from
+        :mod:`repro.core.batch` when one is registered for this language
+        type and numpy is importable, falling back to the per-node dict
+        canonical otherwise; ``"array"`` requires the kernel (raises
+        :class:`~repro.errors.LanguageError` when there is none);
+        ``"views"`` forces the dict path, which is the semantic oracle
+        the kernels are pinned against.  All three return the same
+        configuration from the same ``rng`` stream.
+        """
+        if backend not in ("auto", "array", "views"):
+            raise LanguageError(
+                f"{self.name}: unknown marker backend {backend!r}"
+            )
         rng = rng or make_rng()
+        if backend != "views":
+            from repro.core.batch import try_batch_member_configuration
+
+            config = try_batch_member_configuration(self, graph, ids=ids, rng=rng)
+            if config is not None:
+                return config
+            if backend == "array":
+                raise LanguageError(
+                    f"{self.name}: no vectorized marker registered "
+                    "(backend='array')"
+                )
         labeling = self.canonical_labeling(graph, ids=ids, rng=rng)
         config = Configuration.build(graph, labeling, ids=ids)
         if not self.is_member(config):

@@ -49,7 +49,9 @@ class CertificateAssignment(Mapping[int, Any]):
     assignment.
     """
 
-    def __init__(self, certificates: Mapping[int, Any], scheme: "ProofLabelingScheme") -> None:
+    def __init__(
+        self, certificates: Mapping[int, Any], scheme: "ProofLabelingScheme"
+    ) -> None:
         self._certs = dict(certificates)
         self._scheme = scheme
 
@@ -119,7 +121,9 @@ class ProofLabelingScheme(ABC):
     # -- running ------------------------------------------------------------
 
     def assignment(self, config: Configuration) -> CertificateAssignment:
-        certs = self.prove(config)
+        from repro.core.batch import batch_prove
+
+        certs = batch_prove(self, config)
         missing = [v for v in config.graph.nodes if v not in certs]
         if missing:
             raise SchemeError(f"{self.name}: prover skipped nodes {missing[:5]}")
@@ -137,8 +141,10 @@ class ProofLabelingScheme(ABC):
         that re-verify many related assignments reuse prebuilt views.
         """
         if certificates is None:
+            from repro.core.batch import batch_prove
+
             with _metrics.span("prove", scheme=self.name):
-                certificates = self.prove(config)
+                certificates = batch_prove(self, config)
         with _metrics.span("decide", scheme=self.name):
             return decide(
                 self.verify,

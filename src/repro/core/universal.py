@@ -99,7 +99,11 @@ class UniversalScheme(ProofLabelingScheme):
         if not (isinstance(cert, tuple) and len(cert) == 5 and cert[0] == _MAGIC):
             return False
         _, uids, rows, states, weights = cert
-        if not (isinstance(uids, tuple) and isinstance(rows, tuple) and isinstance(states, tuple)):
+        if not (
+            isinstance(uids, tuple)
+            and isinstance(rows, tuple)
+            and isinstance(states, tuple)
+        ):
             return False
         if not (len(uids) == len(rows) == len(states)):
             return False

@@ -1,5 +1,11 @@
 """Graph substrate: graph type, generators, traversal, subgraph encodings,
-and reference MST algorithms."""
+and reference MST algorithms.
+
+The array side of the substrate — ``Graph.csr()``'s :class:`CSRGraph`
+mirror and the frontier-BFS kernels of
+:mod:`repro.graphs.traversal_arrays` — needs numpy, so those names load
+lazily: importing :mod:`repro.graphs` alone never imports numpy.
+"""
 
 from repro.graphs.graph import Edge, Graph, edge_key
 from repro.graphs.generators import (
@@ -67,4 +73,18 @@ __all__ = [
     "star_graph",
     "torus_graph",
     "weighted_copy",
+    # lazily loaded (numpy): see __getattr__ below
+    "bfs_arrays",
+    "bfs_arrays_indexed",
+    "pointer_depths",
 ]
+
+_ARRAY_TRAVERSAL = ("bfs_arrays", "bfs_arrays_indexed", "pointer_depths")
+
+
+def __getattr__(name: str):
+    if name in _ARRAY_TRAVERSAL:
+        from repro.graphs import traversal_arrays
+
+        return getattr(traversal_arrays, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

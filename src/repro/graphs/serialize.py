@@ -101,7 +101,9 @@ def graph_from_obj(obj: Any) -> Graph:
     try:
         return Graph(n, edges, weights)
     except Exception as error:
-        raise CanonicalError(f"graph object does not describe a graph: {error}") from None
+        raise CanonicalError(
+            f"graph object does not describe a graph: {error}"
+        ) from None
 
 
 def graph_canonical_bytes(graph: Graph) -> bytes:

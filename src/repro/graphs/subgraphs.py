@@ -115,7 +115,9 @@ def pointer_structure(pointers: Mapping[int, int | None]) -> PointerStructure:
     return PointerStructure(pointers)
 
 
-def pointers_form_spanning_tree(graph: Graph, pointers: Mapping[int, int | None]) -> bool:
+def pointers_form_spanning_tree(
+    graph: Graph, pointers: Mapping[int, int | None]
+) -> bool:
     """Do the pointers encode a spanning tree of ``graph``?
 
     Requires well-formed pointers, exactly one root, no pointer cycles,
@@ -129,7 +131,9 @@ def pointers_form_spanning_tree(graph: Graph, pointers: Mapping[int, int | None]
     return len(structure.depth) == graph.n
 
 
-def pointers_from_tree(graph: Graph, tree_edges: Iterable[Edge], root: int) -> dict[int, int | None]:
+def pointers_from_tree(
+    graph: Graph, tree_edges: Iterable[Edge], root: int
+) -> dict[int, int | None]:
     """Orient a spanning tree's edges toward ``root`` as parent pointers."""
     edges = {edge_key(u, v) for u, v in tree_edges}
     if not is_spanning_tree_edges(graph, edges):
@@ -144,7 +148,9 @@ def pointers_from_tree(graph: Graph, tree_edges: Iterable[Edge], root: int) -> d
 # ---------------------------------------------------------------------------
 
 
-def lists_are_consistent(graph: Graph, lists: Mapping[int, frozenset[int] | set[int]]) -> bool:
+def lists_are_consistent(
+    graph: Graph, lists: Mapping[int, frozenset[int] | set[int]]
+) -> bool:
     """Well-formed and symmetric: listed nodes are neighbors, mutually."""
     for v in graph.nodes:
         if v not in lists:
@@ -178,7 +184,9 @@ def lists_from_edges(graph: Graph, edges: Iterable[Edge]) -> dict[int, frozenset
     return {v: frozenset(s) for v, s in listed.items()}
 
 
-def forest_from_lists(graph: Graph, lists: Mapping[int, frozenset[int]]) -> set[Edge] | None:
+def forest_from_lists(
+    graph: Graph, lists: Mapping[int, frozenset[int]]
+) -> set[Edge] | None:
     """The encoded edge set if it is a consistent forest, else ``None``."""
     if not lists_are_consistent(graph, lists):
         return None

@@ -42,7 +42,9 @@ def distinct_random_weights(
     return dict(zip(graph.edges(), values))
 
 
-def index_weights(graph: Graph, shuffle: random.Random | None = None) -> dict[Edge, int]:
+def index_weights(
+    graph: Graph, shuffle: random.Random | None = None
+) -> dict[Edge, int]:
     """Weights ``1..m`` in (optionally shuffled) edge order — always distinct."""
     values = list(range(1, graph.num_edges + 1))
     if shuffle is not None:

@@ -92,7 +92,9 @@ def pointer_cycle_attack(n: int, bits: int) -> FoolingResult:
     return FoolingResult(config, certificates, verdict, illegal)
 
 
-def two_root_path_attack(n: int, bits: int, universe: int | None = None) -> FoolingResult:
+def two_root_path_attack(
+    n: int, bits: int, universe: int | None = None
+) -> FoolingResult:
     """Two-root path splice against the lax ``b``-bit scheme.
 
     Take ``P_n`` with the left half pointing left (toward node 0) and the

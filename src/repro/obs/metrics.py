@@ -498,7 +498,9 @@ def _reset_for_tests(hard: bool = False) -> None:
             _ROOT.spans.clear()
 
 
-def instrumented(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> tuple[Any, MetricsCollector]:
+def instrumented(
+    fn: Callable[..., Any], *args: Any, **kwargs: Any
+) -> tuple[Any, MetricsCollector]:
     """Run ``fn`` under a fresh scope; return (result, collector)."""
     with collect(name=getattr(fn, "__name__", "call")) as metrics:
         result = fn(*args, **kwargs)

@@ -175,6 +175,7 @@ _register_exact("vertex-cover", VertexCoverScheme,
     visibility=Visibility.KKP,
     radius=1,
     weighted=False,
+    generate=True,
     params=(
         ParamSpec(
             "bound",

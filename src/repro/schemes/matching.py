@@ -27,7 +27,9 @@ from repro.graphs.graph import Graph
 __all__ = ["MatchingLanguage", "MatchingScheme", "greedy_matching"]
 
 
-def greedy_matching(graph: Graph, rng: random.Random | None = None) -> dict[int, int | None]:
+def greedy_matching(
+    graph: Graph, rng: random.Random | None = None
+) -> dict[int, int | None]:
     """A (maximal) greedy matching as a node -> partner-node map."""
     order = list(graph.edges())
     if rng is not None:

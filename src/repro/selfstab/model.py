@@ -24,7 +24,12 @@ from repro.errors import SimulationError
 from repro.local.algorithm import NodeContext
 from repro.local.network import Network
 
-__all__ = ["SelfStabProtocol", "StabilizationTrace", "run_until_silent", "synchronous_round"]
+__all__ = [
+    "SelfStabProtocol",
+    "StabilizationTrace",
+    "run_until_silent",
+    "synchronous_round",
+]
 
 
 class SelfStabProtocol(ABC):

@@ -40,7 +40,11 @@ class MaxRootBfsProtocol(SelfStabProtocol):
 
     def random_state(self, ctx: NodeContext, rng: random.Random) -> Any:
         root = rng.randrange(1, 4 * max(2, ctx.n))
-        parent = None if ctx.degree == 0 or rng.random() < 0.3 else rng.randrange(ctx.degree)
+        parent = (
+            None
+            if ctx.degree == 0 or rng.random() < 0.3
+            else rng.randrange(ctx.degree)
+        )
         dist = rng.randrange(2 * max(1, ctx.n))
         return (root, parent, dist)
 

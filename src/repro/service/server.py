@@ -194,7 +194,9 @@ def _execute(envelope: ProofEnvelope, timings: dict[str, float]) -> dict[str, An
     certificates = envelope.certificates
     if certificates is None:
         with _stage(timings, "prove"):
-            certificates = scheme.prove(config)
+            from repro.core.batch import batch_prove
+
+            certificates = batch_prove(scheme, config)
     with _stage(timings, "decide"):
         from repro.core.batch import try_batch_verdict
 
@@ -598,7 +600,9 @@ def build_envelope(
         raise ServiceError(
             f"no member configuration on this graph: {error}"
         ) from None
-    certificates = dict(scheme.prove(member)) if honest_certificates else None
+    from repro.core.batch import batch_prove
+
+    certificates = dict(batch_prove(scheme, member)) if honest_certificates else None
     labeling = member.labeling
     if corrupt:
         labeling = labeling.corrupted(

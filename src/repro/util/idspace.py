@@ -41,7 +41,9 @@ def contiguous_ids(nodes: Sequence[int]) -> dict[int, int]:
     return {node: index + 1 for index, node in enumerate(nodes)}
 
 
-def permuted_ids(nodes: Sequence[int], rng: random.Random | None = None) -> dict[int, int]:
+def permuted_ids(
+    nodes: Sequence[int], rng: random.Random | None = None
+) -> dict[int, int]:
     """Assign a uniformly random permutation of ``1..n``."""
     rng = rng or make_rng()
     ids = list(range(1, len(nodes) + 1))
@@ -70,7 +72,9 @@ def adversarial_ids(nodes: Sequence[int], universe: int) -> dict[int, int]:
     return {node: universe - n + 1 + index for index, node in enumerate(nodes)}
 
 
-def validate_ids(nodes: Sequence[int], ids: Mapping[int, int], universe: int | None = None) -> None:
+def validate_ids(
+    nodes: Sequence[int], ids: Mapping[int, int], universe: int | None = None
+) -> None:
     """Check that ``ids`` is a distinct assignment covering ``nodes``.
 
     Raises :class:`~repro.errors.IdentityError` on any violation.

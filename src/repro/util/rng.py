@@ -53,6 +53,8 @@ def shuffled(rng: random.Random, items: Iterable[T]) -> list[T]:
     return result
 
 
-def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
+def weighted_choice(
+    rng: random.Random, items: Sequence[T], weights: Sequence[float]
+) -> T:
     """Choose one item with the given (non-normalised) weights."""
     return rng.choices(list(items), weights=list(weights), k=1)[0]

@@ -50,7 +50,9 @@ class TestFloodMax:
 
 
 class TestDistributedBfs:
-    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
     @given(seed=st.integers(min_value=0, max_value=10**6))
     def test_matches_central_bfs(self, seed):
         rng = make_rng(seed)

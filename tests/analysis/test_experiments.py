@@ -44,7 +44,9 @@ class TestExperimentsRun:
         assert any("best-fit" in n for n in result.notes)
 
     def test_t2(self):
-        result = experiment_t2_soundness(n=8, corruption_levels=(1,), trials=10, rng=make_rng(2))
+        result = experiment_t2_soundness(
+            n=8, corruption_levels=(1,), trials=10, rng=make_rng(2)
+        )
         assert result.rows
         fooled_column = [row[3] for row in result.rows if row[3] != "-"]
         assert all(f is False for f in fooled_column)

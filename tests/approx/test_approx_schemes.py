@@ -82,7 +82,9 @@ class TestGapSoundness:
     def test_diameter_adversary_never_fools(self):
         lang = GapDiameterLanguage(2)
         bad = lang.no_configuration(path_graph(12), rng=make_rng(0))
-        outcome = gap_attack(ApproxDiameterScheme(lang), bad, rng=make_rng(1), trials=40)
+        outcome = gap_attack(
+            ApproxDiameterScheme(lang), bad, rng=make_rng(1), trials=40
+        )
         assert not outcome.fooled
 
     def test_oversized_dominating_set_rejected(self):

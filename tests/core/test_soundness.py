@@ -29,7 +29,9 @@ class TestCompleteness:
 
     def test_requires_member(self):
         scheme = LeaderScheme()
-        bad = scheme.language.corrupted_configuration(cycle_graph(6), 1, rng=make_rng(2))
+        bad = scheme.language.corrupted_configuration(
+            cycle_graph(6), 1, rng=make_rng(2)
+        )
         with pytest.raises(SchemeError):
             completeness_holds(scheme, bad)
 
@@ -61,7 +63,9 @@ class TestPool:
     def test_harvest_dedupes(self):
         scheme = AgreementScheme()
         config = scheme.language.member_configuration(path_graph(5), rng=make_rng(0))
-        pool = harvest_pool(scheme, [config, config], rng=make_rng(1), mutations_per_cert=0)
+        pool = harvest_pool(
+            scheme, [config, config], rng=make_rng(1), mutations_per_cert=0
+        )
         # All nodes share the same agreement value: one unique certificate.
         assert len(pool) == 1
 

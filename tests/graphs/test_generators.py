@@ -107,7 +107,10 @@ class TestDeterministicFamilies:
 
 class TestRandomFamilies:
     @settings(max_examples=30, deadline=None)
-    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=0, max_value=2**32))
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=0, max_value=2**32),
+    )
     def test_random_tree_is_tree(self, n, seed):
         g = random_tree(n, make_rng(seed))
         assert g.n == n

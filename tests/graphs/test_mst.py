@@ -44,7 +44,10 @@ class TestUnionFind:
 
 class TestMstAlgorithms:
     @settings(max_examples=30, deadline=None)
-    @given(st.integers(min_value=2, max_value=25), st.integers(min_value=0, max_value=10**6))
+    @given(
+        st.integers(min_value=2, max_value=25),
+        st.integers(min_value=0, max_value=10**6),
+    )
     def test_kruskal_prim_boruvka_agree(self, n, seed):
         rng = make_rng(seed)
         g = weighted_copy(connected_gnp(n, 0.35, rng), rng)
@@ -53,7 +56,10 @@ class TestMstAlgorithms:
         assert k == boruvka_trace(g).mst_edges
 
     @settings(max_examples=25, deadline=None)
-    @given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=10**6))
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=0, max_value=10**6),
+    )
     def test_weight_matches_networkx(self, n, seed):
         rng = make_rng(seed)
         g = weighted_copy(connected_gnp(n, 0.4, rng), rng)
@@ -95,7 +101,10 @@ class TestMstAlgorithms:
 
 class TestBoruvkaTrace:
     @settings(max_examples=25, deadline=None)
-    @given(st.integers(min_value=2, max_value=32), st.integers(min_value=0, max_value=10**6))
+    @given(
+        st.integers(min_value=2, max_value=32),
+        st.integers(min_value=0, max_value=10**6),
+    )
     def test_phase_count_bound(self, n, seed):
         rng = make_rng(seed)
         g = weighted_copy(connected_gnp(n, 0.3, rng), rng)

@@ -58,7 +58,10 @@ class TestPointerStructure:
         assert s.on_cycle == {0, 1, 2, 3}
 
     @settings(max_examples=30, deadline=None)
-    @given(st.integers(min_value=1, max_value=25), st.integers(min_value=0, max_value=10**6))
+    @given(
+        st.integers(min_value=1, max_value=25),
+        st.integers(min_value=0, max_value=10**6),
+    )
     def test_depth_parent_relation(self, n, seed):
         rng = make_rng(seed)
         pointers = {

@@ -34,7 +34,10 @@ class TestBfs:
         assert parent[4] == 3
 
     @settings(max_examples=25, deadline=None)
-    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=10**6))
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=0, max_value=10**6),
+    )
     def test_matches_networkx(self, n, seed):
         g = connected_gnp(n, 0.25, make_rng(seed))
         dist, _ = bfs(g, 0)
@@ -78,7 +81,10 @@ class TestDistanceMetrics:
             eccentricity(Graph(3, [(0, 1)]), 0)
 
     @settings(max_examples=20, deadline=None)
-    @given(st.integers(min_value=2, max_value=25), st.integers(min_value=0, max_value=10**6))
+    @given(
+        st.integers(min_value=2, max_value=25),
+        st.integers(min_value=0, max_value=10**6),
+    )
     def test_diameter_matches_networkx(self, n, seed):
         g = connected_gnp(n, 0.3, make_rng(seed))
         assert diameter(g) == nx.diameter(g.to_networkx())

@@ -96,7 +96,11 @@ class TestInjectedRegression:
         cell = bench.measure_cell(name, n)
         assert cell["views.built"] == 2 * committed["schemes"][name][str(n)]
         failures = bench.compare(
-            {**committed, "sizes": [n], "schemes": {name: {str(n): committed["schemes"][name][str(n)]}}},
+            {
+                **committed,
+                "sizes": [n],
+                "schemes": {name: {str(n): committed["schemes"][name][str(n)]}},
+            },
             {name: {str(n): cell["views.built"]}},
         )
         assert len(failures) == 1
@@ -107,7 +111,10 @@ class TestInjectedRegression:
         name, n = "leader", 16
         cell = bench.measure_cell(name, n)
         failures = bench.compare(
-            {**committed, "schemes": {name: {str(n): committed["schemes"][name][str(n)]}}},
+            {
+                **committed,
+                "schemes": {name: {str(n): committed["schemes"][name][str(n)]}},
+            },
             {name: {str(n): cell["views.built"]}},
         )
         assert failures == []

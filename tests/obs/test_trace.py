@@ -92,7 +92,13 @@ class TestSchema:
     def test_metrics_counters_must_be_mapping(self):
         with pytest.raises(ValueError, match="mapping"):
             validate_record(
-                {"type": "metrics", "scope": "s", "labels": {}, "counters": 3, "spans": {}}
+                {
+                    "type": "metrics",
+                    "scope": "s",
+                    "labels": {},
+                    "counters": 3,
+                    "spans": {},
+                }
             )
 
     def test_every_declared_type_has_fields(self):

@@ -50,7 +50,9 @@ class TestLanguage:
 class TestScheme:
     def test_completeness(self, rng):
         scheme = AgreementScheme()
-        config = scheme.language.member_configuration(connected_gnp(10, 0.3, rng), rng=rng)
+        config = scheme.language.member_configuration(
+            connected_gnp(10, 0.3, rng), rng=rng
+        )
         assert completeness_holds(scheme, config)
 
     def test_single_disagreeing_node_detected(self):

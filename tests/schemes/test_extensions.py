@@ -40,7 +40,9 @@ class TestVertexCover:
 
     def test_completeness(self, rng):
         scheme = VertexCoverScheme()
-        config = scheme.language.member_configuration(connected_gnp(10, 0.3, rng), rng=rng)
+        config = scheme.language.member_configuration(
+            connected_gnp(10, 0.3, rng), rng=rng
+        )
         assert completeness_holds(scheme, config)
 
     def test_uncovered_edge_detected_at_both_ends(self):

@@ -126,7 +126,8 @@ class TestMstSchemeSoundness:
             if entry[3] is None:
                 return cert
             w, a, b = entry[3]
-            forged_entry = (entry[0], entry[1], entry[2], (w + 1000, a, b), entry[4], entry[5])
+            bumped = (w + 1000, a, b)
+            forged_entry = (entry[0], entry[1], entry[2], bumped, entry[4], entry[5])
             return (tag, root_uid, dist, echo, (forged_entry,) + phases[1:])
 
         forged = {v: forge(c) for v, c in certs.items()}

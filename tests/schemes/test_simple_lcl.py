@@ -56,7 +56,9 @@ class TestColoring:
 
     def test_echo_scheme_completeness(self, rng):
         scheme = ColoringEchoScheme()
-        config = scheme.language.member_configuration(connected_gnp(10, 0.3, rng), rng=rng)
+        config = scheme.language.member_configuration(
+            connected_gnp(10, 0.3, rng), rng=rng
+        )
         assert completeness_holds(scheme, config)
 
     def test_full_scheme_zero_bits(self, rng):
@@ -115,7 +117,9 @@ class TestBipartite:
 class TestIndependentSet:
     def test_membership(self):
         lang = IndependentSetLanguage()
-        good = Configuration.build(path_graph(4), {0: True, 1: False, 2: True, 3: False})
+        good = Configuration.build(
+            path_graph(4), {0: True, 1: False, 2: True, 3: False}
+        )
         bad = Configuration.build(path_graph(4), {0: True, 1: True, 2: False, 3: False})
         assert lang.is_member(good)
         assert not lang.is_member(bad)
@@ -152,7 +156,9 @@ class TestIndependentSet:
 class TestDominatingSet:
     def test_membership(self):
         lang = DominatingSetLanguage()
-        good = Configuration.build(star_graph(5), {0: True, **{v: False for v in range(1, 5)}})
+        good = Configuration.build(
+            star_graph(5), {0: True, **{v: False for v in range(1, 5)}}
+        )
         assert lang.is_member(good)
         bad = Configuration.build(path_graph(4), {v: False for v in range(4)})
         assert not lang.is_member(bad)
@@ -165,7 +171,9 @@ class TestDominatingSet:
 
     def test_scheme_detects_undominated_node(self):
         scheme = DominatingSetScheme()
-        config = Configuration.build(path_graph(5), {0: True, 1: False, 2: False, 3: False, 4: True})
+        config = Configuration.build(
+            path_graph(5), {0: True, 1: False, 2: False, 3: False, 4: True}
+        )
         verdict = scheme.run(config)
         assert 2 in verdict.rejects
 

@@ -42,7 +42,9 @@ class TestAcyclic:
 
     def test_completeness(self, rng):
         scheme = AcyclicScheme()
-        config = scheme.language.member_configuration(connected_gnp(12, 0.3, rng), rng=rng)
+        config = scheme.language.member_configuration(
+            connected_gnp(12, 0.3, rng), rng=rng
+        )
         assert completeness_holds(scheme, config)
 
     def test_cycle_always_detected_under_attack(self, rng):
@@ -72,18 +74,24 @@ class TestLeader:
         g = path_graph(3)
         assert lang.is_member(Configuration.build(g, {0: True, 1: False, 2: False}))
         assert not lang.is_member(Configuration.build(g, {0: True, 1: True, 2: False}))
-        assert not lang.is_member(Configuration.build(g, {0: False, 1: False, 2: False}))
+        assert not lang.is_member(
+            Configuration.build(g, {0: False, 1: False, 2: False})
+        )
 
     def test_completeness(self, rng):
         scheme = LeaderScheme()
-        config = scheme.language.member_configuration(connected_gnp(11, 0.3, rng), rng=rng)
+        config = scheme.language.member_configuration(
+            connected_gnp(11, 0.3, rng), rng=rng
+        )
         assert completeness_holds(scheme, config)
 
     def test_no_leader_detected_under_attack(self, rng):
         scheme = LeaderScheme()
         g = cycle_graph(8)
         config = Configuration.build(g, {v: False for v in g.nodes})
-        related = [scheme.language.member_configuration(g, rng=make_rng(s)) for s in range(3)]
+        related = [
+            scheme.language.member_configuration(g, rng=make_rng(s)) for s in range(3)
+        ]
         result = attack(scheme, config, rng=rng, trials=60, related=related)
         assert not result.fooled
 
@@ -93,7 +101,9 @@ class TestLeader:
         config = Configuration.build(
             g, {0: True, 7: True, **{v: False for v in range(1, 7)}}
         )
-        related = [scheme.language.member_configuration(g, rng=make_rng(s)) for s in range(3)]
+        related = [
+            scheme.language.member_configuration(g, rng=make_rng(s)) for s in range(3)
+        ]
         result = attack(scheme, config, rng=rng, trials=60, related=related)
         assert not result.fooled
 
@@ -115,7 +125,14 @@ class TestSpanningTreePointer:
         lang = SpanningTreePointerLanguage()
         g = cycle_graph(5)
         tree = Configuration.build(
-            g, {0: None, 1: g.port(1, 0), 2: g.port(2, 1), 3: g.port(3, 2), 4: g.port(4, 0)}
+            g,
+            {
+                0: None,
+                1: g.port(1, 0),
+                2: g.port(2, 1),
+                3: g.port(3, 2),
+                4: g.port(4, 0),
+            },
         )
         assert lang.is_member(tree)
         all_pointing = Configuration.build(
@@ -133,7 +150,9 @@ class TestSpanningTreePointer:
 
     def test_completeness(self, rng):
         scheme = SpanningTreePointerScheme()
-        config = scheme.language.member_configuration(connected_gnp(12, 0.25, rng), rng=rng)
+        config = scheme.language.member_configuration(
+            connected_gnp(12, 0.25, rng), rng=rng
+        )
         assert completeness_holds(scheme, config)
 
     def test_two_trees_detected_under_attack(self, rng):
@@ -142,7 +161,9 @@ class TestSpanningTreePointer:
         half = {i: g.port(i, i - 1) for i in range(1, 4)}
         other = {i: g.port(i, i + 1) for i in range(4, 7)}
         config = Configuration.build(g, {0: None, 7: None, **half, **other})
-        related = [scheme.language.member_configuration(g, rng=make_rng(s)) for s in range(4)]
+        related = [
+            scheme.language.member_configuration(g, rng=make_rng(s)) for s in range(4)
+        ]
         result = attack(scheme, config, rng=rng, trials=80, related=related)
         assert not result.fooled
 
@@ -230,7 +251,9 @@ class TestBfsTree:
 
     def test_completeness(self, rng):
         scheme = BfsTreeScheme()
-        config = scheme.language.member_configuration(connected_gnp(12, 0.3, rng), rng=rng)
+        config = scheme.language.member_configuration(
+            connected_gnp(12, 0.3, rng), rng=rng
+        )
         assert completeness_holds(scheme, config)
 
     def test_non_bfs_spanning_tree_detected_under_attack(self, rng):
@@ -240,7 +263,9 @@ class TestBfsTree:
             g, {0: None, **{i: g.port(i, i - 1) for i in range(1, 8)}}
         )
         assert not scheme.language.is_member(snake)
-        related = [scheme.language.member_configuration(g, rng=make_rng(s)) for s in range(3)]
+        related = [
+            scheme.language.member_configuration(g, rng=make_rng(s)) for s in range(3)
+        ]
         result = attack(scheme, snake, rng=rng, trials=80, related=related)
         assert not result.fooled
 

@@ -132,7 +132,9 @@ class TestSessionEquivalence:
         session = detector.session(network, states)
         injection = inject_faults_report(network, protocol, states, 1, rng)
         before = view_build_count()
-        session.sweep(injection.states, changed=injection.victims, check_membership=False)
+        session.sweep(
+            injection.states, changed=injection.victims, check_membership=False
+        )
         built = view_build_count() - before
         victim = injection.victims[0]
         ball = 1 + network.graph.degree(victim)

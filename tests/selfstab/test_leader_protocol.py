@@ -34,7 +34,9 @@ class TestStabilization:
         assert outputs[max_node] is True
         assert sum(outputs.values()) == 1
 
-    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @settings(
+        max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
     @given(seed=st.integers(min_value=0, max_value=10**6))
     def test_stabilizes_from_garbage(self, seed):
         rng = make_rng(seed)

@@ -41,7 +41,9 @@ class TestMaxRootBfs:
         root_node = max(g.nodes, key=lambda v: net.ids[v])
         assert trace.states[root_node][1] is None
 
-    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
     @given(seed=st.integers(min_value=0, max_value=10**6))
     def test_stabilizes_from_arbitrary_states(self, seed):
         rng = make_rng(seed)

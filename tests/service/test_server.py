@@ -78,6 +78,36 @@ class TestServedVerdictEquivalence:
         ]
 
 
+class TestBatchedRebuild:
+    """The envelope build path runs the vectorized marker — and the
+    bytes it serves are identical to the dict oracle's."""
+
+    @pytest.mark.parametrize(
+        "name", ["spanning-tree-ptr", "bfs-tree", "leader", "spanning-tree-list"]
+    )
+    def test_envelope_bytes_independent_of_marker_backend(self, name, monkeypatch):
+        with obs.collect("t") as collected:
+            batched = build_envelope(name, n=32, seed=9)
+        assert collected.counter("generate.batch") == 1, (
+            "build_envelope must route through the batched marker"
+        )
+        # Disable the kernel registry and rebuild: same seed, same bytes.
+        from repro.core import batch
+
+        monkeypatch.setattr(batch, "_MARKERS", {})
+        with obs.collect("t") as collected:
+            reference = build_envelope(name, n=32, seed=9)
+        assert collected.counter("generate.batch") == 0
+        assert batched.to_bytes() == reference.to_bytes()
+
+    def test_served_equals_in_process_on_batched_marker(self):
+        service = CertificationService()
+        envelope = build_envelope("spanning-tree-ptr", n=64, seed=11)
+        result = service.submit(ProofEnvelope.from_bytes(envelope.to_bytes()))
+        verdict = _in_process_verdict(envelope)
+        assert result.accepted and verdict.all_accept
+
+
 class TestCacheSemantics:
     def test_fresh_nonce_hits_cache(self):
         service = CertificationService()
